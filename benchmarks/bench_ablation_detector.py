@@ -1,0 +1,69 @@
+"""Ablation: front-end detector configuration (paper Sec. III-A).
+
+Two questions the paper discusses:
+
+* the PMR locality filter ("say 70%") — without it, cores whose
+  prefetches mostly hit L2 (high prefetch locality) would be throttled
+  for no reason;
+* the LLC-PT (M-7) alternative — the paper reports it identifies
+  basically the same Agg set; on our substrate it is the filter that
+  excludes LLC-resident pointer chases.
+"""
+
+from dataclasses import replace
+
+from repro.core.frontend import AggDetector, DetectorConfig
+from repro.core.metrics_defs import summarize_sample
+from repro.experiments.runner import build_machine
+from repro.platform.simulated import SimulatedPlatform
+from repro.workloads.mixes import make_mixes
+from repro.workloads.speclike import benchmark
+
+
+def _detect_all(scale, cfg: DetectorConfig):
+    """Run the detector over every mix; return (true_pos, false_pos, misses)."""
+    detector = AggDetector(cfg)
+    tp = fp = miss = 0
+    for cat in ("pref_fri", "pref_agg", "pref_unfri", "pref_no_agg"):
+        for mix in make_mixes(cat, scale.workloads_per_category, seed=scale.seed):
+            m = build_machine(mix, scale)
+            plat = SimulatedPlatform(m)
+            plat.run_interval(max(scale.sample_units, 2048))
+            sample = plat.run_interval(scale.sample_units)
+            report = detector.detect(summarize_sample(sample, plat.cycles_per_second))
+            detected = set(report.agg_set)
+            truth = {
+                c for c, b in enumerate(mix.benchmarks) if benchmark(b).pref_aggressive
+            }
+            tp += len(detected & truth)
+            fp += len(detected - truth)
+            miss += len(truth - detected)
+    return tp, fp, miss
+
+
+def _sweep(scale):
+    base = DetectorConfig()
+    return {
+        "paper (with LLC-PT filter)": _detect_all(scale, base),
+        "no LLC-PT filter": _detect_all(scale, replace(base, llc_pt_min=0.0)),
+        "no PMR filter": _detect_all(scale, replace(base, pmr_threshold=0.0)),
+    }
+
+
+def test_detector_ablation(run_once, scale):
+    results = run_once(_sweep, scale)
+    print()
+    for name, (tp, fp, miss) in results.items():
+        print(f"  {name:28s} true+={tp:3d}  false+={fp:3d}  missed={miss:3d}")
+    tp0, fp0, miss0 = results["paper (with LLC-PT filter)"]
+    tp1, fp1, _ = results["no LLC-PT filter"]
+    # the default pipeline detects aggressors with high precision and
+    # full coverage ...
+    assert tp0 / max(tp0 + fp0, 1) >= 0.8
+    assert miss0 == 0
+    # ... and, matching the paper's observation ("the identified Agg set
+    # basically stays the same as when using LLC PT"), the M-7 filter is
+    # (near-)redundant with the PTR pressure floor: it may only ever
+    # remove false positives, never add them.
+    assert fp0 <= fp1
+    assert tp0 >= 0.9 * tp1

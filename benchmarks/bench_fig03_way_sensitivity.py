@@ -1,0 +1,31 @@
+"""Fig. 3: IPC as a function of allotted LLC ways (prefetchers on)."""
+
+from repro.experiments.figures import fig03_way_sensitivity
+from repro.experiments.report import render_table
+from repro.workloads.speclike import benchmark
+
+
+def test_fig03_way_sensitivity(run_once, scale):
+    d = run_once(fig03_way_sensitivity, scale)
+    rows = d["rows"]
+    print()
+    print(
+        render_table(
+            ["benchmark", "min ways (90%)", "min ways (80%)"],
+            [[r["benchmark"], r["min_ways_90pct"], r["min_ways_80pct"]] for r in rows],
+            title="Fig. 3 — LLC way sensitivity",
+        )
+    )
+    by_name = {r["benchmark"]: r for r in rows}
+    # paper's key observation: prefetch-aggressive-and-friendly apps need
+    # no more than 2 ways for 90% of their best performance
+    for name in ("410.bwaves", "462.libquantum", "470.lbm"):
+        assert by_name[name]["min_ways_90pct"] <= 2
+    # LLC-sensitive apps need at least 8 ways for 80%
+    for r in rows:
+        spec = benchmark(r["benchmark"])
+        assert (r["min_ways_80pct"] >= 8) == spec.llc_sensitive, r["benchmark"]
+    # way curves are (weakly) improving with more ways for sensitive apps
+    curve = by_name["429.mcf"]["ipc_by_ways"]
+    ways_sorted = sorted(curve)
+    assert curve[ways_sorted[-1]] >= curve[ways_sorted[0]]

@@ -1,0 +1,19 @@
+"""Fig. 9: cache partitioning — Dunn vs. Pref-CP vs. Pref-CP2."""
+
+from conftest import print_category_means
+
+from repro.experiments.figures import fig09_cp
+
+
+def test_fig09_cp(run_once, scale, store):
+    d = run_once(fig09_cp, scale, store)
+    print_category_means(d)
+    means = d["category_means"]
+    # paper shape: the prefetch-aware plans beat Dunn on every category
+    # that actually contains aggressive prefetching.
+    for cat in ("pref_fri", "pref_agg", "pref_unfri"):
+        best_pref_cp = max(means[cat]["pref-cp"], means[cat]["pref-cp2"])
+        assert best_pref_cp >= means[cat]["dunn"] - 0.01, cat
+    # and deliver real gains where aggressors exist
+    assert means["pref_unfri"]["pref-cp"] > 1.01
+    assert means["pref_agg"]["pref-cp"] > 1.0

@@ -1,0 +1,16 @@
+"""Fig. 10: CP worst-case per-application speedup."""
+
+from conftest import print_category_means
+
+from repro.experiments.figures import fig10_cp_worstcase
+
+
+def test_fig10_cp_worstcase(run_once, scale, store):
+    d = run_once(fig10_cp_worstcase, scale, store)
+    print_category_means(d)
+    means = d["category_means"]
+    # paper shape: the prefetch-aware CP plans keep worst-case speedups
+    # high (no application is destroyed by partitioning).
+    for cat, m in means.items():
+        assert m["pref-cp"] > 0.85, cat
+        assert m["pref-cp2"] > 0.80, cat

@@ -1,0 +1,18 @@
+"""Fig. 12: CMM worst-case per-application speedup."""
+
+from conftest import print_category_means
+
+from repro.experiments.figures import fig12_cmm_worstcase
+
+
+def test_fig12_cmm_worstcase(run_once, scale, store):
+    d = run_once(fig12_cmm_worstcase, scale, store)
+    print_category_means(d)
+    # paper shape: all workloads keep an 80%+ worst-case speedup under
+    # CMM, most 90%+ — no individual application is hurt significantly.
+    rows = d["rows"]
+    for mech in ("cmm-a", "cmm-b", "cmm-c"):
+        vals = [r[mech] for r in rows]
+        assert min(vals) >= 0.75, mech  # floor (paper: 80%+)
+        frac_90 = sum(v >= 0.88 for v in vals) / len(vals)
+        assert frac_90 >= 0.5, mech     # "most of them get 90%+"

@@ -1,0 +1,21 @@
+"""Fig. 13: all seven throttling/partitioning mechanisms compared."""
+
+from conftest import print_category_means
+
+from repro.experiments.figures import ALL_MECHS, fig13_all
+
+
+def test_fig13_all_mechanisms(run_once, scale, store):
+    d = run_once(fig13_all, scale, store)
+    print_category_means(d)
+    means = d["category_means"]
+    # paper shape: Pref Agg and Pref Unfri benefit the most overall...
+    best_gain = {
+        cat: max(means[cat][m] for m in ALL_MECHS) for cat in means
+    }
+    assert best_gain["pref_unfri"] >= best_gain["pref_no_agg"]
+    assert best_gain["pref_agg"] >= best_gain["pref_no_agg"]
+    # ...and a coordinated mechanism is the overall winner on them.
+    for cat in ("pref_agg", "pref_unfri"):
+        winner = max(ALL_MECHS, key=lambda m: means[cat][m])
+        assert winner.startswith("cmm"), f"{cat}: {winner}"

@@ -1,0 +1,20 @@
+"""Fig. 14: normalized memory traffic of the seven mechanisms."""
+
+from conftest import print_category_means
+
+from repro.experiments.figures import fig14_bandwidth
+
+
+def test_fig14_bandwidth(run_once, scale, store):
+    d = run_once(fig14_bandwidth, scale, store)
+    print_category_means(d)
+    means = d["category_means"]
+    for cat in ("pref_agg", "pref_unfri"):
+        # paper shape: PT has the lowest bandwidth consumption (it
+        # disables prefetching outright)...
+        assert means[cat]["pt"] < 0.95, cat
+        # ...while pure CP does not reduce prefetch traffic.
+        assert means[cat]["pref-cp"] > 0.95, cat
+        assert means[cat]["dunn"] > 0.95, cat
+        # CMM throttles the useless prefetchers, landing at or below CP.
+        assert means[cat]["cmm-a"] < means[cat]["pref-cp"], cat

@@ -1,0 +1,18 @@
+"""Fig. 15: normalized STALLS_L2_PENDING per workload."""
+
+from conftest import print_category_means
+
+from repro.experiments.figures import fig15_stalls
+
+
+def test_fig15_stalls(run_once, scale, store):
+    d = run_once(fig15_stalls, scale, store)
+    print_category_means(d)
+    means = d["category_means"]
+    # paper shape: CMM-a/c show the lowest stall counts on the
+    # categories with aggressive prefetching (best isolation).
+    for cat in ("pref_agg", "pref_unfri"):
+        cmm_best = min(means[cat]["cmm-a"], means[cat]["cmm-c"])
+        assert cmm_best < 1.0, cat
+        assert cmm_best <= means[cat]["dunn"], cat
+        assert cmm_best <= means[cat]["pref-cp"] + 0.01, cat

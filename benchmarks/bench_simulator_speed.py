@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the simulator's hot paths.
+
+Unlike the figure benches these measure raw substrate throughput
+(accesses simulated per second) so performance regressions in the
+cache/prefetcher/LLC loops show up in benchmark history.
+"""
+
+import numpy as np
+
+from repro.sim.cache import Cache, PartitionedCache
+from repro.sim.machine import Machine
+from repro.sim.params import CacheGeometry, scaled_params
+from repro.workloads.speclike import build_trace
+
+N_ACCESSES = 8192
+
+
+def _machine(benchmarks: list[str]) -> Machine:
+    params = scaled_params(16)
+    m = Machine(params, quantum=512)
+    for core, bench in enumerate(benchmarks):
+        m.attach_trace(core, build_trace(
+            bench, llc_lines=params.llc.lines, base_line=m.core_base_line(core), seed=core))
+    return m
+
+
+def test_streaming_core_throughput(benchmark):
+    m = _machine(["410.bwaves"])
+    benchmark.pedantic(m.run_accesses, args=(N_ACCESSES,), rounds=3, iterations=1)
+
+
+def test_random_core_throughput(benchmark):
+    m = _machine(["rand_access"])
+    benchmark.pedantic(m.run_accesses, args=(N_ACCESSES,), rounds=3, iterations=1)
+
+
+def test_full_machine_throughput(benchmark):
+    m = _machine([
+        "410.bwaves", "462.libquantum", "429.mcf", "471.omnetpp",
+        "rand_access", "483.xalancbmk", "453.povray", "416.gamess",
+    ])
+    benchmark.pedantic(m.run_accesses, args=(N_ACCESSES,), rounds=2, iterations=1)
+
+
+def test_private_cache_access_rate(benchmark):
+    c = Cache(CacheGeometry(32 * 1024, 8))
+    lines = np.random.default_rng(0).integers(0, 4096, 20000).tolist()
+
+    def run():
+        access = c.access
+        for line in lines:
+            access(line)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_partitioned_cache_access_rate(benchmark):
+    p = PartitionedCache(CacheGeometry(20 * 1024 * 1024 // 16, 20))
+    allowed = tuple(range(20))
+    lines = np.random.default_rng(0).integers(0, 60000, 20000).tolist()
+
+    def run():
+        access = p.access
+        for line in lines:
+            access(line, allowed)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

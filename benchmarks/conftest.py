@@ -1,0 +1,50 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each ``bench_figNN_*.py`` regenerates one paper table/figure and
+asserts its qualitative *shape* (who wins, roughly by how much).
+Absolute numbers are simulator units — see EXPERIMENTS.md.
+
+Scale comes from ``REPRO_SCALE`` (default ``tiny``); runs within one
+pytest session share an :class:`EvalStore`, so the first benchmark
+touching a mechanism pays for its runs and later figures that reuse
+the same runs are cheap.  Every benchmark is single-round
+(``benchmark.pedantic(rounds=1)``): these are regeneration harnesses,
+not micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import get_scale
+from repro.experiments.figures import get_store
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def store(scale):
+    return get_store(scale)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a figure driver exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner
+
+
+def print_category_means(d: dict) -> None:
+    """Dump a mechanism figure's category means (the paper's grey bars)."""
+    from repro.experiments.report import render_series
+
+    print()
+    for cat, means in d["category_means"].items():
+        labels = list(means)
+        print(render_series(f"{d['figure']}[{d['metric']}] {cat}", labels, [means[m] for m in labels]))

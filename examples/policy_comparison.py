@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Compare all seven mechanisms on one workload category (mini Fig. 13).
+
+    python examples/policy_comparison.py [category] [scale]
+
+category: pref_fri | pref_agg | pref_unfri | pref_no_agg (default pref_unfri)
+"""
+
+import sys
+
+import numpy as np
+
+from repro import evaluate_workload, get_scale, make_mixes
+from repro.experiments.report import render_table
+
+MECHANISMS = ("pt", "dunn", "pref-cp", "pref-cp2", "cmm-a", "cmm-b", "cmm-c")
+
+
+def main() -> None:
+    category = sys.argv[1] if len(sys.argv) > 1 else "pref_unfri"
+    sc = get_scale(sys.argv[2] if len(sys.argv) > 2 else None)
+    mixes = make_mixes(category, sc.workloads_per_category, seed=sc.seed)
+    print(f"category={category}  scale={sc.name}  workloads={len(mixes)}")
+
+    rows = []
+    per_mech: dict[str, list[float]] = {m: [] for m in MECHANISMS}
+    for mix in mixes:
+        print(f"  running {mix.name} ({', '.join(mix.benchmarks[:3])}, ...)")
+        ev = evaluate_workload(mix, MECHANISMS, sc)
+        row = [mix.name] + [ev.metric(m, "hs_norm") for m in MECHANISMS]
+        rows.append(row)
+        for m in MECHANISMS:
+            per_mech[m].append(ev.metric(m, "hs_norm"))
+
+    rows.append(["MEAN"] + [float(np.mean(per_mech[m])) for m in MECHANISMS])
+    print()
+    print(render_table(["workload"] + list(MECHANISMS), rows,
+                       title=f"Normalized harmonic speedup vs. baseline — {category}"))
+
+    best = max(MECHANISMS, key=lambda m: np.mean(per_mech[m]))
+    print(f"\nbest mechanism on {category}: {best} "
+          f"(+{(np.mean(per_mech[best]) - 1) * 100:.1f}% HS over baseline)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: evaluate CMM on one multiprogrammed workload.
+
+Builds an 8-core machine, runs one prefetch-aggressive workload mix
+under the baseline (no control) and under the coordinated CMM-a
+mechanism, and prints the paper's headline metrics.
+
+    python examples/quickstart.py [scale]
+
+``scale`` is tiny (default), small or full.
+"""
+
+import sys
+
+from repro import evaluate_workload, get_scale, make_mixes
+
+
+def main() -> None:
+    sc = get_scale(sys.argv[1] if len(sys.argv) > 1 else None)
+    mix = make_mixes("pref_agg", 1, seed=sc.seed)[0]
+
+    print(f"scale           : {sc.name}")
+    print(f"workload        : {mix.name}")
+    for core, bench in enumerate(mix.benchmarks):
+        print(f"  core {core}: {bench}")
+
+    print("\nrunning baseline and cmm-a ...")
+    ev = evaluate_workload(mix, ("cmm-a",), sc)
+
+    base = ev.metrics["baseline"]
+    cmm = ev.metrics["cmm-a"]
+    print(f"\nbaseline harmonic speedup (vs alone) : {base['hs']:.3f}")
+    print(f"cmm-a    harmonic speedup (vs alone) : {cmm['hs']:.3f}")
+    print(f"normalized HS  (cmm-a / baseline)    : {cmm['hs_norm']:.3f}")
+    print(f"normalized WS                        : {cmm['ws']:.3f}")
+    print(f"worst-case per-app speedup           : {cmm['worst']:.3f}")
+    print(f"memory bandwidth vs baseline         : {cmm['bw_norm']:.3f}")
+    print(f"L2-pending stalls vs baseline        : {cmm['stalls_norm']:.3f}")
+
+    print("\nper-core IPC (baseline -> cmm-a):")
+    for core, bench in enumerate(mix.benchmarks):
+        b = ev.baseline.ipc[core]
+        c = ev.runs["cmm-a"].ipc[core]
+        print(f"  core {core} {bench:16s} {b:6.3f} -> {c:6.3f}  ({(c / b - 1) * 100:+5.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

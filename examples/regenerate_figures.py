@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Regenerate every paper table/figure and emit a markdown report.
+
+    python examples/regenerate_figures.py [scale] > report.md
+
+This is the script that produced the measured numbers recorded in
+EXPERIMENTS.md.  At ``full`` scale it takes a while; ``tiny`` finishes
+in a couple of minutes.
+"""
+
+import sys
+import time
+
+from repro.experiments.config import get_scale
+from repro.experiments.figures import (
+    ALL_MECHS,
+    fig01_bandwidth,
+    fig02_prefetch_speedup,
+    fig03_way_sensitivity,
+    fig05_detection,
+    fig13_all,
+    fig14_bandwidth,
+    fig15_stalls,
+    get_store,
+    table1_metrics,
+)
+from repro.workloads.mixes import CATEGORIES
+
+
+def md_table(headers, rows):
+    def fmt(v):
+        return f"{v:.3f}" if isinstance(v, float) else str(v)
+
+    out = ["| " + " | ".join(headers) + " |", "|" + "---|" * len(headers)]
+    out += ["| " + " | ".join(fmt(c) for c in row) + " |" for row in rows]
+    return "\n".join(out)
+
+
+def category_means_table(d):
+    mechs = list(next(iter(d["category_means"].values())))
+    rows = [[cat] + [d["category_means"][cat][m] for m in mechs] for cat in CATEGORIES]
+    return md_table(["category"] + mechs, rows)
+
+
+def main() -> None:
+    sc = get_scale(sys.argv[1] if len(sys.argv) > 1 else None)
+    t0 = time.time()
+    print(f"# Regenerated figures (scale = {sc.name})\n")
+
+    d = fig01_bandwidth(sc)
+    print("## Fig. 1 — memory bandwidth (MB/s), prefetch off demand vs. on total\n")
+    print(md_table(["benchmark", "demand", "total", "increase %"],
+                   [[r["benchmark"], r["demand_bw_mbs"], r["total_bw_mbs"], r["increase_pct"]]
+                    for r in d["rows"]]))
+
+    d = fig02_prefetch_speedup(sc)
+    print("\n## Fig. 2 — IPC speedup from prefetching\n")
+    print(md_table(["benchmark", "IPC on", "IPC off", "speedup %"],
+                   [[r["benchmark"], r["ipc_on"], r["ipc_off"], r["speedup_pct"]]
+                    for r in d["rows"]]))
+
+    d = fig03_way_sensitivity(sc)
+    print("\n## Fig. 3 — LLC way sensitivity\n")
+    print(md_table(["benchmark", "min ways for 90%", "min ways for 80%"],
+                   [[r["benchmark"], r["min_ways_90pct"], r["min_ways_80pct"]]
+                    for r in d["rows"]]))
+
+    d = fig05_detection(sc)
+    print("\n## Fig. 5 — detected Agg sets\n")
+    print(md_table(["workload", "agg cores", "agg benchmarks"],
+                   [[r["workload"], str(r["agg_set"]), ", ".join(r["agg_benchmarks"])]
+                    for r in d["rows"]]))
+
+    d = table1_metrics(sc)
+    print("\n## Table I — metrics on one pref_agg workload\n")
+    print(md_table(["core", "benchmark", "M2", "M3 PTR/s", "M4 PGA", "M5 PMR", "M6 PPM", "M7 B/s"],
+                   [[r["core"], r["benchmark"], r["M2_l2_pref_miss_frac"], r["M3_l2_ptr"],
+                     r["M4_pga"], r["M5_l2_pmr"], r["M6_l2_ppm"], r["M7_llc_pt"]]
+                    for r in d["rows"]]))
+
+    store = get_store(sc)
+    store.sweep(ALL_MECHS)  # one pass fills the cache for figs 7-15
+
+    from repro.experiments.figures import (
+        fig07_pt, fig08_pt_worstcase, fig09_cp, fig10_cp_worstcase,
+        fig11_cmm, fig12_cmm_worstcase,
+    )
+
+    for title, fn in [
+        ("Fig. 7 — PT normalized HS (category means)", fig07_pt),
+        ("Fig. 8 — PT worst-case speedup", fig08_pt_worstcase),
+        ("Fig. 9 — CP normalized HS", fig09_cp),
+        ("Fig. 10 — CP worst-case speedup", fig10_cp_worstcase),
+        ("Fig. 11 — CMM normalized HS", fig11_cmm),
+        ("Fig. 12 — CMM worst-case speedup", fig12_cmm_worstcase),
+        ("Fig. 13 — all mechanisms, normalized HS", fig13_all),
+        ("Fig. 14 — normalized memory traffic", fig14_bandwidth),
+        ("Fig. 15 — normalized L2-pending stalls", fig15_stalls),
+    ]:
+        d = fn(sc, store)
+        print(f"\n## {title}\n")
+        print(category_means_table(d))
+
+    print(f"\n_(generated in {time.time() - t0:.0f}s)_", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

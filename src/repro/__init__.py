@@ -1,0 +1,66 @@
+"""repro — reproduction of *Combining Prefetch Control and Cache
+Partitioning to Improve Multicore Performance* (Sun, Shen, Veidenbaum,
+IPDPS 2019).
+
+Public API tour:
+
+* ``repro.sim`` — the multicore simulator substrate (caches, the four
+  Intel-style prefetchers, CAT way-partitioned LLC, DRAM bandwidth,
+  PMU);
+* ``repro.platform`` — the control surface (simulated backend, plus a
+  resctrl/MSR backend for real hardware);
+* ``repro.core`` — CMM itself: Table I metrics, the Fig. 5 detector,
+  and the back-end policies (PT, Pref-CP, Pref-CP2, Dunn, CMM-a/b/c);
+* ``repro.workloads`` — SPEC CPU2006-like synthetic benchmarks, the
+  Rand Access micro-benchmark, and the paper's workload mixes;
+* ``repro.metrics`` — HS / WS / ANTT / worst-case speedup;
+* ``repro.experiments`` — one driver per paper table and figure.
+
+Quickstart::
+
+    from repro import quick_run
+    result = quick_run("pref_agg", mechanism="cmm-a")
+    print(result.metrics["cmm-a"]["hs_norm"])
+"""
+
+from repro.core import CMMController, make_policy, policy_names
+from repro.core.allocation import ResourceConfig
+from repro.core.epoch import EpochConfig
+from repro.experiments.config import ScaleConfig, get_scale
+from repro.experiments.runner import WorkloadEval, evaluate_workload, run_mechanism
+from repro.platform.simulated import SimulatedPlatform
+from repro.sim.machine import Machine
+from repro.sim.params import MachineParams, default_params, scaled_params
+from repro.workloads.mixes import WorkloadMix, all_mixes, make_mixes
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CMMController",
+    "EpochConfig",
+    "Machine",
+    "MachineParams",
+    "ResourceConfig",
+    "ScaleConfig",
+    "SimulatedPlatform",
+    "WorkloadEval",
+    "WorkloadMix",
+    "all_mixes",
+    "default_params",
+    "evaluate_workload",
+    "get_scale",
+    "make_mixes",
+    "make_policy",
+    "policy_names",
+    "quick_run",
+    "run_mechanism",
+    "scaled_params",
+    "__version__",
+]
+
+
+def quick_run(category: str = "pref_agg", *, mechanism: str = "cmm-a", scale: str | None = None) -> WorkloadEval:
+    """Evaluate one workload of ``category`` under ``mechanism`` vs. baseline."""
+    sc = get_scale(scale)
+    mix = make_mixes(category, 1, seed=sc.seed)[0]
+    return evaluate_workload(mix, (mechanism,), sc)

@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``benchmarks``            list the workload registry with class flags
+``classify <name>``       profile one benchmark (Figs. 1-3 criteria)
+``mixes [--category C]``  show the generated workload mixes
+``run [...]``             evaluate mechanisms on workloads of a category
+``figure <id>``           regenerate one paper figure/table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.config import SCALES, get_scale
+from repro.experiments.report import render_table
+from repro.workloads.mixes import CATEGORIES, make_mixes
+from repro.workloads.speclike import BENCHMARKS, benchmark
+
+FIGURES = (
+    "table1", "fig01", "fig02", "fig03", "fig05",
+    "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+)
+
+
+def _add_scale(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", choices=sorted(SCALES), default=None,
+                   help="experiment scale (default: $REPRO_SCALE or tiny)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CMM reproduction: prefetch control + cache partitioning",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("benchmarks", help="list the benchmark registry")
+
+    p = sub.add_parser("classify", help="profile and classify one benchmark")
+    p.add_argument("name", help="benchmark name (see `repro benchmarks`)")
+    _add_scale(p)
+
+    p = sub.add_parser("mixes", help="show generated workload mixes")
+    p.add_argument("--category", choices=CATEGORIES, default=None)
+    _add_scale(p)
+
+    p = sub.add_parser("run", help="evaluate mechanisms on one category")
+    p.add_argument("--category", choices=CATEGORIES, default="pref_agg")
+    p.add_argument("--mechanism", action="append", default=None,
+                   help="repeatable; default: cmm-a")
+    p.add_argument("--workloads", type=int, default=None,
+                   help="number of mixes (default: scale's setting)")
+    _add_scale(p)
+
+    p = sub.add_parser("figure", help="regenerate one paper figure/table")
+    p.add_argument("id", choices=FIGURES)
+    _add_scale(p)
+
+    return parser
+
+
+def cmd_benchmarks(_args) -> int:
+    rows = []
+    for name, s in BENCHMARKS.items():
+        rows.append([
+            name,
+            "yes" if s.pref_aggressive else "",
+            "yes" if s.pref_friendly else "",
+            "yes" if s.llc_sensitive else "",
+            f"{s.inst_per_mem:.1f}",
+            f"{s.mlp:.1f}",
+        ])
+    print(render_table(
+        ["benchmark", "aggressive", "friendly", "llc-sensitive", "inst/mem", "mlp"],
+        rows, title=f"{len(rows)} benchmarks"))
+    return 0
+
+
+def cmd_classify(args) -> int:
+    from repro.workloads.classify import DEFAULT_WAY_SWEEP, classify, profile_benchmark
+
+    try:
+        spec = benchmark(args.name)
+    except KeyError as e:
+        print(e, file=sys.stderr)
+        return 2
+    sc = get_scale(args.scale)
+    prof = profile_benchmark(spec, sc.params(), sc.profile_accesses, way_sweep=DEFAULT_WAY_SWEEP)
+    c = classify(prof)
+    print(f"benchmark           : {spec.name}")
+    print(f"IPC (prefetch on)   : {prof.ipc_on:.3f}")
+    print(f"IPC (prefetch off)  : {prof.ipc_off:.3f}")
+    print(f"prefetch speedup    : {prof.prefetch_speedup:+.1%}")
+    print(f"demand BW (off)     : {prof.demand_bw_off_mbs:.0f} MB/s")
+    print(f"BW increase         : {prof.bw_increase:+.1%}")
+    print(f"min ways for 80%    : {prof.min_ways_for_frac(0.8)}")
+    print(f"classes             : aggressive={c.pref_aggressive} "
+          f"friendly={c.pref_friendly} llc_sensitive={c.llc_sensitive}")
+    ok = (c.pref_aggressive, c.pref_friendly, c.llc_sensitive) == (
+        spec.pref_aggressive, spec.pref_friendly, spec.llc_sensitive)
+    print(f"matches registry    : {ok}")
+    return 0
+
+
+def cmd_mixes(args) -> int:
+    sc = get_scale(args.scale)
+    cats = [args.category] if args.category else list(CATEGORIES)
+    rows = []
+    for cat in cats:
+        for mix in make_mixes(cat, sc.workloads_per_category, seed=sc.seed):
+            rows.append([mix.name, ", ".join(mix.benchmarks)])
+    print(render_table(["workload", "benchmarks"], rows))
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.experiments.runner import evaluate_workload
+
+    sc = get_scale(args.scale)
+    mechanisms = tuple(args.mechanism or ["cmm-a"])
+    count = args.workloads or sc.workloads_per_category
+    rows = []
+    for mix in make_mixes(args.category, count, seed=sc.seed):
+        print(f"running {mix.name} ...", file=sys.stderr)
+        ev = evaluate_workload(mix, mechanisms, sc)
+        for mech in mechanisms:
+            m = ev.metrics[mech]
+            rows.append([mix.name, mech, m["hs_norm"], m["ws"], m["worst"], m["bw_norm"]])
+    print(render_table(
+        ["workload", "mechanism", "HS norm", "WS", "worst-case", "BW norm"], rows,
+        title=f"{args.category} @ {sc.name}"))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from repro.experiments import figures as F
+
+    sc = get_scale(args.scale)
+    fn = {
+        "table1": F.table1_metrics,
+        "fig01": F.fig01_bandwidth,
+        "fig02": F.fig02_prefetch_speedup,
+        "fig03": F.fig03_way_sensitivity,
+        "fig05": F.fig05_detection,
+        "fig07": F.fig07_pt,
+        "fig08": F.fig08_pt_worstcase,
+        "fig09": F.fig09_cp,
+        "fig10": F.fig10_cp_worstcase,
+        "fig11": F.fig11_cmm,
+        "fig12": F.fig12_cmm_worstcase,
+        "fig13": F.fig13_all,
+        "fig14": F.fig14_bandwidth,
+        "fig15": F.fig15_stalls,
+    }[args.id]
+    d = fn(sc)
+    if "category_means" in d:
+        mechs = list(next(iter(d["category_means"].values())))
+        rows = [[cat] + [d["category_means"][cat][m] for m in mechs] for cat in d["category_means"]]
+        print(render_table(["category"] + mechs, rows,
+                           title=f"{d['figure']} ({d.get('metric', '')}) @ {sc.name}"))
+    else:
+        rows = d["rows"]
+        if rows:
+            headers = [k for k in rows[0] if not isinstance(rows[0][k], dict)]
+            print(render_table(headers, [[r[h] for h in headers] for r in rows],
+                               title=f"{d['figure']} @ {sc.name}"))
+    return 0
+
+
+COMMANDS = {
+    "benchmarks": cmd_benchmarks,
+    "classify": cmd_classify,
+    "mixes": cmd_mixes,
+    "run": cmd_run,
+    "figure": cmd_figure,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

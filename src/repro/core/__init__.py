@@ -1,0 +1,33 @@
+"""CMM — Coordinated Multi-resource Management (the paper's contribution).
+
+Front-end (detection) and back-end (allocation) are decoupled, as in
+the paper (Sec. III): the front-end identifies prefetch-aggressive
+cores from Table I metrics; the back-end allocates two resources —
+prefetchers (via throttling) and LLC ways (via CAT partitions) —
+periodically, using short sampling intervals scored by the harmonic
+mean of per-core IPC.
+"""
+
+from repro.core.allocation import ResourceConfig
+from repro.core.controller import CMMController, RunStats
+from repro.core.epoch import EpochConfig, EpochContext, IntervalResult
+from repro.core.frontend import AggDetector, DetectorConfig
+from repro.core.metrics_defs import TableIMetrics, CoreSummary, summarize_sample
+from repro.core.policies import POLICIES, make_policy, policy_names
+
+__all__ = [
+    "ResourceConfig",
+    "CMMController",
+    "RunStats",
+    "EpochConfig",
+    "EpochContext",
+    "IntervalResult",
+    "AggDetector",
+    "DetectorConfig",
+    "TableIMetrics",
+    "CoreSummary",
+    "summarize_sample",
+    "POLICIES",
+    "make_policy",
+    "policy_names",
+]

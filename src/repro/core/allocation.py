@@ -1,0 +1,94 @@
+"""Resource configurations: the unit of back-end decision making.
+
+A :class:`ResourceConfig` captures one complete allocation — per-core
+prefetch disable masks (MSR 0x1A4 semantics) plus CAT partitions
+(CLOS capacity bit masks and core associations) — and knows how to
+apply itself to any :class:`~repro.platform.base.Platform`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.platform.base import Platform
+from repro.sim.msr import PF_ALL_OFF, PF_ALL_ON
+
+
+@dataclass(frozen=True)
+class ResourceConfig:
+    prefetch_masks: tuple[int, ...]        # per core; bit set = prefetcher disabled
+    clos_cbm: tuple[tuple[int, int], ...]  # (clos, cbm) pairs, sorted by clos
+    core_clos: tuple[int, ...]             # per core CLOS association
+
+    def __post_init__(self) -> None:
+        if len(self.prefetch_masks) != len(self.core_clos):
+            raise ValueError("prefetch_masks and core_clos must cover the same cores")
+        for m in self.prefetch_masks:
+            if not 0 <= m <= 0xF:
+                raise ValueError(f"prefetch mask out of range: {m:#x}")
+        defined = {c for c, _ in self.clos_cbm}
+        if len(defined) != len(self.clos_cbm):
+            raise ValueError("duplicate CLOS in clos_cbm")
+        for cl in self.core_clos:
+            if cl not in defined:
+                raise ValueError(f"core assigned to undefined CLOS {cl}")
+
+    @classmethod
+    def all_on(cls, n_cores: int, llc_ways: int) -> "ResourceConfig":
+        """Baseline: every prefetcher on, one full-mask partition."""
+        full = (1 << llc_ways) - 1
+        return cls(
+            prefetch_masks=(PF_ALL_ON,) * n_cores,
+            clos_cbm=((0, full),),
+            core_clos=(0,) * n_cores,
+        )
+
+    # ------------------------------------------------- derivations
+
+    def with_prefetch_off(self, cores: tuple[int, ...] | list[int]) -> "ResourceConfig":
+        masks = list(self.prefetch_masks)
+        for c in cores:
+            masks[c] = PF_ALL_OFF
+        return replace(self, prefetch_masks=tuple(masks))
+
+    def with_prefetch_on(self, cores: tuple[int, ...] | list[int]) -> "ResourceConfig":
+        masks = list(self.prefetch_masks)
+        for c in cores:
+            masks[c] = PF_ALL_ON
+        return replace(self, prefetch_masks=tuple(masks))
+
+    def with_prefetch_mask(self, core: int, mask: int) -> "ResourceConfig":
+        """Set one core's raw 0x1A4 disable mask (fine-grained control)."""
+        masks = list(self.prefetch_masks)
+        masks[core] = mask
+        return replace(self, prefetch_masks=tuple(masks))
+
+    def with_partition(self, clos: int, cbm: int, cores: tuple[int, ...] | list[int]) -> "ResourceConfig":
+        """Define/overwrite one CLOS and move ``cores`` into it."""
+        table = dict(self.clos_cbm)
+        table[clos] = cbm
+        assoc = list(self.core_clos)
+        for c in cores:
+            assoc[c] = clos
+        return replace(
+            self,
+            clos_cbm=tuple(sorted(table.items())),
+            core_clos=tuple(assoc),
+        )
+
+    def throttled_cores(self) -> tuple[int, ...]:
+        return tuple(i for i, m in enumerate(self.prefetch_masks) if m == PF_ALL_OFF)
+
+    def cbm_of_core(self, core: int) -> int:
+        table = dict(self.clos_cbm)
+        return table[self.core_clos[core]]
+
+    # ------------------------------------------------------ apply
+
+    def apply(self, platform: Platform) -> None:
+        for clos, cbm in self.clos_cbm:
+            platform.set_clos_cbm(clos, cbm)
+        for core, clos in enumerate(self.core_clos):
+            platform.assign_core_clos(core, clos)
+        for core, mask in enumerate(self.prefetch_masks):
+            platform.set_prefetch_mask(core, mask)

@@ -1,0 +1,118 @@
+"""The CMM controller: drives epochs against a platform.
+
+Mirrors the paper's kernel module: for each epoch it opens a profiling
+window (the policy draws sampling intervals through an
+:class:`~repro.core.epoch.EpochContext`), applies the policy's chosen
+:class:`~repro.core.allocation.ResourceConfig`, and runs one execution
+epoch.  All PMU activity — profiling and execution alike — is
+accumulated into :class:`RunStats`, matching how the paper measures
+whole 2.5-minute runs including controller overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.allocation import ResourceConfig
+from repro.core.epoch import EpochConfig, EpochContext
+from repro.core.frontend import AggDetector, DetectorConfig
+from repro.core.policy_base import Policy
+from repro.platform.base import Platform
+from repro.sim.pmu import Event, PmuSample
+
+
+@dataclass
+class EpochRecord:
+    """What one epoch decided and measured."""
+
+    chosen: ResourceConfig
+    sampling_intervals: int
+    exec_sample: PmuSample
+
+
+@dataclass
+class RunStats:
+    """Accumulated outcome of a controller run."""
+
+    n_cores: int
+    cycles_per_second: float
+    totals: np.ndarray = field(default=None)  # (n_cores, N_EVENTS)
+    wall_cycles: float = 0.0
+    epochs: list[EpochRecord] = field(default_factory=list)
+
+    def add(self, sample: PmuSample) -> None:
+        if self.totals is None:
+            self.totals = sample.deltas.copy()
+        else:
+            self.totals = self.totals + sample.deltas
+        self.wall_cycles += sample.wall_cycles
+
+    def ipc(self, cpu: int) -> float:
+        cyc = self.totals[cpu, Event.CYCLES]
+        return float(self.totals[cpu, Event.INSTRUCTIONS] / cyc) if cyc > 0 else 0.0
+
+    def ipc_all(self) -> np.ndarray:
+        return np.array([self.ipc(c) for c in range(self.n_cores)])
+
+    def total(self, event: Event) -> float:
+        return float(self.totals[:, event].sum())
+
+    def per_cpu(self, event: Event) -> np.ndarray:
+        return self.totals[:, event].copy()
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.wall_cycles / self.cycles_per_second
+
+    def mem_bandwidth_mbs(self) -> float:
+        """Aggregate demand+prefetch memory bandwidth over the run."""
+        secs = self.wall_seconds
+        if secs <= 0:
+            return 0.0
+        total = self.total(Event.MEM_DEMAND_BYTES) + self.total(Event.MEM_PREF_BYTES)
+        return total / secs / 1e6
+
+
+class CMMController:
+    """Front-end + back-end glue, one policy per controller."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        policy: Policy,
+        *,
+        epoch_cfg: EpochConfig | None = None,
+        detector_cfg: DetectorConfig | None = None,
+    ) -> None:
+        self.platform = platform
+        self.policy = policy
+        self.epoch_cfg = epoch_cfg or EpochConfig()
+        self.detector = AggDetector(detector_cfg)
+
+    def run_epoch(self, stats: RunStats) -> EpochRecord:
+        ctx = EpochContext(self.platform, self.detector, self.epoch_cfg)
+        chosen = self.policy.plan(ctx)
+        for interval in ctx.intervals:
+            stats.add(interval.sample)
+        chosen.apply(self.platform)
+        exec_sample = self.platform.run_interval(self.epoch_cfg.exec_units)
+        stats.add(exec_sample)
+        record = EpochRecord(chosen, len(ctx.intervals), exec_sample)
+        stats.epochs.append(record)
+        return record
+
+    def run(self, n_epochs: int) -> RunStats:
+        if n_epochs < 1:
+            raise ValueError("need at least one epoch")
+        stats = RunStats(self.platform.n_cores, self.platform.cycles_per_second)
+        if self.epoch_cfg.warmup_units > 0:
+            # Warm caches under the baseline configuration so the first
+            # detection interval doesn't mistake cold-start misses for
+            # steady-state prefetch aggressiveness.
+            ResourceConfig.all_on(self.platform.n_cores, self.platform.llc_ways).apply(self.platform)
+            stats.add(self.platform.run_interval(self.epoch_cfg.warmup_units))
+        for _ in range(n_epochs):
+            self.run_epoch(stats)
+        return stats

@@ -1,0 +1,140 @@
+"""CMM-a/b/c — coordinated throttling + partitioning (Sec. III-B3, Fig. 6).
+
+All three variants first partition, then apply *group-level prefetch
+throttling only to the prefetch-unfriendly Agg cores* (friendly cores
+always keep their prefetchers — the whole point of coordinating the two
+resources is not having to sacrifice useful prefetching):
+
+* **CMM-a** — the entire Agg set goes into one small partition;
+* **CMM-b** — only the prefetch-*friendly* cores go into the small
+  partition; unfriendly + neutral share the whole cache;
+* **CMM-c** — friendly cores in one small partition, unfriendly cores
+  in a second, separate small partition;
+* **(d)** — when the Agg set is empty there is nothing to throttle:
+  CMM falls back to the Dunn clustering partitioner.
+
+Throttle combinations are sampled *with the partitions already
+applied* so the hm-IPC scores reflect the coordinated configuration.
+"""
+
+from __future__ import annotations
+
+from repro.core.allocation import ResourceConfig
+from repro.core.dunn import dunn_config
+from repro.core.epoch import EpochContext, IntervalResult
+from repro.core.partitioning import CLOS_AGG, CLOS_UNFRIENDLY, contiguous_mask, partition_ways
+from repro.core.policy_base import Policy, friendliness_split
+from repro.core.throttling import off_combinations, throttle_groups
+from repro.sim.cat import low_ways_mask
+
+VARIANTS = ("a", "b", "c")
+
+
+class CMMPolicy(Policy):
+    """One of the coordinated variants of Fig. 6."""
+
+    def __init__(
+        self,
+        variant: str = "a",
+        *,
+        friendly_threshold: float = 0.50,
+        max_exhaustive: int = 3,
+        n_groups: int = 3,
+        dunn_k: int = 4,
+        selection_margin: float = 0.03,
+        partition_factor: float | None = None,
+    ) -> None:
+        if variant not in VARIANTS:
+            raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+        self.variant = variant
+        self.name = f"cmm-{variant}"
+        self.friendly_threshold = friendly_threshold
+        self.max_exhaustive = max_exhaustive
+        self.n_groups = n_groups
+        self.dunn_k = dunn_k
+        # Same hysteresis as PT: a throttled combination must beat the
+        # partitioned-but-unthrottled interval by this relative margin.
+        self.selection_margin = selection_margin
+        from repro.core.partitioning import PARTITION_FACTOR
+        self.partition_factor = PARTITION_FACTOR if partition_factor is None else partition_factor
+        self.last_agg_set: tuple[int, ...] = ()
+        self.last_split: tuple[tuple[int, ...], tuple[int, ...]] = ((), ())
+
+    # ------------------------------------------------------ partitions
+
+    def _partitioned(
+        self,
+        base: ResourceConfig,
+        friendly: tuple[int, ...],
+        unfriendly: tuple[int, ...],
+        llc_ways: int,
+    ) -> ResourceConfig:
+        cfg = base
+        agg = tuple(sorted(friendly + unfriendly))
+        if self.variant == "a":
+            ways = partition_ways(len(agg), llc_ways, factor=self.partition_factor)
+            cfg = cfg.with_partition(CLOS_AGG, low_ways_mask(ways, llc_ways), agg)
+        elif self.variant == "b":
+            if friendly:
+                ways = partition_ways(len(friendly), llc_ways, factor=self.partition_factor)
+                cfg = cfg.with_partition(CLOS_AGG, low_ways_mask(ways, llc_ways), friendly)
+        else:  # "c"
+            shift = 0
+            if friendly:
+                wf = partition_ways(len(friendly), llc_ways, factor=self.partition_factor)
+                cfg = cfg.with_partition(CLOS_AGG, contiguous_mask(wf, 0, llc_ways), friendly)
+                shift = wf
+            if unfriendly:
+                wu = partition_ways(len(unfriendly), llc_ways, factor=self.partition_factor)
+                if shift + wu > llc_ways:
+                    shift = max(0, llc_ways - wu)
+                cfg = cfg.with_partition(
+                    CLOS_UNFRIENDLY, contiguous_mask(wu, shift, llc_ways), unfriendly
+                )
+        return cfg
+
+    # ------------------------------------------------------------ plan
+
+    def plan(self, ctx: EpochContext) -> ResourceConfig:
+        base = ctx.baseline_config()
+        r_on = ctx.sample(base)  # interval 1: all on (detection)
+        agg = ctx.detect(r_on.summaries).agg_set
+        self.last_agg_set = agg
+        if not agg:
+            # Option (d): nothing aggressive to manage; use Dunn.
+            return dunn_config(r_on.summaries, base, ctx.llc_ways, k=self.dunn_k)
+
+        r_off = ctx.sample(base.with_prefetch_off(agg))  # interval 2: friendliness probe
+        friendly, unfriendly = friendliness_split(
+            r_on.summaries, r_off.summaries, agg, speedup_threshold=self.friendly_threshold
+        )
+        self.last_split = (friendly, unfriendly)
+
+        partitioned = self._partitioned(base, friendly, unfriendly, ctx.llc_ways)
+        if not unfriendly:
+            # Only CP applies ("If no such cores are found, only CP").
+            return partitioned
+
+        groups = throttle_groups(
+            unfriendly, r_on.summaries, max_exhaustive=self.max_exhaustive, n_groups=self.n_groups
+        )
+        reference: IntervalResult | None = None  # partitioned, nothing throttled
+        best: IntervalResult | None = None
+        for off_cores in off_combinations(groups):
+            if ctx.budget_left() <= 1:  # keep one interval for the re-reference
+                break
+            result = ctx.sample(partitioned.with_prefetch_off(off_cores))
+            if not off_cores:
+                reference = result
+            if best is None or result.hm_ipc > best.hm_ipc:
+                best = result
+        if best is None:
+            return partitioned
+        # Re-sample the unthrottled reference after the sweep (cache
+        # state drifts upward across the profiling epoch; see PT).
+        ref_hm = reference.hm_ipc if reference is not None else 0.0
+        if ctx.budget_left() > 0:
+            ref_hm = max(ref_hm, ctx.sample(partitioned).hm_ipc)
+        if best.hm_ipc <= (1.0 + self.selection_margin) * ref_hm:
+            return partitioned
+        return best.config

@@ -1,0 +1,92 @@
+"""Execution-epoch / profiling-epoch scheduling (paper Fig. 4).
+
+Execution is a sequence of long *execution epochs*, each followed by a
+*profiling epoch* made of short *sampling intervals*.  The paper uses
+5 G-cycle epochs with 100 M-cycle intervals (a 50:1 ratio); on the
+simulator both are measured in demand accesses per core, keeping the
+same ratio by default.
+
+The :class:`EpochContext` is handed to a policy during its profiling
+epoch: ``sample(config)`` applies a candidate resource configuration,
+runs one sampling interval, and returns the measured summaries — the
+only way a policy may observe the system, mirroring the constraints of
+the real kernel module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocation import ResourceConfig
+from repro.core.frontend import AggDetector, DetectionReport
+from repro.core.metrics_defs import CoreSummary, hm_ipc, summarize_sample
+from repro.platform.base import Platform
+from repro.sim.pmu import PmuSample
+
+
+@dataclass(frozen=True)
+class EpochConfig:
+    """Interval lengths in platform units (accesses/core on the simulator)."""
+
+    exec_units: int = 50_000
+    sample_units: int = 1_000
+    max_sampling_intervals: int = 12  # cap on a policy's profiling epoch
+    warmup_units: int = 2_048  # baseline-config warm-up before the first epoch
+
+    def __post_init__(self) -> None:
+        if self.exec_units < 1 or self.sample_units < 1:
+            raise ValueError("interval lengths must be positive")
+        if self.max_sampling_intervals < 2:
+            raise ValueError("need at least two sampling intervals (all-on + agg-off)")
+        if self.warmup_units < 0:
+            raise ValueError("warmup_units must be non-negative")
+
+
+@dataclass
+class IntervalResult:
+    """One sampling interval: the config tried and what was measured."""
+
+    config: ResourceConfig
+    sample: PmuSample
+    summaries: list[CoreSummary]
+    hm_ipc: float
+
+
+class EpochContext:
+    """A policy's window onto one profiling epoch."""
+
+    def __init__(self, platform: Platform, detector: AggDetector, epoch_cfg: EpochConfig) -> None:
+        self.platform = platform
+        self.detector = detector
+        self.epoch_cfg = epoch_cfg
+        self.intervals: list[IntervalResult] = []
+
+    @property
+    def n_cores(self) -> int:
+        return self.platform.n_cores
+
+    @property
+    def llc_ways(self) -> int:
+        return self.platform.llc_ways
+
+    def budget_left(self) -> int:
+        return self.epoch_cfg.max_sampling_intervals - len(self.intervals)
+
+    def baseline_config(self) -> ResourceConfig:
+        return ResourceConfig.all_on(self.n_cores, self.llc_ways)
+
+    def sample(self, config: ResourceConfig) -> IntervalResult:
+        """Apply ``config``, run one sampling interval, record the result."""
+        if self.budget_left() <= 0:
+            raise RuntimeError(
+                f"profiling epoch exceeded its {self.epoch_cfg.max_sampling_intervals}-interval budget"
+            )
+        config.apply(self.platform)
+        sample = self.platform.run_interval(self.epoch_cfg.sample_units)
+        summaries = summarize_sample(sample, self.platform.cycles_per_second)
+        result = IntervalResult(config, sample, summaries, hm_ipc(summaries))
+        self.intervals.append(result)
+        return result
+
+    def detect(self, summaries: list[CoreSummary]) -> DetectionReport:
+        return self.detector.detect(summaries)

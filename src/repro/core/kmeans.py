@@ -1,0 +1,71 @@
+"""1-D k-means (Lloyd's algorithm, deterministic quantile init).
+
+Used in two places, both from the paper:
+
+* group-level prefetch throttling clusters Agg-set cores by their
+  L2 PTR (M-3) so large Agg sets search only 2^k group settings
+  (Sec. III-B1, citing Hartigan & Wong);
+* the Dunn baseline (Selfa et al.) clusters cores by their
+  STALLS_L2_PENDING counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kmeans1d(values, k: int, *, max_iter: int = 100) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster 1-D ``values`` into at most ``k`` groups.
+
+    Returns ``(labels, centers)`` with centers sorted ascending and
+    labels referring to the sorted centers.  ``k`` is reduced to the
+    number of distinct values when necessary, so the result always has
+    non-empty clusters.  Deterministic: initial centers are quantiles.
+    """
+    x = np.asarray(values, dtype=np.float64)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError("values must be a non-empty 1-D array")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+
+    distinct = np.unique(x)
+    k = min(k, distinct.size)
+    if k == distinct.size:
+        # Trivial: each distinct value is its own cluster.
+        centers = distinct
+        labels = np.searchsorted(centers, x)
+        return labels, centers
+
+    centers = np.quantile(x, np.linspace(0.0, 1.0, k))
+    centers = np.unique(centers)
+    while centers.size < k:
+        # Degenerate quantiles: nudge in extra centers deterministically.
+        centers = np.unique(np.concatenate([centers, centers[-1:] + np.arange(1, k - centers.size + 1)]))
+    for _ in range(max_iter):
+        labels = np.argmin(np.abs(x[:, None] - centers[None, :]), axis=1)
+        new_centers = centers.copy()
+        for j in range(k):
+            members = x[labels == j]
+            if members.size:
+                new_centers[j] = members.mean()
+        new_centers.sort()
+        if np.allclose(new_centers, centers):
+            centers = new_centers
+            break
+        centers = new_centers
+
+    labels = np.argmin(np.abs(x[:, None] - centers[None, :]), axis=1)
+    # Drop empty clusters (can happen after the final re-assignment).
+    used = np.unique(labels)
+    if used.size < centers.size:
+        centers = centers[used]
+        remap = {int(old): new for new, old in enumerate(used)}
+        labels = np.array([remap[int(l)] for l in labels])
+    return labels, centers
+
+
+def cluster_groups(values, k: int) -> list[list[int]]:
+    """Cluster indices of ``values`` into at most ``k`` groups, ordered
+    by ascending cluster center.  Convenience wrapper for policies."""
+    labels, centers = kmeans1d(values, k)
+    return [[i for i, l in enumerate(labels) if l == j] for j in range(len(centers))]

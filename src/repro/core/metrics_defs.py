@@ -1,0 +1,117 @@
+"""Table I — the metrics CMM's front-end derives from PMU events.
+
+======  ====================  =============================================
+ No.    Metric                Definition
+======  ====================  =============================================
+ M-1    L2-LLC traffic        L2_pref_miss + L2_dm_miss
+ M-2    L2 pref miss frac     L2_pref_miss / M-1
+ M-3    L2 PTR                L2_pref_miss per second (pressure on LLC)
+ M-4    PGA                   L2_pref_req / L2_dm_req
+ M-5    L2 PMR                L2_pref_miss / L2_pref_req
+ M-6    L2 PPM                L2_pref_req / L2_dm_miss
+ M-7    LLC PT                memory traffic - L3_load_miss x 64 (approx.
+                              prefetch bytes from LLC to memory, per sec)
+======  ====================  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.pmu import Event, PmuSample
+
+LINE_BYTES = 64
+
+
+def _ratio(num: float, den: float) -> float:
+    return num / den if den > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class TableIMetrics:
+    """M-1 .. M-7 for one core over one interval."""
+
+    l2_llc_traffic: float       # M-1, requests
+    l2_pref_miss_frac: float    # M-2
+    l2_ptr: float               # M-3, requests / second
+    pga: float                  # M-4
+    l2_pmr: float               # M-5
+    l2_ppm: float               # M-6
+    llc_pt: float               # M-7, bytes / second
+
+
+@dataclass(frozen=True)
+class CoreSummary:
+    """Everything a policy needs to know about one core's interval."""
+
+    cpu: int
+    active: bool
+    ipc: float
+    instructions: float
+    cycles: float
+    stalls_l2_pending: float
+    mem_bytes_per_sec: float    # demand + prefetch
+    metrics: TableIMetrics
+
+
+def compute_metrics(sample: PmuSample, cpu: int, cycles_per_second: float) -> TableIMetrics:
+    """Evaluate Table I for one core of an interval sample.
+
+    Rates (M-3, M-7) are computed over the *core's own* cycles: the
+    pressure a core exerts per unit of its own run time.  (On real
+    hardware per-core cycles and wall time coincide; on the simulator's
+    equal-work quanta they differ, and per-core cycles are the faithful
+    notion.)
+    """
+    pref_miss = sample.get(cpu, Event.L2_PREF_MISS)
+    dm_miss = sample.get(cpu, Event.L2_DM_MISS)
+    pref_req = sample.get(cpu, Event.L2_PREF_REQ)
+    dm_req = sample.get(cpu, Event.L2_DM_REQ)
+    l3_load_miss = sample.get(cpu, Event.L3_LOAD_MISS)
+    mem_bytes = sample.get(cpu, Event.MEM_DEMAND_BYTES) + sample.get(cpu, Event.MEM_PREF_BYTES)
+    seconds = sample.get(cpu, Event.CYCLES) / cycles_per_second if cycles_per_second > 0 else 0.0
+
+    traffic = pref_miss + dm_miss
+    return TableIMetrics(
+        l2_llc_traffic=traffic,
+        l2_pref_miss_frac=_ratio(pref_miss, traffic),
+        l2_ptr=_ratio(pref_miss, seconds),
+        pga=_ratio(pref_req, dm_req),
+        l2_pmr=_ratio(pref_miss, pref_req),
+        l2_ppm=_ratio(pref_req, dm_miss),
+        llc_pt=_ratio(max(mem_bytes - l3_load_miss * LINE_BYTES, 0.0), seconds),
+    )
+
+
+def summarize_sample(sample: PmuSample, cycles_per_second: float) -> list[CoreSummary]:
+    """Per-core interval summaries (a core with zero instructions is idle)."""
+    out = []
+    for cpu in range(sample.n_cpus):
+        inst = sample.get(cpu, Event.INSTRUCTIONS)
+        cyc = sample.get(cpu, Event.CYCLES)
+        seconds = cyc / cycles_per_second if cycles_per_second > 0 else 0.0
+        mem_bytes = sample.get(cpu, Event.MEM_DEMAND_BYTES) + sample.get(cpu, Event.MEM_PREF_BYTES)
+        out.append(
+            CoreSummary(
+                cpu=cpu,
+                active=inst > 0,
+                ipc=_ratio(inst, cyc),
+                instructions=inst,
+                cycles=cyc,
+                stalls_l2_pending=sample.get(cpu, Event.STALLS_L2_PENDING),
+                mem_bytes_per_sec=_ratio(mem_bytes, seconds),
+                metrics=compute_metrics(sample, cpu, cycles_per_second),
+            )
+        )
+    return out
+
+
+def hm_ipc(summaries: list[CoreSummary]) -> float:
+    """Harmonic mean of active cores' IPC — the paper's proxy score for
+    a sampling interval (stands in for ANTT, which needs alone-IPCs)."""
+    vals = [s.ipc for s in summaries if s.active]
+    if not vals:
+        return 0.0
+    if min(vals) <= 0:
+        return 0.0
+    return len(vals) / sum(1.0 / v for v in vals)

@@ -1,0 +1,41 @@
+"""Policy registry: the seven mechanisms of the paper's Fig. 13 plus baseline."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.coordinated import CMMPolicy
+from repro.core.dunn import DunnPolicy
+from repro.core.partitioning import PrefCPPolicy, PrefCP2Policy
+from repro.core.policy_base import BaselinePolicy, Policy
+from repro.core.ppm_baseline import PPMGroupThrottlingPolicy
+from repro.core.throttling import PrefetchThrottlingPolicy
+
+POLICIES: dict[str, Callable[[], Policy]] = {
+    "baseline": BaselinePolicy,
+    "pt": PrefetchThrottlingPolicy,
+    "dunn": DunnPolicy,
+    "pref-cp": PrefCPPolicy,
+    "pref-cp2": PrefCP2Policy,
+    "cmm-a": lambda: CMMPolicy("a"),
+    "cmm-b": lambda: CMMPolicy("b"),
+    "cmm-c": lambda: CMMPolicy("c"),
+    # Related-work baseline (Panda et al. SPAC-style): PPM 2-group
+    # throttling, kept out of MECHANISMS (not one of the paper's seven).
+    "ppm-group": PPMGroupThrottlingPolicy,
+}
+
+#: The seven managed mechanisms compared in Fig. 13 (baseline excluded).
+MECHANISMS = ("pt", "dunn", "pref-cp", "pref-cp2", "cmm-a", "cmm-b", "cmm-c")
+
+
+def make_policy(name: str) -> Policy:
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise KeyError(f"unknown policy {name!r}; one of {sorted(POLICIES)}") from None
+    return factory()
+
+
+def policy_names() -> list[str]:
+    return list(POLICIES)

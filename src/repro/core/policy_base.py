@@ -1,0 +1,58 @@
+"""Back-end policy interface and the baseline (no-control) policy."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.allocation import ResourceConfig
+from repro.core.epoch import EpochContext
+from repro.core.metrics_defs import CoreSummary
+
+
+class Policy(ABC):
+    """One back-end mechanism: plans the next execution epoch's allocation.
+
+    ``plan`` runs during a profiling epoch; it may draw sampling
+    intervals through the context (up to the interval budget) and must
+    return the :class:`ResourceConfig` to apply for the next execution
+    epoch.
+    """
+
+    name: str = "policy"
+
+    @abstractmethod
+    def plan(self, ctx: EpochContext) -> ResourceConfig: ...
+
+
+class BaselinePolicy(Policy):
+    """The paper's baseline: all prefetchers on, no partitioning, and
+    no profiling overhead at all."""
+
+    name = "baseline"
+
+    def plan(self, ctx: EpochContext) -> ResourceConfig:
+        return ctx.baseline_config()
+
+
+def friendliness_split(
+    on: list[CoreSummary],
+    off: list[CoreSummary],
+    agg_set: tuple[int, ...],
+    *,
+    speedup_threshold: float = 0.50,
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Split the Agg set into (friendly, unfriendly) cores.
+
+    Per paper Sec. III-B1: compare each Agg core's IPC in the all-on
+    interval against the interval with its prefetchers off; a speedup
+    from prefetching above the threshold ("say 50%") marks the core
+    prefetch friendly.
+    """
+    friendly: list[int] = []
+    unfriendly: list[int] = []
+    for c in agg_set:
+        ipc_on = on[c].ipc
+        ipc_off = off[c].ipc
+        speedup = ipc_on / ipc_off - 1.0 if ipc_off > 0 else 0.0
+        (friendly if speedup > speedup_threshold else unfriendly).append(c)
+    return tuple(friendly), tuple(unfriendly)

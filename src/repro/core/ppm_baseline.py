@@ -1,0 +1,72 @@
+"""PPM-group — the SPAC-style baseline the paper argues against.
+
+Panda et al. (SPAC) classify cores by L2 prefetches-per-demand-miss
+(Table I's M-6, L2 PPM) into two groups — *aggressive* and *meek* —
+and throttle at group granularity.  The paper's Sec. III-A critique:
+"Using this metric on the Intel L2 cache side cannot accurately
+identify the Pref Agg cores", which motivates the Fig. 5 multi-stage
+detector.
+
+This policy implements the PPM two-group scheme faithfully so the
+critique is testable on the substrate: cores with above-average PPM
+form the aggressive group; the 2^2 group on/off settings are sampled
+and scored by hm-IPC like PT.  On our workloads PPM systematically
+misses `Rand Access`-like cores (their PPM is ~1: one adjacent-line
+prefetch per demand miss) while flagging streamers (PPM >> 1), so it
+forfeits exactly the throttling opportunities PT exploits — see
+``benchmarks/bench_baseline_ppm.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core.allocation import ResourceConfig
+from repro.core.epoch import EpochContext, IntervalResult
+from repro.core.metrics_defs import CoreSummary
+from repro.core.policy_base import Policy
+
+
+def ppm_groups(summaries: list[CoreSummary], *, ppm_floor: float = 0.05) -> tuple[list[int], list[int]]:
+    """Split active cores into (aggressive, meek) by L2 PPM above mean."""
+    active = [s for s in summaries if s.active]
+    if not active:
+        return [], []
+    mean = sum(s.metrics.l2_ppm for s in active) / len(active)
+    aggressive = [s.cpu for s in active if s.metrics.l2_ppm > mean and s.metrics.l2_ppm > ppm_floor]
+    meek = [s.cpu for s in active if s.cpu not in aggressive]
+    return sorted(aggressive), sorted(meek)
+
+
+class PPMGroupThrottlingPolicy(Policy):
+    """Two-group (aggressive/meek) prefetch throttling keyed on L2 PPM."""
+
+    name = "ppm-group"
+
+    def __init__(self, *, selection_margin: float = 0.03) -> None:
+        self.selection_margin = selection_margin
+        self.last_groups: tuple[tuple[int, ...], tuple[int, ...]] = ((), ())
+
+    def plan(self, ctx: EpochContext) -> ResourceConfig:
+        base = ctx.baseline_config()
+        r_on = ctx.sample(base)
+        aggressive, meek = ppm_groups(r_on.summaries)
+        self.last_groups = (tuple(aggressive), tuple(meek))
+        if not aggressive:
+            return base
+
+        # Group-level settings: {on,on} measured; try the other three.
+        candidates: list[tuple[int, ...]] = [tuple(aggressive)]
+        if meek:
+            candidates += [tuple(meek), tuple(sorted(aggressive + meek))]
+        best: IntervalResult | None = None
+        for off in candidates:
+            if ctx.budget_left() <= 1:
+                break
+            result = ctx.sample(base.with_prefetch_off(off))
+            if best is None or result.hm_ipc > best.hm_ipc:
+                best = result
+        if best is None:
+            return base
+        reference = max(r_on.hm_ipc, ctx.sample(base).hm_ipc if ctx.budget_left() > 0 else 0.0)
+        if best.hm_ipc > (1.0 + self.selection_margin) * reference:
+            return best.config
+        return base

@@ -1,0 +1,35 @@
+"""Evaluation harness: one driver per paper table/figure.
+
+Scales (``REPRO_SCALE`` env var or explicit argument):
+
+* ``tiny``  — CI-sized: 1/16-capacity machine, 2 workloads/category,
+  one epoch; seconds per figure.  The default for pytest benchmarks.
+* ``small`` — 4 workloads/category, 2 epochs; minutes for the full set.
+* ``full``  — the paper's shape: 10 workloads/category, 3 epochs,
+  1/8-capacity machine.
+
+Shapes (who wins, by what factor) are stable across scales; absolute
+values are simulator units, not Xeon measurements (see EXPERIMENTS.md).
+"""
+
+from repro.experiments.config import ScaleConfig, get_scale, SCALES
+from repro.experiments.runner import (
+    AloneCache,
+    RunResult,
+    WorkloadEval,
+    build_machine,
+    evaluate_workload,
+    run_mechanism,
+)
+
+__all__ = [
+    "ScaleConfig",
+    "get_scale",
+    "SCALES",
+    "AloneCache",
+    "RunResult",
+    "WorkloadEval",
+    "build_machine",
+    "evaluate_workload",
+    "run_mechanism",
+]

@@ -1,0 +1,79 @@
+"""Experiment scale presets."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.sim.params import MachineParams, scaled_params
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Everything that sizes an experiment run."""
+
+    name: str
+    llc_scale: int              # machine capacity divisor
+    n_cores: int = 8
+    quantum: int = 1024         # simulator interleave granularity
+    sample_units: int = 1024    # sampling-interval accesses/core
+    exec_units: int = 16384     # execution-epoch accesses/core
+    n_epochs: int = 1
+    workloads_per_category: int = 2
+    alone_accesses: int = 16384     # measured window for alone-IPC runs
+    profile_accesses: int = 40960   # Figs. 1-3 profiling runs
+    seed: int = 2019
+
+    def params(self) -> MachineParams:
+        return scaled_params(self.llc_scale, n_cores=self.n_cores)
+
+
+TINY = ScaleConfig(
+    name="tiny",
+    llc_scale=16,
+    quantum=512,
+    sample_units=768,
+    exec_units=12288,
+    n_epochs=1,
+    workloads_per_category=2,
+    alone_accesses=12288,
+    # long enough that the slowest pointer-chase lap fits in both the
+    # warm-up and the measured window (soplex: ~31k accesses per lap)
+    profile_accesses=40960,
+)
+
+SMALL = ScaleConfig(
+    name="small",
+    llc_scale=16,
+    quantum=1024,
+    sample_units=1536,
+    exec_units=24576,
+    n_epochs=2,
+    workloads_per_category=4,
+    alone_accesses=24576,
+    profile_accesses=40960,
+)
+
+FULL = ScaleConfig(
+    name="full",
+    llc_scale=8,
+    quantum=2048,
+    sample_units=2048,
+    exec_units=102400,  # the paper's 50:1 epoch-to-interval ratio
+    n_epochs=3,
+    workloads_per_category=10,
+    alone_accesses=65536,
+    profile_accesses=131072,
+)
+
+SCALES: dict[str, ScaleConfig] = {"tiny": TINY, "small": SMALL, "full": FULL}
+
+
+def get_scale(name: str | None = None) -> ScaleConfig:
+    """Resolve a scale by argument, ``REPRO_SCALE`` env var, or default."""
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "tiny")
+    try:
+        return SCALES[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown scale {name!r}; one of {sorted(SCALES)}") from None

@@ -1,0 +1,67 @@
+"""Export figure results to JSON / CSV for external plotting."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+
+def _flatten(row: dict) -> dict:
+    """Flatten nested dict values (e.g. fig03's ipc_by_ways) into columns."""
+    out = {}
+    for k, v in row.items():
+        if isinstance(v, dict):
+            for kk, vv in v.items():
+                out[f"{k}.{kk}"] = vv
+        elif isinstance(v, (tuple, list)):
+            out[k] = ";".join(str(x) for x in v)
+        else:
+            out[k] = v
+    return out
+
+
+def figure_to_json(figure: dict, *, indent: int = 2) -> str:
+    """Serialise a figure dict (as produced by ``repro.experiments.figures``)."""
+
+    def default(o):
+        if isinstance(o, (tuple, set)):
+            return list(o)
+        if hasattr(o, "item"):  # numpy scalars
+            return o.item()
+        raise TypeError(f"not JSON serialisable: {type(o)}")
+
+    return json.dumps(figure, indent=indent, default=default)
+
+
+def rows_to_csv(rows: list[dict]) -> str:
+    """Render a figure's ``rows`` as CSV text (nested dicts flattened)."""
+    if not rows:
+        return ""
+    flat = [_flatten(r) for r in rows]
+    fieldnames: list[str] = []
+    for r in flat:
+        for k in r:
+            if k not in fieldnames:
+                fieldnames.append(k)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fieldnames)
+    writer.writeheader()
+    writer.writerows(flat)
+    return buf.getvalue()
+
+
+def write_figure(figure: dict, directory: str | Path, *, stem: str | None = None) -> tuple[Path, Path]:
+    """Write ``<stem>.json`` and ``<stem>.csv`` under ``directory``.
+
+    ``stem`` defaults to the figure's id.  Returns the two paths.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = stem or figure.get("figure", "figure")
+    jpath = directory / f"{stem}.json"
+    cpath = directory / f"{stem}.csv"
+    jpath.write_text(figure_to_json(figure))
+    cpath.write_text(rows_to_csv(figure.get("rows", [])))
+    return jpath, cpath

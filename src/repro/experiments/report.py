@@ -1,0 +1,34 @@
+"""Plain-text rendering of experiment results (the paper's rows/series)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = "") -> str:
+    """Fixed-width ASCII table; floats rendered to three decimals."""
+
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, labels: Sequence[str], values: Sequence[float]) -> str:
+    """One named series, label=value pairs (a figure's bar heights)."""
+    pairs = ", ".join(f"{l}={v:.3f}" for l, v in zip(labels, values))
+    return f"{name}: {pairs}"

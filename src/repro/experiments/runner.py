@@ -1,0 +1,200 @@
+"""Run (workload x mechanism) and compute the paper's metrics.
+
+The runner builds a fresh machine per run (no state leaks between
+mechanisms), attaches one benchmark trace per core, wraps the machine
+in a :class:`SimulatedPlatform`, and drives it with a
+:class:`CMMController` carrying the requested policy.  Per-benchmark
+alone-IPCs (for HS) are measured once and cached per scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.controller import CMMController, RunStats
+from repro.core.epoch import EpochConfig
+from repro.core.policies import make_policy
+from repro.experiments.config import ScaleConfig, get_scale
+from repro.metrics.speedup import harmonic_speedup, weighted_speedup, worst_case_speedup
+from repro.platform.simulated import SimulatedPlatform
+from repro.sim.machine import Machine
+from repro.sim.pmu import Event
+from repro.workloads.mixes import WorkloadMix
+from repro.workloads.speclike import build_trace
+
+
+def build_machine(mix: WorkloadMix, sc: ScaleConfig) -> Machine:
+    """A fresh machine with the mix's benchmarks attached, one per core."""
+    params = sc.params()
+    if mix.n_cores > params.n_cores:
+        raise ValueError(f"mix {mix.name} needs {mix.n_cores} cores, machine has {params.n_cores}")
+    m = Machine(params, quantum=sc.quantum)
+    for core, bench in enumerate(mix.benchmarks):
+        trace = build_trace(
+            bench,
+            llc_lines=params.llc.lines,
+            base_line=m.core_base_line(core),
+            seed=mix.seed + core,
+        )
+        m.attach_trace(core, trace)
+    return m
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (workload, mechanism) run."""
+
+    mix: WorkloadMix
+    mechanism: str
+    stats: RunStats
+
+    @property
+    def ipc(self) -> np.ndarray:
+        return self.stats.ipc_all()[: self.mix.n_cores]
+
+    @property
+    def mem_bandwidth_mbs(self) -> float:
+        return self.stats.mem_bandwidth_mbs()
+
+    @property
+    def total_stalls(self) -> float:
+        return self.stats.total(Event.STALLS_L2_PENDING)
+
+    @property
+    def stalls_per_kinst(self) -> float:
+        """L2-pending stall cycles per kilo-instruction.
+
+        Normalizing by work (not run length) keeps the comparison fair:
+        managed runs include profiling intervals the baseline lacks.
+        """
+        inst = self.stats.total(Event.INSTRUCTIONS)
+        return 1000.0 * self.total_stalls / inst if inst > 0 else 0.0
+
+
+def run_mechanism(mix: WorkloadMix, mechanism: str, sc: ScaleConfig | None = None) -> RunResult:
+    """Run one workload under one mechanism for the scale's epochs."""
+    sc = sc or get_scale()
+    return run_policy_object(mix, make_policy(mechanism), sc, label=mechanism)
+
+
+def run_policy_object(
+    mix: WorkloadMix,
+    policy,
+    sc: ScaleConfig | None = None,
+    *,
+    label: str | None = None,
+    detector_cfg=None,
+    sample_units: int | None = None,
+) -> RunResult:
+    """Run a workload under an arbitrary (possibly customised) policy.
+
+    The hook the ablation benchmarks use: swept parameters live on the
+    policy object or in ``detector_cfg``/``sample_units``.
+    """
+    sc = sc or get_scale()
+    machine = build_machine(mix, sc)
+    platform = SimulatedPlatform(machine)
+    epoch_cfg = EpochConfig(
+        exec_units=sc.exec_units,
+        sample_units=sample_units if sample_units is not None else sc.sample_units,
+    )
+    controller = CMMController(platform, policy, epoch_cfg=epoch_cfg, detector_cfg=detector_cfg)
+    stats = controller.run(sc.n_epochs)
+    return RunResult(mix, label or getattr(policy, "name", "custom"), stats)
+
+
+class AloneCache:
+    """Per-scale cache of alone-run IPCs (prefetchers on, full LLC)."""
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple[str, str], float] = {}
+
+    def ipc(self, bench: str, sc: ScaleConfig) -> float:
+        key = (bench, sc.name)
+        if key not in self._cache:
+            self._cache[key] = self._measure(bench, sc)
+        return self._cache[key]
+
+    def ipcs_for(self, mix: WorkloadMix, sc: ScaleConfig) -> np.ndarray:
+        return np.array([self.ipc(b, sc) for b in mix.benchmarks])
+
+    def _measure(self, bench: str, sc: ScaleConfig) -> float:
+        params = sc.params()
+        m = Machine(params, quantum=sc.quantum)
+        trace = build_trace(bench, llc_lines=params.llc.lines, base_line=m.core_base_line(0), seed=0)
+        m.attach_trace(0, trace)
+        m.run_accesses(sc.alone_accesses)  # warm-up lap
+        snap = m.pmu.snapshot()
+        m.run_accesses(sc.alone_accesses)
+        sample = m.pmu.delta_since(snap)
+        return sample.ipc(0)
+
+
+#: Module-level cache shared by figure drivers and benchmarks.
+ALONE_CACHE = AloneCache()
+
+
+@dataclass
+class WorkloadEval:
+    """One workload evaluated under several mechanisms."""
+
+    mix: WorkloadMix
+    baseline: RunResult
+    runs: dict[str, RunResult]
+    alone_ipc: np.ndarray
+    metrics: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def metric(self, mechanism: str, name: str) -> float:
+        return self.metrics[mechanism][name]
+
+
+def evaluate_workload(
+    mix: WorkloadMix,
+    mechanisms: tuple[str, ...],
+    sc: ScaleConfig | None = None,
+    *,
+    alone_cache: AloneCache | None = None,
+) -> WorkloadEval:
+    """Run baseline + mechanisms and compute HS/WS/worst-case/BW/stalls.
+
+    ``hs_norm``/``ws``/``worst`` are relative to the baseline run, and
+    ``bw_norm``/``stalls_norm`` normalize traffic and L2-pending stalls
+    to baseline — exactly the quantities Figs. 7-15 plot.
+    """
+    sc = sc or get_scale()
+    cache = alone_cache or ALONE_CACHE
+    alone = cache.ipcs_for(mix, sc)
+
+    base = run_mechanism(mix, "baseline", sc)
+    base_hs = harmonic_speedup(base.ipc, alone)
+    ev = WorkloadEval(mix=mix, baseline=base, runs={}, alone_ipc=alone)
+    ev.metrics["baseline"] = {
+        "hs": base_hs,
+        "hs_norm": 1.0,
+        "ws": 1.0,
+        "worst": 1.0,
+        "bw_mbs": base.mem_bandwidth_mbs,
+        "bw_norm": 1.0,
+        "stalls_norm": 1.0,
+    }
+
+    for mech in mechanisms:
+        if mech == "baseline":
+            continue
+        run = run_mechanism(mix, mech, sc)
+        ev.runs[mech] = run
+        hs = harmonic_speedup(run.ipc, alone)
+        ev.metrics[mech] = {
+            "hs": hs,
+            "hs_norm": hs / base_hs if base_hs > 0 else 0.0,
+            "ws": weighted_speedup(run.ipc, base.ipc),
+            "worst": worst_case_speedup(run.ipc, base.ipc),
+            "bw_mbs": run.mem_bandwidth_mbs,
+            "bw_norm": run.mem_bandwidth_mbs / base.mem_bandwidth_mbs
+            if base.mem_bandwidth_mbs > 0
+            else 0.0,
+            "stalls_norm": run.stalls_per_kinst / base.stalls_per_kinst if base.stalls_per_kinst > 0 else 0.0,
+        }
+    return ev

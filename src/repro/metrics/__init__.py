@@ -1,0 +1,19 @@
+"""System-level performance/fairness metrics (paper Sec. IV-C)."""
+
+from repro.metrics.speedup import (
+    antt,
+    harmonic_mean,
+    harmonic_speedup,
+    normalized_ipcs,
+    weighted_speedup,
+    worst_case_speedup,
+)
+
+__all__ = [
+    "antt",
+    "harmonic_mean",
+    "harmonic_speedup",
+    "normalized_ipcs",
+    "weighted_speedup",
+    "worst_case_speedup",
+]

@@ -1,0 +1,70 @@
+"""HS, WS, ANTT and worst-case speedup (paper Sec. IV-C).
+
+Definitions, for ``N`` programs on ``N`` cores:
+
+* harmonic speedup      ``HS = N / sum_i(IPC_alone_i / IPC_together_i)``
+* average normalized turnaround time ``ANTT = 1 / HS``
+* weighted speedup vs. a reference
+                        ``WS = sum_i(IPC_x_i / IPC_ref_i)``
+  (reported normalized: divided by N so the reference scores 1.0)
+* worst-case speedup    ``min_i(IPC_x_i / IPC_ref_i)`` — Figs. 8/10/12.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _as_pairs(x: Sequence[float], ref: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(x, dtype=np.float64)
+    b = np.asarray(ref, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1 or a.size == 0:
+        raise ValueError("need two equal-length non-empty 1-D sequences")
+    return a, b
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        raise ValueError("empty sequence")
+    if (v <= 0).any():
+        return 0.0
+    return float(v.size / np.sum(1.0 / v))
+
+
+def normalized_ipcs(ipc: Sequence[float], ipc_ref: Sequence[float]) -> np.ndarray:
+    """Per-program IPC ratios vs. a reference run (alone or baseline)."""
+    a, b = _as_pairs(ipc, ipc_ref)
+    if (b <= 0).any():
+        raise ValueError("reference IPCs must be positive")
+    return a / b
+
+
+def harmonic_speedup(ipc_together: Sequence[float], ipc_alone: Sequence[float]) -> float:
+    """HS: harmonic mean of per-program speedups vs. running alone.
+
+    Captures both throughput and fairness; 1/HS is the average
+    normalized turnaround time (Eyerman & Eeckhout)."""
+    ratios = normalized_ipcs(ipc_together, ipc_alone)
+    return harmonic_mean(ratios)
+
+
+def antt(ipc_together: Sequence[float], ipc_alone: Sequence[float]) -> float:
+    hs = harmonic_speedup(ipc_together, ipc_alone)
+    if hs <= 0:
+        return float("inf")
+    return 1.0 / hs
+
+
+def weighted_speedup(ipc_x: Sequence[float], ipc_ref: Sequence[float], *, normalized: bool = True) -> float:
+    """WS vs. a reference; ``normalized`` divides by N (baseline -> 1.0)."""
+    ratios = normalized_ipcs(ipc_x, ipc_ref)
+    total = float(np.sum(ratios))
+    return total / ratios.size if normalized else total
+
+
+def worst_case_speedup(ipc_x: Sequence[float], ipc_ref: Sequence[float]) -> float:
+    """The lowest per-program speedup in a workload (Figs. 8/10/12)."""
+    return float(np.min(normalized_ipcs(ipc_x, ipc_ref)))

@@ -1,0 +1,18 @@
+"""Hardware-control backends.
+
+The CMM controller is written against the abstract :class:`Platform`
+interface.  Two backends exist:
+
+* :class:`~repro.platform.simulated.SimulatedPlatform` — drives the
+  simulator in :mod:`repro.sim` (the default everywhere in this repo);
+* :class:`~repro.platform.linux.LinuxPlatform` — drives real hardware
+  through the resctrl filesystem (Intel CAT) and ``/dev/cpu/*/msr``
+  (prefetch MSR 0x1A4), the same interfaces the paper's kernel module
+  programs.  It is exercised in tests against a fake filesystem since
+  no Xeon is available here.
+"""
+
+from repro.platform.base import Platform
+from repro.platform.simulated import SimulatedPlatform
+
+__all__ = ["Platform", "SimulatedPlatform"]

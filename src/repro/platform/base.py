@@ -1,0 +1,62 @@
+"""Abstract platform interface the CMM controller programs against."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.sim.pmu import PmuSample
+
+
+class Platform(ABC):
+    """Control surface: prefetch MSRs, CAT partitions, PMU sampling.
+
+    ``run_interval`` advances the workload by one interval and returns
+    the PMU deltas observed during it.  On the simulator an interval is
+    measured in demand accesses per core; on real hardware it is wall
+    time.  The controller never needs to know which.
+    """
+
+    @property
+    @abstractmethod
+    def n_cores(self) -> int: ...
+
+    @property
+    @abstractmethod
+    def llc_ways(self) -> int: ...
+
+    @property
+    @abstractmethod
+    def cycles_per_second(self) -> float: ...
+
+    # --- prefetch control (MSR 0x1A4 semantics: set bit = disabled) ---
+
+    @abstractmethod
+    def set_prefetch_mask(self, core: int, mask: int) -> None: ...
+
+    @abstractmethod
+    def prefetch_mask(self, core: int) -> int: ...
+
+    # --- cache partitioning (Intel CAT semantics) ---
+
+    @abstractmethod
+    def set_clos_cbm(self, clos: int, cbm: int) -> None: ...
+
+    @abstractmethod
+    def assign_core_clos(self, core: int, clos: int) -> None: ...
+
+    @abstractmethod
+    def reset_partitions(self) -> None: ...
+
+    # --- execution & measurement ---
+
+    @abstractmethod
+    def run_interval(self, units: int) -> PmuSample: ...
+
+    # --- conveniences shared by all backends ---
+
+    def set_all_prefetchers(self, mask: int) -> None:
+        for c in range(self.n_cores):
+            self.set_prefetch_mask(c, mask)
+
+    def full_cbm(self) -> int:
+        return (1 << self.llc_ways) - 1

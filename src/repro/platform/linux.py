@@ -1,0 +1,151 @@
+"""Real-hardware backend: resctrl + /dev/cpu/*/msr.
+
+This is the code path that would run on the paper's Xeon E5-2620 v4.
+It programs prefetchers through MSR 0x1A4 exactly like ``msr-tools``
+and partitions through the resctrl filesystem.  PMU collection is
+injected as a callable because perf-event configuration is machine
+specific; :class:`NullPmuReader` documents the contract.
+
+Everything takes injectable paths so the full protocol is unit-tested
+against a fake ``/dev`` and ``/sys`` (no Xeon in this environment —
+see DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.platform.base import Platform
+from repro.platform.resctrl import ResctrlFs
+from repro.sim.msr import MSR_MISC_FEATURE_CONTROL
+from repro.sim.pmu import N_EVENTS, PmuSample
+
+
+class MsrDevice:
+    """8-byte pread/pwrite access to ``/dev/cpu/<n>/msr`` files."""
+
+    def __init__(self, dev_root: str | os.PathLike = "/dev/cpu") -> None:
+        self.dev_root = Path(dev_root)
+
+    def _path(self, cpu: int) -> Path:
+        return self.dev_root / str(cpu) / "msr"
+
+    def read(self, cpu: int, addr: int) -> int:
+        with open(self._path(cpu), "rb") as f:
+            data = os.pread(f.fileno(), 8, addr)
+        return struct.unpack("<Q", data)[0]
+
+    def write(self, cpu: int, addr: int, value: int) -> None:
+        with open(self._path(cpu), "r+b") as f:
+            os.pwrite(f.fileno(), struct.pack("<Q", value), addr)
+
+
+class NullPmuReader:
+    """PMU reader contract: ``read() -> (counts, cycles_elapsed)``.
+
+    ``counts`` must be an ``(n_cores, N_EVENTS)`` float array indexed by
+    :class:`repro.sim.pmu.Event`.  A real deployment wires this to
+    perf_event_open file descriptors; this null implementation returns
+    zeros so the control plane can be exercised without counters.
+    """
+
+    def __init__(self, n_cores: int) -> None:
+        self.n_cores = n_cores
+
+    def read(self) -> tuple[np.ndarray, float]:
+        return np.zeros((self.n_cores, N_EVENTS)), 0.0
+
+
+class LinuxPlatform(Platform):
+    """CMM control surface over resctrl + MSR on a live machine."""
+
+    GROUP_PREFIX = "cmm_clos"
+
+    def __init__(
+        self,
+        n_cores: int,
+        llc_ways: int,
+        *,
+        freq_ghz: float = 2.1,
+        resctrl: ResctrlFs | None = None,
+        msr: MsrDevice | None = None,
+        pmu_reader: Callable[[], tuple[np.ndarray, float]] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._n_cores = n_cores
+        self._llc_ways = llc_ways
+        self.freq_ghz = freq_ghz
+        self.resctrl = resctrl or ResctrlFs()
+        self.msr = msr or MsrDevice()
+        self.pmu_reader = pmu_reader or NullPmuReader(n_cores).read
+        self._sleep = sleep
+        self._core_clos = [0] * n_cores
+
+    # ----------------------------------------------------- identity
+
+    @property
+    def n_cores(self) -> int:
+        return self._n_cores
+
+    @property
+    def llc_ways(self) -> int:
+        return self._llc_ways
+
+    @property
+    def cycles_per_second(self) -> float:
+        return self.freq_ghz * 1e9
+
+    # ----------------------------------------------- prefetch (MSR)
+
+    def set_prefetch_mask(self, core: int, mask: int) -> None:
+        if not 0 <= mask <= 0xF:
+            raise ValueError(f"prefetch mask out of range: {mask:#x}")
+        cur = self.msr.read(core, MSR_MISC_FEATURE_CONTROL)
+        self.msr.write(core, MSR_MISC_FEATURE_CONTROL, (cur & ~0xF) | mask)
+
+    def prefetch_mask(self, core: int) -> int:
+        return self.msr.read(core, MSR_MISC_FEATURE_CONTROL) & 0xF
+
+    # ------------------------------------------------- CAT (resctrl)
+
+    def _group_name(self, clos: int) -> str | None:
+        return None if clos == 0 else f"{self.GROUP_PREFIX}{clos}"
+
+    def set_clos_cbm(self, clos: int, cbm: int) -> None:
+        group = self._group_name(clos)
+        if group is not None:
+            self.resctrl.create_group(group)
+        self.resctrl.write_l3_cbm(group, cbm)
+
+    def assign_core_clos(self, core: int, clos: int) -> None:
+        group = self._group_name(clos)
+        if group is not None:
+            self.resctrl.create_group(group)
+        self._core_clos[core] = clos
+        for c in set(self._core_clos):
+            cpus = [i for i, cl in enumerate(self._core_clos) if cl == c]
+            self.resctrl.assign_cpus(self._group_name(c), cpus)
+
+    def reset_partitions(self) -> None:
+        full = self.full_cbm()
+        for group in self.resctrl.list_groups():
+            if group.startswith(self.GROUP_PREFIX):
+                self.resctrl.assign_cpus(group, [])
+                self.resctrl.remove_group(group)
+        self.resctrl.write_l3_cbm(None, full)
+        self._core_clos = [0] * self._n_cores
+
+    # --------------------------------------------------- measurement
+
+    def run_interval(self, units: int) -> PmuSample:
+        """Sleep ``units`` milliseconds of wall time; return PMU deltas."""
+        before, cyc0 = self.pmu_reader()
+        self._sleep(units / 1000.0)
+        after, cyc1 = self.pmu_reader()
+        return PmuSample(after - before, cyc1 - cyc0)

@@ -1,0 +1,126 @@
+"""Resctrl filesystem protocol (Intel CAT on Linux).
+
+Implements the subset of the ``/sys/fs/resctrl`` interface the paper's
+mechanisms need: allocation groups (one per CLOS), L3 capacity bit
+masks via ``schemata``, and cpu association via ``cpus_list``.  The
+root path is injectable so the protocol is fully testable without
+hardware (see ``tests/platform/test_resctrl.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+class ResctrlError(RuntimeError):
+    pass
+
+
+class ResctrlFs:
+    """Reader/writer for one resctrl mount."""
+
+    def __init__(self, root: str | os.PathLike = "/sys/fs/resctrl", *, cache_id: int = 0) -> None:
+        self.root = Path(root)
+        self.cache_id = cache_id
+
+    def available(self) -> bool:
+        return (self.root / "schemata").exists()
+
+    # ------------------------------------------------------- groups
+
+    def group_path(self, group: str | None) -> Path:
+        """Path of a control group; ``None`` is the root/default group."""
+        if group is None:
+            return self.root
+        if "/" in group or group in (".", ".."):
+            raise ResctrlError(f"invalid group name {group!r}")
+        return self.root / group
+
+    def create_group(self, group: str) -> None:
+        path = self.group_path(group)
+        try:
+            path.mkdir(exist_ok=True)
+        except OSError as e:  # pragma: no cover - depends on kernel state
+            raise ResctrlError(f"cannot create {path}: {e}") from e
+
+    def remove_group(self, group: str) -> None:
+        path = self.group_path(group)
+        if path == self.root:
+            raise ResctrlError("refusing to remove the resctrl root")
+        if path.exists():
+            # The kernel exposes these as virtual files and lets rmdir
+            # succeed; on a plain filesystem (tests) remove them first.
+            for name in ("schemata", "cpus_list", "cpus", "tasks", "mode"):
+                f = path / name
+                if f.exists():
+                    f.unlink()
+            path.rmdir()
+
+    def list_groups(self) -> list[str]:
+        if not self.root.exists():
+            return []
+        skip = {"info", "mon_groups", "mon_data"}
+        return sorted(p.name for p in self.root.iterdir() if p.is_dir() and p.name not in skip)
+
+    # ----------------------------------------------------- schemata
+
+    def write_l3_cbm(self, group: str | None, cbm: int) -> None:
+        if cbm <= 0:
+            raise ResctrlError("CBM must be positive")
+        path = self.group_path(group) / "schemata"
+        path.write_text(f"L3:{self.cache_id}={cbm:x}\n")
+
+    def read_l3_cbm(self, group: str | None) -> int:
+        path = self.group_path(group) / "schemata"
+        for raw in path.read_text().splitlines():
+            line = raw.strip()
+            if not line.startswith("L3"):
+                continue
+            _, _, rest = line.partition(":")
+            for dom in rest.split(";"):
+                dom_id, _, mask = dom.partition("=")
+                if int(dom_id) == self.cache_id:
+                    return int(mask, 16)
+        raise ResctrlError(f"no L3 domain {self.cache_id} in {path}")
+
+    # --------------------------------------------------------- cpus
+
+    def assign_cpus(self, group: str | None, cpus: list[int]) -> None:
+        path = self.group_path(group) / "cpus_list"
+        path.write_text(format_cpu_list(cpus) + "\n")
+
+    def read_cpus(self, group: str | None) -> list[int]:
+        path = self.group_path(group) / "cpus_list"
+        return parse_cpu_list(path.read_text())
+
+
+def format_cpu_list(cpus: list[int]) -> str:
+    """Render a cpu list in the kernel's range syntax (``0-2,5``)."""
+    if not cpus:
+        return ""
+    cs = sorted(set(cpus))
+    parts: list[str] = []
+    start = prev = cs[0]
+    for c in cs[1:]:
+        if c == prev + 1:
+            prev = c
+            continue
+        parts.append(f"{start}-{prev}" if prev > start else f"{start}")
+        start = prev = c
+    parts.append(f"{start}-{prev}" if prev > start else f"{start}")
+    return ",".join(parts)
+
+
+def parse_cpu_list(text: str) -> list[int]:
+    """Parse the kernel's range syntax into a sorted cpu list."""
+    out: set[int] = set()
+    for part in text.strip().split(","):
+        if not part:
+            continue
+        lo, _, hi = part.partition("-")
+        if hi:
+            out.update(range(int(lo), int(hi) + 1))
+        else:
+            out.add(int(lo))
+    return sorted(out)

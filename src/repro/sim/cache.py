@@ -1,0 +1,206 @@
+"""Set-associative LRU caches.
+
+Two flavours:
+
+* :class:`Cache` — private levels (L1D, L2).  Each set is an
+  ``OrderedDict`` in LRU order, making hit scans, LRU updates and
+  evictions C-speed dict operations (this is the simulator's hottest
+  loop; no exceptions are raised on the miss path).
+* :class:`PartitionedCache` — the shared LLC.  Way identity matters
+  because Intel CAT restricts *allocation* (victim selection) to the
+  ways in the requesting core's CLOS bit mask while *lookups* hit in
+  any way.  Each set keeps per-way tag/LRU-stamp lists plus a
+  tag->way dict for O(1) lookup.
+
+Both track prefetched-but-not-yet-used lines so prefetch accuracy can
+be accounted (the paper notes real PMUs cannot expose this — the
+simulator can, and we use it only for evaluation, never inside the
+CMM front-end, to stay faithful to the software constraints).
+
+The model is loads-only and non-inclusive (each level independent);
+writebacks are not modelled.  See DESIGN.md section 5.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.sim.params import CacheGeometry
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    pref_fills: int = 0
+    pref_used: int = 0
+    pref_evicted_unused: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of prefetched fills that were demand-used."""
+        done = self.pref_used + self.pref_evicted_unused
+        return self.pref_used / done if done else 0.0
+
+
+class Cache:
+    """Private set-associative LRU cache (allocate-on-miss)."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self.n_sets = geometry.sets
+        self.ways = geometry.ways
+        self._set_mask = self.n_sets - 1
+        # Each set: line -> None, ordered least-recently-used first.
+        self._sets: list[OrderedDict[int, None]] = [OrderedDict() for _ in range(self.n_sets)]
+        self._pref_unused: set[int] = set()
+        self.stats = CacheStats()
+
+    def access(self, line: int, is_prefetch: bool = False) -> bool:
+        """Look up ``line``; fill on miss.  Returns True on hit."""
+        s = self._sets[line & self._set_mask]
+        st = self.stats
+        st.accesses += 1
+        if line in s:
+            st.hits += 1
+            s.move_to_end(line)
+            if not is_prefetch and line in self._pref_unused:
+                self._pref_unused.discard(line)
+                st.pref_used += 1
+            return True
+        # Miss: insert MRU, evict LRU if full.
+        if len(s) >= self.ways:
+            victim, _ = s.popitem(last=False)
+            if victim in self._pref_unused:
+                self._pref_unused.discard(victim)
+                st.pref_evicted_unused += 1
+        s[line] = None
+        if is_prefetch:
+            st.pref_fills += 1
+            self._pref_unused.add(line)
+        return False
+
+    def probe(self, line: int) -> bool:
+        """Presence test without touching LRU state or stats."""
+        return line in self._sets[line & self._set_mask]
+
+    def touch_used(self, line: int) -> bool:
+        """Read ``line`` on behalf of an upper-level prefetcher.
+
+        Refreshes LRU and consumes the prefetched-unused bit (the data
+        *is* being moved toward the demand stream) but counts neither
+        an access nor a hit — this is an internal transfer, not a
+        request.  Returns True if the line was present.
+        """
+        s = self._sets[line & self._set_mask]
+        if line not in s:
+            return False
+        s.move_to_end(line)
+        if line in self._pref_unused:
+            self._pref_unused.discard(line)
+            self.stats.pref_used += 1
+        return True
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def flush(self) -> None:
+        self._sets = [OrderedDict() for _ in range(self.n_sets)]
+        self._pref_unused.clear()
+
+
+class PartitionedCache:
+    """Shared LLC with CAT-style way-mask allocation.
+
+    ``access`` takes ``allowed_ways`` — a tuple of way indices derived
+    from the requesting core's CLOS capacity bit mask.  A hit may occur
+    in any way; a fill victimises only the allowed ways (LRU among
+    them), exactly as CAT behaves on real hardware.
+    """
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self.n_sets = geometry.sets
+        self.ways = geometry.ways
+        self._set_mask = self.n_sets - 1
+        # Per set: way-indexed tags/stamps plus tag -> way index.
+        self._tags: list[list[int]] = [[-1] * self.ways for _ in range(self.n_sets)]
+        self._stamps: list[list[int]] = [[0] * self.ways for _ in range(self.n_sets)]
+        self._index: list[dict[int, int]] = [dict() for _ in range(self.n_sets)]
+        self._clock = 0
+        self._pref_unused: set[int] = set()
+        self.stats = CacheStats()
+
+    def access(self, line: int, allowed_ways: tuple[int, ...], is_prefetch: bool = False) -> bool:
+        """Look up ``line``; on miss, fill into the LRU allowed way."""
+        si = line & self._set_mask
+        idx = self._index[si]
+        stamps = self._stamps[si]
+        self._clock += 1
+        st = self.stats
+        st.accesses += 1
+        w = idx.get(line)
+        if w is not None:
+            st.hits += 1
+            stamps[w] = self._clock
+            if not is_prefetch and line in self._pref_unused:
+                self._pref_unused.discard(line)
+                st.pref_used += 1
+            return True
+        # Miss: LRU victim among the allowed ways.
+        if not allowed_ways:
+            raise ValueError("allowed_ways must contain at least one way")
+        tags = self._tags[si]
+        if len(allowed_ways) == self.ways:
+            vstamp = min(stamps)
+            vw = stamps.index(vstamp)
+        else:
+            sub = [stamps[w2] for w2 in allowed_ways]
+            vw = allowed_ways[sub.index(min(sub))]
+        victim = tags[vw]
+        if victim != -1:
+            del idx[victim]
+            if victim in self._pref_unused:
+                self._pref_unused.discard(victim)
+                st.pref_evicted_unused += 1
+        tags[vw] = line
+        stamps[vw] = self._clock
+        idx[line] = vw
+        if is_prefetch:
+            st.pref_fills += 1
+            self._pref_unused.add(line)
+        return False
+
+    def probe(self, line: int) -> bool:
+        return line in self._index[line & self._set_mask]
+
+    def occupancy(self) -> int:
+        return sum(len(d) for d in self._index)
+
+    def occupancy_in_ways(self, ways: tuple[int, ...]) -> int:
+        return sum(1 for s in self._tags for w in ways if s[w] != -1)
+
+    def resident_way(self, line: int) -> int | None:
+        """Way index holding ``line`` or None (test helper)."""
+        return self._index[line & self._set_mask].get(line)
+
+    def flush(self) -> None:
+        self._tags = [[-1] * self.ways for _ in range(self.n_sets)]
+        self._stamps = [[0] * self.ways for _ in range(self.n_sets)]
+        self._index = [dict() for _ in range(self.n_sets)]
+        self._pref_unused.clear()
+        self._clock = 0
+
+
+def ways_from_mask(mask: int, total_ways: int) -> tuple[int, ...]:
+    """Expand a CAT capacity bit mask into a tuple of way indices."""
+    if mask <= 0:
+        raise ValueError("capacity mask must be positive")
+    if mask >= (1 << total_ways):
+        raise ValueError(f"mask 0x{mask:x} exceeds {total_ways} ways")
+    return tuple(w for w in range(total_ways) if mask >> w & 1)

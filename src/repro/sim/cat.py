@@ -1,0 +1,96 @@
+"""Intel Cache Allocation Technology (CAT) emulation.
+
+CAT exposes a number of *classes of service* (CLOS); each CLOS has a
+*capacity bit mask* (CBM) selecting which LLC ways the class may
+allocate into.  Masks must be contiguous runs of set bits and contain a
+minimum number of bits (both real hardware restrictions).  Cores are
+associated with a CLOS; masks may overlap arbitrarily, which is what
+the paper relies on for its *overlapping / nested* partitions.
+"""
+
+from __future__ import annotations
+
+from repro.sim.cache import ways_from_mask
+
+
+def is_contiguous_mask(mask: int) -> bool:
+    """True if ``mask``'s set bits form one contiguous run."""
+    if mask <= 0:
+        return False
+    shifted = mask >> (mask & -mask).bit_length() - 1
+    return (shifted & (shifted + 1)) == 0
+
+
+def full_mask(ways: int) -> int:
+    return (1 << ways) - 1
+
+
+def low_ways_mask(n: int, total_ways: int) -> int:
+    """Mask of the ``n`` lowest ways (clamped to the geometry)."""
+    n = max(1, min(n, total_ways))
+    return (1 << n) - 1
+
+
+class CatController:
+    """CLOS table + core association, with resctrl-equivalent checks."""
+
+    def __init__(self, total_ways: int, n_cores: int, *, n_clos: int = 16, min_cbm_bits: int = 1) -> None:
+        if total_ways < 1 or n_clos < 1:
+            raise ValueError("total_ways and n_clos must be positive")
+        if min_cbm_bits < 1 or min_cbm_bits > total_ways:
+            raise ValueError("min_cbm_bits out of range")
+        self.total_ways = total_ways
+        self.n_cores = n_cores
+        self.n_clos = n_clos
+        self.min_cbm_bits = min_cbm_bits
+        self._cbm = [full_mask(total_ways)] * n_clos
+        self._core_clos = [0] * n_cores
+        self._ways_cache: dict[int, tuple[int, ...]] = {}
+
+    def set_cbm(self, clos: int, mask: int) -> None:
+        self._check_clos(clos)
+        if not is_contiguous_mask(mask):
+            raise ValueError(f"CBM 0x{mask:x} is not a contiguous run of bits")
+        if mask.bit_count() < self.min_cbm_bits:
+            raise ValueError(f"CBM 0x{mask:x} has fewer than {self.min_cbm_bits} bits")
+        if mask >= (1 << self.total_ways):
+            raise ValueError(f"CBM 0x{mask:x} exceeds {self.total_ways} ways")
+        self._cbm[clos] = mask
+        self._ways_cache.pop(clos, None)
+
+    def get_cbm(self, clos: int) -> int:
+        self._check_clos(clos)
+        return self._cbm[clos]
+
+    def assign_core(self, core: int, clos: int) -> None:
+        self._check_clos(clos)
+        if not 0 <= core < self.n_cores:
+            raise IndexError(f"core {core} out of range")
+        self._core_clos[core] = clos
+
+    def core_clos(self, core: int) -> int:
+        return self._core_clos[core]
+
+    def allowed_ways(self, core: int) -> tuple[int, ...]:
+        """Way indices core may allocate into (cached per CLOS)."""
+        clos = self._core_clos[core]
+        ways = self._ways_cache.get(clos)
+        if ways is None:
+            ways = ways_from_mask(self._cbm[clos], self.total_ways)
+            self._ways_cache[clos] = ways
+        return ways
+
+    def reset(self) -> None:
+        """All cores back to CLOS 0 with the full mask (resctrl default)."""
+        self._cbm = [full_mask(self.total_ways)] * self.n_clos
+        self._core_clos = [0] * self.n_cores
+        self._ways_cache.clear()
+
+    def schemata(self) -> dict[int, int]:
+        """CLOS -> CBM for every CLOS in use (resctrl-style dump)."""
+        used = set(self._core_clos)
+        return {c: self._cbm[c] for c in sorted(used)}
+
+    def _check_clos(self, clos: int) -> None:
+        if not 0 <= clos < self.n_clos:
+            raise IndexError(f"clos {clos} out of range [0, {self.n_clos})")

@@ -1,0 +1,106 @@
+"""Per-core timing model and the per-quantum fixed-point solver.
+
+The core is a simple in-order engine with memory-level parallelism:
+
+``cycles = exec + l2_hit_stalls + l2_miss_stalls``
+
+* ``exec``            = instructions x cpi_exec,
+* ``l2_hit_stalls``   = demand L2 hits x lat_l2 / mlp,
+* ``l2_miss_stalls``  = (demand LLC hits x lat_llc
+                        + demand memory accesses x lat_mem x qf) / mlp,
+
+with per-core ``mlp`` supplied by the workload (streaming code overlaps
+many misses, a pointer chase overlaps none),
+
+where ``qf`` is the DRAM queue factor of ``repro.sim.memory``.  The
+``l2_miss_stalls`` term is exactly what the STALLS_L2_PENDING PMU event
+counts (cycles stalled with an L2 miss outstanding) — the event Selfa
+et al.'s Dunn policy clusters on and the paper's Fig. 15 reports.
+
+Because queue factor and cycle counts are mutually dependent
+(more queuing -> longer quantum -> lower utilisation), the solver
+iterates the pair to a damped fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.memory import DramModel
+from repro.sim.params import MachineParams
+
+
+@dataclass
+class QuantumCounts:
+    """Functional outcome of one quantum for one core (demand side)."""
+
+    n_access: int = 0          # demand accesses issued
+    n_l2_hit_d: int = 0        # demand accesses that hit L2 (after L1 miss)
+    n_llc_hit_d: int = 0       # demand accesses that hit the LLC
+    n_mem_d: int = 0           # demand accesses served by DRAM
+    demand_bytes: float = 0.0  # bytes moved by demand DRAM fills
+    pref_bytes: float = 0.0    # bytes moved by prefetch DRAM fills
+
+    @property
+    def total_bytes(self) -> float:
+        return self.demand_bytes + self.pref_bytes
+
+
+@dataclass
+class QuantumTiming:
+    """Solved timing for one quantum across the machine."""
+
+    cycles: np.ndarray          # per core
+    stalls_l2_pending: np.ndarray
+    queue_factor: np.ndarray    # per core effective factor
+    machine_cycles: float
+
+    def __post_init__(self) -> None:
+        self.cycles = np.asarray(self.cycles, dtype=np.float64)
+
+
+def solve_quantum(
+    params: MachineParams,
+    dram: DramModel,
+    counts: list[QuantumCounts],
+    inst_per_mem: list[float],
+    mlp: list[float],
+    active: list[bool],
+    *,
+    iterations: int = 6,
+) -> QuantumTiming:
+    """Fixed-point solve of per-core cycles and DRAM queue factors."""
+    n = len(counts)
+    if not (len(inst_per_mem) == len(mlp) == len(active) == n):
+        raise ValueError("counts, inst_per_mem, mlp and active must align")
+
+    n_access = np.array([c.n_access for c in counts], dtype=np.float64)
+    l2_hits = np.array([c.n_l2_hit_d for c in counts], dtype=np.float64)
+    llc_hits = np.array([c.n_llc_hit_d for c in counts], dtype=np.float64)
+    mem_d = np.array([c.n_mem_d for c in counts], dtype=np.float64)
+    core_bytes = np.array([c.total_bytes for c in counts], dtype=np.float64)
+    ipm = np.array(inst_per_mem, dtype=np.float64)
+    par = np.maximum(np.array(mlp, dtype=np.float64), 1.0)
+    act = np.array(active, dtype=bool)
+
+    instructions = n_access * (1.0 + ipm)
+    exec_cycles = instructions * params.cpi_exec
+    l2_stall = l2_hits * params.lat_l2 / par
+    llc_stall = llc_hits * params.lat_llc / par
+
+    qf = np.ones(n, dtype=np.float64)
+    cycles = np.maximum(exec_cycles + l2_stall + llc_stall + mem_d * params.lat_mem / par, 1.0)
+    for _ in range(iterations):
+        mem_stall = mem_d * params.lat_mem * qf / par
+        cycles = np.maximum(exec_cycles + l2_stall + llc_stall + mem_stall, 1.0)
+        machine_cycles = float(cycles[act].mean()) if act.any() else 1.0
+        qf_new = dram.effective_factor(core_bytes, cycles, machine_cycles)
+        qf = 0.5 * qf + 0.5 * qf_new  # damped update for stability
+
+    mem_stall = mem_d * params.lat_mem * qf / par
+    cycles = np.maximum(exec_cycles + l2_stall + llc_stall + mem_stall, 1.0)
+    machine_cycles = float(cycles[act].mean()) if act.any() else 1.0
+    stalls = llc_stall + mem_stall  # cycles with an L2 miss pending
+    return QuantumTiming(cycles=cycles, stalls_l2_pending=stalls, queue_factor=qf, machine_cycles=machine_cycles)

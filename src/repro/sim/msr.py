@@ -1,0 +1,108 @@
+"""Emulated model-specific registers, in particular MSR 0x1A4.
+
+Intel exposes per-core prefetcher control through
+``MSR_MISC_FEATURE_CONTROL`` (0x1A4).  A **set** bit disables the
+corresponding prefetcher:
+
+======  =======================================
+bit 0   L2 hardware prefetcher (streamer)
+bit 1   L2 adjacent cache line prefetcher
+bit 2   DCU prefetcher (L1 next-line)
+bit 3   DCU IP prefetcher (L1 stride)
+======  =======================================
+
+The CMM back-end treats the four prefetchers of a core as a single
+entity toggled on/off (paper Sec. III-B1), i.e. it writes ``PF_ALL_ON``
+(0x0) or ``PF_ALL_OFF`` (0xF); the finer-grained bits are still modelled
+so the framework supports per-prefetcher exploration.
+"""
+
+from __future__ import annotations
+
+MSR_MISC_FEATURE_CONTROL = 0x1A4
+
+BIT_L2_STREAMER = 0
+BIT_L2_ADJACENT = 1
+BIT_DCU_NEXT_LINE = 2
+BIT_DCU_IP_STRIDE = 3
+
+PF_ALL_ON = 0x0
+PF_ALL_OFF = 0xF
+#: Only the two L2 prefetchers (streamer + adjacent) disabled.
+MASK_L2_OFF = (1 << BIT_L2_STREAMER) | (1 << BIT_L2_ADJACENT)
+#: Only the two L1 (DCU) prefetchers disabled.
+MASK_L1_OFF = (1 << BIT_DCU_NEXT_LINE) | (1 << BIT_DCU_IP_STRIDE)
+
+
+def mask_from_enables(*, stride: bool, next_line: bool, streamer: bool, adjacent: bool) -> int:
+    """Build the 0x1A4 disable mask from per-prefetcher enables."""
+    mask = 0
+    if not streamer:
+        mask |= 1 << BIT_L2_STREAMER
+    if not adjacent:
+        mask |= 1 << BIT_L2_ADJACENT
+    if not next_line:
+        mask |= 1 << BIT_DCU_NEXT_LINE
+    if not stride:
+        mask |= 1 << BIT_DCU_IP_STRIDE
+    return mask
+
+
+def enables_from_mask(mask: int) -> dict[str, bool]:
+    """Decode a 0x1A4 disable mask into per-prefetcher enables."""
+    if mask < 0 or mask > 0xF:
+        raise ValueError(f"prefetch mask must be in [0, 0xF], got {mask:#x}")
+    return {
+        "streamer": not (mask >> BIT_L2_STREAMER & 1),
+        "adjacent": not (mask >> BIT_L2_ADJACENT & 1),
+        "next_line": not (mask >> BIT_DCU_NEXT_LINE & 1),
+        "stride": not (mask >> BIT_DCU_IP_STRIDE & 1),
+    }
+
+
+class MsrFile:
+    """Per-cpu MSR storage with the interface shape of /dev/cpu/N/msr."""
+
+    def __init__(self, n_cpus: int) -> None:
+        if n_cpus < 1:
+            raise ValueError("need at least one cpu")
+        self.n_cpus = n_cpus
+        self._regs: list[dict[int, int]] = [dict() for _ in range(n_cpus)]
+
+    def read(self, cpu: int, addr: int) -> int:
+        self._check_cpu(cpu)
+        return self._regs[cpu].get(addr, 0)
+
+    def write(self, cpu: int, addr: int, value: int) -> None:
+        self._check_cpu(cpu)
+        if value < 0:
+            raise ValueError("MSR values are unsigned")
+        self._regs[cpu][addr] = value
+
+    def _check_cpu(self, cpu: int) -> None:
+        if not 0 <= cpu < self.n_cpus:
+            raise IndexError(f"cpu {cpu} out of range [0, {self.n_cpus})")
+
+
+class PrefetchMsr:
+    """Typed view over MSR 0x1A4 in an :class:`MsrFile`."""
+
+    def __init__(self, msr: MsrFile) -> None:
+        self._msr = msr
+
+    def set_mask(self, cpu: int, mask: int) -> None:
+        if mask < 0 or mask > 0xF:
+            raise ValueError(f"prefetch mask must be in [0, 0xF], got {mask:#x}")
+        self._msr.write(cpu, MSR_MISC_FEATURE_CONTROL, mask)
+
+    def get_mask(self, cpu: int) -> int:
+        return self._msr.read(cpu, MSR_MISC_FEATURE_CONTROL) & 0xF
+
+    def set_all_on(self, cpu: int) -> None:
+        self.set_mask(cpu, PF_ALL_ON)
+
+    def set_all_off(self, cpu: int) -> None:
+        self.set_mask(cpu, PF_ALL_OFF)
+
+    def enables(self, cpu: int) -> dict[str, bool]:
+        return enables_from_mask(self.get_mask(cpu))

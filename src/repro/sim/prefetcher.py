@@ -1,0 +1,187 @@
+"""Functional models of the four Intel per-core hardware prefetchers.
+
+Per the paper (Sec. II): the L1 data cache has an IP (stride) and a
+next-line prefetcher; the private L2 has a streamer and an
+adjacent-line prefetcher.  All are demand-triggered — prefetch requests
+never re-trigger a prefetcher.  Each can be enabled/disabled
+independently, mirroring MSR 0x1A4 (see ``repro.sim.msr``).
+
+The models follow Intel's documented trigger conditions:
+
+* **DCU IP (stride)** — per-load-PC stride detection with a small
+  confidence counter; prefetches ``degree`` lines down the stride once
+  confident.
+* **DCU next-line** — on an L1 demand miss for line X, prefetch X+1.
+* **L2 streamer** — monitors demand requests arriving at L2 per 4 KB
+  page; once two accesses in the same direction are seen, prefetches
+  ``degree`` lines ahead (never crossing the page boundary).
+* **L2 adjacent-line** — on an L2 demand miss, prefetch the 128 B buddy
+  line (line ^ 1).  Fires regardless of pattern, which is what makes
+  random-access workloads prefetch *aggressive but useless*.
+"""
+
+from __future__ import annotations
+
+LINES_PER_PAGE = 64  # 4 KB page / 64 B line
+
+
+class L1IPStridePrefetcher:
+    """Per-PC (ctx) stride detector with confidence."""
+
+    def __init__(self, table_entries: int = 16, degree: int = 2, confidence: int = 2) -> None:
+        self.table_entries = table_entries
+        self.degree = degree
+        self.conf_threshold = confidence
+        # ctx -> [last_line, stride, confidence]
+        self._table: dict[int, list[int]] = {}
+
+    def on_demand(self, ctx: int, line: int) -> list[int]:
+        table = self._table
+        e = table.get(ctx)
+        if e is None:
+            if len(table) >= self.table_entries:
+                table.pop(next(iter(table)))
+            table[ctx] = [line, 0, 0]
+            return []
+        delta = line - e[0]
+        e[0] = line
+        if delta == e[1] and delta != 0:
+            if e[2] < 3:
+                e[2] += 1
+        else:
+            if e[2] > 0:
+                e[2] -= 1
+            if e[2] == 0:
+                e[1] = delta
+        if e[2] >= self.conf_threshold and e[1] != 0:
+            stride = e[1]
+            return [line + stride * k for k in range(1, self.degree + 1)]
+        return []
+
+
+class L1NextLinePrefetcher:
+    """On an L1 demand miss for X, prefetch X+1."""
+
+    def on_demand_miss(self, line: int) -> list[int]:
+        return [line + 1]
+
+
+class L2StreamerPrefetcher:
+    """Per-4KB-page direction detector; prefetches ahead of the stream.
+
+    Each tracked page remembers the furthest offset already prefetched
+    (``pref_ptr``) so an established stream issues each line exactly
+    once — matching how the hardware streamer advances a prefetch
+    pointer rather than re-requesting its whole window.
+    """
+
+    def __init__(self, table_pages: int = 16, degree: int = 4) -> None:
+        self.table_pages = table_pages
+        self.degree = degree
+        # page -> [last_offset, direction, run_length, pref_ptr]
+        self._table: dict[int, list[int]] = {}
+
+    def on_demand(self, line: int) -> list[int]:
+        page = line >> 6
+        off = line & (LINES_PER_PAGE - 1)
+        table = self._table
+        e = table.get(page)
+        if e is None:
+            if len(table) >= self.table_pages:
+                table.pop(next(iter(table)))
+            table[page] = [off, 0, 0, -1]
+            return []
+        delta = off - e[0]
+        direction = 1 if delta > 0 else (-1 if delta < 0 else 0)
+        if direction != 0 and direction == e[1]:
+            e[2] += 1
+        else:
+            e[1] = direction
+            e[2] = 1 if direction else 0
+            e[3] = -1  # direction change invalidates the prefetch pointer
+        e[0] = off
+        if e[2] >= 2 and e[1] != 0:
+            base = page << 6
+            out = []
+            if e[1] > 0:
+                start = off + 1 if e[3] < off + 1 else e[3] + 1
+                stop = min(off + self.degree, LINES_PER_PAGE - 1)
+                for noff in range(start, stop + 1):
+                    out.append(base + noff)
+                if stop >= start:
+                    e[3] = stop
+            else:
+                # Descending stream: pref_ptr tracks the lowest offset fetched.
+                start = off - 1 if (e[3] == -1 or e[3] > off - 1) else e[3] - 1
+                stop = max(off - self.degree, 0)
+                for noff in range(start, stop - 1, -1):
+                    out.append(base + noff)
+                if start >= stop:
+                    e[3] = stop
+            return out
+        return []
+
+
+class L2AdjacentLinePrefetcher:
+    """On an L2 demand miss, fetch the buddy of the 128 B pair."""
+
+    def on_demand_miss(self, line: int) -> list[int]:
+        return [line ^ 1]
+
+
+class PrefetcherBank:
+    """The four prefetchers of one core plus their enable state.
+
+    Enable state is pushed in from the emulated MSR (bit set = disabled,
+    matching Intel's MSR 0x1A4 layout handled in ``repro.sim.msr``).
+    """
+
+    def __init__(
+        self,
+        *,
+        stride_table: int = 16,
+        stride_degree: int = 2,
+        stride_confidence: int = 2,
+        streamer_pages: int = 16,
+        streamer_degree: int = 4,
+    ) -> None:
+        self.ip_stride = L1IPStridePrefetcher(stride_table, stride_degree, stride_confidence)
+        self.next_line = L1NextLinePrefetcher()
+        self.streamer = L2StreamerPrefetcher(streamer_pages, streamer_degree)
+        self.adjacent = L2AdjacentLinePrefetcher()
+        self.en_stride = True
+        self.en_next_line = True
+        self.en_streamer = True
+        self.en_adjacent = True
+
+    def set_enables(self, stride: bool, next_line: bool, streamer: bool, adjacent: bool) -> None:
+        self.en_stride = stride
+        self.en_next_line = next_line
+        self.en_streamer = streamer
+        self.en_adjacent = adjacent
+
+    @property
+    def any_l1_enabled(self) -> bool:
+        return self.en_stride or self.en_next_line
+
+    @property
+    def any_l2_enabled(self) -> bool:
+        return self.en_streamer or self.en_adjacent
+
+    def l1_candidates(self, ctx: int, line: int, l1_hit: bool) -> list[int]:
+        """Prefetch lines proposed by the L1 prefetchers for one demand access."""
+        out: list[int] = []
+        if self.en_stride:
+            out.extend(self.ip_stride.on_demand(ctx, line))
+        if self.en_next_line and not l1_hit:
+            out.extend(self.next_line.on_demand_miss(line))
+        return out
+
+    def l2_candidates(self, line: int, l2_hit: bool) -> list[int]:
+        """Prefetch lines proposed by the L2 prefetchers for one demand request at L2."""
+        out: list[int] = []
+        if self.en_streamer:
+            out.extend(self.streamer.on_demand(line))
+        if self.en_adjacent and not l2_hit:
+            out.extend(self.adjacent.on_demand_miss(line))
+        return out

@@ -1,0 +1,103 @@
+"""Workload mixes — the paper's four categories (Sec. IV-B).
+
+Each N-core workload contains N benchmarks (the evaluation uses 8).
+Categories and their composition:
+
+* ``pref_fri``    — 4 prefetch-friendly + 4 non-aggressive,
+* ``pref_agg``    — 2 friendly + 2 unfriendly + 4 non-aggressive,
+* ``pref_unfri``  — 4 unfriendly + 4 non-aggressive,
+* ``pref_no_agg`` — 8 non-aggressive.
+
+The four non-aggressive picks always include at least two
+LLC-sensitive benchmarks, as the paper specifies.  Ten workloads per
+category, drawn with a seeded RNG, so the whole evaluation is
+deterministic.  The unfriendly pool is small ({Rand Access,
+471.omnetpp}, mirroring the paper's observation that no SPEC benchmark
+is strongly prefetch-unfriendly), so unfriendly slots may repeat a
+benchmark; repeated instances get distinct seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.speclike import benchmark_names
+
+CATEGORIES = ("pref_fri", "pref_agg", "pref_unfri", "pref_no_agg")
+
+#: (n_friendly, n_unfriendly, n_non_aggressive) per category.
+_COMPOSITION: dict[str, tuple[int, int, int]] = {
+    "pref_fri": (4, 0, 4),
+    "pref_agg": (2, 2, 4),
+    "pref_unfri": (0, 4, 4),
+    "pref_no_agg": (0, 0, 8),
+}
+
+MIN_LLC_SENSITIVE = 2
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """One multiprogrammed workload: a benchmark per core."""
+
+    name: str
+    category: str
+    benchmarks: tuple[str, ...]
+    seed: int
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.benchmarks)
+
+
+def _pick(rng: np.random.Generator, pool: list[str], k: int, *, replace: bool) -> list[str]:
+    if k == 0:
+        return []
+    if not pool:
+        raise ValueError("empty benchmark pool")
+    replace = replace or k > len(pool)
+    return [str(b) for b in rng.choice(pool, size=k, replace=replace)]
+
+
+def make_mixes(category: str, count: int = 10, *, n_cores: int = 8, seed: int = 2019) -> list[WorkloadMix]:
+    """Generate ``count`` workloads of one category."""
+    if category not in _COMPOSITION:
+        raise ValueError(f"unknown category {category!r}; one of {CATEGORIES}")
+    n_fri, n_unf, n_na = _COMPOSITION[category]
+    if n_fri + n_unf + n_na != n_cores:
+        # Re-balance the non-aggressive slots for other core counts.
+        n_na = n_cores - n_fri - n_unf
+        if n_na < 0:
+            raise ValueError(f"category {category} needs at least {n_fri + n_unf} cores")
+
+    friendly = benchmark_names(friendly=True)
+    unfriendly = benchmark_names(aggressive=True, friendly=False)
+    na_sensitive = benchmark_names(aggressive=False, llc_sensitive=True)
+    na_insensitive = benchmark_names(aggressive=False, llc_sensitive=False)
+
+    rng = np.random.default_rng((seed, CATEGORIES.index(category)))
+    mixes = []
+    for i in range(count):
+        picks: list[str] = []
+        picks += _pick(rng, friendly, n_fri, replace=False)
+        picks += _pick(rng, unfriendly, n_unf, replace=True)
+        if n_na > 0:
+            n_sens = min(MIN_LLC_SENSITIVE, n_na)
+            picks += _pick(rng, na_sensitive, n_sens, replace=False)
+            rest_pool = na_sensitive + na_insensitive
+            rest = [b for b in rest_pool if b not in picks]
+            picks += _pick(rng, rest or rest_pool, n_na - n_sens, replace=False)
+        order = rng.permutation(len(picks))
+        benchmarks = tuple(picks[j] for j in order)
+        mixes.append(WorkloadMix(f"{category}-{i:02d}", category, benchmarks, seed=int(rng.integers(0, 2**31))))
+    return mixes
+
+
+def all_mixes(per_category: int = 10, *, n_cores: int = 8, seed: int = 2019) -> list[WorkloadMix]:
+    """All categories in the paper's presentation order (Sec. V)."""
+    out: list[WorkloadMix] = []
+    for cat in CATEGORIES:
+        out.extend(make_mixes(cat, per_category, n_cores=n_cores, seed=seed))
+    return out

@@ -1,0 +1,23 @@
+"""The paper's ``Rand Access`` micro-benchmark (Sec. IV-B).
+
+"Strongly prefetch aggressive and conducts random access in a large
+memory region.  Its performance slowdown with prefetching over
+no-prefetching is 25 % when running alone because its access pattern is
+irregular."
+
+The registry entry lives in :mod:`repro.workloads.speclike` under the
+name ``rand_access``; this module re-exports it and documents the
+mechanism: every access misses L2, so the adjacent-line prefetcher
+fetches a useless buddy line per miss, roughly doubling the core's
+memory traffic — the extra fill-bandwidth queuing is the slowdown.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.speclike import BenchmarkSpec, benchmark
+
+NAME = "rand_access"
+
+
+def spec() -> BenchmarkSpec:
+    return benchmark(NAME)

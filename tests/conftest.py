@@ -1,0 +1,53 @@
+"""Shared fixtures: small geometries and machines that run in milliseconds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.machine import Machine
+from repro.sim.params import CacheGeometry, MachineParams
+from repro.sim.trace import RandomStream, SequentialStream, TraceGenerator
+
+
+@pytest.fixture
+def tiny_geometry() -> CacheGeometry:
+    """4 sets x 4 ways x 64 B."""
+    return CacheGeometry(4 * 4 * 64, 4)
+
+
+@pytest.fixture
+def tiny_params() -> MachineParams:
+    """A 2-core machine with very small caches for fast unit tests."""
+    return MachineParams(
+        n_cores=2,
+        l1=CacheGeometry(8 * 64 * 2, 2),      # 16 sets x 2 ways
+        l2=CacheGeometry(32 * 64 * 4, 4),     # 32 sets x 4 ways
+        llc=CacheGeometry(64 * 64 * 8, 8),    # 64 sets x 8 ways
+    )
+
+
+@pytest.fixture
+def tiny_machine(tiny_params) -> Machine:
+    return Machine(tiny_params, quantum=256)
+
+
+def make_seq_trace(base: int = 0, region: int = 4096, *, ipm: float = 4.0, seed: int = 1) -> TraceGenerator:
+    return TraceGenerator(
+        [SequentialStream(ctx=1, base_line=base, region_lines=region)],
+        [1.0],
+        inst_per_mem=ipm,
+        mlp=8.0,
+        seed=seed,
+    )
+
+
+def make_random_trace(base: int = 0, region: int = 65536, *, ipm: float = 2.0, seed: int = 2) -> TraceGenerator:
+    rng = np.random.default_rng(seed)
+    return TraceGenerator(
+        [RandomStream(ctx=2, base_line=base, region_lines=region, rng=rng)],
+        [1.0],
+        inst_per_mem=ipm,
+        mlp=4.0,
+        seed=seed,
+    )

@@ -1,0 +1,109 @@
+"""A scriptable fake platform for policy unit tests.
+
+The fake records every control action and produces PMU samples from an
+injected ``behavior(platform) -> (n_cores, N_EVENTS) array`` callback,
+so tests can dictate exactly what each candidate configuration appears
+to do — no simulator in the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.platform.base import Platform
+from repro.sim.pmu import Event, N_EVENTS, PmuSample
+
+CPS = 2.1e9
+
+
+def make_counts(per_core: list[dict[Event, float]]) -> np.ndarray:
+    d = np.zeros((len(per_core), N_EVENTS))
+    for cpu, events in enumerate(per_core):
+        for ev, val in events.items():
+            d[cpu, ev] = val
+    return d
+
+
+def aggressive_row(ipc: float = 1.5) -> dict[Event, float]:
+    """PMU events that pass every stage of the Fig. 5 detector.
+
+    Rates matter: the detector applies absolute PTR and LLC-PT floors,
+    so the counts are sized for ~8e7 prefetch misses/second of core
+    time at 2.1 GHz.
+    """
+    cycles = 1e6
+    return {
+        Event.INSTRUCTIONS: ipc * cycles,
+        Event.CYCLES: cycles,
+        Event.L2_DM_REQ: 20_000.0,
+        Event.L2_DM_MISS: 6_000.0,
+        Event.L2_PREF_REQ: 40_000.0,
+        Event.L2_PREF_MISS: 38_000.0,
+        Event.L3_LOAD_MISS: 4_000.0,
+        Event.MEM_DEMAND_BYTES: 4_000.0 * 64,
+        Event.MEM_PREF_BYTES: 38_000.0 * 64,
+    }
+
+
+def quiet_row(ipc: float = 1.0) -> dict[Event, float]:
+    cycles = 1e6
+    return {
+        Event.INSTRUCTIONS: ipc * cycles,
+        Event.CYCLES: cycles,
+        Event.L2_DM_REQ: 100.0,
+        Event.L2_DM_MISS: 10.0,
+    }
+
+
+class FakePlatform(Platform):
+    def __init__(
+        self,
+        n_cores: int = 4,
+        llc_ways: int = 8,
+        behavior: Callable[["FakePlatform"], np.ndarray] | None = None,
+    ) -> None:
+        self._n_cores = n_cores
+        self._llc_ways = llc_ways
+        self.behavior = behavior or (lambda p: make_counts([quiet_row()] * p.n_cores))
+        self.masks = [0] * n_cores
+        self.cbm = {0: (1 << llc_ways) - 1}
+        self.core_clos = [0] * n_cores
+        self.intervals_run = 0
+        self.applied_log: list[dict] = []
+
+    @property
+    def n_cores(self) -> int:
+        return self._n_cores
+
+    @property
+    def llc_ways(self) -> int:
+        return self._llc_ways
+
+    @property
+    def cycles_per_second(self) -> float:
+        return CPS
+
+    def set_prefetch_mask(self, core: int, mask: int) -> None:
+        self.masks[core] = mask
+
+    def prefetch_mask(self, core: int) -> int:
+        return self.masks[core]
+
+    def set_clos_cbm(self, clos: int, cbm: int) -> None:
+        self.cbm[clos] = cbm
+
+    def assign_core_clos(self, core: int, clos: int) -> None:
+        self.core_clos[core] = clos
+
+    def reset_partitions(self) -> None:
+        self.cbm = {0: (1 << self._llc_ways) - 1}
+        self.core_clos = [0] * self._n_cores
+
+    def run_interval(self, units: int) -> PmuSample:
+        self.intervals_run += 1
+        self.applied_log.append(
+            {"masks": tuple(self.masks), "core_clos": tuple(self.core_clos), "cbm": dict(self.cbm)}
+        )
+        return PmuSample(self.behavior(self), wall_cycles=1e6)

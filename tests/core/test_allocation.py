@@ -1,0 +1,89 @@
+"""ResourceConfig derivations and application."""
+
+import pytest
+
+from repro.core.allocation import ResourceConfig
+from repro.platform.simulated import SimulatedPlatform
+from repro.sim.machine import Machine
+from repro.sim.msr import PF_ALL_OFF, PF_ALL_ON
+
+
+class TestConstruction:
+    def test_all_on(self):
+        rc = ResourceConfig.all_on(4, 20)
+        assert rc.prefetch_masks == (PF_ALL_ON,) * 4
+        assert rc.clos_cbm == ((0, 0xFFFFF),)
+        assert rc.core_clos == (0,) * 4
+
+    def test_validates_mask_range(self):
+        with pytest.raises(ValueError):
+            ResourceConfig((0x10,), ((0, 1),), (0,))
+
+    def test_validates_core_clos_defined(self):
+        with pytest.raises(ValueError):
+            ResourceConfig((0,), ((0, 1),), (3,))
+
+    def test_validates_duplicate_clos(self):
+        with pytest.raises(ValueError):
+            ResourceConfig((0,), ((0, 1), (0, 3)), (0,))
+
+    def test_validates_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ResourceConfig((0, 0), ((0, 1),), (0,))
+
+
+class TestDerivations:
+    def test_with_prefetch_off(self):
+        rc = ResourceConfig.all_on(4, 8).with_prefetch_off([1, 3])
+        assert rc.prefetch_masks == (PF_ALL_ON, PF_ALL_OFF, PF_ALL_ON, PF_ALL_OFF)
+        assert rc.throttled_cores() == (1, 3)
+
+    def test_with_prefetch_on_restores(self):
+        rc = ResourceConfig.all_on(2, 8).with_prefetch_off([0, 1]).with_prefetch_on([0])
+        assert rc.throttled_cores() == (1,)
+
+    def test_original_unchanged(self):
+        rc = ResourceConfig.all_on(2, 8)
+        rc.with_prefetch_off([0])
+        assert rc.throttled_cores() == ()
+
+    def test_with_partition(self):
+        rc = ResourceConfig.all_on(4, 8).with_partition(1, 0b11, [2, 3])
+        assert dict(rc.clos_cbm) == {0: 0xFF, 1: 0b11}
+        assert rc.core_clos == (0, 0, 1, 1)
+        assert rc.cbm_of_core(2) == 0b11
+        assert rc.cbm_of_core(0) == 0xFF
+
+    def test_partitions_compose(self):
+        rc = (
+            ResourceConfig.all_on(4, 8)
+            .with_partition(1, 0b11, [0])
+            .with_partition(2, 0b1100, [1])
+        )
+        assert rc.cbm_of_core(0) == 0b11
+        assert rc.cbm_of_core(1) == 0b1100
+        assert rc.cbm_of_core(2) == 0xFF
+
+
+class TestApply:
+    def test_apply_to_platform(self, tiny_params):
+        m = Machine(tiny_params)
+        plat = SimulatedPlatform(m)
+        rc = (
+            ResourceConfig.all_on(2, tiny_params.llc.ways)
+            .with_partition(1, 0b11, [1])
+            .with_prefetch_off([0])
+        )
+        rc.apply(plat)
+        assert plat.prefetch_mask(0) == PF_ALL_OFF
+        assert plat.prefetch_mask(1) == PF_ALL_ON
+        assert m.cat.core_clos(1) == 1
+        assert m.cat.allowed_ways(1) == (0, 1)
+
+    def test_apply_is_idempotent(self, tiny_params):
+        m = Machine(tiny_params)
+        plat = SimulatedPlatform(m)
+        rc = ResourceConfig.all_on(2, tiny_params.llc.ways).with_partition(1, 0b11, [0])
+        rc.apply(plat)
+        rc.apply(plat)
+        assert m.cat.core_clos(0) == 1

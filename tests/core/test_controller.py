@@ -1,0 +1,108 @@
+"""CMMController epoch loop and stats accumulation."""
+
+import pytest
+
+from repro.core.controller import CMMController, RunStats
+from repro.core.epoch import EpochConfig
+from repro.core.policies import make_policy
+from repro.core.policy_base import BaselinePolicy, Policy
+from repro.sim.pmu import Event
+from tests.core.fakes import FakePlatform, make_counts, quiet_row
+
+
+def make_controller(policy=None, platform=None, **cfg_kwargs):
+    plat = platform or FakePlatform()
+    cfg_kwargs.setdefault("warmup_units", 50)
+    cfg = EpochConfig(exec_units=1000, sample_units=100, **cfg_kwargs)
+    return CMMController(plat, policy or BaselinePolicy(), epoch_cfg=cfg), plat
+
+
+class TestControllerLoop:
+    def test_baseline_one_epoch_interval_count(self):
+        ctl, plat = make_controller()
+        ctl.run(1)
+        # warm-up + execution epoch (baseline plans without sampling)
+        assert plat.intervals_run == 2
+
+    def test_epochs_accumulate(self):
+        ctl, plat = make_controller()
+        stats = ctl.run(3)
+        assert len(stats.epochs) == 3
+        assert plat.intervals_run == 1 + 3  # warmup + 3 exec
+
+    def test_warmup_skipped_when_zero(self):
+        ctl, plat = make_controller(warmup_units=0)
+        ctl.run(1)
+        assert plat.intervals_run == 1
+
+    def test_stats_accumulate_all_intervals(self):
+        ctl, _ = make_controller()
+        stats = ctl.run(2)
+        # Each fake interval reports 1e6 cycles/core; warmup + 2 epochs.
+        assert stats.totals[0, Event.CYCLES] == pytest.approx(3e6)
+        assert stats.wall_cycles == pytest.approx(3e6)
+
+    def test_rejects_zero_epochs(self):
+        ctl, _ = make_controller()
+        with pytest.raises(ValueError):
+            ctl.run(0)
+
+    def test_policy_sampling_counted_in_stats(self):
+        class TwoSamplePolicy(Policy):
+            name = "two-sample"
+
+            def plan(self, ctx):
+                base = ctx.baseline_config()
+                ctx.sample(base)
+                ctx.sample(base.with_prefetch_off([0]))
+                return base
+
+        ctl, plat = make_controller(policy=TwoSamplePolicy())
+        stats = ctl.run(1)
+        assert plat.intervals_run == 4  # warmup + 2 samples + exec
+        assert stats.epochs[0].sampling_intervals == 2
+
+    def test_chosen_config_applied_for_execution(self):
+        class ThrottleCore0(Policy):
+            name = "t0"
+
+            def plan(self, ctx):
+                return ctx.baseline_config().with_prefetch_off([0])
+
+        ctl, plat = make_controller(policy=ThrottleCore0())
+        ctl.run(1)
+        assert plat.applied_log[-1]["masks"][0] == 0xF
+
+
+class TestRunStats:
+    def test_ipc_helpers(self):
+        ctl, _ = make_controller()
+        stats = ctl.run(1)
+        assert stats.ipc(0) == pytest.approx(1.0)  # quiet_row ipc=1.0
+        assert len(stats.ipc_all()) == 4
+
+    def test_wall_seconds(self):
+        ctl, _ = make_controller()
+        stats = ctl.run(1)
+        assert stats.wall_seconds == pytest.approx(stats.wall_cycles / 2.1e9)
+
+    def test_bandwidth_zero_without_traffic(self):
+        ctl, _ = make_controller()
+        stats = ctl.run(1)
+        assert stats.mem_bandwidth_mbs() == 0.0
+
+
+class TestPolicyRegistry:
+    @pytest.mark.parametrize(
+        "name", ["baseline", "pt", "dunn", "pref-cp", "pref-cp2", "cmm-a", "cmm-b", "cmm-c"]
+    )
+    def test_all_policies_run_one_epoch(self, name):
+        plat = FakePlatform(behavior=lambda p: make_counts([quiet_row()] * p.n_cores))
+        cfg = EpochConfig(exec_units=500, sample_units=50, warmup_units=0)
+        ctl = CMMController(plat, make_policy(name), epoch_cfg=cfg)
+        stats = ctl.run(1)
+        assert len(stats.epochs) == 1
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError):
+            make_policy("nope")

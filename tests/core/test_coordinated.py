@@ -1,0 +1,138 @@
+"""CMM-a/b/c coordinated policies (Fig. 6 options)."""
+
+import pytest
+
+from repro.core.coordinated import CMMPolicy
+from repro.core.epoch import EpochConfig, EpochContext
+from repro.core.frontend import AggDetector
+from repro.core.partitioning import CLOS_AGG, CLOS_UNFRIENDLY
+from repro.sim.msr import PF_ALL_OFF, PF_ALL_ON
+from tests.core.fakes import FakePlatform, aggressive_row, make_counts, quiet_row
+
+N_CORES = 6
+LLC_WAYS = 20
+
+
+class MixedBehavior:
+    """Core 0: friendly aggressor (prefetch off kills it).
+    Core 1: useless aggressor (everyone gains when it's throttled).
+    Cores 2+: quiet victims."""
+
+    def __call__(self, plat):
+        t1 = plat.masks[1] == PF_ALL_OFF
+        rows = []
+        for c in range(plat.n_cores):
+            if c == 0:
+                rows.append(aggressive_row(ipc=0.6 if plat.masks[0] == PF_ALL_OFF else 2.0))
+            elif c == 1:
+                rows.append(aggressive_row(ipc=0.45 if t1 else 0.4))
+            else:
+                rows.append(quiet_row(ipc=1.4 if t1 else 0.7))
+        return make_counts(rows)
+
+
+def run_cmm(variant, behavior=None, **kwargs):
+    plat = FakePlatform(n_cores=N_CORES, llc_ways=LLC_WAYS, behavior=behavior or MixedBehavior())
+    ctx = EpochContext(plat, AggDetector(), EpochConfig())
+    policy = CMMPolicy(variant, **kwargs)
+    rc = policy.plan(ctx)
+    return policy, rc, ctx
+
+
+class TestVariantValidation:
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(ValueError):
+            CMMPolicy("x")
+
+    def test_name(self):
+        assert CMMPolicy("b").name == "cmm-b"
+
+
+class TestSplit:
+    def test_friendliness_split(self):
+        policy, _, _ = run_cmm("a")
+        assert policy.last_agg_set == (0, 1)
+        assert policy.last_split == ((0,), (1,))
+
+
+class TestCMMa:
+    def test_whole_agg_set_partitioned(self):
+        _, rc, _ = run_cmm("a")
+        assert rc.core_clos[0] == CLOS_AGG
+        assert rc.core_clos[1] == CLOS_AGG
+        assert rc.cbm_of_core(0) == 0b111  # ceil(1.5*2) = 3 ways
+        assert rc.core_clos[2] == 0
+
+    def test_unfriendly_core_throttled(self):
+        _, rc, _ = run_cmm("a")
+        assert rc.throttled_cores() == (1,)
+
+    def test_friendly_core_keeps_prefetchers(self):
+        _, rc, _ = run_cmm("a")
+        assert rc.prefetch_masks[0] == PF_ALL_ON
+
+
+class TestCMMb:
+    def test_only_friendly_partitioned(self):
+        _, rc, _ = run_cmm("b")
+        assert rc.core_clos[0] == CLOS_AGG
+        assert rc.core_clos[1] == 0     # unfriendly shares the whole cache
+        assert rc.cbm_of_core(0) == 0b11
+
+    def test_unfriendly_still_throttled(self):
+        _, rc, _ = run_cmm("b")
+        assert rc.throttled_cores() == (1,)
+
+
+class TestCMMc:
+    def test_two_separate_partitions(self):
+        _, rc, _ = run_cmm("c")
+        assert rc.core_clos[0] == CLOS_AGG
+        assert rc.core_clos[1] == CLOS_UNFRIENDLY
+        assert rc.cbm_of_core(0) & rc.cbm_of_core(1) == 0
+
+    def test_unfriendly_throttled(self):
+        _, rc, _ = run_cmm("c")
+        assert rc.throttled_cores() == (1,)
+
+
+class TestFallbacks:
+    def test_empty_agg_set_uses_dunn(self):
+        policy, rc, ctx = run_cmm("a", behavior=lambda p: make_counts([quiet_row()] * N_CORES))
+        assert policy.last_agg_set == ()
+        assert len(ctx.intervals) == 1
+        # Dunn uses its own CLOS ids and never throttles.
+        assert rc.throttled_cores() == ()
+
+    def test_all_friendly_cp_only(self):
+        def behavior(plat):
+            rows = []
+            for c in range(plat.n_cores):
+                if c == 0:
+                    rows.append(aggressive_row(ipc=0.5 if plat.masks[0] == PF_ALL_OFF else 2.0))
+                else:
+                    rows.append(quiet_row())
+            return make_counts(rows)
+
+        policy, rc, ctx = run_cmm("a", behavior=behavior)
+        assert policy.last_split == ((0,), ())
+        assert rc.throttled_cores() == ()
+        assert rc.core_clos[0] == CLOS_AGG
+        assert len(ctx.intervals) == 2  # detection + friendliness only
+
+    def test_margin_keeps_prefetchers_when_gain_marginal(self):
+        class Marginal(MixedBehavior):
+            def __call__(self, plat):
+                t1 = plat.masks[1] == PF_ALL_OFF
+                rows = []
+                for c in range(plat.n_cores):
+                    if c == 0:
+                        rows.append(aggressive_row(ipc=0.6 if plat.masks[0] == PF_ALL_OFF else 2.0))
+                    elif c == 1:
+                        rows.append(aggressive_row(ipc=0.4))
+                    else:
+                        rows.append(quiet_row(ipc=0.707 if t1 else 0.7))  # ~1% gain
+                return make_counts(rows)
+
+        _, rc, _ = run_cmm("a", behavior=Marginal(), selection_margin=0.03)
+        assert rc.throttled_cores() == ()

@@ -1,0 +1,85 @@
+"""Dunn baseline: stall clustering and nested way assignment."""
+
+import pytest
+
+from repro.core.dunn import DunnPolicy, dunn_way_assignment
+from repro.core.epoch import EpochConfig, EpochContext
+from repro.core.frontend import AggDetector
+from repro.sim.pmu import Event
+from tests.core.fakes import FakePlatform, make_counts, quiet_row
+
+
+class TestWayAssignment:
+    def test_most_stalled_gets_full_cache(self):
+        ways = dunn_way_assignment([10.0, 100.0, 1000.0], 20)
+        assert ways[-1] == 20
+
+    def test_monotone_nested(self):
+        ways = dunn_way_assignment([5.0, 50.0, 200.0, 800.0], 20)
+        assert ways == sorted(ways)
+
+    def test_proportional_to_cumulative_share(self):
+        ways = dunn_way_assignment([500.0, 500.0], 20)
+        assert ways == [10, 20]
+
+    def test_min_ways_floor(self):
+        ways = dunn_way_assignment([1.0, 10_000.0], 20, min_ways=2)
+        assert ways[0] >= 2
+
+    def test_zero_stalls_full_cache_for_all(self):
+        assert dunn_way_assignment([0.0, 0.0], 20) == [20, 20]
+
+    def test_empty(self):
+        assert dunn_way_assignment([], 20) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            dunn_way_assignment([-1.0], 20)
+
+
+class StallBehavior:
+    """Cores with very different stall counts, no prefetch activity."""
+
+    def __call__(self, plat):
+        stalls = [1e3, 1e3, 5e5, 5e5, 5e6, 5e6, 1e7, 1e7][: plat.n_cores]
+        rows = []
+        for c in range(plat.n_cores):
+            row = quiet_row()
+            row[Event.STALLS_L2_PENDING] = stalls[c]
+            rows.append(row)
+        return make_counts(rows)
+
+
+class TestDunnPolicy:
+    def run(self, n_cores=8, llc_ways=20):
+        plat = FakePlatform(n_cores=n_cores, llc_ways=llc_ways, behavior=StallBehavior())
+        ctx = EpochContext(plat, AggDetector(), EpochConfig())
+        rc = DunnPolicy().plan(ctx)
+        return rc, ctx
+
+    def test_uses_one_interval(self):
+        _, ctx = self.run()
+        assert len(ctx.intervals) == 1
+
+    def test_higher_stalls_more_ways(self):
+        rc, _ = self.run()
+        ways_low = bin(rc.cbm_of_core(0)).count("1")
+        ways_high = bin(rc.cbm_of_core(7)).count("1")
+        assert ways_high == 20
+        assert ways_low < ways_high
+
+    def test_partitions_nested(self):
+        rc, _ = self.run()
+        masks = sorted({rc.cbm_of_core(c) for c in range(8)})
+        for small, large in zip(masks, masks[1:]):
+            assert small & large == small  # nested: lower mask inside higher
+
+    def test_similar_cores_share_cluster(self):
+        rc, _ = self.run()
+        assert rc.core_clos[0] == rc.core_clos[1]
+        assert rc.core_clos[6] == rc.core_clos[7]
+        assert rc.core_clos[0] != rc.core_clos[6]
+
+    def test_prefetchers_untouched(self):
+        rc, _ = self.run()
+        assert rc.throttled_cores() == ()

@@ -1,0 +1,59 @@
+"""Epoch scheduling and the sampling context."""
+
+import pytest
+
+from repro.core.epoch import EpochConfig, EpochContext
+from repro.core.frontend import AggDetector
+from tests.core.fakes import FakePlatform, aggressive_row, make_counts, quiet_row
+
+
+class TestEpochConfig:
+    def test_defaults_keep_paper_ratio(self):
+        cfg = EpochConfig()
+        assert cfg.exec_units // cfg.sample_units == 50  # the paper's 50:1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EpochConfig(exec_units=0)
+        with pytest.raises(ValueError):
+            EpochConfig(sample_units=0)
+        with pytest.raises(ValueError):
+            EpochConfig(max_sampling_intervals=1)
+        with pytest.raises(ValueError):
+            EpochConfig(warmup_units=-1)
+
+
+class TestEpochContext:
+    def make_ctx(self, platform=None, **cfg):
+        plat = platform or FakePlatform()
+        return EpochContext(plat, AggDetector(), EpochConfig(**cfg)), plat
+
+    def test_sample_applies_config_and_records(self):
+        ctx, plat = self.make_ctx()
+        rc = ctx.baseline_config().with_prefetch_off([1])
+        result = ctx.sample(rc)
+        assert plat.masks[1] == 0xF
+        assert ctx.intervals == [result]
+        assert result.hm_ipc > 0
+
+    def test_budget_enforced(self):
+        ctx, _ = self.make_ctx(max_sampling_intervals=2)
+        ctx.sample(ctx.baseline_config())
+        ctx.sample(ctx.baseline_config())
+        assert ctx.budget_left() == 0
+        with pytest.raises(RuntimeError, match="budget"):
+            ctx.sample(ctx.baseline_config())
+
+    def test_detect_integrates_frontend(self):
+        plat = FakePlatform(
+            behavior=lambda p: make_counts([aggressive_row(), quiet_row(), quiet_row(), quiet_row()])
+        )
+        ctx, _ = self.make_ctx(platform=plat)
+        r = ctx.sample(ctx.baseline_config())
+        report = ctx.detect(r.summaries)
+        assert report.agg_set == (0,)
+
+    def test_properties(self):
+        ctx, plat = self.make_ctx()
+        assert ctx.n_cores == plat.n_cores
+        assert ctx.llc_ways == plat.llc_ways

@@ -1,0 +1,121 @@
+"""Fig. 5 Agg-set detection pipeline."""
+
+import pytest
+
+from repro.core.frontend import AggDetector, DetectorConfig
+from repro.core.metrics_defs import CoreSummary, TableIMetrics
+
+
+def summary(
+    cpu: int,
+    *,
+    active: bool = True,
+    pga: float = 0.0,
+    pmr: float = 0.0,
+    ptr: float = 0.0,
+    llc_pt: float = 0.0,
+) -> CoreSummary:
+    return CoreSummary(
+        cpu=cpu,
+        active=active,
+        ipc=1.0 if active else 0.0,
+        instructions=100.0 if active else 0.0,
+        cycles=100.0,
+        stalls_l2_pending=0.0,
+        mem_bytes_per_sec=0.0,
+        metrics=TableIMetrics(
+            l2_llc_traffic=0.0,
+            l2_pref_miss_frac=0.0,
+            l2_ptr=ptr,
+            pga=pga,
+            l2_pmr=pmr,
+            l2_ppm=0.0,
+            llc_pt=llc_pt,
+        ),
+    )
+
+
+AGGRESSIVE = dict(pga=1.5, pmr=0.95, ptr=1e8, llc_pt=5e9)
+QUIET = dict(pga=0.01, pmr=0.0, ptr=0.0, llc_pt=0.0)
+
+
+class TestDetector:
+    def test_detects_clear_aggressor(self):
+        s = [summary(0, **AGGRESSIVE), summary(1, **QUIET), summary(2, **QUIET)]
+        report = AggDetector().detect(s)
+        assert report.agg_set == (0,)
+
+    def test_empty_input(self):
+        assert AggDetector().detect([]).agg_set == ()
+
+    def test_all_idle(self):
+        s = [summary(0, active=False), summary(1, active=False)]
+        assert AggDetector().detect(s).agg_set == ()
+
+    def test_stage1_pga_above_mean(self):
+        s = [summary(0, pga=2.0, pmr=1.0, ptr=1e9, llc_pt=1e10),
+             summary(1, pga=0.2), summary(2, pga=0.2)]
+        report = AggDetector().detect(s)
+        assert report.candidates_pga == (0,)
+        assert report.pga_mean == pytest.approx(0.8)
+
+    def test_stage1_strong_absolute_pga_passes_below_mean(self):
+        # One extreme core inflates the mean; the 0.9-PGA core must
+        # still pass via the absolute rule.
+        s = [summary(0, pga=5.0, pmr=1.0, ptr=1e9, llc_pt=1e10),
+             summary(1, pga=0.9, pmr=1.0, ptr=1e9, llc_pt=1e10),
+             summary(2, **QUIET), summary(3, **QUIET)]
+        report = AggDetector().detect(s)
+        assert 1 in report.candidates_pga
+        assert report.agg_set == (0, 1)
+
+    def test_stage2_pmr_filters_l2_local_prefetchers(self):
+        # High PGA but prefetches hit L2 -> high locality -> not aggressive.
+        s = [summary(0, pga=2.0, pmr=0.1, ptr=1e9, llc_pt=1e10), summary(1, **QUIET)]
+        report = AggDetector().detect(s)
+        assert report.candidates_pga == (0,)
+        assert report.candidates_pmr == ()
+        assert report.agg_set == ()
+
+    def test_stage3_ptr_pressure_floor(self):
+        s = [summary(0, pga=2.0, pmr=0.9, ptr=1e3, llc_pt=1e10), summary(1, **QUIET)]
+        report = AggDetector().detect(s)
+        assert report.candidates_pmr == (0,)
+        assert report.candidates_ptr == ()
+
+    def test_stage4_llc_pt_floor(self):
+        # LLC-resident chase: prefetches hit the LLC, low traffic to memory.
+        s = [summary(0, pga=0.9, pmr=1.0, ptr=1e8, llc_pt=1e6), summary(1, **QUIET)]
+        report = AggDetector().detect(s)
+        assert report.candidates_ptr == (0,)
+        assert report.agg_set == ()
+
+    def test_llc_pt_filter_can_be_disabled(self):
+        cfg = DetectorConfig(llc_pt_min=0.0)
+        s = [summary(0, pga=0.9, pmr=1.0, ptr=1e8, llc_pt=1e6), summary(1, **QUIET)]
+        assert AggDetector(cfg).detect(s).agg_set == (0,)
+
+    def test_pga_floor_excludes_noise(self):
+        # Every core near zero PGA: nothing detected even above the mean.
+        s = [summary(0, pga=0.04, pmr=1.0, ptr=1e9, llc_pt=1e10),
+             summary(1, pga=0.0), summary(2, pga=0.0)]
+        assert AggDetector().detect(s).agg_set == ()
+
+    def test_multiple_aggressors_sorted(self):
+        s = [summary(2, **AGGRESSIVE), summary(0, **AGGRESSIVE), summary(1, **QUIET)]
+        assert AggDetector().detect(s).agg_set == (0, 2)
+
+    def test_idle_cores_excluded_from_mean(self):
+        s = [summary(0, **AGGRESSIVE), summary(1, active=False)]
+        report = AggDetector().detect(s)
+        assert report.pga_mean == pytest.approx(1.5)
+
+
+class TestDetectorConfig:
+    def test_pmr_range_checked(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(pmr_threshold=1.5)
+
+    def test_negative_floors_rejected(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(ptr_min=-1.0)

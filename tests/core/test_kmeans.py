@@ -1,0 +1,74 @@
+"""1-D k-means."""
+
+import numpy as np
+import pytest
+
+from repro.core.kmeans import cluster_groups, kmeans1d
+
+
+class TestKmeans1d:
+    def test_obvious_two_clusters(self):
+        x = [1.0, 1.1, 0.9, 10.0, 10.2, 9.8]
+        labels, centers = kmeans1d(x, 2)
+        assert len(centers) == 2
+        assert centers[0] == pytest.approx(1.0, abs=0.2)
+        assert centers[1] == pytest.approx(10.0, abs=0.3)
+        assert list(labels[:3]) == [0, 0, 0]
+        assert list(labels[3:]) == [1, 1, 1]
+
+    def test_centers_sorted_ascending(self):
+        _, centers = kmeans1d([5.0, 1.0, 9.0, 2.0, 8.0, 1.5], 3)
+        assert (np.diff(centers) >= 0).all()
+
+    def test_k_reduced_to_distinct_values(self):
+        labels, centers = kmeans1d([3.0, 3.0, 3.0], 2)
+        assert len(centers) == 1
+        assert (labels == 0).all()
+
+    def test_k_equals_n(self):
+        labels, centers = kmeans1d([1.0, 2.0, 3.0], 3)
+        assert len(centers) == 3
+        assert sorted(labels) == [0, 1, 2]
+
+    def test_single_value(self):
+        labels, centers = kmeans1d([7.0], 3)
+        assert list(centers) == [7.0]
+        assert list(labels) == [0]
+
+    def test_deterministic(self):
+        x = list(np.random.default_rng(0).random(40))
+        a = kmeans1d(x, 3)
+        b = kmeans1d(x, 3)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            kmeans1d([], 2)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            kmeans1d([1.0], 0)
+
+    def test_labels_match_nearest_center(self):
+        x = np.array([0.0, 0.5, 5.0, 5.5, 100.0])
+        labels, centers = kmeans1d(x, 3)
+        for xi, li in zip(x, labels):
+            nearest = np.argmin(np.abs(centers - xi))
+            assert li == nearest
+
+
+class TestClusterGroups:
+    def test_partition_of_indices(self):
+        groups = cluster_groups([1.0, 9.0, 1.2, 8.8], 2)
+        flat = sorted(i for g in groups for i in g)
+        assert flat == [0, 1, 2, 3]
+
+    def test_ordered_by_center(self):
+        groups = cluster_groups([10.0, 1.0, 11.0, 0.5], 2)
+        assert sorted(groups[0]) == [1, 3]   # low-value cluster first
+        assert sorted(groups[1]) == [0, 2]
+
+    def test_no_empty_groups(self):
+        groups = cluster_groups([1.0, 1.0, 1.0, 50.0], 3)
+        assert all(groups)

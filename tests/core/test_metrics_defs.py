@@ -1,0 +1,116 @@
+"""Table I metric algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics_defs import compute_metrics, hm_ipc, summarize_sample
+from repro.sim.pmu import Event, N_EVENTS, PmuSample
+
+CPS = 2.1e9
+
+
+def sample_with(cpu_rows: dict[int, dict[Event, float]], n_cpus: int = 2, wall: float = 1000.0) -> PmuSample:
+    d = np.zeros((n_cpus, N_EVENTS))
+    for cpu, events in cpu_rows.items():
+        for ev, val in events.items():
+            d[cpu, ev] = val
+    return PmuSample(d, wall)
+
+
+class TestTableI:
+    def make(self):
+        return sample_with(
+            {
+                0: {
+                    Event.CYCLES: CPS,  # exactly one second of core time
+                    Event.INSTRUCTIONS: 1e9,
+                    Event.L2_PREF_REQ: 1000.0,
+                    Event.L2_PREF_MISS: 800.0,
+                    Event.L2_DM_REQ: 2000.0,
+                    Event.L2_DM_MISS: 400.0,
+                    Event.L3_LOAD_MISS: 300.0,
+                    Event.MEM_DEMAND_BYTES: 300.0 * 64,
+                    Event.MEM_PREF_BYTES: 700.0 * 64,
+                }
+            }
+        )
+
+    def test_m1_l2_llc_traffic(self):
+        m = compute_metrics(self.make(), 0, CPS)
+        assert m.l2_llc_traffic == 800 + 400
+
+    def test_m2_pref_miss_frac(self):
+        m = compute_metrics(self.make(), 0, CPS)
+        assert m.l2_pref_miss_frac == pytest.approx(800 / 1200)
+
+    def test_m3_ptr_per_second_of_core_time(self):
+        m = compute_metrics(self.make(), 0, CPS)
+        assert m.l2_ptr == pytest.approx(800.0)  # 800 misses in 1 s
+
+    def test_m4_pga(self):
+        m = compute_metrics(self.make(), 0, CPS)
+        assert m.pga == pytest.approx(1000 / 2000)
+
+    def test_m5_pmr(self):
+        m = compute_metrics(self.make(), 0, CPS)
+        assert m.l2_pmr == pytest.approx(800 / 1000)
+
+    def test_m6_ppm(self):
+        m = compute_metrics(self.make(), 0, CPS)
+        assert m.l2_ppm == pytest.approx(1000 / 400)
+
+    def test_m7_llc_pt_is_mem_traffic_minus_demand(self):
+        m = compute_metrics(self.make(), 0, CPS)
+        # total mem bytes 64000; demand (L3 load miss * 64) = 19200
+        assert m.llc_pt == pytest.approx((1000 * 64 - 300 * 64))
+
+    def test_idle_core_all_zero(self):
+        m = compute_metrics(self.make(), 1, CPS)
+        assert m.pga == 0.0
+        assert m.l2_ptr == 0.0
+        assert m.llc_pt == 0.0
+
+    def test_zero_denominators_safe(self):
+        s = sample_with({0: {Event.L2_PREF_MISS: 10.0}})
+        m = compute_metrics(s, 0, CPS)
+        assert m.l2_pmr == 0.0    # no requests recorded
+        assert m.l2_ppm == 0.0
+
+
+class TestSummaries:
+    def test_active_flag(self):
+        s = sample_with({0: {Event.INSTRUCTIONS: 10.0, Event.CYCLES: 5.0}})
+        summ = summarize_sample(s, CPS)
+        assert summ[0].active
+        assert not summ[1].active
+
+    def test_ipc(self):
+        s = sample_with({0: {Event.INSTRUCTIONS: 10.0, Event.CYCLES: 5.0}})
+        assert summarize_sample(s, CPS)[0].ipc == pytest.approx(2.0)
+
+    def test_mem_bytes_per_sec_uses_core_time(self):
+        s = sample_with(
+            {0: {Event.INSTRUCTIONS: 1.0, Event.CYCLES: CPS / 2, Event.MEM_DEMAND_BYTES: 100.0}}
+        )
+        assert summarize_sample(s, CPS)[0].mem_bytes_per_sec == pytest.approx(200.0)
+
+
+class TestHmIpc:
+    def _summ(self, ipcs):
+        rows = {
+            i: {Event.INSTRUCTIONS: ipc * 100, Event.CYCLES: 100.0} for i, ipc in enumerate(ipcs)
+        }
+        return summarize_sample(sample_with(rows, n_cpus=len(ipcs)), CPS)
+
+    def test_harmonic_mean(self):
+        assert hm_ipc(self._summ([1.0, 2.0])) == pytest.approx(2 / (1 + 0.5))
+
+    def test_ignores_idle_cores(self):
+        s = self._summ([1.0, 0.0])  # second core idle (0 instructions)
+        assert hm_ipc(s) == pytest.approx(1.0)
+
+    def test_all_idle_zero(self):
+        assert hm_ipc(self._summ([0.0, 0.0])) == 0.0
+
+    def test_dominated_by_minimum(self):
+        assert hm_ipc(self._summ([0.01, 2.0, 2.0, 2.0])) < 0.05

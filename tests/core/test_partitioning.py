@@ -1,0 +1,133 @@
+"""Pref-CP / Pref-CP2 policies and partition sizing."""
+
+import pytest
+
+from repro.core.epoch import EpochConfig, EpochContext
+from repro.core.frontend import AggDetector
+from repro.core.partitioning import (
+    CLOS_AGG,
+    CLOS_UNFRIENDLY,
+    PrefCP2Policy,
+    PrefCPPolicy,
+    contiguous_mask,
+    partition_ways,
+)
+from repro.sim.msr import PF_ALL_OFF, PF_ALL_ON
+from tests.core.fakes import FakePlatform, aggressive_row, make_counts, quiet_row
+
+
+class TestSizingRule:
+    def test_paper_factor(self):
+        # ceil(1.5 * n) ways
+        assert partition_ways(1, 20) == 2
+        assert partition_ways(2, 20) == 3
+        assert partition_ways(4, 20) == 6
+
+    def test_clamped_to_leave_room(self):
+        assert partition_ways(20, 20) == 19
+
+    def test_min_ways(self):
+        assert partition_ways(1, 20, min_ways=4) == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            partition_ways(0, 20)
+
+
+class TestContiguousMask:
+    def test_basic(self):
+        assert contiguous_mask(3, 0, 20) == 0b111
+        assert contiguous_mask(2, 3, 20) == 0b11000
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            contiguous_mask(4, 18, 20)
+
+
+def run_policy(policy, behavior, n_cores=4, llc_ways=8):
+    plat = FakePlatform(n_cores=n_cores, llc_ways=llc_ways, behavior=behavior)
+    ctx = EpochContext(plat, AggDetector(), EpochConfig())
+    rc = policy.plan(ctx)
+    return rc, ctx, plat
+
+
+def one_aggressor(plat):
+    rows = [aggressive_row() if c == 0 else quiet_row() for c in range(plat.n_cores)]
+    return make_counts(rows)
+
+
+class TestPrefCP:
+    def test_agg_core_partitioned(self):
+        policy = PrefCPPolicy()
+        rc, ctx, _ = run_policy(policy, one_aggressor)
+        assert policy.last_agg_set == (0,)
+        assert rc.core_clos[0] == CLOS_AGG
+        assert rc.cbm_of_core(0) == 0b11  # 1.5*1 -> 2 ways
+        assert all(rc.core_clos[c] == 0 for c in range(1, 4))
+        # neutral cores share the whole cache (overlapping partitioning)
+        assert rc.cbm_of_core(1) == 0xFF
+
+    def test_prefetchers_left_on(self):
+        rc, _, _ = run_policy(PrefCPPolicy(), one_aggressor)
+        assert rc.prefetch_masks == (PF_ALL_ON,) * 4
+
+    def test_single_sampling_interval(self):
+        _, ctx, _ = run_policy(PrefCPPolicy(), one_aggressor)
+        assert len(ctx.intervals) == 1
+
+    def test_empty_agg_no_partition(self):
+        rc, _, _ = run_policy(PrefCPPolicy(), lambda p: make_counts([quiet_row()] * 4))
+        assert rc.core_clos == (0,) * 4
+
+
+class TwoClassBehavior:
+    """Cores 0,1 aggressive.  Core 0 friendly (prefetch off halves its
+    IPC); core 1 unfriendly (IPC unchanged without prefetching)."""
+
+    def __call__(self, plat):
+        rows = []
+        for c in range(plat.n_cores):
+            if c == 0:
+                rows.append(aggressive_row(ipc=0.8 if plat.masks[0] == PF_ALL_OFF else 2.0))
+            elif c == 1:
+                rows.append(aggressive_row(ipc=0.5))
+            else:
+                rows.append(quiet_row())
+        return make_counts(rows)
+
+
+class TestPrefCP2:
+    def test_friendly_and_unfriendly_in_separate_partitions(self):
+        policy = PrefCP2Policy()
+        rc, ctx, _ = run_policy(policy, TwoClassBehavior())
+        friendly, unfriendly = policy.last_split
+        assert friendly == (0,)
+        assert unfriendly == (1,)
+        assert rc.core_clos[0] == CLOS_AGG
+        assert rc.core_clos[1] == CLOS_UNFRIENDLY
+        # disjoint contiguous partitions
+        assert rc.cbm_of_core(0) & rc.cbm_of_core(1) == 0
+
+    def test_two_sampling_intervals(self):
+        _, ctx, _ = run_policy(PrefCP2Policy(), TwoClassBehavior())
+        assert len(ctx.intervals) == 2
+
+    def test_prefetchers_restored_on(self):
+        rc, _, _ = run_policy(PrefCP2Policy(), TwoClassBehavior())
+        assert rc.prefetch_masks == (PF_ALL_ON,) * 4
+
+    def test_all_friendly_one_partition(self):
+        def behavior(plat):
+            rows = []
+            for c in range(plat.n_cores):
+                if c == 0:
+                    rows.append(aggressive_row(ipc=0.5 if plat.masks[0] == PF_ALL_OFF else 2.0))
+                else:
+                    rows.append(quiet_row())
+            return make_counts(rows)
+
+        policy = PrefCP2Policy()
+        rc, _, _ = run_policy(policy, behavior)
+        assert policy.last_split == ((0,), ())
+        assert rc.core_clos[0] == CLOS_AGG
+        assert CLOS_UNFRIENDLY not in rc.core_clos

@@ -1,0 +1,61 @@
+"""Policy base: friendliness split and the baseline policy."""
+
+import pytest
+
+from repro.core.epoch import EpochConfig, EpochContext
+from repro.core.frontend import AggDetector
+from repro.core.metrics_defs import CoreSummary, TableIMetrics
+from repro.core.policy_base import BaselinePolicy, friendliness_split
+from tests.core.fakes import FakePlatform
+
+
+def summ(ipcs):
+    metrics = TableIMetrics(0, 0, 0, 0, 0, 0, 0)
+    return [
+        CoreSummary(cpu=i, active=ipc > 0, ipc=ipc, instructions=ipc * 100, cycles=100.0,
+                    stalls_l2_pending=0.0, mem_bytes_per_sec=0.0, metrics=metrics)
+        for i, ipc in enumerate(ipcs)
+    ]
+
+
+class TestFriendlinessSplit:
+    def test_split_by_threshold(self):
+        on = summ([2.0, 1.0, 0.5])
+        off = summ([1.0, 0.9, 0.5])
+        friendly, unfriendly = friendliness_split(on, off, (0, 1, 2))
+        assert friendly == (0,)          # 2x speedup from prefetching
+        assert unfriendly == (1, 2)      # ~11% and 0% below the 50% bar
+
+    def test_custom_threshold(self):
+        on = summ([1.2, 1.0])
+        off = summ([1.0, 1.0])
+        friendly, unfriendly = friendliness_split(on, off, (0, 1), speedup_threshold=0.1)
+        assert friendly == (0,)
+        assert unfriendly == (1,)
+
+    def test_zero_off_ipc_counts_unfriendly(self):
+        on = summ([1.0])
+        off = summ([0.0])
+        friendly, unfriendly = friendliness_split(on, off, (0,))
+        assert friendly == ()
+        assert unfriendly == (0,)
+
+    def test_only_agg_cores_considered(self):
+        on = summ([2.0, 2.0])
+        off = summ([0.5, 0.5])
+        friendly, unfriendly = friendliness_split(on, off, (1,))
+        assert friendly == (1,)
+        assert unfriendly == ()
+
+    def test_empty_agg(self):
+        assert friendliness_split(summ([1.0]), summ([1.0]), ()) == ((), ())
+
+
+class TestBaselinePolicy:
+    def test_no_sampling_no_control(self):
+        plat = FakePlatform()
+        ctx = EpochContext(plat, AggDetector(), EpochConfig())
+        rc = BaselinePolicy().plan(ctx)
+        assert ctx.intervals == []
+        assert rc.throttled_cores() == ()
+        assert rc.core_clos == (0,) * plat.n_cores

@@ -1,0 +1,96 @@
+"""PPM-group baseline (SPAC-style) and the paper's critique of it."""
+
+import pytest
+
+from repro.core.epoch import EpochConfig, EpochContext
+from repro.core.frontend import AggDetector
+from repro.core.metrics_defs import CoreSummary, TableIMetrics
+from repro.core.policies import make_policy
+from repro.core.ppm_baseline import PPMGroupThrottlingPolicy, ppm_groups
+from repro.sim.pmu import Event
+from tests.core.fakes import FakePlatform, aggressive_row, make_counts, quiet_row
+
+
+def summ(ppms):
+    out = []
+    for i, ppm in enumerate(ppms):
+        out.append(
+            CoreSummary(cpu=i, active=ppm is not None, ipc=1.0, instructions=100.0,
+                        cycles=100.0, stalls_l2_pending=0.0, mem_bytes_per_sec=0.0,
+                        metrics=TableIMetrics(0, 0, 0, 0, 0, ppm or 0.0, 0))
+        )
+    return out
+
+
+class TestPpmGroups:
+    def test_above_mean_is_aggressive(self):
+        agg, meek = ppm_groups(summ([10.0, 1.0, 1.0, 1.0]))
+        assert agg == [0]
+        assert meek == [1, 2, 3]
+
+    def test_low_ppm_everywhere_no_aggressive(self):
+        agg, meek = ppm_groups(summ([0.01, 0.02, 0.01]))
+        assert agg == []
+
+    def test_idle_cores_excluded(self):
+        agg, meek = ppm_groups(summ([10.0, None, 1.0]))
+        assert agg == [0]
+        assert meek == [2]
+
+    def test_empty(self):
+        assert ppm_groups([]) == ([], [])
+
+
+class TestPolicy:
+    def test_registered(self):
+        assert make_policy("ppm-group").name == "ppm-group"
+
+    def test_misses_rand_access_like_cores(self):
+        """The paper's critique: a Rand Access-like core has PPM ~ 1
+        (one adjacent prefetch per demand miss), lands below the mean
+        when streamers are present, and is never throttled."""
+
+        def behavior(plat):
+            rows = []
+            for cpu in range(plat.n_cores):
+                if cpu == 0:  # streamer: very high PPM
+                    r = aggressive_row(ipc=2.0)
+                    r[Event.L2_DM_MISS] = 2_000.0
+                    rows.append(r)
+                elif cpu == 1:  # rand-access-like: PPM == 1
+                    r = aggressive_row(ipc=0.1)
+                    r[Event.L2_PREF_REQ] = r[Event.L2_DM_MISS] = 30_000.0
+                    r[Event.L2_PREF_MISS] = 30_000.0
+                    rows.append(r)
+                else:
+                    rows.append(quiet_row())
+            return make_counts(rows)
+
+        plat = FakePlatform(behavior=behavior)
+        ctx = EpochContext(plat, AggDetector(), EpochConfig())
+        policy = PPMGroupThrottlingPolicy()
+        rc = policy.plan(ctx)
+        aggressive, _ = policy.last_groups
+        assert 0 in aggressive       # the streamer is flagged
+        assert 1 not in aggressive   # the rand-access core is missed
+
+    def test_no_aggressive_returns_baseline(self):
+        plat = FakePlatform(behavior=lambda p: make_counts([quiet_row()] * p.n_cores))
+        ctx = EpochContext(plat, AggDetector(), EpochConfig())
+        rc = PPMGroupThrottlingPolicy().plan(ctx)
+        assert rc.throttled_cores() == ()
+        assert len(ctx.intervals) == 1
+
+    def test_margin_guard(self):
+        """Marginal gains do not trigger throttling."""
+
+        def behavior(plat):
+            throttled = plat.masks[0] != 0x0
+            rows = [aggressive_row(ipc=0.5)]
+            rows += [quiet_row(ipc=1.005 if throttled else 1.0) for _ in range(plat.n_cores - 1)]
+            return make_counts(rows)
+
+        plat = FakePlatform(behavior=behavior)
+        ctx = EpochContext(plat, AggDetector(), EpochConfig())
+        rc = PPMGroupThrottlingPolicy().plan(ctx)
+        assert rc.throttled_cores() == ()

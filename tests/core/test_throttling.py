@@ -1,0 +1,157 @@
+"""PT policy: grouping, combination search, margin/selection behaviour."""
+
+import pytest
+
+from repro.core.epoch import EpochConfig, EpochContext
+from repro.core.frontend import AggDetector
+from repro.core.metrics_defs import CoreSummary, TableIMetrics, summarize_sample
+from repro.core.throttling import PrefetchThrottlingPolicy, off_combinations, throttle_groups
+from repro.sim.msr import PF_ALL_OFF, PF_ALL_ON
+from repro.sim.pmu import Event
+from tests.core.fakes import CPS, FakePlatform, aggressive_row, make_counts, quiet_row
+
+
+def summaries_with_ptr(ptrs):
+    out = []
+    for i, ptr in enumerate(ptrs):
+        out.append(
+            CoreSummary(
+                cpu=i, active=True, ipc=1.0, instructions=1.0, cycles=1.0,
+                stalls_l2_pending=0.0, mem_bytes_per_sec=0.0,
+                metrics=TableIMetrics(0, 0, ptr, 0, 0, 0, 0),
+            )
+        )
+    return out
+
+
+class TestThrottleGroups:
+    def test_small_set_singletons(self):
+        groups = throttle_groups([1, 3], summaries_with_ptr([0, 10, 0, 20]), max_exhaustive=3)
+        assert groups == [[1], [3]]
+
+    def test_large_set_clustered_by_ptr(self):
+        ptrs = [0, 100.0, 105.0, 9.0, 10.0, 500.0]
+        agg = [1, 2, 3, 4, 5]
+        groups = throttle_groups(agg, summaries_with_ptr(ptrs), max_exhaustive=3, n_groups=3)
+        assert len(groups) == 3
+        as_sets = [set(g) for g in groups]
+        assert {3, 4} in as_sets     # low-PTR cores grouped
+        assert {1, 2} in as_sets     # mid
+        assert {5} in as_sets        # high
+
+    def test_group_count_bounded(self):
+        agg = list(range(8))
+        groups = throttle_groups(agg, summaries_with_ptr(range(8)), max_exhaustive=3, n_groups=3)
+        assert len(groups) <= 3
+        assert sorted(c for g in groups for c in g) == agg
+
+
+class TestOffCombinations:
+    def test_singleton_groups_power_set(self):
+        combos = list(off_combinations([[0], [1]]))
+        assert combos == [(), (0,), (1,), (0, 1)]
+
+    def test_groups_toggle_together(self):
+        combos = set(off_combinations([[0, 2], [1]]))
+        assert (0, 2) in combos
+        assert (0,) not in combos  # core 0 never throttled without 2
+
+    def test_empty_groups(self):
+        assert list(off_combinations([])) == [()]
+
+
+class FriendlyVictimBehavior:
+    """Core 0 is a detected aggressor whose prefetching is useful:
+    throttling it hurts it a lot and helps nobody much."""
+
+    def __call__(self, plat):
+        rows = []
+        for cpu in range(plat.n_cores):
+            if cpu == 0:
+                row = aggressive_row(ipc=0.4 if plat.masks[0] == PF_ALL_OFF else 2.0)
+            else:
+                row = quiet_row(ipc=1.0)
+            rows.append(row)
+        return make_counts(rows)
+
+
+class UselessAggressorBehavior:
+    """Core 0's prefetching is useless: throttling it helps everyone."""
+
+    def __call__(self, plat):
+        throttled = plat.masks[0] == PF_ALL_OFF
+        rows = []
+        for cpu in range(plat.n_cores):
+            if cpu == 0:
+                row = aggressive_row(ipc=0.55 if throttled else 0.5)
+            else:
+                row = quiet_row(ipc=1.5 if throttled else 0.8)
+            rows.append(row)
+        return rows and make_counts(rows)
+
+
+def run_policy(behavior, **kwargs):
+    plat = FakePlatform(behavior=behavior)
+    ctx = EpochContext(plat, AggDetector(), EpochConfig())
+    policy = PrefetchThrottlingPolicy(**kwargs)
+    rc = policy.plan(ctx)
+    return policy, rc, ctx, plat
+
+
+class TestPTPolicy:
+    def test_first_interval_always_all_on(self):
+        _, _, _, plat = run_policy(UselessAggressorBehavior())
+        assert plat.applied_log[0]["masks"] == (PF_ALL_ON,) * 4
+
+    def test_no_agg_returns_baseline_after_one_interval(self):
+        policy, rc, ctx, _ = run_policy(lambda p: make_counts([quiet_row()] * 4))
+        assert policy.last_agg_set == ()
+        assert rc.throttled_cores() == ()
+        assert len(ctx.intervals) == 1
+
+    def test_useless_aggressor_gets_throttled(self):
+        policy, rc, _, _ = run_policy(UselessAggressorBehavior())
+        assert policy.last_agg_set == (0,)
+        assert rc.throttled_cores() == (0,)
+
+    def test_friendly_aggressor_stays_on_with_margin(self):
+        policy, rc, _, _ = run_policy(FriendlyVictimBehavior())
+        assert policy.last_agg_set == (0,)
+        assert rc.throttled_cores() == ()
+
+    def test_interval_two_probes_agg_off(self):
+        _, _, _, plat = run_policy(UselessAggressorBehavior())
+        assert plat.applied_log[1]["masks"][0] == PF_ALL_OFF
+
+    def test_pt_never_partitions(self):
+        _, rc, _, _ = run_policy(UselessAggressorBehavior())
+        assert rc.core_clos == (0,) * 4
+        assert dict(rc.clos_cbm)[0] == 0xFF
+
+
+class TestFineGrainedPT:
+    def test_fine_grained_probes_partial_masks(self):
+        from repro.sim.msr import MASK_L2_OFF
+
+        class L2OffIsBest:
+            """Everyone does best when core 0 disables only its L2
+            prefetchers (keeps the useful DCU stride prefetcher)."""
+
+            def __call__(self, plat):
+                rows = []
+                m0 = plat.masks[0]
+                for cpu in range(plat.n_cores):
+                    if cpu == 0:
+                        ipc = {0x0: 0.4, PF_ALL_OFF: 0.45, MASK_L2_OFF: 0.5}.get(m0, 0.42)
+                        rows.append(aggressive_row(ipc=ipc))
+                    else:
+                        throttled = m0 != 0x0
+                        rows.append(quiet_row(ipc=1.5 if throttled else 0.8))
+                return make_counts(rows)
+
+        policy, rc, _, plat = run_policy(L2OffIsBest(), fine_grained=True)
+        assert rc.prefetch_masks[0] == MASK_L2_OFF
+
+    def test_fine_grained_off_by_default(self):
+        policy, rc, _, _ = run_policy(UselessAggressorBehavior())
+        assert rc.prefetch_masks[0] in (0x0, PF_ALL_OFF)

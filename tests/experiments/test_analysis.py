@@ -1,0 +1,79 @@
+"""Analysis helpers: ground-truth prefetch accuracy, decision timeline."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.controller import CMMController
+from repro.core.epoch import EpochConfig
+from repro.core.policies import make_policy
+from repro.experiments.analysis import (
+    decision_timeline,
+    prefetch_accuracy,
+    timeline_summary,
+)
+from repro.experiments.config import TINY
+from repro.experiments.runner import build_machine
+from repro.platform.simulated import SimulatedPlatform
+from repro.sim.machine import Machine
+from repro.workloads.mixes import make_mixes
+from tests.conftest import make_random_trace, make_seq_trace
+
+SC = dataclasses.replace(TINY, name="ana", quantum=256, sample_units=512, exec_units=4096)
+
+
+class TestPrefetchAccuracy:
+    def test_stream_high_l2_accuracy(self, tiny_params):
+        m = Machine(tiny_params, quantum=256)
+        m.attach_trace(0, make_seq_trace(region=8192))
+        m.run_accesses(4000)
+        acc = prefetch_accuracy(m)
+        assert len(acc) == 1
+        assert acc[0].l2_accuracy > 0.7  # streamer prefetches get used
+
+    def test_random_low_accuracy(self, tiny_params):
+        m = Machine(tiny_params, quantum=256)
+        m.attach_trace(0, make_random_trace(region=200_000))
+        m.run_accesses(4000)
+        acc = prefetch_accuracy(m)
+        assert acc[0].l2_accuracy < 0.2  # adjacent-line buddies are useless
+
+    def test_idle_cores_skipped(self, tiny_params):
+        m = Machine(tiny_params, quantum=256)
+        m.attach_trace(1, make_seq_trace())
+        m.run_accesses(500)
+        acc = prefetch_accuracy(m)
+        assert [a.core for a in acc] == [1]
+
+
+class TestDecisionTimeline:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        mix = make_mixes("pref_unfri", 1, seed=2019)[0]
+        machine = build_machine(mix, SC)
+        ctl = CMMController(
+            SimulatedPlatform(machine),
+            make_policy("cmm-a"),
+            epoch_cfg=EpochConfig(exec_units=SC.exec_units, sample_units=SC.sample_units),
+        )
+        return ctl.run(2)
+
+    def test_one_decision_per_epoch(self, stats):
+        tl = decision_timeline(stats)
+        assert len(tl) == 2
+        assert [d.epoch for d in tl] == [0, 1]
+
+    def test_decisions_reflect_configs(self, stats):
+        tl = decision_timeline(stats)
+        for d, rec in zip(tl, stats.epochs):
+            assert d.throttled_cores == rec.chosen.throttled_cores()
+            assert d.sampling_intervals == rec.sampling_intervals
+
+    def test_cmm_on_unfri_partitions_something(self, stats):
+        tl = decision_timeline(stats)
+        assert any(d.partitioned_cores for d in tl)
+
+    def test_summary_renders(self, stats):
+        text = timeline_summary(stats)
+        assert text.count("epoch") == 2
+        assert "throttled=" in text

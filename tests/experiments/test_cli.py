@@ -1,0 +1,74 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_scale_choices(self):
+        args = build_parser().parse_args(["classify", "429.mcf", "--scale", "tiny"])
+        assert args.scale == "tiny"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["classify", "x", "--scale", "huge"])
+
+
+class TestBenchmarksCommand:
+    def test_lists_registry(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "410.bwaves" in out
+        assert "rand_access" in out
+        assert "aggressive" in out
+
+
+class TestMixesCommand:
+    def test_all_categories(self, capsys):
+        assert main(["mixes"]) == 0
+        out = capsys.readouterr().out
+        for cat in ("pref_fri", "pref_agg", "pref_unfri", "pref_no_agg"):
+            assert cat in out
+
+    def test_single_category(self, capsys):
+        assert main(["mixes", "--category", "pref_unfri"]) == 0
+        out = capsys.readouterr().out
+        assert "pref_unfri-00" in out
+        assert "pref_fri-00" not in out
+
+
+class TestClassifyCommand:
+    def test_unknown_benchmark_fails(self, capsys):
+        assert main(["classify", "not-a-benchmark"]) == 2
+
+    def test_classifies_small_benchmark(self, capsys):
+        # povray is compute-bound: fast to profile even with the sweep
+        assert main(["classify", "453.povray"]) == 0
+        out = capsys.readouterr().out
+        assert "matches registry    : True" in out
+        assert "aggressive=False" in out
+
+
+@pytest.mark.slow
+class TestRunAndFigureCommands:
+    def test_run_command(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert main(["run", "--category", "pref_no_agg", "--workloads", "1",
+                     "--mechanism", "pref-cp"]) == 0
+        out = capsys.readouterr().out
+        assert "pref_no_agg-00" in out
+        assert "pref-cp" in out
+        assert "HS norm" in out
+
+    def test_figure_command_table1(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert main(["figure", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "M4_pga" in out

@@ -1,0 +1,71 @@
+"""JSON/CSV export of figure results."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import figure_to_json, rows_to_csv, write_figure
+
+
+@pytest.fixture
+def figure():
+    return {
+        "figure": "fig99",
+        "metric": "hs_norm",
+        "rows": [
+            {"workload": "w-00", "category": "pref_agg", "pt": 1.05,
+             "agg_set": (1, 2), "ipc_by_ways": {1: 0.5, 20: 1.0}},
+            {"workload": "w-01", "category": "pref_agg", "pt": 0.98,
+             "agg_set": (), "ipc_by_ways": {1: 0.4, 20: 0.9}},
+        ],
+        "category_means": {"pref_agg": {"pt": np.float64(1.015)}},
+    }
+
+
+class TestJson:
+    def test_roundtrip(self, figure):
+        data = json.loads(figure_to_json(figure))
+        assert data["figure"] == "fig99"
+        assert data["rows"][0]["agg_set"] == [1, 2]
+
+    def test_numpy_scalars_serialised(self, figure):
+        data = json.loads(figure_to_json(figure))
+        assert data["category_means"]["pref_agg"]["pt"] == pytest.approx(1.015)
+
+    def test_unserialisable_rejected(self):
+        with pytest.raises(TypeError):
+            figure_to_json({"x": object()})
+
+
+class TestCsv:
+    def test_header_and_rows(self, figure):
+        text = rows_to_csv(figure["rows"])
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("workload,category,pt")
+        assert len(lines) == 3
+
+    def test_nested_dict_flattened(self, figure):
+        text = rows_to_csv(figure["rows"])
+        assert "ipc_by_ways.1" in text.splitlines()[0]
+
+    def test_tuple_joined(self, figure):
+        text = rows_to_csv(figure["rows"])
+        assert "1;2" in text
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+
+class TestWriteFigure:
+    def test_writes_both_files(self, figure, tmp_path):
+        jpath, cpath = write_figure(figure, tmp_path)
+        assert jpath.name == "fig99.json"
+        assert cpath.name == "fig99.csv"
+        assert json.loads(jpath.read_text())["figure"] == "fig99"
+        assert "w-00" in cpath.read_text()
+
+    def test_custom_stem_and_mkdir(self, figure, tmp_path):
+        jpath, _ = write_figure(figure, tmp_path / "deep" / "dir", stem="custom")
+        assert jpath.name == "custom.json"
+        assert jpath.exists()

@@ -1,0 +1,27 @@
+"""ASCII rendering."""
+
+from repro.experiments.report import render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_floats(self):
+        out = render_table(["name", "hs"], [["a", 1.23456], ["bb", 0.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in out
+        assert "0.500" in out
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="Fig 7")
+        assert out.splitlines()[0] == "Fig 7"
+
+    def test_column_width_fits_longest(self):
+        out = render_table(["m"], [["longvalue"]])
+        header, sep, row = out.splitlines()
+        assert len(sep) >= len("longvalue")
+
+
+class TestRenderSeries:
+    def test_pairs(self):
+        out = render_series("pt", ["fri", "agg"], [1.0, 1.5])
+        assert out == "pt: fri=1.000, agg=1.500"

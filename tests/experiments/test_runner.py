@@ -1,0 +1,136 @@
+"""Workload runner and evaluation plumbing (simulator in the loop).
+
+Uses a reduced scale so the whole module stays fast.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import TINY
+from repro.experiments.runner import (
+    AloneCache,
+    build_machine,
+    evaluate_workload,
+    run_mechanism,
+)
+from repro.workloads.mixes import make_mixes
+
+# A deliberately small scale for unit testing the plumbing.
+SC = dataclasses.replace(
+    TINY, name="unit", quantum=256, sample_units=256, exec_units=2048, alone_accesses=4096
+)
+
+
+@pytest.fixture(scope="module")
+def mix():
+    return make_mixes("pref_agg", 1, seed=2019)[0]
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return AloneCache()
+
+
+class TestBuildMachine:
+    def test_one_trace_per_core(self, mix):
+        m = build_machine(mix, SC)
+        assert m.active_cores() == list(range(8))
+
+    def test_too_many_cores_rejected(self):
+        big = make_mixes("pref_agg", 1, seed=1)[0]
+        sc = dataclasses.replace(SC, n_cores=4)
+        with pytest.raises(ValueError):
+            build_machine(big, sc)
+
+
+class TestAloneCache:
+    def test_positive_and_cached(self, cache):
+        a = cache.ipc("410.bwaves", SC)
+        b = cache.ipc("410.bwaves", SC)
+        assert a > 0
+        assert a == b
+        assert len(cache._cache) == 1
+
+    def test_ipcs_for_mix(self, cache, mix):
+        arr = cache.ipcs_for(mix, SC)
+        assert arr.shape == (8,)
+        assert (arr > 0).all()
+
+
+class TestRunMechanism:
+    def test_baseline_run(self, mix):
+        r = run_mechanism(mix, "baseline", SC)
+        assert r.mechanism == "baseline"
+        assert (r.ipc > 0).all()
+        assert r.mem_bandwidth_mbs > 0
+
+    def test_deterministic(self, mix):
+        a = run_mechanism(mix, "baseline", SC)
+        b = run_mechanism(mix, "baseline", SC)
+        np.testing.assert_allclose(a.ipc, b.ipc)
+
+    def test_unknown_mechanism(self, mix):
+        with pytest.raises(KeyError):
+            run_mechanism(mix, "bogus", SC)
+
+
+class TestEvaluateWorkload:
+    @pytest.fixture(scope="class")
+    def ev(self, mix, cache):
+        return evaluate_workload(mix, ("pt",), SC, alone_cache=cache)
+
+    def test_baseline_metrics_are_identity(self, ev):
+        m = ev.metrics["baseline"]
+        assert m["hs_norm"] == 1.0
+        assert m["ws"] == 1.0
+        assert m["worst"] == 1.0
+
+    def test_mechanism_metrics_present(self, ev):
+        m = ev.metrics["pt"]
+        for key in ("hs", "hs_norm", "ws", "worst", "bw_mbs", "bw_norm", "stalls_norm"):
+            assert key in m
+
+    def test_hs_consistency(self, ev):
+        m = ev.metrics["pt"]
+        assert m["hs_norm"] == pytest.approx(m["hs"] / ev.metrics["baseline"]["hs"])
+
+    def test_hs_in_plausible_range(self, ev):
+        assert 0.0 < ev.metrics["baseline"]["hs"] <= 1.0  # co-run never beats alone
+
+    def test_worst_le_ws_bound(self, ev):
+        # the minimum per-app ratio can't exceed the mean ratio
+        assert ev.metrics["pt"]["worst"] <= ev.metrics["pt"]["ws"] + 1e-9
+
+
+class TestRunPolicyObject:
+    def test_custom_policy_and_sample_units(self, mix):
+        from repro.core.partitioning import PrefCPPolicy
+        from repro.experiments.runner import run_policy_object
+
+        r = run_policy_object(
+            mix, PrefCPPolicy(partition_factor=1.0), SC,
+            label="pref-cp@1.0", sample_units=128,
+        )
+        assert r.mechanism == "pref-cp@1.0"
+        assert (r.ipc > 0).all()
+
+    def test_label_defaults_to_policy_name(self, mix):
+        from repro.core.dunn import DunnPolicy
+        from repro.experiments.runner import run_policy_object
+
+        r = run_policy_object(mix, DunnPolicy(), SC)
+        assert r.mechanism == "dunn"
+
+    def test_detector_cfg_forwarded(self, mix):
+        from repro.core.frontend import DetectorConfig
+        from repro.core.throttling import PrefetchThrottlingPolicy
+        from repro.experiments.runner import run_policy_object
+
+        # An impossible PTR floor: nothing can ever be detected.
+        policy = PrefetchThrottlingPolicy()
+        run_policy_object(
+            mix, policy, SC, detector_cfg=DetectorConfig(ptr_min=1e18)
+        )
+        assert policy.last_agg_set == ()

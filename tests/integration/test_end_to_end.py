@@ -1,0 +1,194 @@
+"""End-to-end shape tests: the paper's qualitative claims on the simulator.
+
+These are the load-bearing integration checks — if one of them breaks,
+a figure's shape has regressed.  They run at a reduced scale.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import TINY
+from repro.experiments.runner import ALONE_CACHE, evaluate_workload, run_mechanism
+from repro.workloads.mixes import make_mixes
+
+SC = dataclasses.replace(
+    TINY, name="e2e", quantum=512, sample_units=768, exec_units=8192, alone_accesses=8192
+)
+
+
+@pytest.fixture(scope="module")
+def unfri_eval():
+    mix = make_mixes("pref_unfri", 1, seed=2019)[0]
+    return evaluate_workload(mix, ("pt", "dunn", "pref-cp", "cmm-a"), SC, alone_cache=ALONE_CACHE)
+
+
+@pytest.fixture(scope="module")
+def noagg_eval():
+    mix = make_mixes("pref_no_agg", 1, seed=2019)[0]
+    return evaluate_workload(mix, ("pt", "cmm-a"), SC, alone_cache=ALONE_CACHE)
+
+
+class TestInterferenceExists:
+    def test_corun_slower_than_alone(self, unfri_eval):
+        """Multiprogrammed HS well below 1: interference is real."""
+        assert unfri_eval.metrics["baseline"]["hs"] < 0.9
+
+
+class TestThrottlingHelps:
+    def test_pt_improves_unfriendly_workload(self, unfri_eval):
+        assert unfri_eval.metrics["pt"]["hs_norm"] > 1.03
+
+    def test_pt_reduces_memory_traffic(self, unfri_eval):
+        assert unfri_eval.metrics["pt"]["bw_norm"] < 0.95
+
+    def test_pt_near_neutral_on_no_agg(self, noagg_eval):
+        assert noagg_eval.metrics["pt"]["hs_norm"] == pytest.approx(1.0, abs=0.05)
+
+
+class TestPartitioningHelps:
+    def test_pref_cp_beats_dunn_on_unfriendly(self, unfri_eval):
+        assert (
+            unfri_eval.metrics["pref-cp"]["hs_norm"]
+            > unfri_eval.metrics["dunn"]["hs_norm"] - 0.005
+        )
+
+    def test_cp_keeps_bandwidth_roughly_baseline(self, unfri_eval):
+        """CP does not reduce prefetch traffic (paper Sec. II-B)."""
+        assert unfri_eval.metrics["pref-cp"]["bw_norm"] == pytest.approx(1.0, abs=0.05)
+
+
+class TestCoordinationWins:
+    def test_cmm_beats_pt_and_cp_on_unfriendly(self, unfri_eval):
+        cmm = unfri_eval.metrics["cmm-a"]["hs_norm"]
+        assert cmm > unfri_eval.metrics["pref-cp"]["hs_norm"]
+        assert cmm >= unfri_eval.metrics["pt"]["hs_norm"] - 0.02
+
+    def test_cmm_worst_case_above_80pct(self, unfri_eval):
+        """Fig. 12: no application is hurt below 80%."""
+        assert unfri_eval.metrics["cmm-a"]["worst"] >= 0.80
+
+    def test_cmm_reduces_stalls(self, unfri_eval):
+        """Fig. 15: CMM lowers aggregate L2-pending stalls per instruction."""
+        assert unfri_eval.metrics["cmm-a"]["stalls_norm"] < 1.0
+
+
+class TestControllerDynamics:
+    def test_cmm_throttles_unfriendly_not_friendly(self):
+        """On a pref_agg mix, the chosen config partitions the Agg set
+        and only ever throttles unfriendly cores."""
+        from repro.core.controller import CMMController
+        from repro.core.coordinated import CMMPolicy
+        from repro.core.epoch import EpochConfig
+        from repro.experiments.runner import build_machine
+        from repro.platform.simulated import SimulatedPlatform
+        from repro.workloads.speclike import benchmark
+
+        mix = make_mixes("pref_agg", 1, seed=2019)[0]
+        machine = build_machine(mix, SC)
+        policy = CMMPolicy("a")
+        ctl = CMMController(
+            SimulatedPlatform(machine),
+            policy,
+            epoch_cfg=EpochConfig(exec_units=SC.exec_units, sample_units=SC.sample_units),
+        )
+        stats = ctl.run(1)
+        chosen = stats.epochs[0].chosen
+        friendly, unfriendly = policy.last_split
+        # friendly cores never lose their prefetchers under CMM
+        for c in friendly:
+            assert c not in chosen.throttled_cores()
+        # every detected-aggressive core is in the small partition (variant a)
+        for c in policy.last_agg_set:
+            assert chosen.core_clos[c] != 0
+        # detected cores genuinely map to aggressive benchmarks
+        for c in policy.last_agg_set:
+            assert benchmark(mix.benchmarks[c]).pref_aggressive
+
+    def test_empty_agg_falls_back_to_dunn(self):
+        from repro.core.controller import CMMController
+        from repro.core.coordinated import CMMPolicy
+        from repro.core.epoch import EpochConfig
+        from repro.experiments.runner import build_machine
+        from repro.platform.simulated import SimulatedPlatform
+
+        mix = make_mixes("pref_no_agg", 1, seed=2019)[0]
+        machine = build_machine(mix, SC)
+        policy = CMMPolicy("a")
+        ctl = CMMController(
+            SimulatedPlatform(machine),
+            policy,
+            epoch_cfg=EpochConfig(exec_units=SC.exec_units, sample_units=SC.sample_units),
+        )
+        stats = ctl.run(1)
+        assert policy.last_agg_set == ()
+        assert stats.epochs[0].chosen.throttled_cores() == ()
+
+
+class TestDeterminism:
+    def test_full_evaluation_reproducible(self):
+        mix = make_mixes("pref_agg", 1, seed=2019)[0]
+        a = run_mechanism(mix, "cmm-a", SC)
+        b = run_mechanism(mix, "cmm-a", SC)
+        np.testing.assert_allclose(a.ipc, b.ipc)
+
+
+class TestPhaseAdaptation:
+    def test_cmm_redecides_across_phases(self):
+        """A workload whose core 0 alternates between a streaming phase
+        and a tiny compute phase: CMM's per-epoch re-detection must
+        produce different Agg sets in different epochs."""
+        import dataclasses
+
+        from repro.core.controller import CMMController
+        from repro.core.epoch import EpochConfig
+        from repro.core.policy_base import Policy
+        from repro.core.throttling import PrefetchThrottlingPolicy
+        from repro.platform.simulated import SimulatedPlatform
+        from repro.sim.machine import Machine
+        from repro.sim.trace import PhasedTrace, SequentialStream, TraceGenerator
+        from repro.workloads.speclike import build_trace
+
+        sc = SC
+        params = sc.params()
+        m = Machine(params, quantum=sc.quantum)
+
+        # Phase A: aggressive stream; phase B: tiny L2-resident loop.
+        base0 = m.core_base_line(0)
+        stream = TraceGenerator(
+            [SequentialStream(1, base0, params.llc.lines * 4)], [1.0],
+            inst_per_mem=5.0, mlp=8.0, seed=1,
+        )
+        quiet = TraceGenerator(
+            [SequentialStream(2, base0 + (1 << 28), 64)], [1.0],
+            inst_per_mem=12.0, mlp=3.0, seed=2,
+        )
+        phase_len = sc.exec_units + 12 * sc.sample_units  # ~one epoch per phase
+        m.attach_trace(0, PhasedTrace([stream, quiet], phase_len))
+        for core in range(1, 4):
+            m.attach_trace(core, build_trace(
+                "453.povray", llc_lines=params.llc.lines,
+                base_line=m.core_base_line(core), seed=core))
+
+        class RecordingPT(PrefetchThrottlingPolicy):
+            def __init__(self):
+                super().__init__()
+                self.agg_history = []
+
+            def plan(self, ctx):
+                rc = super().plan(ctx)
+                self.agg_history.append(self.last_agg_set)
+                return rc
+
+        policy = RecordingPT()
+        ctl = CMMController(
+            SimulatedPlatform(m), policy,
+            epoch_cfg=EpochConfig(exec_units=sc.exec_units, sample_units=sc.sample_units),
+        )
+        ctl.run(4)
+        # detection changed across epochs: streaming phases flag core 0,
+        # quiet phases don't
+        assert len(set(policy.agg_history)) >= 2
+        assert (0,) in policy.agg_history
+        assert () in policy.agg_history

@@ -1,0 +1,82 @@
+"""HS / WS / ANTT / worst-case definitions."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.speedup import (
+    antt,
+    harmonic_mean,
+    harmonic_speedup,
+    normalized_ipcs,
+    weighted_speedup,
+    worst_case_speedup,
+)
+
+
+class TestHarmonicMean:
+    def test_basic(self):
+        assert harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+        assert harmonic_mean([1.0, 3.0]) == pytest.approx(1.5)
+
+    def test_zero_collapses(self):
+        assert harmonic_mean([0.0, 5.0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_le_arithmetic_mean(self):
+        v = [0.3, 1.2, 2.5, 0.9]
+        assert harmonic_mean(v) <= np.mean(v)
+
+
+class TestNormalizedIpcs:
+    def test_ratios(self):
+        np.testing.assert_allclose(normalized_ipcs([2.0, 1.0], [1.0, 2.0]), [2.0, 0.5])
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_ipcs([1.0], [0.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            normalized_ipcs([1.0, 2.0], [1.0])
+
+
+class TestHS:
+    def test_equal_to_alone_is_one(self):
+        assert harmonic_speedup([1.0, 2.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_halved_everywhere(self):
+        assert harmonic_speedup([0.5, 1.0], [1.0, 2.0]) == pytest.approx(0.5)
+
+    def test_dominated_by_worst_program(self):
+        hs = harmonic_speedup([0.1, 2.0], [1.0, 2.0])
+        assert hs < 0.2
+
+    def test_antt_is_reciprocal(self):
+        together, alone = [0.5, 1.5], [1.0, 2.0]
+        assert antt(together, alone) == pytest.approx(1.0 / harmonic_speedup(together, alone))
+
+    def test_hs_bounded_by_max_ratio(self):
+        together, alone = [0.7, 1.1], [1.0, 1.0]
+        assert harmonic_speedup(together, alone) <= 1.1
+
+
+class TestWS:
+    def test_baseline_scores_one_normalized(self):
+        assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_unnormalized_sums(self):
+        assert weighted_speedup([2.0, 2.0], [1.0, 2.0], normalized=False) == pytest.approx(3.0)
+
+    def test_improvement(self):
+        assert weighted_speedup([1.5, 2.0], [1.0, 2.0]) == pytest.approx(1.25)
+
+
+class TestWorstCase:
+    def test_min_ratio(self):
+        assert worst_case_speedup([0.5, 3.0], [1.0, 2.0]) == pytest.approx(0.5)
+
+    def test_no_regression_is_one(self):
+        assert worst_case_speedup([1.0, 2.0], [1.0, 2.0]) == pytest.approx(1.0)

@@ -1,0 +1,132 @@
+"""LinuxPlatform against fake /dev/cpu and /sys/fs/resctrl trees."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.platform.linux import LinuxPlatform, MsrDevice, NullPmuReader
+from repro.platform.resctrl import ResctrlFs
+from repro.sim.msr import MSR_MISC_FEATURE_CONTROL
+from repro.sim.pmu import Event, N_EVENTS
+
+N_CORES = 4
+LLC_WAYS = 20
+
+
+@pytest.fixture
+def fake_dev(tmp_path):
+    """Fake /dev/cpu/N/msr files big enough to pread at offset 0x1A4."""
+    dev = tmp_path / "dev" / "cpu"
+    for cpu in range(N_CORES):
+        d = dev / str(cpu)
+        d.mkdir(parents=True)
+        (d / "msr").write_bytes(b"\x00" * 0x400)
+    return dev
+
+
+@pytest.fixture
+def fake_resctrl(tmp_path):
+    root = tmp_path / "resctrl"
+    root.mkdir()
+    (root / "schemata").write_text(f"L3:0={(1 << LLC_WAYS) - 1:x}\n")
+    (root / "cpus_list").write_text(f"0-{N_CORES - 1}\n")
+    return root
+
+
+@pytest.fixture
+def platform(fake_dev, fake_resctrl):
+    return LinuxPlatform(
+        N_CORES,
+        LLC_WAYS,
+        resctrl=ResctrlFs(fake_resctrl),
+        msr=MsrDevice(fake_dev),
+        sleep=lambda s: None,
+    )
+
+
+class TestMsrDevice:
+    def test_write_read_roundtrip(self, fake_dev):
+        dev = MsrDevice(fake_dev)
+        dev.write(0, MSR_MISC_FEATURE_CONTROL, 0xF)
+        assert dev.read(0, MSR_MISC_FEATURE_CONTROL) == 0xF
+
+    def test_little_endian_layout(self, fake_dev):
+        dev = MsrDevice(fake_dev)
+        dev.write(1, 0x10, 0x0102030405060708)
+        raw = (fake_dev / "1" / "msr").read_bytes()[0x10:0x18]
+        assert struct.unpack("<Q", raw)[0] == 0x0102030405060708
+
+
+class TestPrefetchControl:
+    def test_set_get_mask(self, platform):
+        platform.set_prefetch_mask(2, 0x9)
+        assert platform.prefetch_mask(2) == 0x9
+
+    def test_only_low_bits_touched(self, platform, fake_dev):
+        dev = MsrDevice(fake_dev)
+        dev.write(0, MSR_MISC_FEATURE_CONTROL, 0xF0)
+        platform.set_prefetch_mask(0, 0x3)
+        assert dev.read(0, MSR_MISC_FEATURE_CONTROL) == 0xF3
+
+    def test_mask_validated(self, platform):
+        with pytest.raises(ValueError):
+            platform.set_prefetch_mask(0, 0x10)
+
+
+class TestPartitioning:
+    def test_clos0_writes_root_schemata(self, platform, fake_resctrl):
+        platform.set_clos_cbm(0, 0xFF)
+        assert "L3:0=ff" in (fake_resctrl / "schemata").read_text()
+
+    def test_nonzero_clos_creates_group(self, platform, fake_resctrl):
+        platform.set_clos_cbm(1, 0x3)
+        group = fake_resctrl / "cmm_clos1"
+        assert group.is_dir()
+        assert "L3:0=3" in (group / "schemata").read_text()
+
+    def test_assign_core_partitions_cpu_lists(self, platform, fake_resctrl):
+        platform.set_clos_cbm(1, 0x3)
+        platform.assign_core_clos(0, 1)
+        platform.assign_core_clos(1, 1)
+        assert (fake_resctrl / "cmm_clos1" / "cpus_list").read_text().strip() == "0-1"
+        # remaining cores stay in the root group
+        assert (fake_resctrl / "cpus_list").read_text().strip() == "2-3"
+
+    def test_reset_partitions(self, platform, fake_resctrl):
+        platform.set_clos_cbm(1, 0x3)
+        platform.assign_core_clos(0, 1)
+        platform.reset_partitions()
+        assert not (fake_resctrl / "cmm_clos1").exists()
+        assert f"{(1 << LLC_WAYS) - 1:x}" in (fake_resctrl / "schemata").read_text()
+
+
+class TestMeasurement:
+    def test_run_interval_returns_deltas(self, fake_dev, fake_resctrl):
+        counts = np.zeros((N_CORES, N_EVENTS))
+        clock = [0.0]
+
+        def reader():
+            counts[:, Event.INSTRUCTIONS] += 100.0
+            clock[0] += 1000.0
+            return counts.copy(), clock[0]
+
+        plat = LinuxPlatform(
+            N_CORES, LLC_WAYS,
+            resctrl=ResctrlFs(fake_resctrl), msr=MsrDevice(fake_dev),
+            pmu_reader=reader, sleep=lambda s: None,
+        )
+        sample = plat.run_interval(100)
+        assert sample.get(0, Event.INSTRUCTIONS) == 100.0
+        assert sample.wall_cycles == 1000.0
+
+    def test_null_reader_contract(self):
+        counts, cyc = NullPmuReader(3).read()
+        assert counts.shape == (3, N_EVENTS)
+        assert cyc == 0.0
+
+    def test_identity_properties(self, platform):
+        assert platform.n_cores == N_CORES
+        assert platform.llc_ways == LLC_WAYS
+        assert platform.cycles_per_second == pytest.approx(2.1e9)
+        assert platform.full_cbm() == (1 << LLC_WAYS) - 1

@@ -1,0 +1,108 @@
+"""Resctrl filesystem protocol against a fake /sys/fs/resctrl."""
+
+import pytest
+
+from repro.platform.resctrl import ResctrlError, ResctrlFs, format_cpu_list, parse_cpu_list
+
+
+@pytest.fixture
+def fs(tmp_path):
+    """A fake resctrl mount with the files the kernel would provide."""
+    root = tmp_path / "resctrl"
+    root.mkdir()
+    (root / "schemata").write_text("L3:0=fffff\n")
+    (root / "cpus_list").write_text("0-7\n")
+    return ResctrlFs(root)
+
+
+class TestCpuListSyntax:
+    @pytest.mark.parametrize(
+        "cpus,text",
+        [([0], "0"), ([0, 1, 2], "0-2"), ([0, 2, 3, 4, 7], "0,2-4,7"), ([], "")],
+    )
+    def test_format(self, cpus, text):
+        assert format_cpu_list(cpus) == text
+
+    @pytest.mark.parametrize(
+        "text,cpus",
+        [("0", [0]), ("0-2", [0, 1, 2]), ("0,2-4,7", [0, 2, 3, 4, 7]), ("", []), ("3,1", [1, 3])],
+    )
+    def test_parse(self, text, cpus):
+        assert parse_cpu_list(text) == cpus
+
+    def test_roundtrip(self):
+        cpus = [0, 1, 5, 6, 7, 11]
+        assert parse_cpu_list(format_cpu_list(cpus)) == cpus
+
+    def test_format_dedupes_and_sorts(self):
+        assert format_cpu_list([3, 1, 3, 2]) == "1-3"
+
+
+class TestGroups:
+    def test_available(self, fs, tmp_path):
+        assert fs.available()
+        assert not ResctrlFs(tmp_path / "nope").available()
+
+    def test_create_and_list(self, fs):
+        fs.create_group("cmm_clos1")
+        fs.create_group("cmm_clos2")
+        assert fs.list_groups() == ["cmm_clos1", "cmm_clos2"]
+
+    def test_info_dirs_excluded(self, fs):
+        (fs.root / "info").mkdir()
+        (fs.root / "mon_groups").mkdir()
+        fs.create_group("g")
+        assert fs.list_groups() == ["g"]
+
+    def test_remove(self, fs):
+        fs.create_group("g")
+        fs.remove_group("g")
+        assert fs.list_groups() == []
+
+    def test_remove_root_refused(self, fs):
+        with pytest.raises(ResctrlError):
+            fs.remove_group("")  # "" resolves inside root; name invalid anyway
+
+    def test_bad_names_rejected(self, fs):
+        for bad in ("a/b", ".", ".."):
+            with pytest.raises(ResctrlError):
+                fs.group_path(bad)
+
+
+class TestSchemata:
+    def test_read_root_cbm(self, fs):
+        assert fs.read_l3_cbm(None) == 0xFFFFF
+
+    def test_write_then_read(self, fs):
+        fs.write_l3_cbm(None, 0x3F)
+        assert fs.read_l3_cbm(None) == 0x3F
+        assert (fs.root / "schemata").read_text() == "L3:0=3f\n"
+
+    def test_group_schemata(self, fs):
+        fs.create_group("g")
+        fs.write_l3_cbm("g", 0x7)
+        assert fs.read_l3_cbm("g") == 0x7
+        assert fs.read_l3_cbm(None) == 0xFFFFF  # root untouched
+
+    def test_multi_domain_line(self, fs):
+        (fs.root / "schemata").write_text("L3:0=f;1=ff\n")
+        assert ResctrlFs(fs.root, cache_id=1).read_l3_cbm(None) == 0xFF
+
+    def test_missing_domain_raises(self, fs):
+        with pytest.raises(ResctrlError):
+            ResctrlFs(fs.root, cache_id=3).read_l3_cbm(None)
+
+    def test_zero_cbm_rejected(self, fs):
+        with pytest.raises(ResctrlError):
+            fs.write_l3_cbm(None, 0)
+
+
+class TestCpus:
+    def test_assign_and_read(self, fs):
+        fs.create_group("g")
+        fs.assign_cpus("g", [1, 2, 3, 6])
+        assert fs.read_cpus("g") == [1, 2, 3, 6]
+        assert (fs.root / "g" / "cpus_list").read_text() == "1-3,6\n"
+
+    def test_read_root_cpus(self, fs):
+        assert fs.read_cpus(None) == list(range(8))

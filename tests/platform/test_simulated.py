@@ -1,0 +1,47 @@
+"""SimulatedPlatform adapter."""
+
+import pytest
+
+from repro.platform.simulated import SimulatedPlatform
+from repro.sim.machine import Machine
+from repro.sim.pmu import Event
+from tests.conftest import make_seq_trace
+
+
+@pytest.fixture
+def platform(tiny_params):
+    m = Machine(tiny_params, quantum=256)
+    m.attach_trace(0, make_seq_trace())
+    return SimulatedPlatform(m)
+
+
+class TestSimulatedPlatform:
+    def test_identity(self, platform, tiny_params):
+        assert platform.n_cores == tiny_params.n_cores
+        assert platform.llc_ways == tiny_params.llc.ways
+        assert platform.cycles_per_second == tiny_params.cycles_per_second
+
+    def test_prefetch_mask_roundtrip(self, platform):
+        platform.set_prefetch_mask(0, 0xF)
+        assert platform.prefetch_mask(0) == 0xF
+
+    def test_partitions_forwarded_to_cat(self, platform):
+        platform.set_clos_cbm(1, 0b11)
+        platform.assign_core_clos(0, 1)
+        assert platform.machine.cat.allowed_ways(0) == (0, 1)
+
+    def test_reset_partitions(self, platform):
+        platform.set_clos_cbm(1, 0b11)
+        platform.assign_core_clos(0, 1)
+        platform.reset_partitions()
+        assert platform.machine.cat.core_clos(0) == 0
+
+    def test_run_interval_returns_delta_only(self, platform):
+        s1 = platform.run_interval(500)
+        s2 = platform.run_interval(500)
+        assert s1.get(0, Event.L1_DM_REQ) == 500
+        assert s2.get(0, Event.L1_DM_REQ) == 500  # delta, not cumulative
+
+    def test_set_all_prefetchers(self, platform):
+        platform.set_all_prefetchers(0xF)
+        assert all(platform.prefetch_mask(c) == 0xF for c in range(platform.n_cores))

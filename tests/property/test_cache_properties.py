@@ -1,0 +1,98 @@
+"""Hypothesis properties of the cache models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import Cache, PartitionedCache, ways_from_mask
+from repro.sim.params import CacheGeometry
+
+GEOM = CacheGeometry(8 * 4 * 64, 4)  # 8 sets x 4 ways
+
+lines = st.integers(min_value=0, max_value=1 << 20)
+accesses = st.lists(st.tuples(lines, st.booleans()), min_size=1, max_size=300)
+
+
+class TestCacheProperties:
+    @given(accesses)
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, seq):
+        c = Cache(GEOM)
+        for line, pf in seq:
+            c.access(line, pf)
+        assert c.occupancy() <= GEOM.lines
+        # and per-set bound
+        for s in c._sets:
+            assert len(s) <= GEOM.ways
+
+    @given(accesses)
+    @settings(max_examples=60, deadline=None)
+    def test_access_after_access_hits(self, seq):
+        """Immediately repeated access always hits (MRU is safe)."""
+        c = Cache(GEOM)
+        for line, pf in seq:
+            c.access(line, pf)
+            assert c.access(line) is True
+
+    @given(accesses)
+    @settings(max_examples=60, deadline=None)
+    def test_stats_consistent(self, seq):
+        c = Cache(GEOM)
+        for line, pf in seq:
+            c.access(line, pf)
+        st_ = c.stats
+        assert st_.hits + st_.misses == st_.accesses
+        assert st_.pref_used + st_.pref_evicted_unused <= st_.pref_fills
+
+    @given(accesses)
+    @settings(max_examples=60, deadline=None)
+    def test_probe_matches_recent_fill(self, seq):
+        c = Cache(GEOM)
+        for line, pf in seq:
+            c.access(line, pf)
+        last_line = seq[-1][0]
+        assert c.probe(last_line)
+
+
+masks = st.integers(min_value=1, max_value=(1 << 4) - 1)
+
+
+class TestPartitionedCacheProperties:
+    @given(st.lists(st.tuples(lines, masks, st.booleans()), min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_fills_only_into_allowed_ways(self, seq):
+        p = PartitionedCache(GEOM)
+        filled_by_mask: dict[int, int] = {}
+        for line, mask, pf in seq:
+            allowed = ways_from_mask(mask, GEOM.ways)
+            p.access(line, allowed, pf)
+            w = p.resident_way(line)
+            assert w is not None
+            filled_by_mask[line] = filled_by_mask.get(line, mask) | mask
+        # every resident line sits in a way some accessor was allowed to use
+        for si in range(p.n_sets):
+            for w, tag in enumerate(p._tags[si]):
+                if tag != -1:
+                    assert filled_by_mask.get(tag, 0) >> w & 1
+
+    @given(st.lists(st.tuples(lines, masks, st.booleans()), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_index_matches_tags(self, seq):
+        p = PartitionedCache(GEOM)
+        for line, mask, pf in seq:
+            p.access(line, ways_from_mask(mask, GEOM.ways), pf)
+        for si in range(p.n_sets):
+            idx = p._index[si]
+            tags = p._tags[si]
+            assert len(idx) == sum(1 for t in tags if t != -1)
+            for tag, w in idx.items():
+                assert tags[w] == tag
+
+    @given(st.lists(st.tuples(lines, st.booleans()), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_full_mask_behaves_like_plain_lru(self, seq):
+        """With the full mask, hit/miss stream equals the plain Cache."""
+        plain = Cache(GEOM)
+        part = PartitionedCache(GEOM)
+        allowed = tuple(range(GEOM.ways))
+        for line, pf in seq:
+            assert plain.access(line, pf) == part.access(line, allowed, pf)

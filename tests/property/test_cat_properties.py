@@ -1,0 +1,59 @@
+"""Hypothesis properties of CAT masks and the Dunn way assignment."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dunn import dunn_way_assignment
+from repro.core.partitioning import partition_ways
+from repro.sim.cat import is_contiguous_mask, low_ways_mask
+from repro.sim.cache import ways_from_mask
+
+
+class TestMaskProperties:
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=100, deadline=None)
+    def test_low_ways_mask_contiguous_and_sized(self, n, total):
+        mask = low_ways_mask(n, total)
+        assert is_contiguous_mask(mask)
+        assert mask.bit_count() == min(max(n, 1), total)
+
+    @given(st.integers(min_value=1, max_value=(1 << 20) - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_ways_from_mask_matches_popcount(self, mask):
+        ways = ways_from_mask(mask, 20)
+        assert len(ways) == mask.bit_count()
+        for w in ways:
+            assert mask >> w & 1
+
+
+class TestPartitionSizing:
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=2, max_value=20))
+    @settings(max_examples=100, deadline=None)
+    def test_partition_ways_within_bounds(self, n_cores, total):
+        w = partition_ways(n_cores, total)
+        assert 1 <= w <= total - 1 or total == 1
+
+
+stall_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False), min_size=1, max_size=8
+)
+
+
+class TestDunnProperties:
+    @given(stall_lists, st.integers(min_value=4, max_value=20))
+    @settings(max_examples=100, deadline=None)
+    def test_assignment_monotone_and_topped(self, stalls, total):
+        stalls = sorted(stalls)
+        ways = dunn_way_assignment(stalls, total)
+        assert ways == sorted(ways)
+        assert ways[-1] == total
+        assert all(1 <= w <= total for w in ways)
+
+    @given(stall_lists, st.integers(min_value=4, max_value=20))
+    @settings(max_examples=100, deadline=None)
+    def test_nested_masks(self, stalls, total):
+        stalls = sorted(stalls)
+        ways = dunn_way_assignment(stalls, total)
+        masks = [low_ways_mask(w, total) for w in ways]
+        for small, large in zip(masks, masks[1:]):
+            assert small & large == small

@@ -1,0 +1,59 @@
+"""Hypothesis properties of 1-D k-means."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kmeans import cluster_groups, kmeans1d
+
+values = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=32,
+)
+ks = st.integers(min_value=1, max_value=6)
+
+
+class TestKmeansProperties:
+    @given(values, ks)
+    @settings(max_examples=80, deadline=None)
+    def test_labels_valid_and_clusters_nonempty(self, vals, k):
+        labels, centers = kmeans1d(vals, k)
+        assert len(labels) == len(vals)
+        assert set(labels) == set(range(len(centers)))
+
+    @given(values, ks)
+    @settings(max_examples=80, deadline=None)
+    def test_centers_sorted(self, vals, k):
+        _, centers = kmeans1d(vals, k)
+        assert (np.diff(centers) >= 0).all()
+
+    @given(values, ks)
+    @settings(max_examples=80, deadline=None)
+    def test_at_most_k_clusters(self, vals, k):
+        _, centers = kmeans1d(vals, k)
+        assert 1 <= len(centers) <= k
+
+    @given(values, ks)
+    @settings(max_examples=80, deadline=None)
+    def test_each_point_assigned_to_nearest_center(self, vals, k):
+        labels, centers = kmeans1d(vals, k)
+        for v, l in zip(vals, labels):
+            dists = np.abs(centers - v)
+            assert dists[l] <= dists.min() + 1e-9
+
+    @given(values, ks)
+    @settings(max_examples=80, deadline=None)
+    def test_cluster_groups_partition_indices(self, vals, k):
+        groups = cluster_groups(vals, k)
+        flat = sorted(i for g in groups for i in g)
+        assert flat == list(range(len(vals)))
+        assert all(groups)
+
+    @given(values, ks)
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, vals, k):
+        a_labels, a_centers = kmeans1d(vals, k)
+        b_labels, b_centers = kmeans1d(vals, k)
+        assert list(a_labels) == list(b_labels)
+        assert list(a_centers) == list(b_centers)

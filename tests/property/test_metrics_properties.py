@@ -1,0 +1,68 @@
+"""Hypothesis properties of the system-level metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.speedup import (
+    harmonic_mean,
+    harmonic_speedup,
+    normalized_ipcs,
+    weighted_speedup,
+    worst_case_speedup,
+)
+
+pos = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+pairs = st.integers(min_value=1, max_value=12).flatmap(
+    lambda n: st.tuples(
+        st.lists(pos, min_size=n, max_size=n), st.lists(pos, min_size=n, max_size=n)
+    )
+)
+
+
+class TestMetricProperties:
+    @given(pairs)
+    @settings(max_examples=100, deadline=None)
+    def test_hs_bounded_by_min_and_max_ratio(self, pair):
+        together, alone = pair
+        ratios = normalized_ipcs(together, alone)
+        hs = harmonic_speedup(together, alone)
+        assert ratios.min() - 1e-9 <= hs <= ratios.max() + 1e-9
+
+    @given(pairs)
+    @settings(max_examples=100, deadline=None)
+    def test_hs_le_ws(self, pair):
+        """Harmonic mean never exceeds arithmetic mean of the ratios."""
+        together, alone = pair
+        assert harmonic_speedup(together, alone) <= weighted_speedup(together, alone) + 1e-9
+
+    @given(pairs)
+    @settings(max_examples=100, deadline=None)
+    def test_worst_le_hs(self, pair):
+        together, alone = pair
+        assert worst_case_speedup(together, alone) <= harmonic_speedup(together, alone) + 1e-9
+
+    @given(pairs, pos)
+    @settings(max_examples=60, deadline=None)
+    def test_scale_invariance(self, pair, scale):
+        """Scaling both runs by the same factor changes nothing."""
+        together, alone = pair
+        scaled = [t * scale for t in together]
+        ref = [a * scale for a in alone]
+        np.testing.assert_allclose(
+            harmonic_speedup(scaled, ref), harmonic_speedup(together, alone), rtol=1e-6
+        )
+
+    @given(st.lists(pos, min_size=1, max_size=16))
+    @settings(max_examples=100, deadline=None)
+    def test_harmonic_mean_bounds(self, vals):
+        hm = harmonic_mean(vals)
+        assert min(vals) - 1e-9 <= hm <= max(vals) + 1e-9
+
+    @given(pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_identity_run_scores_one(self, pair):
+        _, alone = pair
+        assert harmonic_speedup(alone, alone) == 1.0
+        assert weighted_speedup(alone, alone) == 1.0
+        assert worst_case_speedup(alone, alone) == 1.0

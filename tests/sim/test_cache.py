@@ -1,0 +1,224 @@
+"""LRU behaviour, CAT way masking, and prefetch-bit accounting."""
+
+import pytest
+
+from repro.sim.cache import Cache, PartitionedCache, ways_from_mask
+from repro.sim.params import CacheGeometry
+
+
+def geom(sets: int, ways: int) -> CacheGeometry:
+    return CacheGeometry(sets * ways * 64, ways)
+
+
+class TestCacheBasics:
+    def test_miss_then_hit(self):
+        c = Cache(geom(4, 2))
+        assert c.access(10) is False
+        assert c.access(10) is True
+
+    def test_distinct_sets_do_not_conflict(self):
+        c = Cache(geom(4, 1))
+        assert c.access(0) is False
+        assert c.access(1) is False  # different set
+        assert c.access(0) is True
+        assert c.access(1) is True
+
+    def test_lru_eviction_order(self):
+        c = Cache(geom(1, 2))  # one set, two ways
+        c.access(0)
+        c.access(1)
+        c.access(0)       # 1 is now LRU
+        c.access(2)       # evicts 1
+        assert c.probe(0)
+        assert not c.probe(1)
+        assert c.probe(2)
+
+    def test_hit_refreshes_lru(self):
+        c = Cache(geom(1, 2))
+        c.access(0)
+        c.access(1)
+        c.access(0)
+        c.access(1)  # order now: 1 MRU, 0 LRU
+        c.access(2)  # evicts 0
+        assert not c.probe(0)
+        assert c.probe(1)
+
+    def test_occupancy_bounded_by_capacity(self):
+        g = geom(4, 2)
+        c = Cache(g)
+        for line in range(100):
+            c.access(line)
+        assert c.occupancy() <= g.lines
+
+    def test_probe_does_not_change_state(self):
+        c = Cache(geom(1, 2))
+        c.access(0)
+        c.access(1)
+        c.probe(0)   # must NOT refresh 0's LRU position
+        c.access(2)  # evicts 0 (still LRU despite probe)
+        assert not c.probe(0)
+
+    def test_flush_empties(self):
+        c = Cache(geom(4, 2))
+        c.access(1)
+        c.flush()
+        assert c.occupancy() == 0
+        assert not c.probe(1)
+
+    def test_stats_counts(self):
+        c = Cache(geom(4, 2))
+        c.access(1)
+        c.access(1)
+        c.access(2)
+        assert c.stats.accesses == 3
+        assert c.stats.hits == 1
+        assert c.stats.misses == 2
+
+
+class TestCachePrefetchAccounting:
+    def test_used_prefetch_counted(self):
+        c = Cache(geom(4, 2))
+        c.access(5, is_prefetch=True)
+        assert c.stats.pref_fills == 1
+        c.access(5)  # demand use
+        assert c.stats.pref_used == 1
+        assert c.stats.prefetch_accuracy == 1.0
+
+    def test_unused_prefetch_eviction_counted(self):
+        c = Cache(geom(1, 1))
+        c.access(3, is_prefetch=True)
+        c.access(4)  # evicts the never-used prefetch
+        assert c.stats.pref_evicted_unused == 1
+        assert c.stats.prefetch_accuracy == 0.0
+
+    def test_prefetch_hit_does_not_consume_used_bit(self):
+        c = Cache(geom(4, 2))
+        c.access(5, is_prefetch=True)
+        c.access(5, is_prefetch=True)  # second prefetch hit: not a demand use
+        assert c.stats.pref_used == 0
+        c.access(5)
+        assert c.stats.pref_used == 1
+
+
+class TestWaysFromMask:
+    def test_full_mask(self):
+        assert ways_from_mask(0xF, 4) == (0, 1, 2, 3)
+
+    def test_partial_mask(self):
+        assert ways_from_mask(0b0110, 4) == (1, 2)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ways_from_mask(0, 4)
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            ways_from_mask(0x1F, 4)
+
+
+class TestPartitionedCache:
+    def test_miss_then_hit(self):
+        p = PartitionedCache(geom(4, 4))
+        ways = (0, 1, 2, 3)
+        assert p.access(9, ways) is False
+        assert p.access(9, ways) is True
+
+    def test_fill_restricted_to_allowed_ways(self):
+        p = PartitionedCache(geom(1, 4))
+        for line in range(0, 12):
+            p.access(line, (0, 1))
+        # Only ways 0 and 1 were ever filled.
+        for line in range(12):
+            w = p.resident_way(line)
+            assert w in (None, 0, 1)
+        assert p.occupancy() == 2
+
+    def test_hit_allowed_in_any_way(self):
+        p = PartitionedCache(geom(1, 4))
+        p.access(7, (3,))         # core A fills way 3
+        assert p.access(7, (0, 1)) is True  # core B hits it anyway
+
+    def test_lru_victim_among_allowed_ways(self):
+        p = PartitionedCache(geom(1, 4))
+        p.access(1, (0, 1))
+        p.access(2, (0, 1))
+        p.access(1, (0, 1))      # 2 is LRU of the allowed pair
+        p.access(3, (0, 1))      # must evict 2
+        assert p.probe(1)
+        assert not p.probe(2)
+        assert p.probe(3)
+
+    def test_partition_isolation(self):
+        """A core confined to its ways cannot evict another's lines."""
+        p = PartitionedCache(geom(1, 4))
+        p.access(100, (0, 1))
+        p.access(101, (0, 1))
+        for line in range(50):
+            p.access(200 + line, (2, 3))
+        assert p.probe(100)
+        assert p.probe(101)
+
+    def test_overlapping_masks_share_ways(self):
+        p = PartitionedCache(geom(1, 2))
+        p.access(1, (0, 1))
+        p.access(2, (0, 1))
+        p.access(3, (0,))    # overlapping partition evicts from way 0
+        assert p.occupancy() == 2
+
+    def test_empty_allowed_ways_rejected(self):
+        p = PartitionedCache(geom(1, 2))
+        with pytest.raises(ValueError):
+            p.access(1, ())
+
+    def test_occupancy_in_ways(self):
+        p = PartitionedCache(geom(2, 4))
+        p.access(0, (0, 1))
+        p.access(1, (0, 1))
+        assert p.occupancy_in_ways((0, 1)) == 2
+        assert p.occupancy_in_ways((2, 3)) == 0
+
+    def test_flush(self):
+        p = PartitionedCache(geom(2, 2))
+        p.access(5, (0, 1), is_prefetch=True)
+        p.flush()
+        assert p.occupancy() == 0
+        assert not p.probe(5)
+
+    def test_prefetch_accuracy_tracking(self):
+        p = PartitionedCache(geom(2, 2))
+        p.access(4, (0, 1), is_prefetch=True)
+        p.access(4, (0, 1))
+        assert p.stats.pref_used == 1
+        assert p.stats.prefetch_accuracy == 1.0
+
+
+class TestTouchUsed:
+    def test_touch_consumes_used_bit(self):
+        c = Cache(geom(4, 2))
+        c.access(5, is_prefetch=True)
+        assert c.touch_used(5) is True
+        assert c.stats.pref_used == 1
+        # later demand access must not double count
+        c.access(5)
+        assert c.stats.pref_used == 1
+
+    def test_touch_missing_line(self):
+        c = Cache(geom(4, 2))
+        assert c.touch_used(9) is False
+        assert c.stats.pref_used == 0
+
+    def test_touch_refreshes_lru(self):
+        c = Cache(geom(1, 2))
+        c.access(0)
+        c.access(1)
+        c.touch_used(0)   # 0 becomes MRU
+        c.access(2)       # evicts 1
+        assert c.probe(0)
+        assert not c.probe(1)
+
+    def test_touch_counts_no_access(self):
+        c = Cache(geom(4, 2))
+        c.access(5)
+        before = c.stats.accesses
+        c.touch_used(5)
+        assert c.stats.accesses == before

@@ -1,0 +1,101 @@
+"""CAT controller: CBM validation, associations, resctrl semantics."""
+
+import pytest
+
+from repro.sim.cat import CatController, full_mask, is_contiguous_mask, low_ways_mask
+
+
+class TestMaskHelpers:
+    def test_full_mask(self):
+        assert full_mask(20) == 0xFFFFF
+        assert full_mask(4) == 0xF
+
+    def test_low_ways_mask(self):
+        assert low_ways_mask(3, 20) == 0b111
+
+    def test_low_ways_mask_clamps(self):
+        assert low_ways_mask(0, 4) == 0b1     # at least one way
+        assert low_ways_mask(99, 4) == 0xF    # at most all ways
+
+    @pytest.mark.parametrize("mask", [0b1, 0b11, 0b1110, 0b11000, full_mask(20)])
+    def test_contiguous_accepted(self, mask):
+        assert is_contiguous_mask(mask)
+
+    @pytest.mark.parametrize("mask", [0, 0b101, 0b1001, 0b110011, -4])
+    def test_non_contiguous_rejected(self, mask):
+        assert not is_contiguous_mask(mask)
+
+
+class TestCatController:
+    def test_default_full_mask_all_cores_clos0(self):
+        cat = CatController(20, 8)
+        for core in range(8):
+            assert cat.core_clos(core) == 0
+            assert cat.allowed_ways(core) == tuple(range(20))
+
+    def test_set_cbm_and_assign(self):
+        cat = CatController(20, 8)
+        cat.set_cbm(1, 0b111)
+        cat.assign_core(3, 1)
+        assert cat.allowed_ways(3) == (0, 1, 2)
+        assert cat.allowed_ways(0) == tuple(range(20))
+
+    def test_rejects_non_contiguous_cbm(self):
+        cat = CatController(20, 8)
+        with pytest.raises(ValueError, match="contiguous"):
+            cat.set_cbm(1, 0b101)
+
+    def test_rejects_oversized_cbm(self):
+        cat = CatController(4, 2)
+        with pytest.raises(ValueError, match="exceeds"):
+            cat.set_cbm(1, 0x1F)
+
+    def test_min_cbm_bits_enforced(self):
+        cat = CatController(20, 8, min_cbm_bits=2)
+        with pytest.raises(ValueError, match="fewer"):
+            cat.set_cbm(1, 0b1)
+        cat.set_cbm(1, 0b11)  # ok
+
+    def test_clos_bounds(self):
+        cat = CatController(4, 2, n_clos=2)
+        with pytest.raises(IndexError):
+            cat.set_cbm(2, 0b11)
+        with pytest.raises(IndexError):
+            cat.assign_core(0, 5)
+
+    def test_core_bounds(self):
+        cat = CatController(4, 2)
+        with pytest.raises(IndexError):
+            cat.assign_core(2, 0)
+
+    def test_allowed_ways_cache_invalidated_on_cbm_change(self):
+        cat = CatController(8, 1)
+        cat.assign_core(0, 1)
+        cat.set_cbm(1, 0b11)
+        assert cat.allowed_ways(0) == (0, 1)
+        cat.set_cbm(1, 0b1100)
+        assert cat.allowed_ways(0) == (2, 3)
+
+    def test_reset_restores_defaults(self):
+        cat = CatController(8, 2)
+        cat.set_cbm(1, 0b11)
+        cat.assign_core(0, 1)
+        cat.reset()
+        assert cat.core_clos(0) == 0
+        assert cat.get_cbm(1) == full_mask(8)
+        assert cat.allowed_ways(0) == tuple(range(8))
+
+    def test_schemata_lists_used_clos(self):
+        cat = CatController(8, 3)
+        cat.set_cbm(2, 0b111)
+        cat.assign_core(1, 2)
+        sch = cat.schemata()
+        assert sch == {0: full_mask(8), 2: 0b111}
+
+    def test_overlapping_masks_allowed(self):
+        cat = CatController(8, 2)
+        cat.set_cbm(1, 0b0011)
+        cat.set_cbm(2, 0b0111)  # overlaps CLOS 1 — CAT permits this
+        cat.assign_core(0, 1)
+        cat.assign_core(1, 2)
+        assert set(cat.allowed_ways(0)) <= set(cat.allowed_ways(1))

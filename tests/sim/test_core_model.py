@@ -1,0 +1,91 @@
+"""Per-quantum timing solver."""
+
+import numpy as np
+import pytest
+
+from repro.sim.core_model import QuantumCounts, solve_quantum
+from repro.sim.memory import DramModel
+from repro.sim.params import MachineParams
+
+
+@pytest.fixture
+def params():
+    return MachineParams()
+
+
+def solve(params, counts, ipm=None, mlp=None, active=None):
+    n = len(counts)
+    return solve_quantum(
+        params,
+        DramModel(params),
+        counts,
+        ipm or [4.0] * n,
+        mlp or [4.0] * n,
+        active if active is not None else [True] * n,
+    )
+
+
+class TestSolveQuantum:
+    def test_pure_exec_cycles(self, params):
+        c = QuantumCounts(n_access=1000)
+        t = solve(params, [c], ipm=[4.0])
+        expected = 1000 * 5 * params.cpi_exec
+        assert t.cycles[0] == pytest.approx(expected)
+        assert t.stalls_l2_pending[0] == pytest.approx(0.0)
+
+    def test_l2_hits_add_stall(self, params):
+        base = solve(params, [QuantumCounts(n_access=1000)]).cycles[0]
+        t = solve(params, [QuantumCounts(n_access=1000, n_l2_hit_d=100)])
+        assert t.cycles[0] == pytest.approx(base + 100 * params.lat_l2 / 4.0)
+
+    def test_llc_hits_counted_in_l2_pending_stalls(self, params):
+        t = solve(params, [QuantumCounts(n_access=1000, n_llc_hit_d=50)])
+        assert t.stalls_l2_pending[0] == pytest.approx(50 * params.lat_llc / 4.0)
+
+    def test_memory_latency_scales_with_queue_factor(self, params):
+        light = QuantumCounts(n_access=1000, n_mem_d=100, demand_bytes=100 * 64.0)
+        t_light = solve(params, [light])
+        heavy = QuantumCounts(n_access=1000, n_mem_d=800, demand_bytes=800 * 64.0)
+        t_heavy = solve(params, [heavy])
+        assert t_heavy.queue_factor[0] > t_light.queue_factor[0]
+
+    def test_higher_mlp_fewer_stall_cycles(self, params):
+        c = QuantumCounts(n_access=1000, n_mem_d=200, demand_bytes=200 * 64.0)
+        t_low = solve(params, [c], mlp=[1.0])
+        t_high = solve(params, [c], mlp=[8.0])
+        assert t_high.cycles[0] < t_low.cycles[0]
+
+    def test_prefetch_bytes_raise_queue_factor_without_direct_stall(self, params):
+        no_pf = QuantumCounts(n_access=1000, n_mem_d=100, demand_bytes=6400.0)
+        with_pf = QuantumCounts(
+            n_access=1000, n_mem_d=100, demand_bytes=6400.0, pref_bytes=80_000.0
+        )
+        t0 = solve(params, [no_pf])
+        t1 = solve(params, [with_pf])
+        assert t1.queue_factor[0] > t0.queue_factor[0]
+        assert t1.cycles[0] > t0.cycles[0]
+
+    def test_shared_bandwidth_couples_cores(self, params):
+        quiet = QuantumCounts(n_access=1000, n_mem_d=50, demand_bytes=50 * 64.0)
+        noisy = QuantumCounts(n_access=1000, n_mem_d=50, demand_bytes=50 * 64.0,
+                              pref_bytes=500_000.0)
+        t_alone = solve(params, [quiet, QuantumCounts()], active=[True, False])
+        t_corun = solve(params, [quiet, noisy])
+        assert t_corun.cycles[0] > t_alone.cycles[0]
+
+    def test_idle_core_minimal_cycles(self, params):
+        t = solve(params, [QuantumCounts(), QuantumCounts(n_access=100)], active=[False, True])
+        assert t.cycles[0] == pytest.approx(1.0)
+
+    def test_machine_cycles_mean_of_active(self, params):
+        counts = [QuantumCounts(n_access=1000), QuantumCounts(n_access=2000)]
+        t = solve(params, counts)
+        assert t.machine_cycles == pytest.approx(float(t.cycles.mean()))
+
+    def test_alignment_check(self, params):
+        with pytest.raises(ValueError):
+            solve_quantum(params, DramModel(params), [QuantumCounts()], [1.0], [1.0, 2.0], [True])
+
+    def test_total_bytes_property(self):
+        c = QuantumCounts(demand_bytes=10.0, pref_bytes=5.0)
+        assert c.total_bytes == 15.0

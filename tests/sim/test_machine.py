@@ -1,0 +1,168 @@
+"""Machine integration: pipeline wiring, PMU accounting, control surfaces."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cat import low_ways_mask
+from repro.sim.machine import Machine
+from repro.sim.params import CacheGeometry, MachineParams
+from repro.sim.pmu import Event
+from tests.conftest import make_random_trace, make_seq_trace
+
+
+class TestSetup:
+    def test_idle_machine_runs_nothing(self, tiny_machine):
+        tiny_machine.run_accesses(1000)
+        assert tiny_machine.pmu.counts.sum() == 0
+
+    def test_attach_and_idle(self, tiny_machine):
+        tiny_machine.attach_trace(0, make_seq_trace())
+        assert tiny_machine.active_cores() == [0]
+        tiny_machine.set_idle(0)
+        assert tiny_machine.active_cores() == []
+
+    def test_core_base_lines_disjoint(self, tiny_machine):
+        assert tiny_machine.core_base_line(1) - tiny_machine.core_base_line(0) >= 1 << 30
+
+    def test_rejects_bad_quantum(self, tiny_params):
+        with pytest.raises(ValueError):
+            Machine(tiny_params, quantum=0)
+
+
+class TestPmuAccounting:
+    def test_instruction_count_matches_trace(self, tiny_machine):
+        tiny_machine.attach_trace(0, make_seq_trace(ipm=4.0))
+        tiny_machine.run_accesses(1000)
+        inst = tiny_machine.pmu.read(0, Event.INSTRUCTIONS)
+        assert inst == pytest.approx(1000 * 5.0)
+
+    def test_l1_requests_counted(self, tiny_machine):
+        tiny_machine.attach_trace(0, make_seq_trace())
+        tiny_machine.run_accesses(500)
+        assert tiny_machine.pmu.read(0, Event.L1_DM_REQ) == 500
+
+    def test_miss_hierarchy_conservation(self, tiny_machine):
+        """L2 demand requests = L1 demand misses; L2 misses <= L2 requests."""
+        tiny_machine.attach_trace(0, make_random_trace())
+        tiny_machine.run_accesses(2000)
+        pmu = tiny_machine.pmu
+        assert pmu.read(0, Event.L2_DM_REQ) == pmu.read(0, Event.L1_DM_MISS)
+        assert pmu.read(0, Event.L2_DM_MISS) <= pmu.read(0, Event.L2_DM_REQ)
+        assert pmu.read(0, Event.L2_PREF_MISS) <= pmu.read(0, Event.L2_PREF_REQ)
+
+    def test_demand_bytes_match_l3_misses(self, tiny_machine):
+        tiny_machine.attach_trace(0, make_random_trace())
+        tiny_machine.run_accesses(2000)
+        pmu = tiny_machine.pmu
+        assert pmu.read(0, Event.MEM_DEMAND_BYTES) == pytest.approx(
+            pmu.read(0, Event.L3_LOAD_MISS) * 64
+        )
+
+    def test_dram_accounting_matches_pmu(self, tiny_machine):
+        tiny_machine.attach_trace(0, make_random_trace())
+        tiny_machine.run_accesses(1000)
+        pmu = tiny_machine.pmu
+        assert tiny_machine.dram.total_demand_bytes == pytest.approx(
+            pmu.read(0, Event.MEM_DEMAND_BYTES)
+        )
+        assert tiny_machine.dram.total_pref_bytes == pytest.approx(
+            pmu.read(0, Event.MEM_PREF_BYTES)
+        )
+
+    def test_wall_cycles_advance(self, tiny_machine):
+        tiny_machine.attach_trace(0, make_seq_trace())
+        tiny_machine.run_accesses(100)
+        assert tiny_machine.pmu.wall_cycles > 0
+
+
+class TestPrefetchControl:
+    def test_msr_off_stops_prefetch_requests(self, tiny_machine):
+        tiny_machine.attach_trace(0, make_seq_trace())
+        tiny_machine.prefetch_msr.set_all_off(0)
+        tiny_machine.run_accesses(1000)
+        pmu = tiny_machine.pmu
+        assert pmu.read(0, Event.L2_PREF_REQ) == 0
+        assert pmu.read(0, Event.L1_PREF_REQ) == 0
+        assert pmu.read(0, Event.MEM_PREF_BYTES) == 0
+
+    def test_prefetching_improves_stream_ipc(self, tiny_params):
+        def run(mask):
+            m = Machine(tiny_params, quantum=256)
+            m.attach_trace(0, make_seq_trace(region=8192))
+            m.prefetch_msr.set_mask(0, mask)
+            m.run_accesses(4000)
+            s = m.pmu
+            return s.read(0, Event.INSTRUCTIONS) / s.read(0, Event.CYCLES)
+
+        assert run(0x0) > 1.25 * run(0xF)
+
+    def test_mask_change_mid_run_takes_effect(self, tiny_machine):
+        tiny_machine.attach_trace(0, make_seq_trace())
+        tiny_machine.run_accesses(500)
+        before = tiny_machine.pmu.read(0, Event.L2_PREF_REQ)
+        assert before > 0
+        tiny_machine.prefetch_msr.set_all_off(0)
+        tiny_machine.run_accesses(500)
+        assert tiny_machine.pmu.read(0, Event.L2_PREF_REQ) == before
+
+
+class TestPartitioningEffect:
+    def test_way_restriction_hurts_resident_working_set(self):
+        params = MachineParams(
+            n_cores=1,
+            l1=CacheGeometry(4 * 64 * 2, 2),
+            l2=CacheGeometry(8 * 64 * 2, 2),
+            llc=CacheGeometry(64 * 64 * 8, 8),
+        )
+
+        def run(ways):
+            m = Machine(params, quantum=256)
+            from repro.sim.trace import PointerChaseStream, TraceGenerator
+            rng = np.random.default_rng(5)
+            region = int(params.llc.lines * 0.8)
+            tr = TraceGenerator(
+                [PointerChaseStream(1, 0, region, rng, repeats=2)], [1.0],
+                inst_per_mem=4.0, mlp=2.0, seed=1,
+            )
+            m.attach_trace(0, tr)
+            if ways is not None:
+                m.cat.set_cbm(1, low_ways_mask(ways, 8))
+                m.cat.assign_core(0, 1)
+            m.run_accesses(region * 2 * 3)
+            s = m.pmu
+            return s.read(0, Event.INSTRUCTIONS) / s.read(0, Event.CYCLES)
+
+        assert run(None) > 1.2 * run(2)
+
+    def test_partition_protects_victim(self, tiny_params):
+        """Confining a thrashing core restores the victim's hit rate."""
+        def run(partition):
+            m = Machine(tiny_params, quantum=256)
+            from repro.sim.trace import PointerChaseStream, TraceGenerator
+            rng = np.random.default_rng(3)
+            region = int(tiny_params.llc.lines * 0.5)
+            victim = TraceGenerator(
+                [PointerChaseStream(1, 0, region, rng, repeats=2)], [1.0],
+                inst_per_mem=4.0, mlp=2.0, seed=1,
+            )
+            m.attach_trace(0, victim)
+            m.attach_trace(1, make_random_trace(m.core_base_line(1), region=100_000))
+            if partition:
+                m.cat.set_cbm(1, low_ways_mask(2, tiny_params.llc.ways))
+                m.cat.assign_core(1, 1)
+            m.run_accesses(region * 2 * 4)
+            return m.pmu.read(0, Event.L3_LOAD_MISS)
+
+        assert run(partition=True) < run(partition=False)
+
+
+class TestDeterminism:
+    def test_same_seed_same_counts(self, tiny_params):
+        def run():
+            m = Machine(tiny_params, quantum=256)
+            m.attach_trace(0, make_seq_trace(seed=9))
+            m.attach_trace(1, make_random_trace(m.core_base_line(1), seed=9))
+            m.run_accesses(1500)
+            return m.pmu.counts.copy()
+
+        np.testing.assert_array_equal(run(), run())

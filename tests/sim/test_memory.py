@@ -1,0 +1,61 @@
+"""DRAM queuing model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.memory import DramModel, RHO_CLIP
+from repro.sim.params import MachineParams
+
+
+@pytest.fixture
+def dram():
+    return DramModel(MachineParams())
+
+
+class TestQueueFactor:
+    def test_unloaded_is_one(self, dram):
+        assert dram.queue_factor(0.0) == pytest.approx(1.0)
+
+    def test_monotone_in_utilisation(self, dram):
+        rhos = np.linspace(0.0, 1.2, 30)
+        qf = np.asarray(dram.queue_factor(rhos))
+        assert (np.diff(qf) >= -1e-12).all()
+
+    def test_capped(self, dram):
+        assert dram.queue_factor(0.999) <= dram.params.max_queue_factor
+        assert dram.queue_factor(5.0) <= dram.params.max_queue_factor
+
+    def test_clip_region(self, dram):
+        assert dram.queue_factor(RHO_CLIP) == dram.queue_factor(2.0)
+
+
+class TestEffectiveFactor:
+    def test_idle_cores_low_factor(self, dram):
+        cb = np.zeros(4)
+        cyc = np.full(4, 1000.0)
+        qf = dram.effective_factor(cb, cyc, 1000.0)
+        np.testing.assert_allclose(qf, 1.0)
+
+    def test_socket_pressure_raises_everyone(self, dram):
+        # Total traffic near socket capacity inflates even a quiet core.
+        cb = np.array([30_000.0, 0.0])
+        cyc = np.full(2, 1000.0)
+        qf = dram.effective_factor(cb, cyc, 1000.0)
+        assert qf[1] > 1.5  # quiet core still queues at the controller
+
+    def test_per_core_pressure_local(self, dram):
+        # One core saturating its own fill bandwidth, socket mostly idle.
+        cb = np.array([3_900.0, 0.0])
+        cyc = np.full(2, 1000.0)
+        qf = dram.effective_factor(cb, cyc, 1000.0)
+        assert qf[0] > qf[1]
+        assert qf[1] == pytest.approx(
+            float(np.asarray(dram.queue_factor(3_900.0 / (dram.params.mem_bytes_per_cycle * 1000.0))))
+        )
+
+    def test_accounting(self, dram):
+        dram.account(100.0, 50.0)
+        dram.account(10.0, 5.0)
+        assert dram.total_demand_bytes == 110.0
+        assert dram.total_pref_bytes == 55.0
+        assert dram.total_bytes == 165.0

@@ -1,0 +1,101 @@
+"""MSR 0x1A4 emulation and bit layout."""
+
+import pytest
+
+from repro.sim.msr import (
+    BIT_DCU_IP_STRIDE,
+    BIT_DCU_NEXT_LINE,
+    BIT_L2_ADJACENT,
+    BIT_L2_STREAMER,
+    MSR_MISC_FEATURE_CONTROL,
+    MsrFile,
+    PF_ALL_OFF,
+    PF_ALL_ON,
+    PrefetchMsr,
+    enables_from_mask,
+    mask_from_enables,
+)
+
+
+class TestBitLayout:
+    def test_intel_documented_bits(self):
+        assert BIT_L2_STREAMER == 0
+        assert BIT_L2_ADJACENT == 1
+        assert BIT_DCU_NEXT_LINE == 2
+        assert BIT_DCU_IP_STRIDE == 3
+        assert MSR_MISC_FEATURE_CONTROL == 0x1A4
+
+    def test_all_on_off_constants(self):
+        assert PF_ALL_ON == 0x0
+        assert PF_ALL_OFF == 0xF
+
+    def test_roundtrip(self):
+        for mask in range(16):
+            en = enables_from_mask(mask)
+            assert mask_from_enables(**en) == mask
+
+    def test_enables_from_all_on(self):
+        en = enables_from_mask(PF_ALL_ON)
+        assert all(en.values())
+
+    def test_enables_from_all_off(self):
+        en = enables_from_mask(PF_ALL_OFF)
+        assert not any(en.values())
+
+    def test_single_bit_disables_streamer_only(self):
+        en = enables_from_mask(1 << BIT_L2_STREAMER)
+        assert not en["streamer"]
+        assert en["adjacent"] and en["next_line"] and en["stride"]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            enables_from_mask(0x10)
+
+
+class TestMsrFile:
+    def test_default_zero(self):
+        f = MsrFile(2)
+        assert f.read(0, 0x1A4) == 0
+
+    def test_write_read_per_cpu(self):
+        f = MsrFile(2)
+        f.write(0, 0x1A4, 0xF)
+        assert f.read(0, 0x1A4) == 0xF
+        assert f.read(1, 0x1A4) == 0  # other cpu untouched
+
+    def test_cpu_bounds(self):
+        f = MsrFile(1)
+        with pytest.raises(IndexError):
+            f.read(1, 0x1A4)
+        with pytest.raises(IndexError):
+            f.write(-1, 0x1A4, 0)
+
+    def test_rejects_negative_value(self):
+        with pytest.raises(ValueError):
+            MsrFile(1).write(0, 0x1A4, -1)
+
+
+class TestPrefetchMsr:
+    def test_set_get_mask(self):
+        p = PrefetchMsr(MsrFile(2))
+        p.set_mask(1, 0x5)
+        assert p.get_mask(1) == 0x5
+
+    def test_all_on_off_helpers(self):
+        p = PrefetchMsr(MsrFile(1))
+        p.set_all_off(0)
+        assert p.get_mask(0) == PF_ALL_OFF
+        p.set_all_on(0)
+        assert p.get_mask(0) == PF_ALL_ON
+
+    def test_enables_view(self):
+        p = PrefetchMsr(MsrFile(1))
+        p.set_mask(0, 1 << BIT_DCU_IP_STRIDE)
+        en = p.enables(0)
+        assert not en["stride"]
+        assert en["streamer"]
+
+    def test_mask_range_checked(self):
+        p = PrefetchMsr(MsrFile(1))
+        with pytest.raises(ValueError):
+            p.set_mask(0, 0x1F)

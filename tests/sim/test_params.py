@@ -1,0 +1,66 @@
+"""MachineParams / CacheGeometry validation and scaling."""
+
+import pytest
+
+from repro.sim.params import CacheGeometry, MachineParams, default_params, scaled_params
+
+
+class TestCacheGeometry:
+    def test_e5_llc_geometry(self):
+        g = CacheGeometry(20 * 1024 * 1024, 20)
+        assert g.sets == 16384
+        assert g.lines == 327680
+
+    def test_sets_and_lines(self):
+        g = CacheGeometry(32 * 1024, 8)
+        assert g.sets == 64
+        assert g.lines == 512
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            CacheGeometry(1000, 3)
+
+    def test_rejects_non_power_of_two_sets(self):
+        # 3 sets x 4 ways x 64B
+        with pytest.raises(ValueError, match="power of two"):
+            CacheGeometry(3 * 4 * 64, 4)
+
+
+class TestMachineParams:
+    def test_defaults_match_paper_processor(self):
+        p = default_params()
+        assert p.n_cores == 8
+        assert p.freq_ghz == 2.1
+        assert p.l1.size_bytes == 32 * 1024
+        assert p.l2.size_bytes == 256 * 1024
+        assert p.llc.size_bytes == 20 * 1024 * 1024
+        assert p.llc.ways == 20
+
+    def test_cycles_per_second(self):
+        assert default_params().cycles_per_second == pytest.approx(2.1e9)
+
+    def test_scaled_shrinks_llc_by_factor(self):
+        p = default_params().scaled(8)
+        assert p.llc.size_bytes == 20 * 1024 * 1024 // 8
+        assert p.llc.ways == 20  # associativity preserved
+
+    def test_scaled_private_caches_capped_at_4x(self):
+        p = default_params().scaled(16)
+        assert p.l1.size_bytes == 32 * 1024 // 4
+        assert p.l2.size_bytes == 256 * 1024 // 4
+
+    def test_scaled_params_core_count(self):
+        p = scaled_params(8, n_cores=4)
+        assert p.n_cores == 4
+
+    def test_scaled_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            default_params().scaled(0)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            MachineParams(n_cores=0)
+
+    def test_rejects_mismatched_line_size(self):
+        with pytest.raises(ValueError, match="line size"):
+            MachineParams(l1=CacheGeometry(32 * 1024, 8, line_bytes=32))

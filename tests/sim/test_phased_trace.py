@@ -1,0 +1,68 @@
+"""PhasedTrace: program-phase behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import PhasedTrace, SequentialStream, TraceGenerator
+
+
+def gen(base: int, ipm: float, mlp: float = 4.0) -> TraceGenerator:
+    return TraceGenerator(
+        [SequentialStream(1, base, 64)], [1.0], inst_per_mem=ipm, mlp=mlp, seed=0
+    )
+
+
+class TestPhasedTrace:
+    def test_alternates_address_regions(self):
+        t = PhasedTrace([gen(0, 1.0), gen(1 << 20, 1.0)], phase_len=10)
+        _, lines = t.chunk(20)
+        assert (lines[:10] < 1 << 20).all()
+        assert (lines[10:] >= 1 << 20).all()
+
+    def test_chunk_spanning_phases(self):
+        t = PhasedTrace([gen(0, 1.0), gen(1 << 20, 1.0)], phase_len=7)
+        _, lines = t.chunk(10)
+        assert (lines[:7] < 1 << 20).all()
+        assert (lines[7:] >= 1 << 20).all()
+
+    def test_wraps_around_phases(self):
+        t = PhasedTrace([gen(0, 1.0), gen(1 << 20, 1.0)], phase_len=5)
+        t.chunk(10)
+        assert t.current_phase == 0  # back to the first phase
+        _, lines = t.chunk(5)
+        assert (lines < 1 << 20).all()
+
+    def test_properties_follow_phase(self):
+        t = PhasedTrace([gen(0, 2.0, 8.0), gen(1 << 20, 10.0, 1.5)], phase_len=4)
+        assert t.inst_per_mem == 2.0
+        assert t.mlp == 8.0
+        t.chunk(4)
+        assert t.inst_per_mem == 10.0
+        assert t.mlp == 1.5
+
+    def test_footprint_is_max(self):
+        a = TraceGenerator([SequentialStream(1, 0, 100)], [1.0])
+        b = TraceGenerator([SequentialStream(1, 0, 300)], [1.0])
+        assert PhasedTrace([a, b], 10).footprint_lines() == 300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhasedTrace([], 10)
+        with pytest.raises(ValueError):
+            PhasedTrace([gen(0, 1.0)], 0)
+
+    def test_single_phase_equals_generator(self):
+        a = gen(0, 1.0)
+        b = gen(0, 1.0)
+        t = PhasedTrace([a], 16)
+        _, la = t.chunk(50)
+        _, lb = b.chunk(50)
+        np.testing.assert_array_equal(la, lb)
+
+    def test_runs_on_machine(self, tiny_machine):
+        from repro.sim.pmu import Event
+
+        t = PhasedTrace([gen(0, 2.0), gen(1 << 20, 12.0)], phase_len=256)
+        tiny_machine.attach_trace(0, t)
+        tiny_machine.run_accesses(1024)
+        assert tiny_machine.pmu.read(0, Event.INSTRUCTIONS) > 0

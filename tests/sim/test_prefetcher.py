@@ -1,0 +1,160 @@
+"""Trigger conditions of the four Intel-style prefetcher models."""
+
+from repro.sim.prefetcher import (
+    L1IPStridePrefetcher,
+    L1NextLinePrefetcher,
+    L2AdjacentLinePrefetcher,
+    L2StreamerPrefetcher,
+    PrefetcherBank,
+)
+
+
+class TestIPStride:
+    def test_no_prefetch_before_confidence(self):
+        p = L1IPStridePrefetcher(degree=1, confidence=2)
+        assert p.on_demand(1, 100) == []
+        assert p.on_demand(1, 104) == []  # stride learned, conf 0->... not yet
+
+    def test_prefetches_after_confirmed_stride(self):
+        p = L1IPStridePrefetcher(degree=2, confidence=2)
+        for line in (100, 104, 108, 112):
+            out = p.on_demand(1, line)
+        assert out == [116, 120]
+
+    def test_negative_stride(self):
+        p = L1IPStridePrefetcher(degree=1, confidence=2)
+        for line in (100, 96, 92, 88):
+            out = p.on_demand(1, line)
+        assert out == [84]
+
+    def test_stride_zero_never_prefetches(self):
+        p = L1IPStridePrefetcher(degree=2, confidence=1)
+        out = []
+        for _ in range(6):
+            out = p.on_demand(1, 50)
+        assert out == []
+
+    def test_contexts_tracked_independently(self):
+        p = L1IPStridePrefetcher(degree=1, confidence=2)
+        for line in (0, 8, 16, 24):
+            p.on_demand(1, line)
+        # ctx 2 interleaved with a different stride must not pollute ctx 1
+        for line in (1000, 1001, 1002, 1003):
+            out2 = p.on_demand(2, line)
+        out1 = p.on_demand(1, 32)
+        assert out2 == [1004]
+        assert out1 == [40]
+
+    def test_table_capacity_evicts_oldest(self):
+        p = L1IPStridePrefetcher(table_entries=2, degree=1, confidence=1)
+        p.on_demand(1, 0)
+        p.on_demand(2, 100)
+        p.on_demand(3, 200)  # evicts ctx 1
+        assert len(p._table) == 2
+        assert 1 not in p._table
+
+    def test_irregular_pattern_loses_confidence(self):
+        p = L1IPStridePrefetcher(degree=1, confidence=2)
+        for line in (0, 8, 16, 24):
+            p.on_demand(1, line)      # confident, stride 8
+        p.on_demand(1, 1000)          # break the stride
+        out = p.on_demand(1, 2000)
+        assert out == []              # confidence degraded below threshold
+
+
+class TestNextLine:
+    def test_next_line_on_miss(self):
+        assert L1NextLinePrefetcher().on_demand_miss(41) == [42]
+
+
+class TestStreamer:
+    def test_requires_two_same_direction_accesses(self):
+        s = L2StreamerPrefetcher(degree=2)
+        assert s.on_demand(0) == []
+        assert s.on_demand(1) == []  # run length 1, not yet
+        assert s.on_demand(2) == [3, 4]
+
+    def test_descending_stream(self):
+        s = L2StreamerPrefetcher(degree=2)
+        s.on_demand(60)
+        s.on_demand(59)
+        out = s.on_demand(58)
+        assert out == [57, 56]
+
+    def test_never_crosses_page_boundary(self):
+        s = L2StreamerPrefetcher(degree=8)
+        s.on_demand(58)
+        s.on_demand(60)
+        out = s.on_demand(62)
+        assert all(line < 64 for line in out)
+
+    def test_prefetch_pointer_no_reissue(self):
+        """An established stream issues each line at most once."""
+        s = L2StreamerPrefetcher(degree=4)
+        issued = []
+        for off in range(32):
+            issued.extend(s.on_demand(off))
+        assert len(issued) == len(set(issued))
+
+    def test_pages_tracked_independently(self):
+        s = L2StreamerPrefetcher(degree=1)
+        s.on_demand(0)
+        s.on_demand(64)   # other page
+        s.on_demand(1)
+        s.on_demand(65)
+        out_a = s.on_demand(2)
+        out_b = s.on_demand(66)
+        assert out_a == [3]
+        assert out_b == [67]
+
+    def test_table_capacity(self):
+        s = L2StreamerPrefetcher(table_pages=2)
+        for page in range(4):
+            s.on_demand(page * 64)
+        assert len(s._table) == 2
+
+    def test_random_same_page_gives_no_stable_stream(self):
+        s = L2StreamerPrefetcher(degree=2)
+        total = []
+        for off in (5, 40, 2, 60, 11, 33, 7):
+            total.extend(s.on_demand(off))
+        # direction flips constantly; occasional bursts allowed but no
+        # sustained stream
+        assert len(total) <= 4
+
+
+class TestAdjacent:
+    def test_buddy_line(self):
+        a = L2AdjacentLinePrefetcher()
+        assert a.on_demand_miss(6) == [7]
+        assert a.on_demand_miss(7) == [6]
+
+
+class TestBank:
+    def test_enable_flags_gate_candidates(self):
+        b = PrefetcherBank()
+        b.set_enables(stride=False, next_line=False, streamer=False, adjacent=False)
+        assert b.l1_candidates(1, 10, l1_hit=False) == []
+        assert b.l2_candidates(10, l2_hit=False) == []
+        assert not b.any_l1_enabled
+        assert not b.any_l2_enabled
+
+    def test_next_line_only_on_miss(self):
+        b = PrefetcherBank()
+        b.set_enables(stride=False, next_line=True, streamer=False, adjacent=False)
+        assert b.l1_candidates(1, 10, l1_hit=True) == []
+        assert b.l1_candidates(1, 10, l1_hit=False) == [11]
+
+    def test_adjacent_only_on_miss(self):
+        b = PrefetcherBank()
+        b.set_enables(stride=False, next_line=False, streamer=False, adjacent=True)
+        assert b.l2_candidates(10, l2_hit=True) == []
+        assert b.l2_candidates(10, l2_hit=False) == [11]
+
+    def test_bank_combines_streamer_and_adjacent(self):
+        b = PrefetcherBank(streamer_degree=2)
+        b.l2_candidates(0, l2_hit=False)
+        b.l2_candidates(1, l2_hit=False)
+        out = b.l2_candidates(2, l2_hit=False)
+        assert 3 in out and 4 in out  # streamer
+        assert 3 in out               # adjacent buddy of 2 is 3

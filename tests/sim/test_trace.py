@@ -1,0 +1,144 @@
+"""Trace generator behaviour and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import (
+    IdleTrace,
+    PointerChaseStream,
+    RandomStream,
+    SequentialStream,
+    StridedStream,
+    TraceGenerator,
+)
+
+
+class TestSequentialStream:
+    def test_repeats_spatial_locality(self):
+        s = SequentialStream(1, 0, region_lines=10, repeats=3)
+        out = s.burst(9)
+        np.testing.assert_array_equal(out, [0, 0, 0, 1, 1, 1, 2, 2, 2])
+
+    def test_wraps_region(self):
+        s = SequentialStream(1, 0, region_lines=4, repeats=1)
+        out = s.burst(6)
+        np.testing.assert_array_equal(out, [0, 1, 2, 3, 0, 1])
+
+    def test_base_offset(self):
+        s = SequentialStream(1, 1000, region_lines=4, repeats=1)
+        assert s.burst(1)[0] == 1000
+
+    def test_state_persists_between_bursts(self):
+        s = SequentialStream(1, 0, region_lines=100, repeats=1)
+        a = s.burst(3)
+        b = s.burst(3)
+        np.testing.assert_array_equal(np.concatenate([a, b]), range(6))
+
+    def test_rejects_zero_stride(self):
+        with pytest.raises(ValueError):
+            SequentialStream(1, 0, 10, stride=0)
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            SequentialStream(1, 0, 10, repeats=0)
+
+
+class TestStridedStream:
+    def test_touches_each_line_once(self):
+        s = StridedStream(1, 0, region_lines=64, stride=16)
+        out = s.burst(4)
+        np.testing.assert_array_equal(out, [0, 16, 32, 48])
+
+
+class TestRandomStream:
+    def test_within_region(self):
+        s = RandomStream(1, 100, 50, np.random.default_rng(0))
+        out = s.burst(200)
+        assert out.min() >= 100
+        assert out.max() < 150
+
+    def test_seeded_reproducibility(self):
+        a = RandomStream(1, 0, 1000, np.random.default_rng(7)).burst(50)
+        b = RandomStream(1, 0, 1000, np.random.default_rng(7)).burst(50)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPointerChase:
+    def test_visits_every_line_once_per_lap(self):
+        s = PointerChaseStream(1, 0, 32, np.random.default_rng(3), repeats=1)
+        lap = s.burst(32)
+        assert sorted(lap) == list(range(32))
+
+    def test_same_order_every_lap(self):
+        s = PointerChaseStream(1, 0, 16, np.random.default_rng(3), repeats=1)
+        lap1 = s.burst(16)
+        lap2 = s.burst(16)
+        np.testing.assert_array_equal(lap1, lap2)
+
+    def test_repeats(self):
+        s = PointerChaseStream(1, 0, 8, np.random.default_rng(3), repeats=2)
+        out = s.burst(6)
+        assert out[0] == out[1]
+        assert out[2] == out[3]
+        assert out[4] == out[5]
+
+    def test_order_is_shuffled(self):
+        s = PointerChaseStream(1, 0, 64, np.random.default_rng(3), repeats=1)
+        lap = s.burst(64)
+        assert not np.array_equal(lap, np.arange(64))
+
+
+class TestTraceGenerator:
+    def test_chunk_shapes(self):
+        gen = TraceGenerator([SequentialStream(9, 0, 100)], [1.0], seed=0)
+        ctx, lines = gen.chunk(37)
+        assert len(ctx) == len(lines) == 37
+        assert (ctx == 9).all()
+
+    def test_seeded_determinism(self):
+        def make():
+            return TraceGenerator(
+                [SequentialStream(1, 0, 100), RandomStream(2, 10_000, 500, np.random.default_rng(5))],
+                [1.0, 1.0],
+                seed=42,
+            )
+        _, a = make().chunk(500)
+        _, b = make().chunk(500)
+        np.testing.assert_array_equal(a, b)
+
+    def test_mixture_uses_both_streams(self):
+        gen = TraceGenerator(
+            [SequentialStream(1, 0, 100), SequentialStream(2, 10_000, 100)],
+            [1.0, 1.0],
+            burst_len=8,
+            seed=0,
+        )
+        ctx, _ = gen.chunk(1000)
+        assert set(np.unique(ctx)) == {1, 2}
+
+    def test_weight_zero_sum_rejected(self):
+        with pytest.raises(ValueError):
+            TraceGenerator([SequentialStream(1, 0, 10)], [0.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            TraceGenerator([SequentialStream(1, 0, 10)], [1.0, 2.0])
+
+    def test_bad_mlp_rejected(self):
+        with pytest.raises(ValueError):
+            TraceGenerator([SequentialStream(1, 0, 10)], [1.0], mlp=0.5)
+
+    def test_footprint(self):
+        gen = TraceGenerator(
+            [SequentialStream(1, 0, 100), SequentialStream(2, 10_000, 50)], [1.0, 1.0]
+        )
+        assert gen.footprint_lines() == 150
+
+
+class TestIdleTrace:
+    def test_produces_nothing(self):
+        t = IdleTrace()
+        ctx, lines = t.chunk(100)
+        assert len(ctx) == 0
+        assert len(lines) == 0
+        assert t.footprint_lines() == 0

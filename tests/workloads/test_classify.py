@@ -1,0 +1,102 @@
+"""Measured classification (Figs. 1-3 criteria) matches intended flags.
+
+These run the simulator; they use a small machine and reduced access
+counts, and mark the exhaustive sweep as slow.
+"""
+
+import pytest
+
+from repro.sim.params import scaled_params
+from repro.workloads.classify import (
+    AloneProfile,
+    MeasuredClass,
+    classify,
+    profile_benchmark,
+    run_alone,
+)
+from repro.workloads.speclike import BENCHMARKS, benchmark
+
+PARAMS = scaled_params(16)
+N = 24576
+
+
+class TestClassifyThresholds:
+    def make_profile(self, **kw):
+        base = dict(
+            name="x", ipc_on=1.0, ipc_off=1.0, demand_bw_off_mbs=0.0,
+            total_bw_on_mbs=0.0, demand_bw_on_mbs=0.0, ipc_by_ways={},
+        )
+        base.update(kw)
+        return AloneProfile(**base)
+
+    def test_aggressive_needs_bw_and_increase(self):
+        p = self.make_profile(demand_bw_off_mbs=2000.0, total_bw_on_mbs=3500.0)
+        assert classify(p).pref_aggressive
+        p = self.make_profile(demand_bw_off_mbs=1000.0, total_bw_on_mbs=2500.0)
+        assert not classify(p).pref_aggressive  # BW below 1500 MB/s
+        p = self.make_profile(demand_bw_off_mbs=2000.0, total_bw_on_mbs=2500.0)
+        assert not classify(p).pref_aggressive  # increase below 50%
+
+    def test_friendly_requires_aggressive_and_speedup(self):
+        p = self.make_profile(
+            ipc_on=1.4, ipc_off=1.0, demand_bw_off_mbs=2000.0, total_bw_on_mbs=3500.0
+        )
+        assert classify(p).pref_friendly
+        p = self.make_profile(ipc_on=1.4, ipc_off=1.0)  # not aggressive
+        assert not classify(p).pref_friendly
+
+    def test_llc_sensitive_min_ways(self):
+        p = self.make_profile(ipc_by_ways={1: 0.2, 4: 0.4, 8: 0.85, 12: 0.95, 20: 1.0})
+        assert classify(p).llc_sensitive
+        assert p.min_ways_for_frac(0.80) == 8
+        p = self.make_profile(ipc_by_ways={1: 0.95, 8: 1.0, 20: 1.0})
+        assert not classify(p).llc_sensitive
+
+    def test_min_ways_requires_sweep(self):
+        with pytest.raises(ValueError):
+            self.make_profile().min_ways_for_frac()
+
+
+class TestRunAlone:
+    def test_warmup_snapshot_excludes_cold_start(self):
+        m, snap = run_alone("416.gamess", PARAMS, 2048, warmup=4096)
+        sample = m.pmu.delta_since(snap)
+        # working set fits L2: warm window has (almost) no memory traffic
+        from repro.sim.pmu import Event
+        assert sample.get(0, Event.L3_LOAD_MISS) < 20
+
+    def test_way_restriction_applied(self):
+        m, _ = run_alone("429.mcf", PARAMS, 1024, ways=2)
+        assert m.cat.allowed_ways(0) == (0, 1)
+
+
+class TestMeasuredClassification:
+    @pytest.mark.parametrize("name", ["410.bwaves", "rand_access", "453.povray"])
+    def test_key_benchmarks_fast(self, name):
+        spec = benchmark(name)
+        prof = profile_benchmark(spec, PARAMS, N)
+        c = classify(prof)
+        assert c.pref_aggressive == spec.pref_aggressive
+        assert c.pref_friendly == spec.pref_friendly
+
+    def test_rand_access_slows_down_with_prefetching(self):
+        prof = profile_benchmark("rand_access", PARAMS, N)
+        assert prof.prefetch_speedup < -0.10  # paper: ~-25% when alone
+
+    @pytest.mark.slow
+    def test_all_benchmarks_match_intended_classes(self):
+        sweep = (1, 2, 4, 8, 12, 20)
+        for name, spec in BENCHMARKS.items():
+            prof = profile_benchmark(spec, PARAMS, N, way_sweep=sweep)
+            c = classify(prof)
+            assert c.pref_aggressive == spec.pref_aggressive, name
+            assert c.pref_friendly == spec.pref_friendly, name
+            assert c.llc_sensitive == spec.llc_sensitive, name
+
+    def test_friendly_benchmark_way_insensitive(self):
+        prof = profile_benchmark("462.libquantum", PARAMS, N, way_sweep=(1, 2, 8, 20))
+        assert prof.min_ways_for_frac(0.90) <= 2  # the paper's Fig. 3 observation
+
+    def test_sensitive_benchmark_needs_many_ways(self):
+        prof = profile_benchmark("429.mcf", PARAMS, N, way_sweep=(1, 2, 8, 12, 20))
+        assert prof.min_ways_for_frac(0.80) >= 8

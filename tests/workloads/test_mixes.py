@@ -1,0 +1,94 @@
+"""Workload-mix composition rules (paper Sec. IV-B)."""
+
+import pytest
+
+from repro.workloads.mixes import CATEGORIES, all_mixes, make_mixes
+from repro.workloads.speclike import BENCHMARKS, benchmark
+
+
+class TestComposition:
+    def test_categories(self):
+        assert CATEGORIES == ("pref_fri", "pref_agg", "pref_unfri", "pref_no_agg")
+
+    @pytest.mark.parametrize("cat", CATEGORIES)
+    def test_eight_benchmarks_each(self, cat):
+        for mix in make_mixes(cat, 5):
+            assert mix.n_cores == 8
+            assert all(b in BENCHMARKS for b in mix.benchmarks)
+
+    def test_pref_fri_composition(self):
+        for mix in make_mixes("pref_fri", 5):
+            friendly = [b for b in mix.benchmarks if benchmark(b).pref_friendly]
+            assert len(friendly) == 4
+            non_agg = [b for b in mix.benchmarks if not benchmark(b).pref_aggressive]
+            assert len(non_agg) == 4
+
+    def test_pref_agg_composition(self):
+        for mix in make_mixes("pref_agg", 5):
+            friendly = [b for b in mix.benchmarks if benchmark(b).pref_friendly]
+            unfriendly = [
+                b for b in mix.benchmarks
+                if benchmark(b).pref_aggressive and not benchmark(b).pref_friendly
+            ]
+            assert len(friendly) == 2
+            assert len(unfriendly) == 2
+
+    def test_pref_unfri_composition(self):
+        for mix in make_mixes("pref_unfri", 5):
+            unfriendly = [
+                b for b in mix.benchmarks
+                if benchmark(b).pref_aggressive and not benchmark(b).pref_friendly
+            ]
+            assert len(unfriendly) == 4
+
+    def test_pref_no_agg_composition(self):
+        for mix in make_mixes("pref_no_agg", 5):
+            assert all(not benchmark(b).pref_aggressive for b in mix.benchmarks)
+
+    def test_min_two_llc_sensitive_non_agg(self):
+        for cat in CATEGORIES:
+            for mix in make_mixes(cat, 5):
+                sensitive_na = [
+                    b for b in mix.benchmarks
+                    if benchmark(b).llc_sensitive and not benchmark(b).pref_aggressive
+                ]
+                assert len(sensitive_na) >= 2
+
+
+class TestDeterminismAndNaming:
+    def test_seeded_reproducibility(self):
+        a = make_mixes("pref_agg", 10, seed=7)
+        b = make_mixes("pref_agg", 10, seed=7)
+        assert [m.benchmarks for m in a] == [m.benchmarks for m in b]
+        assert [m.seed for m in a] == [m.seed for m in b]
+
+    def test_different_seeds_differ(self):
+        a = make_mixes("pref_agg", 10, seed=1)
+        b = make_mixes("pref_agg", 10, seed=2)
+        assert [m.benchmarks for m in a] != [m.benchmarks for m in b]
+
+    def test_names_unique(self):
+        mixes = all_mixes(10)
+        names = [m.name for m in mixes]
+        assert len(set(names)) == len(names)
+
+    def test_all_mixes_order_matches_paper(self):
+        mixes = all_mixes(3)
+        cats = [m.category for m in mixes]
+        assert cats == ["pref_fri"] * 3 + ["pref_agg"] * 3 + ["pref_unfri"] * 3 + ["pref_no_agg"] * 3
+
+    def test_unknown_category(self):
+        with pytest.raises(ValueError):
+            make_mixes("bogus")
+
+    def test_instances_get_distinct_workload_seeds(self):
+        mixes = make_mixes("pref_unfri", 10)
+        assert len({m.seed for m in mixes}) == len(mixes)
+
+    def test_custom_core_count(self):
+        mixes = make_mixes("pref_agg", 2, n_cores=6)
+        assert all(m.n_cores == 6 for m in mixes)
+
+    def test_too_few_cores_rejected(self):
+        with pytest.raises(ValueError):
+            make_mixes("pref_agg", 1, n_cores=2)

@@ -1,0 +1,17 @@
+"""Rand Access micro-benchmark registry entry."""
+
+from repro.workloads.randaccess import NAME, spec
+
+
+class TestRandAccess:
+    def test_registered(self):
+        s = spec()
+        assert s.name == NAME
+        assert s.pref_aggressive
+        assert not s.pref_friendly
+        assert not s.llc_sensitive
+
+    def test_random_over_large_region(self):
+        s = spec()
+        assert s.streams[0].kind == "random"
+        assert s.streams[0].region >= 4.0  # several times the LLC

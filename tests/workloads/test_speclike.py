@@ -1,0 +1,110 @@
+"""Benchmark registry and trace building."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import TraceGenerator
+from repro.workloads.speclike import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    StreamSpec,
+    benchmark,
+    benchmark_names,
+    build_trace,
+)
+
+
+class TestRegistry:
+    def test_has_papers_benchmarks(self):
+        for name in ("410.bwaves", "462.libquantum", "459.GemsFDTD", "471.omnetpp", "rand_access"):
+            assert name in BENCHMARKS
+
+    def test_at_least_twenty_entries(self):
+        assert len(BENCHMARKS) >= 20
+
+    def test_lookup(self):
+        assert benchmark("410.bwaves").name == "410.bwaves"
+        with pytest.raises(KeyError):
+            benchmark("nope")
+
+    def test_class_queries(self):
+        friendly = benchmark_names(friendly=True)
+        assert "410.bwaves" in friendly
+        assert "rand_access" not in friendly
+        unfriendly = benchmark_names(aggressive=True, friendly=False)
+        assert set(unfriendly) == {"rand_access", "471.omnetpp"}
+        sensitive = benchmark_names(llc_sensitive=True)
+        assert "429.mcf" in sensitive
+
+    def test_friendly_implies_aggressive_in_registry(self):
+        for spec in BENCHMARKS.values():
+            if spec.pref_friendly:
+                assert spec.pref_aggressive
+
+    def test_pools_nonempty_for_all_mix_categories(self):
+        assert benchmark_names(friendly=True)
+        assert benchmark_names(aggressive=True, friendly=False)
+        assert benchmark_names(aggressive=False, llc_sensitive=True)
+        assert benchmark_names(aggressive=False, llc_sensitive=False)
+
+
+class TestSpecValidation:
+    def test_stream_kind_checked(self):
+        with pytest.raises(ValueError):
+            StreamSpec("bogus", 1.0)
+
+    def test_region_positive(self):
+        with pytest.raises(ValueError):
+            StreamSpec("seq", 0.0)
+
+    def test_friendly_requires_aggressive(self):
+        with pytest.raises(ValueError, match="friendly implies aggressive"):
+            BenchmarkSpec(
+                "x", (StreamSpec("seq", 1.0),), inst_per_mem=1.0, mlp=1.0,
+                pref_aggressive=False, pref_friendly=True, llc_sensitive=False,
+            )
+
+    def test_needs_streams(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec("x", (), inst_per_mem=1.0, mlp=1.0,
+                          pref_aggressive=False, pref_friendly=False, llc_sensitive=False)
+
+
+class TestBuildTrace:
+    def test_returns_generator_with_spec_parameters(self):
+        spec = benchmark("410.bwaves")
+        t = build_trace(spec, llc_lines=10_000, base_line=0, seed=1)
+        assert isinstance(t, TraceGenerator)
+        assert t.inst_per_mem == spec.inst_per_mem
+        assert t.mlp == spec.mlp
+
+    def test_accepts_name(self):
+        t = build_trace("429.mcf", llc_lines=10_000, base_line=0)
+        assert t.footprint_lines() > 0
+
+    def test_regions_scale_with_llc(self):
+        small = build_trace("410.bwaves", llc_lines=1_000, base_line=0)
+        large = build_trace("410.bwaves", llc_lines=8_000, base_line=0)
+        assert large.footprint_lines() == pytest.approx(8 * small.footprint_lines(), rel=0.01)
+
+    def test_deterministic_across_instances(self):
+        a = build_trace("433.milc", llc_lines=4_000, base_line=0, seed=5)
+        b = build_trace("433.milc", llc_lines=4_000, base_line=0, seed=5)
+        _, la = a.chunk(1000)
+        _, lb = b.chunk(1000)
+        np.testing.assert_array_equal(la, lb)
+
+    def test_different_seeds_differ(self):
+        a = build_trace("rand_access", llc_lines=4_000, base_line=0, seed=1)
+        b = build_trace("rand_access", llc_lines=4_000, base_line=0, seed=2)
+        _, la = a.chunk(1000)
+        _, lb = b.chunk(1000)
+        assert not np.array_equal(la, lb)
+
+    def test_streams_within_core_do_not_overlap(self):
+        spec = benchmark("459.GemsFDTD")  # two streams
+        t = build_trace(spec, llc_lines=10_000, base_line=0)
+        ranges = [(s.base_line, s.base_line + s.region_lines) for s in t.streams]
+        ranges.sort()
+        for (s1, e1), (s2, _) in zip(ranges, ranges[1:]):
+            assert e1 <= s2
