@@ -3,16 +3,33 @@
 Unlike the figure benches these measure raw substrate throughput
 (accesses simulated per second) so performance regressions in the
 cache/prefetcher/LLC loops show up in benchmark history.
+
+The ``test_engine_*`` benches cover the experiment engine: a cold
+evaluation (every run simulated) vs. a warm replay of the identical
+evaluation from the on-disk result cache — the wall-clock win that
+makes figure regeneration cheap.
 """
+
+import dataclasses
 
 import numpy as np
 
+from repro.experiments.config import TINY
+from repro.experiments.engine import ExperimentSession
 from repro.sim.cache import Cache, PartitionedCache
 from repro.sim.machine import Machine
 from repro.sim.params import CacheGeometry, scaled_params
+from repro.workloads.mixes import make_mixes
 from repro.workloads.speclike import build_trace
 
 N_ACCESSES = 8192
+
+# Engine benches use a reduced scale so cold runs stay in seconds.
+ENGINE_SC = dataclasses.replace(
+    TINY, name="bench-engine", quantum=256, sample_units=256, exec_units=2048,
+    alone_accesses=4096,
+)
+ENGINE_MECHS = ("pt", "cmm-a")
 
 
 def _machine(benchmarks: list[str]) -> Machine:
@@ -65,3 +82,31 @@ def test_partitioned_cache_access_rate(benchmark):
             access(line, allowed)
 
     benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_engine_cold_evaluation(benchmark, tmp_path):
+    """Every run simulated: the price the cache and pool amortise."""
+    mix = make_mixes("pref_agg", 1, seed=2019)[0]
+    counter = iter(range(1000))
+
+    def cold():
+        session = ExperimentSession(cache_dir=tmp_path / f"cold{next(counter)}", max_workers=1)
+        return session.evaluate(mix, ENGINE_MECHS, ENGINE_SC)
+
+    benchmark.pedantic(cold, rounds=2, iterations=1)
+
+
+def test_engine_warm_replay(benchmark, tmp_path):
+    """The identical evaluation replayed from the on-disk store."""
+    mix = make_mixes("pref_agg", 1, seed=2019)[0]
+    ExperimentSession(cache_dir=tmp_path / "warm", max_workers=1).evaluate(
+        mix, ENGINE_MECHS, ENGINE_SC
+    )
+
+    def warm():
+        session = ExperimentSession(cache_dir=tmp_path / "warm", max_workers=1)
+        ev = session.evaluate(mix, ENGINE_MECHS, ENGINE_SC)
+        assert all(r.cached for r in session.records)
+        return ev
+
+    benchmark.pedantic(warm, rounds=3, iterations=1)

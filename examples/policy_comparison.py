@@ -10,7 +10,7 @@ import sys
 
 import numpy as np
 
-from repro import evaluate_workload, get_scale, make_mixes
+from repro import ExperimentSession, get_scale, make_mixes
 from repro.experiments.report import render_table
 
 MECHANISMS = ("pt", "dunn", "pref-cp", "pref-cp2", "cmm-a", "cmm-b", "cmm-c")
@@ -22,11 +22,15 @@ def main() -> None:
     mixes = make_mixes(category, sc.workloads_per_category, seed=sc.seed)
     print(f"category={category}  scale={sc.name}  workloads={len(mixes)}")
 
+    # Runs are deduplicated (shared baselines/alone runs), executed in
+    # parallel on cache misses, and replayed from disk on a re-run.
+    session = ExperimentSession()
+
     rows = []
     per_mech: dict[str, list[float]] = {m: [] for m in MECHANISMS}
-    for mix in mixes:
-        print(f"  running {mix.name} ({', '.join(mix.benchmarks[:3])}, ...)")
-        ev = evaluate_workload(mix, MECHANISMS, sc)
+    for ev in session.sweep(MECHANISMS, sc, mixes=mixes):
+        mix = ev.mix
+        print(f"  evaluated {mix.name} ({', '.join(mix.benchmarks[:3])}, ...)")
         row = [mix.name] + [ev.metric(m, "hs_norm") for m in MECHANISMS]
         rows.append(row)
         for m in MECHANISMS:

@@ -12,7 +12,7 @@ mechanism, and prints the paper's headline metrics.
 
 import sys
 
-from repro import evaluate_workload, get_scale, make_mixes
+from repro import ExperimentSession, get_scale, make_mixes
 
 
 def main() -> None:
@@ -25,7 +25,8 @@ def main() -> None:
         print(f"  core {core}: {bench}")
 
     print("\nrunning baseline and cmm-a ...")
-    ev = evaluate_workload(mix, ("cmm-a",), sc)
+    session = ExperimentSession()  # cached on disk; instant on a re-run
+    ev = session.evaluate(mix, ("cmm-a",), sc)
 
     base = ev.metrics["baseline"]
     cmm = ev.metrics["cmm-a"]

@@ -4,16 +4,24 @@
     python examples/regenerate_figures.py [scale] > report.md
 
 This is the script that produced the measured numbers recorded in
-EXPERIMENTS.md.  At ``full`` scale it takes a while; ``tiny`` finishes
-in a couple of minutes.
+EXPERIMENTS.md.  All simulation goes through an
+:class:`~repro.experiments.engine.ExperimentSession`: runs are
+deduplicated, cache misses fan out over ``REPRO_WORKERS`` processes,
+and every result persists in the on-disk cache (``REPRO_CACHE_DIR``),
+so a warm re-run replays in seconds instead of re-simulating.  At
+``full`` scale the first (cold) pass takes a while; ``tiny`` finishes
+in a couple of minutes cold and seconds warm.
 """
 
+import os
 import sys
 import time
 
 from repro.experiments.config import get_scale
+from repro.experiments.engine import ExperimentSession, set_default_session
 from repro.experiments.figures import (
     ALL_MECHS,
+    EvalStore,
     fig01_bandwidth,
     fig02_prefetch_speedup,
     fig03_way_sensitivity,
@@ -21,7 +29,6 @@ from repro.experiments.figures import (
     fig13_all,
     fig14_bandwidth,
     fig15_stalls,
-    get_store,
     table1_metrics,
 )
 from repro.workloads.mixes import CATEGORIES
@@ -45,6 +52,16 @@ def category_means_table(d):
 def main() -> None:
     sc = get_scale(sys.argv[1] if len(sys.argv) > 1 else None)
     t0 = time.time()
+
+    def progress(rec, done, total):
+        status = "cached" if rec.cached else f"{rec.seconds:5.1f}s"
+        print(f"[{done}/{total}] {status}  {rec.label}", file=sys.stderr)
+
+    verbose = bool(os.environ.get("REPRO_PROGRESS"))
+    session = ExperimentSession(progress=progress if verbose else None)
+    set_default_session(session)  # figure drivers share the same store
+    store = EvalStore(sc, session=session)
+
     print(f"# Regenerated figures (scale = {sc.name})\n")
 
     d = fig01_bandwidth(sc)
@@ -78,8 +95,7 @@ def main() -> None:
                      r["M4_pga"], r["M5_l2_pmr"], r["M6_l2_ppm"], r["M7_llc_pt"]]
                     for r in d["rows"]]))
 
-    store = get_store(sc)
-    store.sweep(ALL_MECHS)  # one pass fills the cache for figs 7-15
+    store.sweep(ALL_MECHS)  # one deduplicated, parallel pass for figs 7-15
 
     from repro.experiments.figures import (
         fig07_pt, fig08_pt_worstcase, fig09_cp, fig10_cp_worstcase,
@@ -101,7 +117,15 @@ def main() -> None:
         print(f"\n## {title}\n")
         print(category_means_table(d))
 
-    print(f"\n_(generated in {time.time() - t0:.0f}s)_", file=sys.stderr)
+    hits = sum(1 for r in session.records if r.cached)
+    simulated = len(session.records) - hits
+    sim_secs = sum(r.seconds for r in session.records)
+    print(
+        f"\n_(generated in {time.time() - t0:.0f}s: {simulated} runs simulated "
+        f"[{sim_secs:.0f}s of simulation], {hits} replayed from cache, "
+        f"{session.max_workers} worker(s))_",
+        file=sys.stderr,
+    )
 
 
 if __name__ == "__main__":

@@ -14,47 +14,86 @@ Public API tour:
 * ``repro.workloads`` — SPEC CPU2006-like synthetic benchmarks, the
   Rand Access micro-benchmark, and the paper's workload mixes;
 * ``repro.metrics`` — HS / WS / ANTT / worst-case speedup;
-* ``repro.experiments`` — one driver per paper table and figure.
+* ``repro.experiments`` — one driver per paper table and figure, built
+  on the **experiment engine** (``repro.experiments.engine``): an
+  :class:`ExperimentSession` expands a declarative :class:`RunSpec`
+  into a deduplicated plan, executes cache misses across a process
+  pool, and replays hits from a content-addressed on-disk store
+  (``REPRO_CACHE_DIR`` / ``REPRO_WORKERS``; see
+  ``docs/experiment_engine.md``).
+
+Running things:
+
+* :func:`run` — one (workload, mechanism-or-policy) simulation through
+  the default session; replaces the deprecated ``run_mechanism`` /
+  ``run_policy_object`` pair.
+* :meth:`ExperimentSession.evaluate` / :meth:`ExperimentSession.sweep`
+  — baseline-normalized metrics for one or many workloads (the
+  deprecated ``evaluate_workload`` free function forwards here).
+* Sessions **own their caches** (dependency injection); the old
+  module-level ``ALONE_CACHE`` global survives only as a deprecated
+  alias backed by the default session.
 
 Quickstart::
 
-    from repro import quick_run
-    result = quick_run("pref_agg", mechanism="cmm-a")
-    print(result.metrics["cmm-a"]["hs_norm"])
+    from repro import ExperimentSession
+    session = ExperimentSession(max_workers=4)
+    ev = session.evaluate(make_mixes("pref_agg", 1)[0], ("cmm-a",))
+    print(ev.metrics["cmm-a"]["hs_norm"])
 """
 
 from repro.core import CMMController, make_policy, policy_names
 from repro.core.allocation import ResourceConfig
 from repro.core.epoch import EpochConfig
 from repro.experiments.config import ScaleConfig, get_scale
-from repro.experiments.runner import WorkloadEval, evaluate_workload, run_mechanism
+from repro.experiments.engine import (
+    ExperimentSession,
+    ResultCache,
+    RunSpec,
+    default_session,
+    run,
+    set_default_session,
+)
+from repro.experiments.runner import (
+    RunResult,
+    WorkloadEval,
+    evaluate_workload,
+    run_mechanism,
+)
 from repro.platform.simulated import SimulatedPlatform
 from repro.sim.machine import Machine
 from repro.sim.params import MachineParams, default_params, scaled_params
 from repro.workloads.mixes import WorkloadMix, all_mixes, make_mixes
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CMMController",
     "EpochConfig",
+    "ExperimentSession",
     "Machine",
     "MachineParams",
     "ResourceConfig",
+    "ResultCache",
+    "RunResult",
+    "RunSpec",
     "ScaleConfig",
     "SimulatedPlatform",
     "WorkloadEval",
     "WorkloadMix",
     "all_mixes",
     "default_params",
+    "default_session",
     "evaluate_workload",
     "get_scale",
     "make_mixes",
     "make_policy",
     "policy_names",
     "quick_run",
+    "run",
     "run_mechanism",
     "scaled_params",
+    "set_default_session",
     "__version__",
 ]
 
@@ -63,4 +102,4 @@ def quick_run(category: str = "pref_agg", *, mechanism: str = "cmm-a", scale: st
     """Evaluate one workload of ``category`` under ``mechanism`` vs. baseline."""
     sc = get_scale(scale)
     mix = make_mixes(category, 1, seed=sc.seed)[0]
-    return evaluate_workload(mix, (mechanism,), sc)
+    return default_session().evaluate(mix, (mechanism,), sc)

@@ -7,6 +7,11 @@ Commands
 ``mixes [--category C]``  show the generated workload mixes
 ``run [...]``             evaluate mechanisms on workloads of a category
 ``figure <id>``           regenerate one paper figure/table
+``cache stats|clear``     inspect or wipe the on-disk result cache
+
+``run`` and ``figure`` go through the experiment engine: results are
+cached on disk (``REPRO_CACHE_DIR``) and cache misses fan out over
+``--workers`` processes (``REPRO_WORKERS``).
 """
 
 from __future__ import annotations
@@ -29,6 +34,42 @@ FIGURES = (
 def _add_scale(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scale", choices=sorted(SCALES), default=None,
                    help="experiment scale (default: $REPRO_SCALE or tiny)")
+
+
+def _workers(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return n
+
+
+_workers.__name__ = "int"  # argparse: "invalid int value", not "_workers"
+
+
+def _add_engine(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=_workers, default=None,
+                   help="parallel simulation processes (default: $REPRO_WORKERS or CPUs)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="keep results in memory only for this invocation")
+
+
+def _make_session(args):
+    from repro.experiments.engine import ExperimentSession, default_cache_dir, set_default_session
+
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    session = ExperimentSession(
+        cache_dir=cache_dir,
+        max_workers=args.workers,
+        progress=lambda rec, done, total: print(
+            f"[{done}/{total}] {'cached' if rec.cached else f'{rec.seconds:5.1f}s'}  {rec.label}",
+            file=sys.stderr,
+        ),
+    )
+    # Module-level helpers (figure drivers, shims) follow the same session.
+    set_default_session(session)
+    return session
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,10 +96,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workloads", type=int, default=None,
                    help="number of mixes (default: scale's setting)")
     _add_scale(p)
+    _add_engine(p)
 
     p = sub.add_parser("figure", help="regenerate one paper figure/table")
     p.add_argument("id", choices=FIGURES)
     _add_scale(p)
+    _add_engine(p)
+
+    p = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
+    p.add_argument("action", choices=("stats", "clear"))
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)")
 
     return parser
 
@@ -118,18 +166,16 @@ def cmd_mixes(args) -> int:
 
 
 def cmd_run(args) -> int:
-    from repro.experiments.runner import evaluate_workload
-
     sc = get_scale(args.scale)
+    session = _make_session(args)
     mechanisms = tuple(args.mechanism or ["cmm-a"])
     count = args.workloads or sc.workloads_per_category
+    mixes = make_mixes(args.category, count, seed=sc.seed)
     rows = []
-    for mix in make_mixes(args.category, count, seed=sc.seed):
-        print(f"running {mix.name} ...", file=sys.stderr)
-        ev = evaluate_workload(mix, mechanisms, sc)
+    for ev in session.sweep(mechanisms, sc, mixes=mixes):
         for mech in mechanisms:
             m = ev.metrics[mech]
-            rows.append([mix.name, mech, m["hs_norm"], m["ws"], m["worst"], m["bw_norm"]])
+            rows.append([ev.mix.name, mech, m["hs_norm"], m["ws"], m["worst"], m["bw_norm"]])
     print(render_table(
         ["workload", "mechanism", "HS norm", "WS", "worst-case", "BW norm"], rows,
         title=f"{args.category} @ {sc.name}"))
@@ -140,6 +186,7 @@ def cmd_figure(args) -> int:
     from repro.experiments import figures as F
 
     sc = get_scale(args.scale)
+    _make_session(args)
     fn = {
         "table1": F.table1_metrics,
         "fig01": F.fig01_bandwidth,
@@ -171,12 +218,30 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    from repro.experiments.engine import ResultCache, default_cache_dir
+
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    s = cache.stats()
+    print(f"cache root : {s.root}")
+    print(f"entries    : {s.entries}")
+    print(f"size       : {s.bytes / 1e6:.2f} MB")
+    for kind in sorted(s.by_kind):
+        print(f"  {kind:<10}: {s.by_kind[kind]}")
+    return 0
+
+
 COMMANDS = {
     "benchmarks": cmd_benchmarks,
     "classify": cmd_classify,
     "mixes": cmd_mixes,
     "run": cmd_run,
     "figure": cmd_figure,
+    "cache": cmd_cache,
 }
 
 

@@ -8,11 +8,26 @@ Scales (``REPRO_SCALE`` env var or explicit argument):
 * ``full``  — the paper's shape: 10 workloads/category, 3 epochs,
   1/8-capacity machine.
 
+Execution goes through :mod:`repro.experiments.engine`: an
+:class:`ExperimentSession` deduplicates runs, fans cache misses out
+over a process pool (``REPRO_WORKERS``), and persists results in a
+content-addressed on-disk store (``REPRO_CACHE_DIR``), so regenerating
+a figure replays cached runs instead of re-simulating them.
+
 Shapes (who wins, by what factor) are stable across scales; absolute
 values are simulator units, not Xeon measurements (see EXPERIMENTS.md).
 """
 
 from repro.experiments.config import ScaleConfig, get_scale, SCALES
+from repro.experiments.engine import (
+    ExperimentSession,
+    PlannedRun,
+    ResultCache,
+    RunRecord,
+    RunSpec,
+    default_session,
+    set_default_session,
+)
 from repro.experiments.runner import (
     AloneCache,
     RunResult,
@@ -27,9 +42,16 @@ __all__ = [
     "get_scale",
     "SCALES",
     "AloneCache",
+    "ExperimentSession",
+    "PlannedRun",
+    "ResultCache",
+    "RunRecord",
     "RunResult",
+    "RunSpec",
     "WorkloadEval",
     "build_machine",
+    "default_session",
     "evaluate_workload",
     "run_mechanism",
+    "set_default_session",
 ]

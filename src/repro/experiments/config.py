@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.sim.params import MachineParams, scaled_params
 
@@ -26,6 +26,21 @@ class ScaleConfig:
 
     def params(self) -> MachineParams:
         return scaled_params(self.llc_scale, n_cores=self.n_cores)
+
+    def cache_key(self) -> dict:
+        """The fields that size one simulated run, as a stable dict.
+
+        The experiment engine hashes this into its content-addressed
+        result keys.  ``name`` and ``workloads_per_category`` are
+        presentation/sweep-shape knobs that don't change any single
+        run's outcome, and ``seed`` is already captured by the concrete
+        mix a run executes, so all three are excluded: two scales with
+        identical simulation parameters share cache entries.
+        """
+        d = asdict(self)
+        for presentation_only in ("name", "workloads_per_category", "seed"):
+            d.pop(presentation_only)
+        return d
 
 
 TINY = ScaleConfig(
@@ -71,9 +86,11 @@ SCALES: dict[str, ScaleConfig] = {"tiny": TINY, "small": SMALL, "full": FULL}
 
 def get_scale(name: str | None = None) -> ScaleConfig:
     """Resolve a scale by argument, ``REPRO_SCALE`` env var, or default."""
-    if name is None:
-        name = os.environ.get("REPRO_SCALE", "tiny")
+    raw = name if name is not None else os.environ.get("REPRO_SCALE", "tiny")
+    normalized = raw.strip().lower()
     try:
-        return SCALES[name.lower()]
+        return SCALES[normalized]
     except KeyError:
-        raise KeyError(f"unknown scale {name!r}; one of {sorted(SCALES)}") from None
+        raise KeyError(
+            f"unknown scale {raw!r} (looked up as {normalized!r}); one of {sorted(SCALES)}"
+        ) from None

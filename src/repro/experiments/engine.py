@@ -1,0 +1,703 @@
+"""Parallel experiment engine with an on-disk result cache.
+
+Every paper figure re-runs dozens of (workload x mechanism)
+simulations; the runs are embarrassingly parallel and perfectly
+deterministic, so the engine treats each one as a pure function of its
+inputs:
+
+* a declarative :class:`RunSpec` expands into a **deduplicated** list
+  of :class:`PlannedRun` items (mechanism runs, alone-IPC runs and
+  single-benchmark profiles share one plan and one store);
+* each planned run hashes its inputs — mix, mechanism,
+  :meth:`ScaleConfig.cache_key`, :class:`MachineParams`, engine schema
+  version — into a content-addressed key;
+* :class:`ExperimentSession` executes cache misses either serially or
+  across a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (``max_workers``), persists payloads in a :class:`ResultCache`, and
+  emits per-run :class:`RunRecord` timing/progress entries.
+
+Seeding is per-run (``mix.seed + core`` for traces, fixed seeds for
+alone/profile runs) and no state is shared between runs, so parallel
+results are bit-identical to serial ones; cached payloads round-trip
+through JSON without losing a single bit of the float64 counters.
+
+Environment knobs: ``REPRO_CACHE_DIR`` relocates the on-disk store
+(default ``~/.cache/repro``), ``REPRO_WORKERS`` sets the default
+worker count.  See ``docs/experiment_engine.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.controller import CMMController, RunStats
+from repro.core.epoch import EpochConfig
+from repro.core.policies import make_policy
+from repro.experiments.config import ScaleConfig, get_scale
+from repro.metrics.speedup import harmonic_speedup, weighted_speedup, worst_case_speedup
+from repro.platform.simulated import SimulatedPlatform
+from repro.sim.machine import Machine
+from repro.workloads.classify import AloneProfile, profile_benchmark
+from repro.workloads.mixes import CATEGORIES, WorkloadMix, make_mixes
+from repro.workloads.speclike import BENCHMARKS, build_trace
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "PlannedRun",
+    "ResultCache",
+    "CacheStats",
+    "RunRecord",
+    "RunSpec",
+    "ExperimentSession",
+    "default_cache_dir",
+    "default_workers",
+    "default_session",
+    "set_default_session",
+    "run",
+]
+
+#: Bump whenever simulator output for identical inputs changes; stale
+#: cache entries then miss instead of replaying outdated results.
+SCHEMA_VERSION = 1
+
+KIND_MECHANISM = "mechanism"
+KIND_ALONE = "alone"
+KIND_PROFILE = "profile"
+
+
+# --------------------------------------------------------------- defaults
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def default_workers() -> int:
+    """``$REPRO_WORKERS`` or one worker per CPU (capped at 8)."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(f"REPRO_WORKERS must be an integer, got {env!r}") from None
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+# ------------------------------------------------------------------ keys
+
+
+def _hash_payload(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class PlannedRun:
+    """One deduplicatable unit of simulation work."""
+
+    kind: str
+    sc: ScaleConfig
+    mix: WorkloadMix | None = None
+    mechanism: str | None = None
+    bench: str | None = None
+    way_sweep: tuple[int, ...] | None = None
+
+    @property
+    def label(self) -> str:
+        if self.kind == KIND_MECHANISM:
+            return f"{self.mix.name}/{self.mechanism}"
+        if self.kind == KIND_ALONE:
+            return f"alone/{self.bench}"
+        return f"profile/{self.bench}" + ("+ways" if self.way_sweep else "")
+
+    def key_payload(self) -> dict:
+        """Everything the simulated outcome depends on."""
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "scale": self.sc.cache_key(),
+            "machine": asdict(self.sc.params()),
+        }
+        if self.kind == KIND_MECHANISM:
+            payload["mix"] = {
+                "benchmarks": list(self.mix.benchmarks),
+                "seed": self.mix.seed,
+            }
+            payload["mechanism"] = self.mechanism
+        elif self.kind == KIND_ALONE:
+            payload["bench"] = self.bench
+        elif self.kind == KIND_PROFILE:
+            payload["bench"] = self.bench
+            payload["way_sweep"] = list(self.way_sweep) if self.way_sweep else None
+        else:  # pragma: no cover - guarded by constructors
+            raise ValueError(f"unknown run kind {self.kind!r}")
+        return payload
+
+    def key(self) -> str:
+        return _hash_payload(self.key_payload())
+
+
+# ----------------------------------------------------------- computation
+#
+# Top-level functions so planned runs pickle cleanly into pool workers.
+
+
+def _compute_mechanism(run: PlannedRun) -> dict:
+    from repro.experiments.runner import build_machine  # avoid import cycle
+
+    sc = run.sc
+    machine = build_machine(run.mix, sc)
+    platform = SimulatedPlatform(machine)
+    epoch_cfg = EpochConfig(exec_units=sc.exec_units, sample_units=sc.sample_units)
+    controller = CMMController(platform, make_policy(run.mechanism), epoch_cfg=epoch_cfg)
+    stats = controller.run(sc.n_epochs)
+    return {
+        "n_cores": stats.n_cores,
+        "cycles_per_second": stats.cycles_per_second,
+        "wall_cycles": stats.wall_cycles,
+        "totals": stats.totals.tolist(),
+        "n_epochs": len(stats.epochs),
+    }
+
+
+def _compute_alone(run: PlannedRun) -> dict:
+    sc = run.sc
+    params = sc.params()
+    m = Machine(params, quantum=sc.quantum)
+    trace = build_trace(run.bench, llc_lines=params.llc.lines, base_line=m.core_base_line(0), seed=0)
+    m.attach_trace(0, trace)
+    m.run_accesses(sc.alone_accesses)  # warm-up lap
+    snap = m.pmu.snapshot()
+    m.run_accesses(sc.alone_accesses)
+    sample = m.pmu.delta_since(snap)
+    return {"ipc": sample.ipc(0)}
+
+
+def _compute_profile(run: PlannedRun) -> dict:
+    sc = run.sc
+    prof = profile_benchmark(
+        run.bench, sc.params(), sc.profile_accesses, way_sweep=run.way_sweep
+    )
+    return {
+        "name": prof.name,
+        "ipc_on": prof.ipc_on,
+        "ipc_off": prof.ipc_off,
+        "demand_bw_off_mbs": prof.demand_bw_off_mbs,
+        "total_bw_on_mbs": prof.total_bw_on_mbs,
+        "demand_bw_on_mbs": prof.demand_bw_on_mbs,
+        "ipc_by_ways": {str(w): ipc for w, ipc in prof.ipc_by_ways.items()},
+    }
+
+
+_COMPUTE: dict[str, Callable[[PlannedRun], dict]] = {
+    KIND_MECHANISM: _compute_mechanism,
+    KIND_ALONE: _compute_alone,
+    KIND_PROFILE: _compute_profile,
+}
+
+
+def _execute_planned(run: PlannedRun) -> tuple[dict, float]:
+    """Worker entry point: compute one payload, report wall seconds."""
+    t0 = time.perf_counter()
+    payload = _COMPUTE[run.kind](run)
+    return payload, time.perf_counter() - t0
+
+
+def _rehydrate_stats(payload: dict) -> RunStats:
+    # Cached replays carry the accumulated PMU totals (all metrics) but
+    # not per-epoch decision records; use a live run for timelines.
+    return RunStats(
+        n_cores=payload["n_cores"],
+        cycles_per_second=payload["cycles_per_second"],
+        totals=np.asarray(payload["totals"], dtype=float),
+        wall_cycles=payload["wall_cycles"],
+        epochs=[],
+    )
+
+
+def _rehydrate_profile(payload: dict) -> AloneProfile:
+    return AloneProfile(
+        name=payload["name"],
+        ipc_on=payload["ipc_on"],
+        ipc_off=payload["ipc_off"],
+        demand_bw_off_mbs=payload["demand_bw_off_mbs"],
+        total_bw_on_mbs=payload["total_bw_on_mbs"],
+        demand_bw_on_mbs=payload["demand_bw_on_mbs"],
+        ipc_by_ways={int(w): ipc for w, ipc in payload["ipc_by_ways"].items()},
+    )
+
+
+# ------------------------------------------------------------------ cache
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Summary of what a :class:`ResultCache` holds on disk."""
+
+    root: Path | None
+    entries: int
+    bytes: int
+    by_kind: dict[str, int]
+
+
+class ResultCache:
+    """Content-addressed result store: memory tier over an optional disk tier.
+
+    Entries live at ``<root>/<key[:2]>/<key>.json``; ``root=None`` keeps
+    the cache purely in-memory (one process).  Writes are atomic
+    (tmp file + rename) so an interrupted sweep never leaves a torn
+    entry behind.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root).expanduser() if root is not None else None
+        self._mem: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        rec = self._mem.get(key)
+        if rec is None and self.root is not None:
+            path = self._path(key)
+            if path.is_file():
+                try:
+                    rec = json.loads(path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    rec = None
+                if rec is not None and rec.get("schema") != SCHEMA_VERSION:
+                    rec = None
+                if rec is not None:
+                    self._mem[key] = rec
+        if rec is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return rec
+
+    def put(self, key: str, record: dict) -> None:
+        self._mem[key] = record
+        if self.root is None:
+            return
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(record, sort_keys=True))
+        os.replace(tmp, path)
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._mem:
+            return True
+        return self.root is not None and self._path(key).is_file()
+
+    def _disk_entries(self) -> list[Path]:
+        if self.root is None or not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def stats(self) -> CacheStats:
+        entries = self._disk_entries()
+        by_kind: dict[str, int] = {}
+        total = 0
+        for path in entries:
+            total += path.stat().st_size
+            try:
+                kind = json.loads(path.read_text()).get("kind", "?")
+            except (OSError, json.JSONDecodeError):
+                kind = "?"
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        if self.root is None:
+            for rec in self._mem.values():
+                by_kind[rec.get("kind", "?")] = by_kind.get(rec.get("kind", "?"), 0) + 1
+            return CacheStats(None, len(self._mem), 0, by_kind)
+        return CacheStats(self.root, len(entries), total, by_kind)
+
+    def clear(self) -> int:
+        """Drop every entry (memory and disk); returns entries removed."""
+        removed = len(self._mem)
+        self._mem.clear()
+        disk = self._disk_entries()
+        for path in disk:
+            path.unlink(missing_ok=True)
+        return max(removed, len(disk))
+
+
+# ------------------------------------------------------------------- spec
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Declarative description of a sweep: mixes x mechanisms x scale.
+
+    ``mixes`` (explicit workloads) beats ``categories`` (generated per
+    the scale's ``workloads_per_category`` and seed).  ``expand``
+    returns a deduplicated plan: shared baselines and alone runs appear
+    once no matter how many mechanisms or mixes need them.
+    """
+
+    mechanisms: tuple[str, ...] = ("cmm-a",)
+    categories: tuple[str, ...] = CATEGORIES
+    workloads_per_category: int | None = None
+    mixes: tuple[WorkloadMix, ...] | None = None
+    include_baseline: bool = True
+    include_alone: bool = True
+
+    def resolve_mixes(self, sc: ScaleConfig) -> list[WorkloadMix]:
+        if self.mixes is not None:
+            return list(self.mixes)
+        count = self.workloads_per_category or sc.workloads_per_category
+        out: list[WorkloadMix] = []
+        for cat in self.categories:
+            out.extend(make_mixes(cat, count, seed=sc.seed))
+        return out
+
+    def expand(self, sc: ScaleConfig | None = None) -> list[PlannedRun]:
+        sc = sc or get_scale()
+        mixes = self.resolve_mixes(sc)
+        plan: list[PlannedRun] = []
+        if self.include_alone:
+            benches = dict.fromkeys(b for mix in mixes for b in mix.benchmarks)
+            plan += [PlannedRun(KIND_ALONE, sc, bench=b) for b in benches]
+        mechs = tuple(dict.fromkeys(self.mechanisms))
+        if self.include_baseline and "baseline" not in mechs:
+            mechs = ("baseline",) + mechs
+        for mix in mixes:
+            plan += [PlannedRun(KIND_MECHANISM, sc, mix=mix, mechanism=m) for m in mechs]
+        return plan
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Timing/progress record for one executed (or replayed) run."""
+
+    key: str
+    kind: str
+    label: str
+    scale: str
+    seconds: float
+    cached: bool
+
+
+# ---------------------------------------------------------------- session
+
+
+class ExperimentSession:
+    """Owns a result cache and a worker pool; the one way to run things.
+
+    Parameters
+    ----------
+    scale:
+        Default :class:`ScaleConfig` for calls that omit one
+        (falls back to :func:`get_scale`).
+    cache:
+        An explicit :class:`ResultCache` (dependency injection point).
+    cache_dir:
+        Where to persist results when no ``cache`` is given; defaults
+        to :func:`default_cache_dir`, ``None`` keeps results in memory.
+    max_workers:
+        Process-pool width for cache misses; ``1`` runs serially.
+        Defaults to :func:`default_workers` (``$REPRO_WORKERS``).
+    progress:
+        Optional callback ``(record, done, total)`` fired once per run
+        as a batch executes.
+    """
+
+    _UNSET = object()
+
+    def __init__(
+        self,
+        *,
+        scale: ScaleConfig | None = None,
+        cache: ResultCache | None = None,
+        cache_dir: str | Path | None = _UNSET,
+        max_workers: int | None = None,
+        progress: Callable[[RunRecord, int, int], None] | None = None,
+    ) -> None:
+        if cache is None:
+            root = default_cache_dir() if cache_dir is self._UNSET else cache_dir
+            cache = ResultCache(root)
+        self.scale = scale
+        self.cache = cache
+        self.max_workers = max_workers if max_workers is not None else default_workers()
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.progress = progress
+        self.records: list[RunRecord] = []
+
+    # -- plumbing ----------------------------------------------------
+
+    def _resolve(self, sc: ScaleConfig | None) -> ScaleConfig:
+        return sc or self.scale or get_scale()
+
+    def _note(self, record: RunRecord, done: int, total: int) -> None:
+        self.records.append(record)
+        if self.progress is not None:
+            self.progress(record, done, total)
+
+    def execute(self, runs: Iterable[PlannedRun]) -> dict[str, dict]:
+        """Run a plan; returns ``{key: payload}`` for every planned run.
+
+        Duplicates collapse on their content key, cache hits replay
+        from the store, and misses execute serially or across the
+        process pool — results are identical either way.
+        """
+        ordered: dict[str, PlannedRun] = {}
+        for r in runs:
+            ordered.setdefault(r.key(), r)
+        total = len(ordered)
+        out: dict[str, dict] = {}
+        misses: list[tuple[str, PlannedRun]] = []
+        done = 0
+        for key, r in ordered.items():
+            rec = self.cache.get(key)
+            if rec is not None:
+                out[key] = rec["payload"]
+                done += 1
+                self._note(RunRecord(key, r.kind, r.label, r.sc.name, 0.0, cached=True), done, total)
+            else:
+                misses.append((key, r))
+
+        def finish(key: str, r: PlannedRun, payload: dict, secs: float) -> None:
+            nonlocal done
+            self.cache.put(key, {
+                "schema": SCHEMA_VERSION,
+                "kind": r.kind,
+                "label": r.label,
+                "scale": r.sc.name,
+                "inputs": r.key_payload(),
+                "seconds": secs,
+                "payload": payload,
+            })
+            out[key] = payload
+            done += 1
+            self._note(RunRecord(key, r.kind, r.label, r.sc.name, secs, cached=False), done, total)
+
+        if len(misses) > 1 and self.max_workers > 1:
+            workers = min(self.max_workers, len(misses))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(_execute_planned, r): (key, r) for key, r in misses}
+                for fut in as_completed(futures):
+                    key, r = futures[fut]
+                    payload, secs = fut.result()
+                    finish(key, r, payload, secs)
+        else:
+            for key, r in misses:
+                payload, secs = _execute_planned(r)
+                finish(key, r, payload, secs)
+        return out
+
+    # -- single runs -------------------------------------------------
+
+    def run(
+        self,
+        mix: WorkloadMix,
+        policy_or_name,
+        sc: ScaleConfig | None = None,
+        *,
+        label: str | None = None,
+        detector_cfg=None,
+        sample_units: int | None = None,
+    ):
+        """Run one workload under a mechanism name or policy object.
+
+        Named mechanisms with no overrides are cached; custom policy
+        objects and per-call overrides (``detector_cfg``,
+        ``sample_units``) always simulate fresh, since their knobs are
+        not part of the content key.
+        """
+        from repro.experiments.runner import RunResult, build_machine
+
+        sc = self._resolve(sc)
+        if isinstance(policy_or_name, str) and detector_cfg is None and sample_units is None:
+            planned = PlannedRun(KIND_MECHANISM, sc, mix=mix, mechanism=policy_or_name)
+            payload = self.execute([planned])[planned.key()]
+            return RunResult(mix, label or policy_or_name, _rehydrate_stats(payload))
+
+        policy = make_policy(policy_or_name) if isinstance(policy_or_name, str) else policy_or_name
+        machine = build_machine(mix, sc)
+        platform = SimulatedPlatform(machine)
+        epoch_cfg = EpochConfig(
+            exec_units=sc.exec_units,
+            sample_units=sample_units if sample_units is not None else sc.sample_units,
+        )
+        controller = CMMController(platform, policy, epoch_cfg=epoch_cfg, detector_cfg=detector_cfg)
+        stats = controller.run(sc.n_epochs)
+        return RunResult(mix, label or getattr(policy, "name", "custom"), stats)
+
+    def alone_ipc(self, bench: str, sc: ScaleConfig | None = None) -> float:
+        sc = self._resolve(sc)
+        planned = PlannedRun(KIND_ALONE, sc, bench=bench)
+        return self.execute([planned])[planned.key()]["ipc"]
+
+    def alone_ipcs(self, mix: WorkloadMix, sc: ScaleConfig | None = None) -> np.ndarray:
+        """Alone-run IPC per core of ``mix`` (one cached run per benchmark)."""
+        sc = self._resolve(sc)
+        plan = {b: PlannedRun(KIND_ALONE, sc, bench=b) for b in dict.fromkeys(mix.benchmarks)}
+        payloads = self.execute(plan.values())
+        return np.array([payloads[plan[b].key()]["ipc"] for b in mix.benchmarks])
+
+    # -- profiles (Figs. 1-3) ---------------------------------------
+
+    def profile(
+        self,
+        bench: str,
+        sc: ScaleConfig | None = None,
+        *,
+        way_sweep: Sequence[int] | None = None,
+    ) -> AloneProfile:
+        return self.profile_all([bench], sc, way_sweep=way_sweep)[bench]
+
+    def profile_all(
+        self,
+        benchmarks: Sequence[str] | None = None,
+        sc: ScaleConfig | None = None,
+        *,
+        way_sweep: Sequence[int] | None = None,
+    ) -> dict[str, AloneProfile]:
+        """Cached single-core profiles for ``benchmarks`` (default: all)."""
+        sc = self._resolve(sc)
+        names = tuple(benchmarks) if benchmarks is not None else tuple(BENCHMARKS)
+        sweep = tuple(way_sweep) if way_sweep is not None else None
+        plan = {n: PlannedRun(KIND_PROFILE, sc, bench=n, way_sweep=sweep) for n in names}
+        payloads = self.execute(plan.values())
+        return {n: _rehydrate_profile(payloads[plan[n].key()]) for n in names}
+
+    # -- evaluation --------------------------------------------------
+
+    def evaluate(
+        self,
+        mix: WorkloadMix,
+        mechanisms: tuple[str, ...],
+        sc: ScaleConfig | None = None,
+        *,
+        alone_cache=None,
+    ):
+        """Baseline + mechanisms + alone runs -> a :class:`WorkloadEval`.
+
+        ``alone_cache`` injects a legacy :class:`AloneCache` for the
+        alone-IPC numbers; by default they come from this session's
+        store like every other run kind.
+        """
+        sc = self._resolve(sc)
+        mechs = tuple(m for m in dict.fromkeys(mechanisms) if m != "baseline")
+        plan: list[PlannedRun] = []
+        if alone_cache is None:
+            plan += [PlannedRun(KIND_ALONE, sc, bench=b) for b in dict.fromkeys(mix.benchmarks)]
+        base_run = PlannedRun(KIND_MECHANISM, sc, mix=mix, mechanism="baseline")
+        mech_runs = {m: PlannedRun(KIND_MECHANISM, sc, mix=mix, mechanism=m) for m in mechs}
+        plan.append(base_run)
+        plan.extend(mech_runs.values())
+        payloads = self.execute(plan)
+
+        from repro.experiments.runner import RunResult
+
+        if alone_cache is not None:
+            alone = alone_cache.ipcs_for(mix, sc)
+        else:
+            keys = {b: PlannedRun(KIND_ALONE, sc, bench=b).key() for b in dict.fromkeys(mix.benchmarks)}
+            alone = np.array([payloads[keys[b]]["ipc"] for b in mix.benchmarks])
+        base = RunResult(mix, "baseline", _rehydrate_stats(payloads[base_run.key()]))
+        runs = {
+            m: RunResult(mix, m, _rehydrate_stats(payloads[pr.key()]))
+            for m, pr in mech_runs.items()
+        }
+        return build_eval(mix, alone, base, runs)
+
+    def sweep(
+        self,
+        mechanisms: tuple[str, ...],
+        sc: ScaleConfig | None = None,
+        *,
+        categories: tuple[str, ...] = CATEGORIES,
+        workloads_per_category: int | None = None,
+        mixes: Sequence[WorkloadMix] | None = None,
+    ) -> list:
+        """Evaluate every mix x mechanism; misses run in parallel first."""
+        sc = self._resolve(sc)
+        spec = RunSpec(
+            mechanisms=tuple(mechanisms),
+            categories=categories,
+            workloads_per_category=workloads_per_category,
+            mixes=tuple(mixes) if mixes is not None else None,
+        )
+        self.execute(spec.expand(sc))  # fill the cache breadth-first
+        return [self.evaluate(mix, tuple(mechanisms), sc) for mix in spec.resolve_mixes(sc)]
+
+
+def build_eval(mix: WorkloadMix, alone: np.ndarray, base, runs: dict):
+    """Fold runs into the paper's HS/WS/worst/BW/stall metrics."""
+    from repro.experiments.runner import WorkloadEval
+
+    base_hs = harmonic_speedup(base.ipc, alone)
+    ev = WorkloadEval(mix=mix, baseline=base, runs=dict(runs), alone_ipc=alone)
+    ev.metrics["baseline"] = {
+        "hs": base_hs,
+        "hs_norm": 1.0,
+        "ws": 1.0,
+        "worst": 1.0,
+        "bw_mbs": base.mem_bandwidth_mbs,
+        "bw_norm": 1.0,
+        "stalls_norm": 1.0,
+    }
+    for mech, run_ in runs.items():
+        hs = harmonic_speedup(run_.ipc, alone)
+        ev.metrics[mech] = {
+            "hs": hs,
+            "hs_norm": hs / base_hs if base_hs > 0 else 0.0,
+            "ws": weighted_speedup(run_.ipc, base.ipc),
+            "worst": worst_case_speedup(run_.ipc, base.ipc),
+            "bw_mbs": run_.mem_bandwidth_mbs,
+            "bw_norm": run_.mem_bandwidth_mbs / base.mem_bandwidth_mbs
+            if base.mem_bandwidth_mbs > 0
+            else 0.0,
+            "stalls_norm": run_.stalls_per_kinst / base.stalls_per_kinst
+            if base.stalls_per_kinst > 0
+            else 0.0,
+        }
+    return ev
+
+
+# ------------------------------------------------------- default session
+
+_DEFAULT_SESSION: ExperimentSession | None = None
+
+
+def default_session() -> ExperimentSession:
+    """The process-wide session used by module-level helpers and shims."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = ExperimentSession()
+    return _DEFAULT_SESSION
+
+
+def set_default_session(session: ExperimentSession | None) -> None:
+    """Install (or with ``None``, reset) the process-wide session."""
+    global _DEFAULT_SESSION
+    _DEFAULT_SESSION = session
+
+
+def run(mix: WorkloadMix, policy_or_name, sc: ScaleConfig | None = None, **overrides):
+    """Unified entry point replacing ``run_mechanism``/``run_policy_object``.
+
+    ``policy_or_name`` is a mechanism name (cached through the default
+    session) or a policy object (always simulated fresh); ``overrides``
+    are forwarded to :meth:`ExperimentSession.run` (``label``,
+    ``detector_cfg``, ``sample_units``).
+    """
+    return default_session().run(mix, policy_or_name, sc, **overrides)

@@ -3,9 +3,11 @@
 Every ``figNN_*`` function returns a plain dict of rows/series matching
 what the paper plots, and can be rendered with
 :mod:`repro.experiments.report`.  Figures 7-15 share the same 4x
-workload-category sweep; an :class:`EvalStore` caches (workload,
-mechanism) runs so regenerating several figures in one process costs
-each run once.
+workload-category sweep; an :class:`EvalStore` assembles (workload,
+mechanism) evaluations through an
+:class:`~repro.experiments.engine.ExperimentSession`, so runs are
+deduplicated, executed in parallel on cache misses, and replayed from
+the on-disk store when a figure is regenerated.
 """
 
 from __future__ import annotations
@@ -17,14 +19,9 @@ import numpy as np
 from repro.core.frontend import AggDetector
 from repro.core.metrics_defs import compute_metrics, summarize_sample
 from repro.experiments.config import ScaleConfig, get_scale
-from repro.experiments.runner import (
-    ALONE_CACHE,
-    WorkloadEval,
-    build_machine,
-    evaluate_workload,
-)
+from repro.experiments.engine import ExperimentSession, RunSpec, default_session
+from repro.experiments.runner import WorkloadEval, build_machine
 from repro.platform.simulated import SimulatedPlatform
-from repro.workloads.classify import profile_benchmark
 from repro.workloads.mixes import CATEGORIES, WorkloadMix, make_mixes
 from repro.workloads.speclike import BENCHMARKS
 
@@ -38,11 +35,20 @@ ALL_MECHS = ("pt",) + CP_MECHS + CMM_MECHS
 
 @dataclass
 class EvalStore:
-    """Caches workload evaluations; extends them with missing mechanisms."""
+    """Caches workload evaluations; extends them with missing mechanisms.
+
+    Backed by an :class:`ExperimentSession` (the default one unless a
+    session is injected), so every run it triggers lands in — and can
+    replay from — the session's result cache.
+    """
 
     sc: ScaleConfig
+    session: ExperimentSession | None = None
     _mixes: dict[str, list[WorkloadMix]] = field(default_factory=dict)
     _evals: dict[str, WorkloadEval] = field(default_factory=dict)
+
+    def _session(self) -> ExperimentSession:
+        return self.session or default_session()
 
     def mixes(self, category: str) -> list[WorkloadMix]:
         if category not in self._mixes:
@@ -54,33 +60,37 @@ class EvalStore:
     def eval(self, mix: WorkloadMix, mechanisms: tuple[str, ...]) -> WorkloadEval:
         ev = self._evals.get(mix.name)
         if ev is None:
-            ev = evaluate_workload(mix, mechanisms, self.sc, alone_cache=ALONE_CACHE)
+            ev = self._session().evaluate(mix, mechanisms, self.sc)
             self._evals[mix.name] = ev
             return ev
         missing = tuple(m for m in mechanisms if m not in ev.metrics)
         if missing:
-            fresh = evaluate_workload(mix, missing, self.sc, alone_cache=ALONE_CACHE)
+            fresh = self._session().evaluate(mix, missing, self.sc)
             ev.runs.update(fresh.runs)
             for m in missing:
                 ev.metrics[m] = fresh.metrics[m]
         return ev
 
     def sweep(self, mechanisms: tuple[str, ...]) -> list[WorkloadEval]:
-        """All categories x workloads, in the paper's presentation order."""
-        out = []
-        for cat in CATEGORIES:
-            for mix in self.mixes(cat):
-                out.append(self.eval(mix, mechanisms))
-        return out
+        """All categories x workloads, in the paper's presentation order.
+
+        Executes the whole (mix x mechanism) plan in one batch first —
+        deduplicated, parallel across the session's workers on misses —
+        then assembles per-workload evaluations from the cache.
+        """
+        all_mixes = tuple(mix for cat in CATEGORIES for mix in self.mixes(cat))
+        spec = RunSpec(mechanisms=tuple(mechanisms), mixes=all_mixes)
+        self._session().execute(spec.expand(self.sc))
+        return [self.eval(mix, tuple(mechanisms)) for mix in all_mixes]
 
 
 _STORES: dict[str, EvalStore] = {}
 
 
-def get_store(sc: ScaleConfig | None = None) -> EvalStore:
+def get_store(sc: ScaleConfig | None = None, session: ExperimentSession | None = None) -> EvalStore:
     sc = sc or get_scale()
     if sc.name not in _STORES:
-        _STORES[sc.name] = EvalStore(sc)
+        _STORES[sc.name] = EvalStore(sc, session=session)
     return _STORES[sc.name]
 
 
@@ -89,15 +99,15 @@ def get_store(sc: ScaleConfig | None = None) -> EvalStore:
 _PROFILES: dict[tuple[str, str, bool], dict] = {}
 
 
-def _profiles(sc: ScaleConfig, *, ways: bool = False) -> dict[str, object]:
+def _profiles(
+    sc: ScaleConfig, *, ways: bool = False, session: ExperimentSession | None = None
+) -> dict[str, object]:
     key = sc.name
     cache_key = (key, "profiles", ways)
     if cache_key not in _PROFILES:
         sweep = (1, 2, 4, 6, 8, 12, 16, 20) if ways else None
-        _PROFILES[cache_key] = {
-            name: profile_benchmark(spec, sc.params(), sc.profile_accesses, way_sweep=sweep)
-            for name, spec in BENCHMARKS.items()
-        }
+        sess = session or default_session()
+        _PROFILES[cache_key] = sess.profile_all(tuple(BENCHMARKS), sc, way_sweep=sweep)
     return _PROFILES[cache_key]
 
 

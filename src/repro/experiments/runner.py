@@ -3,22 +3,25 @@
 The runner builds a fresh machine per run (no state leaks between
 mechanisms), attaches one benchmark trace per core, wraps the machine
 in a :class:`SimulatedPlatform`, and drives it with a
-:class:`CMMController` carrying the requested policy.  Per-benchmark
-alone-IPCs (for HS) are measured once and cached per scale.
+:class:`CMMController` carrying the requested policy.
+
+Execution and caching now live in :mod:`repro.experiments.engine`:
+an :class:`~repro.experiments.engine.ExperimentSession` deduplicates,
+parallelises and persists runs.  This module keeps the result types
+(:class:`RunResult`, :class:`WorkloadEval`), the machine factory, and
+deprecated shims for the pre-engine API (``run_mechanism``,
+``run_policy_object``, ``evaluate_workload``, ``ALONE_CACHE``).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.controller import CMMController, RunStats
-from repro.core.epoch import EpochConfig
-from repro.core.policies import make_policy
-from repro.experiments.config import ScaleConfig, get_scale
-from repro.metrics.speedup import harmonic_speedup, weighted_speedup, worst_case_speedup
-from repro.platform.simulated import SimulatedPlatform
+from repro.core.controller import RunStats
+from repro.experiments.config import ScaleConfig
 from repro.sim.machine import Machine
 from repro.sim.pmu import Event
 from repro.workloads.mixes import WorkloadMix
@@ -74,9 +77,16 @@ class RunResult:
 
 
 def run_mechanism(mix: WorkloadMix, mechanism: str, sc: ScaleConfig | None = None) -> RunResult:
-    """Run one workload under one mechanism for the scale's epochs."""
-    sc = sc or get_scale()
-    return run_policy_object(mix, make_policy(mechanism), sc, label=mechanism)
+    """Deprecated: use :func:`repro.run` / :meth:`ExperimentSession.run`."""
+    warnings.warn(
+        "run_mechanism() is deprecated; use repro.run(mix, mechanism, sc) "
+        "or ExperimentSession.run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments.engine import default_session
+
+    return default_session().run(mix, mechanism, sc)
 
 
 def run_policy_object(
@@ -88,25 +98,27 @@ def run_policy_object(
     detector_cfg=None,
     sample_units: int | None = None,
 ) -> RunResult:
-    """Run a workload under an arbitrary (possibly customised) policy.
-
-    The hook the ablation benchmarks use: swept parameters live on the
-    policy object or in ``detector_cfg``/``sample_units``.
-    """
-    sc = sc or get_scale()
-    machine = build_machine(mix, sc)
-    platform = SimulatedPlatform(machine)
-    epoch_cfg = EpochConfig(
-        exec_units=sc.exec_units,
-        sample_units=sample_units if sample_units is not None else sc.sample_units,
+    """Deprecated: use :func:`repro.run` / :meth:`ExperimentSession.run`."""
+    warnings.warn(
+        "run_policy_object() is deprecated; use repro.run(mix, policy, sc, ...) "
+        "or ExperimentSession.run()",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    controller = CMMController(platform, policy, epoch_cfg=epoch_cfg, detector_cfg=detector_cfg)
-    stats = controller.run(sc.n_epochs)
-    return RunResult(mix, label or getattr(policy, "name", "custom"), stats)
+    from repro.experiments.engine import default_session
+
+    return default_session().run(
+        mix, policy, sc, label=label, detector_cfg=detector_cfg, sample_units=sample_units
+    )
 
 
 class AloneCache:
-    """Per-scale cache of alone-run IPCs (prefetchers on, full LLC)."""
+    """Per-scale in-memory cache of alone-run IPCs (prefetchers on, full LLC).
+
+    Still usable standalone (and injectable into ``evaluate_workload``),
+    but sessions supersede it: :meth:`ExperimentSession.alone_ipc`
+    persists the same measurement in the on-disk store.
+    """
 
     def __init__(self) -> None:
         self._cache: dict[tuple[str, str], float] = {}
@@ -132,8 +144,33 @@ class AloneCache:
         return sample.ipc(0)
 
 
-#: Module-level cache shared by figure drivers and benchmarks.
-ALONE_CACHE = AloneCache()
+class _SessionAloneCache(AloneCache):
+    """The ``ALONE_CACHE`` shim: measurements go through the default
+    session, so legacy callers share the engine's on-disk store."""
+
+    def _measure(self, bench: str, sc: ScaleConfig) -> float:
+        from repro.experiments.engine import default_session
+
+        return default_session().alone_ipc(bench, sc)
+
+
+_LEGACY_ALONE_CACHE: _SessionAloneCache | None = None
+
+
+def __getattr__(name: str):
+    if name == "ALONE_CACHE":
+        warnings.warn(
+            "ALONE_CACHE is deprecated; sessions own their caches now — use "
+            "ExperimentSession.alone_ipc()/alone_ipcs() (or pass alone_cache= "
+            "explicitly)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        global _LEGACY_ALONE_CACHE
+        if _LEGACY_ALONE_CACHE is None:
+            _LEGACY_ALONE_CACHE = _SessionAloneCache()
+        return _LEGACY_ALONE_CACHE
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -157,44 +194,16 @@ def evaluate_workload(
     *,
     alone_cache: AloneCache | None = None,
 ) -> WorkloadEval:
-    """Run baseline + mechanisms and compute HS/WS/worst-case/BW/stalls.
+    """Deprecated: use :meth:`ExperimentSession.evaluate`.
 
-    ``hs_norm``/``ws``/``worst`` are relative to the baseline run, and
-    ``bw_norm``/``stalls_norm`` normalize traffic and L2-pending stalls
-    to baseline — exactly the quantities Figs. 7-15 plot.
+    Delegates to the default session (cached, possibly parallel) and
+    computes the same HS/WS/worst-case/BW/stall metrics as before.
     """
-    sc = sc or get_scale()
-    cache = alone_cache or ALONE_CACHE
-    alone = cache.ipcs_for(mix, sc)
+    warnings.warn(
+        "evaluate_workload() is deprecated; use ExperimentSession.evaluate()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments.engine import default_session
 
-    base = run_mechanism(mix, "baseline", sc)
-    base_hs = harmonic_speedup(base.ipc, alone)
-    ev = WorkloadEval(mix=mix, baseline=base, runs={}, alone_ipc=alone)
-    ev.metrics["baseline"] = {
-        "hs": base_hs,
-        "hs_norm": 1.0,
-        "ws": 1.0,
-        "worst": 1.0,
-        "bw_mbs": base.mem_bandwidth_mbs,
-        "bw_norm": 1.0,
-        "stalls_norm": 1.0,
-    }
-
-    for mech in mechanisms:
-        if mech == "baseline":
-            continue
-        run = run_mechanism(mix, mech, sc)
-        ev.runs[mech] = run
-        hs = harmonic_speedup(run.ipc, alone)
-        ev.metrics[mech] = {
-            "hs": hs,
-            "hs_norm": hs / base_hs if base_hs > 0 else 0.0,
-            "ws": weighted_speedup(run.ipc, base.ipc),
-            "worst": worst_case_speedup(run.ipc, base.ipc),
-            "bw_mbs": run.mem_bandwidth_mbs,
-            "bw_norm": run.mem_bandwidth_mbs / base.mem_bandwidth_mbs
-            if base.mem_bandwidth_mbs > 0
-            else 0.0,
-            "stalls_norm": run.stalls_per_kinst / base.stalls_per_kinst if base.stalls_per_kinst > 0 else 0.0,
-        }
-    return ev
+    return default_session().evaluate(mix, mechanisms, sc, alone_cache=alone_cache)

@@ -2,12 +2,29 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.sim.machine import Machine
 from repro.sim.params import CacheGeometry, MachineParams
 from repro.sim.trace import RandomStream, SequentialStream, TraceGenerator
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache(tmp_path_factory):
+    """Point the experiment engine's on-disk cache at a throwaway dir.
+
+    Keeps test runs from reading (or polluting) the user's real
+    ``~/.cache/repro`` store while still exercising the disk tier.
+    """
+    from repro.experiments import engine
+
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    engine.set_default_session(None)
+    yield
+    engine.set_default_session(None)
 
 
 @pytest.fixture

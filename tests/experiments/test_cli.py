@@ -56,6 +56,32 @@ class TestClassifyCommand:
         assert "aggressive=False" in out
 
 
+class TestCacheCommand:
+    def test_stats_empty(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "entries    : 0" in out
+
+    def test_stats_and_clear_roundtrip(self, capsys, tmp_path):
+        from repro.experiments.engine import SCHEMA_VERSION, ResultCache
+
+        root = tmp_path / "c"
+        ResultCache(root).put(
+            "ab" * 32, {"schema": SCHEMA_VERSION, "kind": "alone", "payload": {"ipc": 1.0}}
+        )
+        assert main(["cache", "stats", "--cache-dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "entries    : 1" in out and "alone" in out
+        assert main(["cache", "clear", "--cache-dir", str(root)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(root)]) == 0
+        assert "entries    : 0" in capsys.readouterr().out
+
+    def test_workers_flag_parsed(self):
+        args = build_parser().parse_args(["run", "--workers", "4", "--no-cache"])
+        assert args.workers == 4 and args.no_cache
+
+
 @pytest.mark.slow
 class TestRunAndFigureCommands:
     def test_run_command(self, capsys, monkeypatch):

@@ -25,6 +25,23 @@ class TestScales:
         with pytest.raises(KeyError):
             get_scale("huge")
 
+    def test_lookup_normalizes_case_and_whitespace(self, monkeypatch):
+        assert get_scale("TINY").name == "tiny"
+        monkeypatch.setenv("REPRO_SCALE", " Small ")
+        assert get_scale().name == "small"
+
+    def test_unknown_scale_reports_raw_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "HuGe")
+        with pytest.raises(KeyError, match="'HuGe'"):
+            get_scale()
+
+    def test_cache_key_excludes_presentation_fields(self):
+        d = TINY.cache_key()
+        for absent in ("name", "workloads_per_category", "seed"):
+            assert absent not in d
+        assert d["llc_scale"] == TINY.llc_scale
+        assert d["quantum"] == TINY.quantum
+
     def test_full_keeps_paper_ratio(self):
         assert FULL.exec_units // FULL.sample_units == 50
         assert FULL.workloads_per_category == 10

@@ -1,0 +1,310 @@
+"""The parallel experiment engine: keys, cache, sessions, shims.
+
+Uses a reduced scale so the whole module stays fast; the
+parallel-determinism test spins up a real two-process pool.
+"""
+
+import dataclasses
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import TINY, ScaleConfig
+from repro.experiments.engine import (
+    KIND_ALONE,
+    KIND_MECHANISM,
+    SCHEMA_VERSION,
+    ExperimentSession,
+    PlannedRun,
+    ResultCache,
+    RunSpec,
+    default_cache_dir,
+    default_session,
+    default_workers,
+    set_default_session,
+)
+from repro.workloads.mixes import make_mixes
+
+SC = dataclasses.replace(
+    TINY, name="unit", quantum=256, sample_units=256, exec_units=2048, alone_accesses=4096
+)
+
+
+@pytest.fixture(scope="module")
+def mix():
+    return make_mixes("pref_agg", 1, seed=2019)[0]
+
+
+@pytest.fixture
+def session(tmp_path):
+    return ExperimentSession(cache_dir=tmp_path / "cache", max_workers=1)
+
+
+class TestKeys:
+    def test_key_is_deterministic(self, mix):
+        a = PlannedRun(KIND_MECHANISM, SC, mix=mix, mechanism="pt")
+        b = PlannedRun(KIND_MECHANISM, SC, mix=mix, mechanism="pt")
+        assert a.key() == b.key()
+
+    def test_key_varies_with_mechanism_and_scale(self, mix):
+        base = PlannedRun(KIND_MECHANISM, SC, mix=mix, mechanism="pt")
+        other_mech = PlannedRun(KIND_MECHANISM, SC, mix=mix, mechanism="dunn")
+        other_sc = PlannedRun(
+            KIND_MECHANISM, dataclasses.replace(SC, exec_units=4096), mix=mix, mechanism="pt"
+        )
+        assert len({base.key(), other_mech.key(), other_sc.key()}) == 3
+
+    def test_scale_name_is_not_identity(self, mix):
+        """Two scales with identical simulation parameters share keys."""
+        renamed = dataclasses.replace(SC, name="renamed", workloads_per_category=7)
+        a = PlannedRun(KIND_MECHANISM, SC, mix=mix, mechanism="pt")
+        b = PlannedRun(KIND_MECHANISM, renamed, mix=mix, mechanism="pt")
+        assert a.key() == b.key()
+
+    def test_cache_key_fields(self):
+        d = SC.cache_key()
+        assert "name" not in d and "workloads_per_category" not in d and "seed" not in d
+        assert d["exec_units"] == SC.exec_units
+        assert json.dumps(d, sort_keys=True)  # JSON-stable
+
+    def test_key_payload_carries_schema_and_machine(self, mix):
+        payload = PlannedRun(KIND_ALONE, SC, bench="429.mcf").key_payload()
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["machine"]["n_cores"] == 8
+
+
+class TestResultCache:
+    def test_roundtrip_and_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("ab" * 32) is None
+        cache.put("ab" * 32, {"schema": SCHEMA_VERSION, "kind": "alone", "payload": {"ipc": 1.5}})
+        rec = cache.get("ab" * 32)
+        assert rec["payload"]["ipc"] == 1.5
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        ResultCache(tmp_path).put(
+            "cd" * 32, {"schema": SCHEMA_VERSION, "kind": "alone", "payload": {"ipc": 2.0}}
+        )
+        fresh = ResultCache(tmp_path)
+        assert fresh.get("cd" * 32)["payload"]["ipc"] == 2.0
+
+    def test_schema_mismatch_misses(self, tmp_path):
+        ResultCache(tmp_path).put(
+            "ef" * 32, {"schema": SCHEMA_VERSION + 1, "kind": "alone", "payload": {"ipc": 2.0}}
+        )
+        assert ResultCache(tmp_path).get("ef" * 32) is None
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("12" * 32, {"schema": SCHEMA_VERSION, "kind": "alone", "payload": {}})
+        cache.put("34" * 32, {"schema": SCHEMA_VERSION, "kind": "mechanism", "payload": {}})
+        s = cache.stats()
+        assert s.entries == 2 and s.bytes > 0
+        assert s.by_kind == {"alone": 1, "mechanism": 1}
+        assert cache.clear() == 2
+        assert ResultCache(tmp_path).stats().entries == 0
+
+    def test_memory_only(self):
+        cache = ResultCache(None)
+        cache.put("56" * 32, {"schema": SCHEMA_VERSION, "kind": "alone", "payload": {"ipc": 1.0}})
+        assert cache.get("56" * 32)["payload"]["ipc"] == 1.0
+        assert cache.stats().root is None
+
+
+class TestSessionCaching:
+    def test_hit_after_miss(self, session, mix):
+        a = session.run(mix, "baseline", SC)
+        b = session.run(mix, "baseline", SC)
+        np.testing.assert_array_equal(a.ipc, b.ipc)
+        assert [r.cached for r in session.records] == [False, True]
+
+    def test_disk_replay_is_bit_identical(self, tmp_path, mix):
+        first = ExperimentSession(cache_dir=tmp_path / "c", max_workers=1)
+        fresh = first.run(mix, "pt", SC)
+        second = ExperimentSession(cache_dir=tmp_path / "c", max_workers=1)
+        replay = second.run(mix, "pt", SC)
+        assert second.records[0].cached
+        np.testing.assert_array_equal(fresh.ipc, replay.ipc)
+        np.testing.assert_array_equal(fresh.stats.totals, replay.stats.totals)
+        assert fresh.stats.wall_cycles == replay.stats.wall_cycles
+
+    def test_param_change_invalidates(self, session, mix):
+        session.run(mix, "baseline", SC)
+        session.run(mix, "baseline", dataclasses.replace(SC, exec_units=1024))
+        assert [r.cached for r in session.records] == [False, False]
+
+    def test_machine_param_change_invalidates(self, session, mix):
+        session.run(mix, "baseline", SC)
+        session.run(mix, "baseline", dataclasses.replace(SC, llc_scale=32))
+        assert [r.cached for r in session.records] == [False, False]
+
+    def test_alone_runs_cached(self, session):
+        a = session.alone_ipc("410.bwaves", SC)
+        b = session.alone_ipc("410.bwaves", SC)
+        assert a == b > 0
+        assert [r.cached for r in session.records] == [False, True]
+
+    def test_policy_objects_bypass_cache(self, session, mix):
+        from repro.core.dunn import DunnPolicy
+
+        r = session.run(mix, DunnPolicy(), SC)
+        assert r.mechanism == "dunn"
+        assert session.records == []  # never planned, never cached
+
+    def test_progress_callback(self, tmp_path, mix):
+        seen = []
+        s = ExperimentSession(
+            cache_dir=tmp_path / "c", max_workers=1,
+            progress=lambda rec, done, total: seen.append((rec.label, done, total)),
+        )
+        s.alone_ipcs(mix, SC)
+        uniq = len(dict.fromkeys(mix.benchmarks))
+        assert len(seen) == uniq
+        assert seen[-1][1:] == (uniq, uniq)
+
+
+class TestRunSpec:
+    def test_expand_dedups(self, mix):
+        spec = RunSpec(mechanisms=("pt", "pt", "baseline"), mixes=(mix, mix))
+        plan = spec.expand(SC)
+        keys = [p.key() for p in plan]
+        assert len(keys) == len(plan)
+        mech_runs = [p for p in plan if p.kind == KIND_MECHANISM]
+        assert {p.mechanism for p in mech_runs} == {"baseline", "pt"}
+        assert len(mech_runs) == 4  # (mix repeated) x {baseline, pt}, pre-dedup by execute
+        alone = [p for p in plan if p.kind == KIND_ALONE]
+        assert len(alone) == len(dict.fromkeys(mix.benchmarks))
+
+    def test_categories_expansion(self):
+        spec = RunSpec(mechanisms=("pt",), categories=("pref_unfri",), workloads_per_category=2)
+        mixes = spec.resolve_mixes(SC)
+        assert [m.category for m in mixes] == ["pref_unfri", "pref_unfri"]
+
+    def test_execute_collapses_duplicates(self, session, mix):
+        spec = RunSpec(mechanisms=("pt",), mixes=(mix, mix), include_alone=False)
+        session.execute(spec.expand(SC))
+        assert len(session.records) == 2  # baseline + pt, once each
+
+
+class TestParallelDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self, tmp_path, mix):
+        serial = ExperimentSession(cache_dir=tmp_path / "s", max_workers=1)
+        parallel = ExperimentSession(cache_dir=tmp_path / "p", max_workers=2)
+        ev_s = serial.evaluate(mix, ("pt",), SC)
+        ev_p = parallel.evaluate(mix, ("pt",), SC)
+        assert not any(r.cached for r in parallel.records)
+        np.testing.assert_array_equal(ev_s.alone_ipc, ev_p.alone_ipc)
+        np.testing.assert_array_equal(ev_s.baseline.stats.totals, ev_p.baseline.stats.totals)
+        assert ev_s.metrics == ev_p.metrics
+
+
+class TestEvaluate:
+    def test_matches_legacy_evaluate_workload(self, session, mix):
+        ev = session.evaluate(mix, ("pt",), SC)
+        with pytest.warns(DeprecationWarning):
+            from repro.experiments.runner import evaluate_workload
+
+            set_default_session(ExperimentSession(cache_dir=None, max_workers=1))
+            try:
+                legacy = evaluate_workload(mix, ("pt",), SC)
+            finally:
+                set_default_session(None)
+        assert ev.metrics == legacy.metrics
+
+    def test_injected_alone_cache_is_used(self, session, mix):
+        from repro.experiments.runner import AloneCache
+
+        cache = AloneCache()
+        ev = session.evaluate(mix, ("pt",), SC, alone_cache=cache)
+        assert len(cache._cache) == len(dict.fromkeys(mix.benchmarks))
+        np.testing.assert_array_equal(ev.alone_ipc, cache.ipcs_for(mix, SC))
+
+    def test_sweep_assembles_all_mixes(self, session):
+        evals = session.sweep(("pt",), SC, categories=("pref_no_agg",), workloads_per_category=1)
+        assert len(evals) == 1
+        assert "pt" in evals[0].metrics and "baseline" in evals[0].metrics
+
+
+class TestDeprecationShims:
+    def test_run_mechanism_warns_and_works(self, mix):
+        from repro.experiments import runner
+
+        with pytest.warns(DeprecationWarning, match="run_mechanism"):
+            r = runner.run_mechanism(mix, "baseline", SC)
+        assert (r.ipc > 0).all()
+
+    def test_run_policy_object_warns_and_works(self, mix):
+        from repro.core.dunn import DunnPolicy
+        from repro.experiments import runner
+
+        with pytest.warns(DeprecationWarning, match="run_policy_object"):
+            r = runner.run_policy_object(mix, DunnPolicy(), SC)
+        assert r.mechanism == "dunn"
+
+    def test_evaluate_workload_warns_and_works(self, mix):
+        from repro.experiments import runner
+
+        with pytest.warns(DeprecationWarning, match="evaluate_workload"):
+            ev = runner.evaluate_workload(mix, ("pt",), SC)
+        assert ev.metrics["baseline"]["hs_norm"] == 1.0
+
+    def test_alone_cache_alias_warns_and_shares_store(self, mix):
+        from repro.experiments import runner
+
+        with pytest.warns(DeprecationWarning, match="ALONE_CACHE"):
+            alias = runner.ALONE_CACHE
+        ipc = alias.ipc("410.bwaves", SC)
+        assert ipc == default_session().alone_ipc("410.bwaves", SC)
+
+    def test_unknown_attribute_still_raises(self):
+        from repro.experiments import runner
+
+        with pytest.raises(AttributeError):
+            runner.NO_SUCH_THING
+
+
+class TestDefaults:
+    def test_default_cache_dir_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert default_cache_dir() == tmp_path / "env-cache"
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
+        with pytest.raises(ValueError):
+            default_workers()
+
+    def test_default_session_singleton(self):
+        set_default_session(None)
+        assert default_session() is default_session()
+        mine = ExperimentSession(cache_dir=None)
+        set_default_session(mine)
+        try:
+            assert default_session() is mine
+        finally:
+            set_default_session(None)
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSession(cache_dir=None, max_workers=0)
+
+
+class TestProfiles:
+    def test_profile_cached_and_rehydrated(self, session):
+        sc = dataclasses.replace(SC, profile_accesses=4096)
+        a = session.profile("453.povray", sc, way_sweep=(1, 2))
+        b = session.profile("453.povray", sc, way_sweep=(1, 2))
+        assert [r.cached for r in session.records] == [False, True]
+        assert a.ipc_on == b.ipc_on > 0
+        assert set(a.ipc_by_ways) == {1, 2}
+        assert isinstance(next(iter(b.ipc_by_ways)), int)
+
+    def test_way_sweep_part_of_key(self, session):
+        sc = dataclasses.replace(SC, profile_accesses=4096)
+        session.profile("453.povray", sc)
+        session.profile("453.povray", sc, way_sweep=(1,))
+        assert [r.cached for r in session.records] == [False, False]
