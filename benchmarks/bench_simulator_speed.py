@@ -4,6 +4,12 @@ Unlike the figure benches these measure raw substrate throughput
 (accesses simulated per second) so performance regressions in the
 cache/prefetcher/LLC loops show up in benchmark history.
 
+The core-throughput benches are parametrised over the simulation
+engine, so one run shows the ``fast`` kernel's margin over the
+``reference`` kernel side by side.  ``benchmarks/emit_bench_json.py``
+runs the same scenarios standalone and records the resulting
+accesses/second in ``BENCH_simulator.json``.
+
 The ``test_engine_*`` benches cover the experiment engine: a cold
 evaluation (every run simulated) vs. a warm replay of the identical
 evaluation from the on-disk result cache — the wall-clock win that
@@ -13,16 +19,28 @@ makes figure regeneration cheap.
 import dataclasses
 
 import numpy as np
+import pytest
 
 from repro.experiments.config import TINY
 from repro.experiments.engine import ExperimentSession
 from repro.sim.cache import Cache, PartitionedCache
+from repro.sim.fastcache import FastCache, FastPartitionedCache
 from repro.sim.machine import Machine
 from repro.sim.params import CacheGeometry, scaled_params
 from repro.workloads.mixes import make_mixes
 from repro.workloads.speclike import build_trace
 
 N_ACCESSES = 8192
+
+# The three core-throughput scenarios (shared with emit_bench_json.py).
+CORE_SCENARIOS = {
+    "streaming": ["410.bwaves"],
+    "random": ["rand_access"],
+    "full_machine": [
+        "410.bwaves", "462.libquantum", "429.mcf", "471.omnetpp",
+        "rand_access", "483.xalancbmk", "453.povray", "416.gamess",
+    ],
+}
 
 # Engine benches use a reduced scale so cold runs stay in seconds.
 ENGINE_SC = dataclasses.replace(
@@ -32,30 +50,30 @@ ENGINE_SC = dataclasses.replace(
 ENGINE_MECHS = ("pt", "cmm-a")
 
 
-def _machine(benchmarks: list[str]) -> Machine:
+def _machine(benchmarks: list[str], engine: str = "auto") -> Machine:
     params = scaled_params(16)
-    m = Machine(params, quantum=512)
+    m = Machine(params, quantum=512, engine=engine)
     for core, bench in enumerate(benchmarks):
         m.attach_trace(core, build_trace(
             bench, llc_lines=params.llc.lines, base_line=m.core_base_line(core), seed=core))
     return m
 
 
-def test_streaming_core_throughput(benchmark):
-    m = _machine(["410.bwaves"])
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_streaming_core_throughput(benchmark, engine):
+    m = _machine(CORE_SCENARIOS["streaming"], engine)
     benchmark.pedantic(m.run_accesses, args=(N_ACCESSES,), rounds=3, iterations=1)
 
 
-def test_random_core_throughput(benchmark):
-    m = _machine(["rand_access"])
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_random_core_throughput(benchmark, engine):
+    m = _machine(CORE_SCENARIOS["random"], engine)
     benchmark.pedantic(m.run_accesses, args=(N_ACCESSES,), rounds=3, iterations=1)
 
 
-def test_full_machine_throughput(benchmark):
-    m = _machine([
-        "410.bwaves", "462.libquantum", "429.mcf", "471.omnetpp",
-        "rand_access", "483.xalancbmk", "453.povray", "416.gamess",
-    ])
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_full_machine_throughput(benchmark, engine):
+    m = _machine(CORE_SCENARIOS["full_machine"], engine)
     benchmark.pedantic(m.run_accesses, args=(N_ACCESSES,), rounds=2, iterations=1)
 
 
@@ -71,6 +89,26 @@ def test_private_cache_access_rate(benchmark):
     benchmark.pedantic(run, rounds=3, iterations=1)
 
 
+def test_fast_private_cache_access_rate(benchmark):
+    c = FastCache(CacheGeometry(32 * 1024, 8))
+    lines = np.random.default_rng(0).integers(0, 4096, 20000).tolist()
+
+    def run():
+        access = c.access
+        for line in lines:
+            access(line)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_fast_private_cache_batch_rate(benchmark):
+    """Same workload through the batch entry point (one call per array)."""
+    c = FastCache(CacheGeometry(32 * 1024, 8))
+    lines = np.random.default_rng(0).integers(0, 4096, 20000)
+
+    benchmark.pedantic(lambda: c.access_many(lines), rounds=3, iterations=1)
+
+
 def test_partitioned_cache_access_rate(benchmark):
     p = PartitionedCache(CacheGeometry(20 * 1024 * 1024 // 16, 20))
     allowed = tuple(range(20))
@@ -82,6 +120,27 @@ def test_partitioned_cache_access_rate(benchmark):
             access(line, allowed)
 
     benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_fast_partitioned_cache_access_rate(benchmark):
+    p = FastPartitionedCache(CacheGeometry(20 * 1024 * 1024 // 16, 20))
+    allowed = tuple(range(20))
+    lines = np.random.default_rng(0).integers(0, 60000, 20000).tolist()
+
+    def run():
+        access = p.access
+        for line in lines:
+            access(line, allowed)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_fast_partitioned_cache_batch_rate(benchmark):
+    p = FastPartitionedCache(CacheGeometry(20 * 1024 * 1024 // 16, 20))
+    allowed = tuple(range(20))
+    lines = np.random.default_rng(0).integers(0, 60000, 20000)
+
+    benchmark.pedantic(lambda: p.access_many(lines, allowed), rounds=3, iterations=1)
 
 
 def test_engine_cold_evaluation(benchmark, tmp_path):

@@ -1,0 +1,173 @@
+"""Regenerate ``BENCH_simulator.json`` — simulator core-throughput record.
+
+Measures the core-throughput scenarios from
+``bench_simulator_speed.py`` (accesses simulated per second) for the
+``fast`` and ``reference`` engines and writes the results, per-scenario
+speedups and their geometric mean to ``BENCH_simulator.json`` at the
+repository root.
+
+Methodology: scenarios are measured best-of-``--rounds`` with the
+engines *interleaved* round by round, so transient machine load hits
+every engine alike instead of biasing whichever ran last.  Numbers are
+this-host absolute throughputs — compare ratios, not raw values,
+across machines.
+
+Refresh::
+
+    PYTHONPATH=src python benchmarks/emit_bench_json.py
+
+To also (re)measure the pre-fast-kernel baseline live, point
+``--baseline-src`` at a checkout of the commit preceding the fast
+kernel (e.g. ``git worktree add /tmp/prepr <commit>`` then
+``--baseline-src /tmp/prepr/src``).  Without it, any baseline figures
+in an existing ``BENCH_simulator.json`` are carried forward with their
+original provenance note.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import math
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_simulator_speed import CORE_SCENARIOS  # noqa: E402
+
+
+def _load_stack(src_root: str):
+    """(Re)import the simulator from ``src_root``, dropping cached modules."""
+    for mod in [m for m in sys.modules if m.split(".")[0] == "repro"]:
+        del sys.modules[mod]
+    sys.path.insert(0, src_root)
+    try:
+        machine_mod = importlib.import_module("repro.sim.machine")
+        params_mod = importlib.import_module("repro.sim.params")
+        spec_mod = importlib.import_module("repro.workloads.speclike")
+    finally:
+        sys.path.pop(0)
+    return machine_mod.Machine, params_mod.scaled_params, spec_mod.build_trace
+
+
+def _throughput(src_root: str, engine: str | None, benches: list[str], n: int) -> float:
+    Machine, scaled_params, build_trace = _load_stack(src_root)
+    params = scaled_params(16)
+    kwargs = {} if engine is None else {"engine": engine}
+    m = Machine(params, quantum=512, **kwargs)
+    for core, bench in enumerate(benches):
+        m.attach_trace(
+            core,
+            build_trace(
+                bench,
+                llc_lines=params.llc.lines,
+                base_line=m.core_base_line(core),
+                seed=core,
+            ),
+        )
+    t0 = time.perf_counter()
+    m.run_accesses(n)
+    return n * len(benches) / (time.perf_counter() - t0)
+
+
+def _geomean(vals: list[float]) -> float | None:
+    vals = [v for v in vals if v]
+    if not vals:
+        return None
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--rounds", type=int, default=5)
+    ap.add_argument("--accesses", type=int, default=8192, help="accesses per core")
+    ap.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_simulator.json")
+    ap.add_argument(
+        "--baseline-src",
+        type=Path,
+        default=None,
+        help="src/ dir of a pre-fast-kernel checkout to measure live",
+    )
+    ap.add_argument(
+        "--baseline-note",
+        default="pre-PR kernel (commit before the fast engine landed)",
+    )
+    args = ap.parse_args(argv)
+
+    src = str(REPO_ROOT / "src")
+    prior = {}
+    if args.out.exists():
+        prior = json.loads(args.out.read_text())
+
+    best: dict[tuple[str, str], float] = {}
+    lanes = [("fast", src, "fast"), ("reference", src, "reference")]
+    if args.baseline_src is not None:
+        lanes.append(("pre_pr", str(args.baseline_src), None))
+
+    for name, benches in CORE_SCENARIOS.items():
+        for _ in range(args.rounds):
+            for lane, root, engine in lanes:
+                rate = _throughput(root, engine, benches, args.accesses)
+                key = (name, lane)
+                best[key] = max(best.get(key, 0.0), rate)
+        print(f"{name}: " + "  ".join(
+            f"{lane}={best[(name, lane)]:,.0f}/s" for lane, _, _ in lanes))
+
+    scenarios = {}
+    for name, benches in CORE_SCENARIOS.items():
+        fast = best[(name, "fast")]
+        ref = best[(name, "reference")]
+        pre = best.get((name, "pre_pr"))
+        if pre is None:
+            pre = (
+                prior.get("scenarios", {}).get(name, {}).get("pre_pr_acc_per_s")
+            )
+        scenarios[name] = {
+            "benchmarks": benches,
+            "fast_acc_per_s": round(fast),
+            "reference_acc_per_s": round(ref),
+            "pre_pr_acc_per_s": round(pre) if pre else None,
+            "speedup_fast_vs_reference": round(fast / ref, 2),
+            "speedup_fast_vs_pre_pr": round(fast / pre, 2) if pre else None,
+        }
+
+    payload = {
+        "generated_utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "method": (
+            f"best of {args.rounds} interleaved rounds, "
+            f"{args.accesses} accesses/core, scaled_params(16), quantum=512"
+        ),
+        "baseline": {
+            "note": args.baseline_note,
+            "measured": "live" if args.baseline_src else
+            prior.get("baseline", {}).get("measured", "carried-forward"),
+        },
+        "scenarios": scenarios,
+        "geomean_speedup_fast_vs_reference": round(
+            _geomean([s["speedup_fast_vs_reference"] for s in scenarios.values()]), 2
+        ),
+        "geomean_speedup_fast_vs_pre_pr": (
+            round(g, 2)
+            if (g := _geomean(
+                [s["speedup_fast_vs_pre_pr"] or 0 for s in scenarios.values()]
+            ))
+            else None
+        ),
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -126,11 +126,17 @@ class PlannedRun:
 
     def key_payload(self) -> dict:
         """Everything the simulated outcome depends on."""
+        machine = asdict(self.sc.params())
+        # The simulation engine is differential-tested bit-identical
+        # (tests/sim/test_fast_engine.py), so it cannot change the
+        # outcome — excluding it keeps cached results valid across
+        # engine choices and engine-default changes.
+        machine.pop("sim_engine", None)
         payload = {
             "schema": SCHEMA_VERSION,
             "kind": self.kind,
             "scale": self.sc.cache_key(),
-            "machine": asdict(self.sc.params()),
+            "machine": machine,
         }
         if self.kind == KIND_MECHANISM:
             payload["mix"] = {

@@ -14,6 +14,8 @@ E5-2620 v4 used by the paper (see DESIGN.md section 2).  It models:
 
 from repro.sim.params import MachineParams, CacheGeometry
 from repro.sim.cache import Cache, PartitionedCache
+from repro.sim.engines import ENGINE_FAST, ENGINE_REFERENCE, ENGINES, resolve_engine
+from repro.sim.fastcache import FastCache, FastPartitionedCache
 from repro.sim.machine import Machine
 from repro.sim.msr import MsrFile, PrefetchMsr, PF_ALL_ON, PF_ALL_OFF
 from repro.sim.cat import CatController
@@ -24,6 +26,12 @@ __all__ = [
     "CacheGeometry",
     "Cache",
     "PartitionedCache",
+    "FastCache",
+    "FastPartitionedCache",
+    "ENGINE_FAST",
+    "ENGINE_REFERENCE",
+    "ENGINES",
+    "resolve_engine",
     "Machine",
     "MsrFile",
     "PrefetchMsr",

@@ -134,6 +134,11 @@ class PartitionedCache:
         self._index: list[dict[int, int]] = [dict() for _ in range(self.n_sets)]
         self._clock = 0
         self._pref_unused: set[int] = set()
+        # Per-way occupancy: how many sets hold a line in way w.  Ways
+        # only ever fill (evictions replace in place), so counters are
+        # bumped on empty-slot fills and reset on flush, keeping
+        # occupancy queries O(|ways|) instead of O(sets x ways).
+        self._way_occ: list[int] = [0] * self.ways
         self.stats = CacheStats()
 
     def access(self, line: int, allowed_ways: tuple[int, ...], is_prefetch: bool = False) -> bool:
@@ -168,6 +173,8 @@ class PartitionedCache:
             if victim in self._pref_unused:
                 self._pref_unused.discard(victim)
                 st.pref_evicted_unused += 1
+        else:
+            self._way_occ[vw] += 1
         tags[vw] = line
         stamps[vw] = self._clock
         idx[line] = vw
@@ -180,10 +187,11 @@ class PartitionedCache:
         return line in self._index[line & self._set_mask]
 
     def occupancy(self) -> int:
-        return sum(len(d) for d in self._index)
+        return sum(self._way_occ)
 
     def occupancy_in_ways(self, ways: tuple[int, ...]) -> int:
-        return sum(1 for s in self._tags for w in ways if s[w] != -1)
+        occ = self._way_occ
+        return sum(occ[w] for w in ways)
 
     def resident_way(self, line: int) -> int | None:
         """Way index holding ``line`` or None (test helper)."""
@@ -194,6 +202,7 @@ class PartitionedCache:
         self._stamps = [[0] * self.ways for _ in range(self.n_sets)]
         self._index = [dict() for _ in range(self.n_sets)]
         self._pref_unused.clear()
+        self._way_occ = [0] * self.ways
         self._clock = 0
 
 

@@ -28,8 +28,60 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.sim.memory import DramModel
+from repro.sim.memory import RHO_CLIP, DramModel
 from repro.sim.params import MachineParams
+
+
+def _scalar_sum(vals: list) -> float:
+    """Python-float replica of NumPy's pairwise summation for n <= 128.
+
+    NumPy sums < 8 elements sequentially and 8..128 elements with an
+    8-accumulator unrolled loop collapsed as ``((r0+r1)+(r2+r3)) +
+    ((r4+r5)+(r6+r7))`` plus a sequential remainder; this reproduces
+    that tree so scalar means match ``ndarray.mean`` bit for bit.
+    Verified against this interpreter's NumPy at import (see
+    ``_SCALAR_SUM_EXACT``); larger inputs must use NumPy directly.
+    """
+    n = len(vals)
+    if n < 8:
+        s = 0.0
+        for v in vals:
+            s += v
+        return s
+    r0, r1, r2, r3, r4, r5, r6, r7 = vals[:8]
+    i = 8
+    last = n - (n % 8)
+    while i < last:
+        r0 += vals[i]
+        r1 += vals[i + 1]
+        r2 += vals[i + 2]
+        r3 += vals[i + 3]
+        r4 += vals[i + 4]
+        r5 += vals[i + 5]
+        r6 += vals[i + 6]
+        r7 += vals[i + 7]
+        i += 8
+    res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+    while i < n:
+        res += vals[i]
+        i += 1
+    return res
+
+
+def _check_scalar_sum() -> bool:
+    rng = np.random.default_rng(20190527)
+    for n in (1, 2, 3, 7, 8, 9, 16, 17, 31, 64, 100, 128):
+        for _ in range(8):
+            v = rng.uniform(1e-9, 1e9, n)
+            if _scalar_sum(v.tolist()) != float(v.sum()):
+                return False
+    return True
+
+
+# If this NumPy build's reduction order ever differs from the replica
+# (e.g. a SIMD dispatch change), fall back to NumPy means so results
+# stay anchored to the array formulation.
+_SCALAR_SUM_EXACT = _check_scalar_sum()
 
 
 @dataclass
@@ -76,31 +128,90 @@ def solve_quantum(
     if not (len(inst_per_mem) == len(mlp) == len(active) == n):
         raise ValueError("counts, inst_per_mem, mlp and active must align")
 
-    n_access = np.array([c.n_access for c in counts], dtype=np.float64)
-    l2_hits = np.array([c.n_l2_hit_d for c in counts], dtype=np.float64)
-    llc_hits = np.array([c.n_llc_hit_d for c in counts], dtype=np.float64)
-    mem_d = np.array([c.n_mem_d for c in counts], dtype=np.float64)
-    core_bytes = np.array([c.total_bytes for c in counts], dtype=np.float64)
-    ipm = np.array(inst_per_mem, dtype=np.float64)
-    par = np.maximum(np.array(mlp, dtype=np.float64), 1.0)
-    act = np.array(active, dtype=bool)
+    # Scalar hot path.  The solver runs once per quantum, and for small
+    # core counts NumPy's per-call overhead on length-n arrays dwarfs
+    # the arithmetic, so the elementwise work is done in Python floats
+    # — the identical IEEE-754 operations in the identical order, so
+    # results are bit-equal to the original array formulation.  The one
+    # *reduction* (the active-cycles mean) stays in NumPy because its
+    # pairwise summation order is not reproducible with a scalar loop.
+    lat_l2 = float(params.lat_l2)
+    lat_llc = float(params.lat_llc)
+    lat_mem = float(params.lat_mem)
+    cpi = params.cpi_exec
+    mem_bpc = params.mem_bytes_per_cycle
 
-    instructions = n_access * (1.0 + ipm)
-    exec_cycles = instructions * params.cpi_exec
-    l2_stall = l2_hits * params.lat_l2 / par
-    llc_stall = llc_hits * params.lat_llc / par
+    exec_cycles = [0.0] * n
+    l2_stall = [0.0] * n
+    llc_stall = [0.0] * n
+    mem_lat = [0.0] * n  # mem_d * lat_mem; scaled by qf then / par each iter
+    pars = [1.0] * n
+    core_bytes = [0.0] * n
+    for i, c in enumerate(counts):
+        m = mlp[i]
+        par = m if m > 1.0 else 1.0
+        pars[i] = par
+        exec_cycles[i] = c.n_access * (1.0 + inst_per_mem[i]) * cpi
+        l2_stall[i] = c.n_l2_hit_d * lat_l2 / par
+        llc_stall[i] = c.n_llc_hit_d * lat_llc / par
+        mem_lat[i] = c.n_mem_d * lat_mem
+        core_bytes[i] = c.total_bytes
 
-    qf = np.ones(n, dtype=np.float64)
-    cycles = np.maximum(exec_cycles + l2_stall + llc_stall + mem_d * params.lat_mem / par, 1.0)
-    for _ in range(iterations):
-        mem_stall = mem_d * params.lat_mem * qf / par
-        cycles = np.maximum(exec_cycles + l2_stall + llc_stall + mem_stall, 1.0)
-        machine_cycles = float(cycles[act].mean()) if act.any() else 1.0
-        qf_new = dram.effective_factor(core_bytes, cycles, machine_cycles)
-        qf = 0.5 * qf + 0.5 * qf_new  # damped update for stability
+    act_idx = [i for i in range(n) if active[i]]
+    n_act = len(act_idx)
+    scalar_mean = _SCALAR_SUM_EXACT and n_act <= 128
+    # Socket utilisation numerator is loop-invariant: hoist the sum.
+    if _SCALAR_SUM_EXACT and n <= 128:
+        total_bytes = _scalar_sum(core_bytes)
+    else:
+        total_bytes = float(np.asarray(core_bytes, dtype=np.float64).sum())
 
-    mem_stall = mem_d * params.lat_mem * qf / par
-    cycles = np.maximum(exec_cycles + l2_stall + llc_stall + mem_stall, 1.0)
-    machine_cycles = float(cycles[act].mean()) if act.any() else 1.0
-    stalls = llc_stall + mem_stall  # cycles with an L2 miss pending
-    return QuantumTiming(cycles=cycles, stalls_l2_pending=stalls, queue_factor=qf, machine_cycles=machine_cycles)
+    # Queue-factor constants — same formula as DramModel.queue_factor /
+    # effective_factor, inlined op-for-op (cycles are already >= 1.0 so
+    # the 1e-9 guard of the array path cannot trigger).
+    core_bpc = params.core_bytes_per_cycle
+    gain = params.queue_gain
+    cap = params.max_queue_factor
+
+    qf = [1.0] * n
+    mem_stall = [0.0] * n
+    cycles = [1.0] * n
+    machine_cycles = 1.0
+    for it in range(iterations + 1):
+        for i in range(n):
+            ms = mem_lat[i] * qf[i] / pars[i]
+            cy = exec_cycles[i] + l2_stall[i] + llc_stall[i] + ms
+            mem_stall[i] = ms
+            cycles[i] = cy if cy > 1.0 else 1.0
+        if n_act:
+            if scalar_mean:
+                machine_cycles = _scalar_sum([cycles[i] for i in act_idx]) / n_act
+            else:
+                machine_cycles = float(
+                    np.asarray([cycles[i] for i in act_idx], dtype=np.float64).mean()
+                )
+        if it == iterations:
+            break
+        mc = machine_cycles if machine_cycles > 1e-9 else 1e-9
+        rho_socket = total_bytes / (mem_bpc * mc)
+        for i in range(n):
+            cy = cycles[i]
+            rho = core_bytes[i] / (core_bpc * (cy if cy > 1e-9 else 1e-9))
+            if rho < rho_socket:
+                rho = rho_socket
+            if rho < 0.0:
+                rho = 0.0
+            elif rho > RHO_CLIP:
+                rho = RHO_CLIP
+            f = 1.0 + gain * rho / (1.0 - rho)
+            if f > cap:
+                f = cap
+            qf[i] = 0.5 * qf[i] + 0.5 * f
+
+    stalls = [llc_stall[i] + mem_stall[i] for i in range(n)]  # L2-miss-pending cycles
+    return QuantumTiming(
+        cycles=np.asarray(cycles, dtype=np.float64),
+        stalls_l2_pending=np.asarray(stalls, dtype=np.float64),
+        queue_factor=np.asarray(qf, dtype=np.float64),
+        machine_cycles=machine_cycles,
+    )

@@ -1,0 +1,44 @@
+"""Simulation-engine selection.
+
+Two engines implement the machine's hot path:
+
+* ``reference`` — the original per-access object-oriented kernel
+  (:mod:`repro.sim.cache` + ``Machine._run_core_chunk_reference``).
+  Simple, audited, and the semantic source of truth.
+* ``fast`` — the batched kernel (:mod:`repro.sim.fastcache` /
+  :mod:`repro.sim.fastengine`): run-length-collapsed chunk pipeline,
+  fused cache/prefetcher loops, vectorised LLC merge.  Differential
+  tests assert it is bit-identical to ``reference`` (PMU counters,
+  cache stats, IPC), so results never depend on the engine choice and
+  the experiment cache keys deliberately exclude it.
+
+Selection order: an explicit ``Machine(engine=...)`` argument beats
+``MachineParams.sim_engine`` beats the ``REPRO_SIM_ENGINE`` environment
+variable beats the default (``fast``).
+"""
+
+from __future__ import annotations
+
+import os
+
+ENGINE_REFERENCE = "reference"
+ENGINE_FAST = "fast"
+ENGINE_AUTO = "auto"
+
+ENGINES = (ENGINE_REFERENCE, ENGINE_FAST)
+
+ENV_VAR = "REPRO_SIM_ENGINE"
+
+DEFAULT_ENGINE = ENGINE_FAST
+
+
+def resolve_engine(name: str | None = None) -> str:
+    """Resolve an engine name (or ``auto``/None) to a concrete engine."""
+    n = (name or ENGINE_AUTO).strip().lower()
+    if n == ENGINE_AUTO:
+        n = os.environ.get(ENV_VAR, DEFAULT_ENGINE).strip().lower() or DEFAULT_ENGINE
+    if n not in ENGINES:
+        raise ValueError(
+            f"unknown simulation engine {name!r} (resolved {n!r}); one of {ENGINES + (ENGINE_AUTO,)}"
+        )
+    return n

@@ -12,9 +12,12 @@ kernel module uses.
 
 from __future__ import annotations
 
+from repro.sim import fastengine
 from repro.sim.cat import CatController
 from repro.sim.cache import Cache, PartitionedCache
 from repro.sim.core_model import QuantumCounts, solve_quantum
+from repro.sim.engines import ENGINE_FAST, resolve_engine
+from repro.sim.fastcache import FastCache, FastPartitionedCache
 from repro.sim.memory import DramModel
 from repro.sim.msr import MsrFile, PrefetchMsr, enables_from_mask
 from repro.sim.params import MachineParams
@@ -32,9 +35,13 @@ CORE_ADDRESS_STRIDE_LINES = 1 << 34
 class _CoreState:
     __slots__ = ("l1", "l2", "bank", "trace", "active")
 
-    def __init__(self, params: MachineParams) -> None:
-        self.l1 = Cache(params.l1)
-        self.l2 = Cache(params.l2)
+    def __init__(self, params: MachineParams, fast: bool) -> None:
+        if fast:
+            self.l1: Cache | FastCache = FastCache(params.l1)
+            self.l2: Cache | FastCache = FastCache(params.l2)
+        else:
+            self.l1 = Cache(params.l1)
+            self.l2 = Cache(params.l2)
         self.bank = PrefetcherBank(
             stride_table=params.stride_table_entries,
             stride_degree=params.stride_degree,
@@ -49,19 +56,35 @@ class _CoreState:
 class Machine:
     """An N-core machine with shared LLC and DRAM."""
 
-    def __init__(self, params: MachineParams | None = None, *, quantum: int = DEFAULT_QUANTUM) -> None:
+    def __init__(
+        self,
+        params: MachineParams | None = None,
+        *,
+        quantum: int = DEFAULT_QUANTUM,
+        engine: str | None = None,
+    ) -> None:
         self.params = params or MachineParams()
         self.quantum = int(quantum)
         if self.quantum < 1:
             raise ValueError("quantum must be positive")
+        # Explicit argument beats params.sim_engine beats $REPRO_SIM_ENGINE.
+        self.engine = resolve_engine(engine if engine is not None else self.params.sim_engine)
+        self._fast = self.engine == ENGINE_FAST
         n = self.params.n_cores
-        self.cores = [_CoreState(self.params) for _ in range(n)]
-        self.llc = PartitionedCache(self.params.llc)
+        self.cores = [_CoreState(self.params, self._fast) for _ in range(n)]
+        self.llc: PartitionedCache | FastPartitionedCache
+        if self._fast:
+            self.llc = FastPartitionedCache(self.params.llc)
+        else:
+            self.llc = PartitionedCache(self.params.llc)
         self.cat = CatController(self.params.llc.ways, n)
         self.msr = MsrFile(n)
         self.prefetch_msr = PrefetchMsr(self.msr)
         self.pmu = Pmu(n)
         self.dram = DramModel(self.params)
+        # Last MSR 0x1A4 mask pushed into each core's prefetcher bank;
+        # -1 forces the first _sync_prefetchers to decode and push.
+        self._pf_mask_seen = [-1] * n
 
     # ---------------------------------------------------------- setup
 
@@ -86,9 +109,20 @@ class Machine:
     # ----------------------------------------------------------- run
 
     def _sync_prefetchers(self) -> None:
-        """Push MSR 0x1A4 state into each core's prefetcher bank."""
+        """Push MSR 0x1A4 state into each core's prefetcher bank.
+
+        The mask is latched per core so an unchanged MSR costs one int
+        compare per quantum instead of a decode + four attribute writes
+        (the bank is only ever reconfigured through ``prefetch_msr``,
+        which this method mirrors).
+        """
+        seen = self._pf_mask_seen
         for cpu, cs in enumerate(self.cores):
-            en = enables_from_mask(self.prefetch_msr.get_mask(cpu))
+            mask = self.prefetch_msr.get_mask(cpu)
+            if mask == seen[cpu]:
+                continue
+            seen[cpu] = mask
+            en = enables_from_mask(mask)
             cs.bank.set_enables(
                 stride=en["stride"],
                 next_line=en["next_line"],
@@ -111,8 +145,11 @@ class Machine:
         ipm = [0.0] * n
         mlp = [1.0] * n
         active = [False] * n
-        llc_reqs: list[list[tuple[int, bool]]] = [[] for _ in range(n)]
+        # Request lists: (line, is_prefetch) tuples for the reference
+        # engine, sign-encoded ints (``line`` / ``~line``) for fast.
+        llc_reqs: list[list] = [[] for _ in range(n)]
         pmu_counts = self.pmu.counts
+        fast = self._fast
 
         for cpu in range(n):
             cs = self.cores[cpu]
@@ -121,9 +158,15 @@ class Machine:
             active[cpu] = True
             ipm[cpu] = cs.trace.inst_per_mem
             mlp[cpu] = cs.trace.mlp
-            self._run_core_chunk(cpu, cs, q, counts[cpu], llc_reqs[cpu], pmu_counts)
+            if fast:
+                fastengine.run_core_chunk(cpu, cs, q, counts[cpu], llc_reqs[cpu], pmu_counts)
+            else:
+                self._run_core_chunk_reference(cpu, cs, q, counts[cpu], llc_reqs[cpu], pmu_counts)
 
-        self._run_llc_phase(counts, llc_reqs, pmu_counts)
+        if fast:
+            fastengine.run_llc_phase(self, counts, llc_reqs, pmu_counts)
+        else:
+            self._run_llc_phase_reference(counts, llc_reqs, pmu_counts)
 
         timing = solve_quantum(self.params, self.dram, counts, ipm, mlp, active)
         demand_b = 0.0
@@ -142,7 +185,7 @@ class Machine:
         self.dram.account(demand_b, pref_b)
         self.pmu.wall_cycles += timing.machine_cycles
 
-    def _run_core_chunk(
+    def _run_core_chunk_reference(
         self,
         cpu: int,
         cs: _CoreState,
@@ -151,7 +194,11 @@ class Machine:
         llc_req: list[tuple[int, bool]],
         pmu_counts,
     ) -> None:
-        """Filter one core's chunk through L1/L2 with prefetch triggering."""
+        """Filter one core's chunk through L1/L2 with prefetch triggering.
+
+        The ``reference`` engine's kernel — semantic source of truth for
+        :func:`repro.sim.fastengine.run_core_chunk`.
+        """
         ctxs, lines = cs.trace.chunk(q)
         n = len(lines)
         if n == 0:
@@ -218,13 +265,17 @@ class Machine:
         pmu_counts[cpu, Event.L2_PREF_REQ] += n_l2_pref
         pmu_counts[cpu, Event.L2_PREF_MISS] += n_l2_pref_miss
 
-    def _run_llc_phase(
+    def _run_llc_phase_reference(
         self,
         counts: list[QuantumCounts],
         llc_reqs: list[list[tuple[int, bool]]],
         pmu_counts,
     ) -> None:
-        """Serve all cores' LLC requests, merged round-robin."""
+        """Serve all cores' LLC requests, merged round-robin.
+
+        The ``reference`` engine's kernel — semantic source of truth for
+        :func:`repro.sim.fastengine.run_llc_phase`.
+        """
         llc_access = self.llc.access
         line_bytes = float(self.params.line_bytes)
         allowed = [self.cat.allowed_ways(cpu) for cpu in range(len(llc_reqs))]

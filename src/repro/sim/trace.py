@@ -37,6 +37,11 @@ import numpy as np
 class Stream(ABC):
     """One address-sequence process.  ``ctx`` identifies the load PC."""
 
+    #: True when ``burst(a + b)`` equals ``burst(a)`` then ``burst(b)``
+    #: (pure element-space arithmetic, no RNG draw) — lets the mixer
+    #: fuse consecutive bursts of the same stream into one call.
+    deterministic_burst = True
+
     def __init__(self, ctx: int, base_line: int, region_lines: int) -> None:
         if region_lines < 1:
             raise ValueError("region must contain at least one line")
@@ -91,6 +96,8 @@ class StridedStream(SequentialStream):
 
 class RandomStream(Stream):
     """Uniform random lines over the region (no temporal structure)."""
+
+    deterministic_burst = False  # each burst draws from the RNG
 
     def __init__(self, ctx: int, base_line: int, region_lines: int, rng: np.random.Generator) -> None:
         super().__init__(ctx, base_line, region_lines)
@@ -171,13 +178,26 @@ class TraceGenerator:
         filled = 0
         # Draw all stream picks for the chunk up front.
         n_bursts = -(-n // self.burst_len)
-        picks = np.searchsorted(self._cum, self._rng.random(n_bursts), side="right")
-        for b in range(n_bursts):
-            take = min(self.burst_len, n - filled)
-            s = self.streams[min(int(picks[b]), len(self.streams) - 1)]
+        picks = np.minimum(
+            np.searchsorted(self._cum, self._rng.random(n_bursts), side="right"),
+            len(self.streams) - 1,
+        ).tolist()
+        bl = self.burst_len
+        b = 0
+        while b < n_bursts:
+            si = picks[b]
+            s = self.streams[si]
+            b2 = b + 1
+            # Fuse consecutive picks of the same deterministic stream
+            # into one vectorised burst (identical output, fewer calls).
+            if s.deterministic_burst:
+                while b2 < n_bursts and picks[b2] == si:
+                    b2 += 1
+            take = min((b2 - b) * bl, n - filled)
             lines[filled : filled + take] = s.burst(take)
             ctx[filled : filled + take] = s.ctx
             filled += take
+            b = b2
         return ctx, lines
 
 

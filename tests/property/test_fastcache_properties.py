@@ -1,0 +1,170 @@
+"""Differential properties of the fast-engine cache models.
+
+Three-way checks on random access sequences:
+
+* :class:`FastCache` vs the reference :class:`Cache` vs a transparent
+  plain-dict LRU oracle written independently of both,
+* :class:`FastPartitionedCache` vs the reference
+  :class:`PartitionedCache` under randomly varying CAT way masks.
+
+"Identical" means the full observable surface: per-access hit/miss
+return values, every :class:`CacheStats` counter, occupancy, probe
+results and (for the LLC) resident-way placement and per-way
+occupancy.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import Cache, PartitionedCache, ways_from_mask
+from repro.sim.fastcache import FastCache, FastPartitionedCache
+from repro.sim.params import CacheGeometry
+
+GEOM = CacheGeometry(8 * 4 * 64, 4)  # 8 sets x 4 ways
+
+lines = st.integers(min_value=0, max_value=1 << 12)
+ops = st.lists(
+    st.tuples(lines, st.booleans(), st.sampled_from(["access", "touch", "probe"])),
+    min_size=1,
+    max_size=400,
+)
+
+
+class DictLruOracle:
+    """Independent LRU model: one insertion-ordered dict per set.
+
+    Deliberately naive — no stats micro-optimisation, no shared code
+    with either engine — so it can arbitrate if the two disagree.
+    """
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.sets = [dict() for _ in range(geometry.sets)]
+        self.ways = geometry.ways
+        self.mask = geometry.sets - 1
+
+    def access(self, line: int, is_prefetch: bool) -> bool:
+        s = self.sets[line & self.mask]
+        if line in s:
+            bit = s.pop(line)
+            s[line] = bit and is_prefetch  # demand hit consumes the bit
+            return True
+        if len(s) == self.ways:
+            oldest = next(iter(s))
+            s.pop(oldest)
+        s[line] = is_prefetch
+        return False
+
+    def resident(self, line: int) -> bool:
+        return line in self.sets[line & self.mask]
+
+    def lru_order(self, line: int) -> list[int]:
+        return list(self.sets[line & self.mask])
+
+
+def _stats_tuple(c) -> tuple:
+    s = c.stats
+    return (s.accesses, s.hits, s.pref_fills, s.pref_used, s.pref_evicted_unused)
+
+
+class TestFastCacheMatchesReferenceAndOracle:
+    @given(ops)
+    @settings(max_examples=80, deadline=None)
+    def test_three_way_identical(self, seq):
+        ref, fast = Cache(GEOM), FastCache(GEOM)
+        oracle = DictLruOracle(GEOM)
+        for line, pf, op in seq:
+            if op == "access":
+                r, f = ref.access(line, pf), fast.access(line, pf)
+                o = oracle.access(line, pf)
+                assert r == f == o
+            elif op == "touch":
+                assert ref.touch_used(line) == fast.touch_used(line)
+                # The oracle treats an internal touch as an LRU refresh
+                # that consumes the prefetched-unused bit.
+                if oracle.resident(line):
+                    s = oracle.sets[line & oracle.mask]
+                    s.pop(line)
+                    s[line] = False
+            else:
+                assert ref.probe(line) == fast.probe(line) == oracle.resident(line)
+        assert _stats_tuple(ref) == _stats_tuple(fast)
+        assert ref.occupancy() == fast.occupancy()
+
+    @given(ops)
+    @settings(max_examples=60, deadline=None)
+    def test_tag_state_matches_oracle(self, seq):
+        """After any sequence, resident lines and LRU order match the oracle."""
+        fast = FastCache(GEOM)
+        oracle = DictLruOracle(GEOM)
+        for line, pf, op in seq:
+            if op == "access":
+                fast.access(line, pf)
+                oracle.access(line, pf)
+        tags = fast.tags_array()
+        for si, s in enumerate(oracle.sets):
+            expect = list(s)
+            got = [t for t in tags[si].tolist() if t != -1]
+            assert got == expect
+
+    @given(st.lists(st.lists(lines, min_size=1, max_size=32), min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_access_many_equals_scalar_loop(self, batches):
+        a, b = FastCache(GEOM), FastCache(GEOM)
+        for i, batch in enumerate(batches):
+            pf = bool(i % 2)
+            hits = a.access_many(batch, pf)
+            for line, hit in zip(batch, hits):
+                assert b.access(line, pf) == hit
+        assert _stats_tuple(a) == _stats_tuple(b)
+        assert (a.tags_array() == b.tags_array()).all()
+        assert (a.pref_array() == b.pref_array()).all()
+
+
+masks = st.integers(min_value=1, max_value=(1 << GEOM.ways) - 1)
+part_ops = st.lists(
+    st.tuples(lines, masks, st.booleans()), min_size=1, max_size=400
+)
+
+
+class TestFastPartitionedCacheMatchesReference:
+    @given(part_ops)
+    @settings(max_examples=80, deadline=None)
+    def test_identical_under_varying_masks(self, seq):
+        ref, fast = PartitionedCache(GEOM), FastPartitionedCache(GEOM)
+        for line, mask, pf in seq:
+            allowed = ways_from_mask(mask, GEOM.ways)
+            assert ref.access(line, allowed, pf) == fast.access(line, allowed, pf)
+            assert ref.resident_way(line) == fast.resident_way(line)
+        assert _stats_tuple(ref) == _stats_tuple(fast)
+        assert ref.occupancy() == fast.occupancy()
+        for w in range(GEOM.ways):
+            assert ref.occupancy_in_ways((w,)) == fast.occupancy_in_ways((w,))
+
+    @given(part_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_full_placement_matches(self, seq):
+        """Every resident line sits in the same set *and way* in both."""
+        ref, fast = PartitionedCache(GEOM), FastPartitionedCache(GEOM)
+        touched = set()
+        for line, mask, pf in seq:
+            allowed = ways_from_mask(mask, GEOM.ways)
+            ref.access(line, allowed, pf)
+            fast.access(line, allowed, pf)
+            touched.add(line)
+        for line in touched:
+            assert ref.probe(line) == fast.probe(line)
+            assert ref.resident_way(line) == fast.resident_way(line)
+
+    @given(part_ops)
+    @settings(max_examples=40, deadline=None)
+    def test_way_occupancy_consistent(self, seq):
+        """O(1)-counter way occupancy equals a recount from the tag state."""
+        fast = FastPartitionedCache(GEOM)
+        for line, mask, pf in seq:
+            fast.access(line, ways_from_mask(mask, GEOM.ways), pf)
+        tags = fast.tags_array()
+        for w in range(GEOM.ways):
+            assert fast.occupancy_in_ways((w,)) == int((tags[:, w] != -1).sum())
+        assert fast.occupancy() == int((tags != -1).sum())
