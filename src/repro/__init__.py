@@ -47,6 +47,7 @@ from repro.core.allocation import ResourceConfig
 from repro.core.epoch import EpochConfig
 from repro.experiments.config import ScaleConfig, get_scale
 from repro.experiments.engine import (
+    ExperimentError,
     ExperimentSession,
     ResultCache,
     RunSpec,
@@ -60,6 +61,8 @@ from repro.experiments.runner import (
     evaluate_workload,
     run_mechanism,
 )
+from repro.platform.base import PlatformError
+from repro.platform.faults import FaultPlan, FaultyPlatform
 from repro.platform.simulated import SimulatedPlatform
 from repro.sim.machine import Machine
 from repro.sim.params import MachineParams, default_params, scaled_params
@@ -70,9 +73,13 @@ __version__ = "1.1.0"
 __all__ = [
     "CMMController",
     "EpochConfig",
+    "ExperimentError",
     "ExperimentSession",
+    "FaultPlan",
+    "FaultyPlatform",
     "Machine",
     "MachineParams",
+    "PlatformError",
     "ResourceConfig",
     "ResultCache",
     "RunResult",

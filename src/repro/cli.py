@@ -7,6 +7,7 @@ Commands
 ``mixes [--category C]``  show the generated workload mixes
 ``run [...]``             evaluate mechanisms on workloads of a category
 ``figure <id>``           regenerate one paper figure/table
+``chaos [...]``           run seeded fault-injection scenarios (CI gate)
 ``cache stats|clear``     inspect or wipe the on-disk result cache
 
 ``run`` and ``figure`` go through the experiment engine: results are
@@ -102,6 +103,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("id", choices=FIGURES)
     _add_scale(p)
     _add_engine(p)
+
+    p = sub.add_parser("chaos", help="run seeded fault-injection scenarios against the controller")
+    p.add_argument("--scenario", default="all",
+                   help="scenario name or 'all' (see repro.platform.faults.SCENARIOS)")
+    p.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    p.add_argument("--mechanism", default="cmm-a")
+    p.add_argument("--epochs", type=int, default=6)
+    p.add_argument("--category", choices=CATEGORIES, default="pref_agg")
+    _add_scale(p)
 
     p = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
     p.add_argument("action", choices=("stats", "clear"))
@@ -218,6 +228,32 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.experiments.chaos import run_chaos_scenario
+    from repro.platform.faults import SCENARIOS
+
+    if args.scenario == "all":
+        names = sorted(SCENARIOS)
+    elif args.scenario in SCENARIOS:
+        names = [args.scenario]
+    else:
+        print(f"unknown scenario {args.scenario!r}; choose from "
+              f"{', '.join(sorted(SCENARIOS))} or 'all'", file=sys.stderr)
+        return 2
+    sc = get_scale(args.scale)
+    failed = 0
+    for name in names:
+        report = run_chaos_scenario(
+            name, args.seed, mechanism=args.mechanism,
+            n_epochs=args.epochs, category=args.category, sc=sc,
+        )
+        print(report.summary())
+        if not report.ok:
+            failed += 1
+    print(f"{len(names) - failed}/{len(names)} scenarios ok")
+    return 1 if failed else 0
+
+
 def cmd_cache(args) -> int:
     from repro.experiments.engine import ResultCache, default_cache_dir
 
@@ -230,6 +266,7 @@ def cmd_cache(args) -> int:
     print(f"cache root : {s.root}")
     print(f"entries    : {s.entries}")
     print(f"size       : {s.bytes / 1e6:.2f} MB")
+    print(f"corrupt    : {s.corrupt}")
     for kind in sorted(s.by_kind):
         print(f"  {kind:<10}: {s.by_kind[kind]}")
     return 0
@@ -241,6 +278,7 @@ COMMANDS = {
     "mixes": cmd_mixes,
     "run": cmd_run,
     "figure": cmd_figure,
+    "chaos": cmd_chaos,
     "cache": cmd_cache,
 }
 

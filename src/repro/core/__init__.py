@@ -9,21 +9,39 @@ mean of per-core IPC.
 """
 
 from repro.core.allocation import ResourceConfig
-from repro.core.controller import CMMController, RunStats
+from repro.core.controller import (
+    CMMController,
+    DegradedState,
+    EpochRecord,
+    ResilienceConfig,
+    RunStats,
+)
 from repro.core.epoch import EpochConfig, EpochContext, IntervalResult
-from repro.core.frontend import AggDetector, DetectorConfig
+from repro.core.frontend import (
+    AggDetector,
+    DetectorConfig,
+    SampleRejected,
+    SampleValidationConfig,
+    SampleValidator,
+)
 from repro.core.metrics_defs import TableIMetrics, CoreSummary, summarize_sample
 from repro.core.policies import POLICIES, make_policy, policy_names
 
 __all__ = [
     "ResourceConfig",
     "CMMController",
+    "DegradedState",
+    "EpochRecord",
+    "ResilienceConfig",
     "RunStats",
     "EpochConfig",
     "EpochContext",
     "IntervalResult",
     "AggDetector",
     "DetectorConfig",
+    "SampleRejected",
+    "SampleValidationConfig",
+    "SampleValidator",
     "TableIMetrics",
     "CoreSummary",
     "summarize_sample",

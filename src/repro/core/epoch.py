@@ -16,9 +16,10 @@ the real kernel module.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.allocation import ResourceConfig
-from repro.core.frontend import AggDetector, DetectionReport
+from repro.core.frontend import AggDetector, DetectionReport, SampleValidator
 from repro.core.metrics_defs import CoreSummary, hm_ipc, summarize_sample
 from repro.platform.base import Platform
 from repro.sim.pmu import PmuSample
@@ -44,21 +45,43 @@ class EpochConfig:
 
 @dataclass
 class IntervalResult:
-    """One sampling interval: the config tried and what was measured."""
+    """One sampling interval: the config tried and what was measured.
+
+    ``fresh`` is ``False`` when the interval's own PMU sample failed
+    validation and the last-good sample is standing in for it.
+    """
 
     config: ResourceConfig
     sample: PmuSample
     summaries: list[CoreSummary]
     hm_ipc: float
+    fresh: bool = True
 
 
 class EpochContext:
-    """A policy's window onto one profiling epoch."""
+    """A policy's window onto one profiling epoch.
 
-    def __init__(self, platform: Platform, detector: AggDetector, epoch_cfg: EpochConfig) -> None:
+    ``validator`` (optional) gates every sample through front-end
+    validation/quarantine; ``applier`` (optional) replaces the plain
+    ``config.apply(platform)`` — the controller injects its
+    retry-with-backoff wrapper here so policies transparently inherit
+    resilient control writes.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        detector: AggDetector,
+        epoch_cfg: EpochConfig,
+        *,
+        validator: SampleValidator | None = None,
+        applier: Callable[[ResourceConfig], None] | None = None,
+    ) -> None:
         self.platform = platform
         self.detector = detector
         self.epoch_cfg = epoch_cfg
+        self.validator = validator
+        self._applier = applier
         self.intervals: list[IntervalResult] = []
 
     @property
@@ -75,16 +98,26 @@ class EpochContext:
     def baseline_config(self) -> ResourceConfig:
         return ResourceConfig.all_on(self.n_cores, self.llc_ways)
 
+    def apply(self, config: ResourceConfig) -> None:
+        """Apply ``config`` through the injected applier (if any)."""
+        if self._applier is not None:
+            self._applier(config)
+        else:
+            config.apply(self.platform)
+
     def sample(self, config: ResourceConfig) -> IntervalResult:
         """Apply ``config``, run one sampling interval, record the result."""
         if self.budget_left() <= 0:
             raise RuntimeError(
                 f"profiling epoch exceeded its {self.epoch_cfg.max_sampling_intervals}-interval budget"
             )
-        config.apply(self.platform)
+        self.apply(config)
         sample = self.platform.run_interval(self.epoch_cfg.sample_units)
+        fresh = True
+        if self.validator is not None:
+            sample, fresh = self.validator.admit(sample)
         summaries = summarize_sample(sample, self.platform.cycles_per_second)
-        result = IntervalResult(config, sample, summaries, hm_ipc(summaries))
+        result = IntervalResult(config, sample, summaries, hm_ipc(summaries), fresh=fresh)
         self.intervals.append(result)
         return result
 

@@ -25,7 +25,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.metrics_defs import CoreSummary
+from repro.platform.base import PlatformError
+from repro.sim.pmu import PmuSample
 
 
 @dataclass(frozen=True)
@@ -86,3 +90,78 @@ class AggDetector:
             candidates_pmr=tuple(sorted(s.cpu for s in stage2)),
             candidates_ptr=tuple(sorted(s.cpu for s in stage3)),
         )
+
+
+# ----------------------------------------------- PMU sample validation
+#
+# On real hardware the samples feeding the detector are not trustworthy:
+# counters wrap (48-bit PMCs), multiplexing drops or corrupts reads, and
+# a garbage interval fed into the Table I pipeline silently mis-steers
+# the back-end.  The validator quarantines implausible samples before
+# any metric is computed, standing in the last known-good sample for up
+# to ``staleness_limit`` consecutive intervals.
+
+
+class SampleRejected(PlatformError):
+    """A PMU sample failed validation and no usable stand-in exists."""
+
+
+@dataclass(frozen=True)
+class SampleValidationConfig:
+    #: Consecutive intervals the last-good sample may stand in for a
+    #: rejected one before the interval is reported failed outright.
+    staleness_limit: int = 3
+    #: Any per-event delta at/above this is a wrapped counter: one
+    #: 100 ms interval at 2.1 GHz moves < 2e10 of any event, so 2**44
+    #: (~1.8e13) leaves three orders of magnitude of headroom.
+    wrap_threshold: float = float(2**44)
+
+    def __post_init__(self) -> None:
+        if self.staleness_limit < 0:
+            raise ValueError("staleness_limit must be non-negative")
+        if self.wrap_threshold <= 0:
+            raise ValueError("wrap_threshold must be positive")
+
+
+class SampleValidator:
+    """Per-sample validation/quarantine gate in front of Table I.
+
+    ``admit`` returns ``(sample, fresh)``: the sample to compute
+    metrics from and whether it is the interval's own measurement
+    (``fresh=False`` means the last-good sample is standing in).
+    Rejected samples are never returned and never become last-good, so
+    Table I metrics are only ever computed from validated samples.
+    """
+
+    def __init__(self, config: SampleValidationConfig | None = None) -> None:
+        self.config = config or SampleValidationConfig()
+        self.last_good: PmuSample | None = None
+        self.rejected = 0
+        self.stale_reuses = 0
+        self._stale_streak = 0
+
+    def check(self, sample: PmuSample) -> str | None:
+        """Why ``sample`` is implausible, or ``None`` if it validates."""
+        if not np.isfinite(sample.wall_cycles) or sample.wall_cycles < 0:
+            return f"implausible wall_cycles {sample.wall_cycles!r}"
+        d = sample.deltas
+        if not np.all(np.isfinite(d)):
+            return "non-finite counter delta"
+        if np.any(d < 0):
+            return "negative counter delta (counter wrap)"
+        if np.any(d >= self.config.wrap_threshold):
+            return "implausibly large counter delta (counter wrap)"
+        return None
+
+    def admit(self, sample: PmuSample) -> tuple[PmuSample, bool]:
+        reason = self.check(sample)
+        if reason is None:
+            self.last_good = sample
+            self._stale_streak = 0
+            return sample, True
+        self.rejected += 1
+        if self.last_good is not None and self._stale_streak < self.config.staleness_limit:
+            self._stale_streak += 1
+            self.stale_reuses += 1
+            return self.last_good, False
+        raise SampleRejected(f"PMU sample rejected ({reason}); no usable last-good sample")

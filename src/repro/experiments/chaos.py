@@ -1,0 +1,127 @@
+"""Seeded chaos scenarios: drive the CMM loop through injected faults.
+
+A chaos run wraps a simulated machine in
+:class:`~repro.platform.faults.FaultyPlatform` under a named scenario
+(:data:`~repro.platform.faults.SCENARIOS`) and checks the contract the
+robustness layer promises:
+
+* the controller never raises — every epoch completes or degrades;
+* accumulated counters stay finite (no corrupt sample leaks through);
+* if the safe-state fallback fired, the platform is verifiably back in
+  the paper's default configuration (all prefetchers on, partitions
+  reset) and a structured ``DegradedState`` was reported.
+
+Used by ``repro chaos`` (the CLI gate CI runs across seeds) and the
+chaos test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.controller import CMMController, DegradedState, ResilienceConfig, RunStats
+from repro.core.epoch import EpochConfig
+from repro.core.policies import make_policy
+from repro.experiments.config import ScaleConfig, get_scale
+from repro.platform.faults import FaultyPlatform, scenario_plan, verify_safe_state
+from repro.platform.simulated import SimulatedPlatform
+from repro.workloads.mixes import WorkloadMix, make_mixes
+
+__all__ = ["ChaosReport", "run_chaos_scenario"]
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one seeded chaos scenario run."""
+
+    scenario: str
+    seed: int
+    mechanism: str
+    epochs_requested: int
+    epochs_completed: int
+    injected: dict[str, int]
+    failures: int
+    degraded: DegradedState | None
+    problems: list[str] = field(default_factory=list)
+    stats: RunStats | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def summary(self) -> str:
+        state = "degraded" if self.degraded else "nominal"
+        faults = sum(self.injected.values())
+        verdict = "ok" if self.ok else "FAIL: " + "; ".join(self.problems)
+        return (
+            f"{self.scenario} seed={self.seed}: {self.epochs_completed}/"
+            f"{self.epochs_requested} epochs, {faults} faults injected, "
+            f"{self.failures} failures, {state} — {verdict}"
+        )
+
+
+def run_chaos_scenario(
+    scenario: str,
+    seed: int = 0,
+    *,
+    mechanism: str = "cmm-a",
+    n_epochs: int = 6,
+    category: str = "pref_agg",
+    sc: ScaleConfig | None = None,
+    resilience_cfg: ResilienceConfig | None = None,
+) -> ChaosReport:
+    """Run one scenario to completion and validate the end state."""
+    from repro.experiments.runner import build_machine  # avoid import cycle
+
+    sc = sc or get_scale()
+    mix: WorkloadMix = make_mixes(category, 1, seed=sc.seed + seed)[0]
+    machine = build_machine(mix, sc)
+    inner = SimulatedPlatform(machine)
+    platform = FaultyPlatform(inner, scenario_plan(scenario, seed))
+    controller = CMMController(
+        platform,
+        make_policy(mechanism),
+        epoch_cfg=EpochConfig(exec_units=sc.exec_units, sample_units=sc.sample_units),
+        resilience_cfg=resilience_cfg,
+        sleep=lambda _s: None,  # chaos runs are simulated; never wall-sleep
+    )
+
+    problems: list[str] = []
+    try:
+        stats = controller.run(n_epochs)
+    except Exception as e:  # the contract: the controller never raises
+        return ChaosReport(
+            scenario=scenario,
+            seed=seed,
+            mechanism=mechanism,
+            epochs_requested=n_epochs,
+            epochs_completed=0,
+            injected=dict(platform.injected),
+            failures=0,
+            degraded=None,
+            problems=[f"controller raised {type(e).__name__}: {e}"],
+        )
+
+    if len(stats.epochs) != n_epochs:
+        problems.append(f"completed {len(stats.epochs)}/{n_epochs} epochs")
+    if stats.totals is None or not np.all(np.isfinite(stats.totals)):
+        problems.append("non-finite counters leaked into RunStats totals")
+    if stats.degraded is not None:
+        if not stats.degraded.safe_state_applied:
+            problems.append("degraded but safe state could not be applied")
+        problems.extend(verify_safe_state(inner))
+
+    return ChaosReport(
+        scenario=scenario,
+        seed=seed,
+        mechanism=mechanism,
+        epochs_requested=n_epochs,
+        epochs_completed=len(stats.epochs),
+        injected=dict(platform.injected),
+        failures=len(stats.failures),
+        degraded=stats.degraded,
+        problems=problems,
+        stats=stats,
+    )

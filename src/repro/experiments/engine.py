@@ -21,19 +21,32 @@ alone/profile runs) and no state is shared between runs, so parallel
 results are bit-identical to serial ones; cached payloads round-trip
 through JSON without losing a single bit of the float64 counters.
 
+Failures degrade instead of aborting: a worker that raises, hangs past
+``run_timeout``, or kills its process (``BrokenProcessPool``) costs
+only its own run — completed results are already persisted, unfinished
+runs are re-submitted to a respawned pool, and the failure is reported
+per-run (:attr:`RunRecord.error`) rather than thrown away with the
+whole sweep.  See ``docs/robustness.md``.
+
 Environment knobs: ``REPRO_CACHE_DIR`` relocates the on-disk store
 (default ``~/.cache/repro``), ``REPRO_WORKERS`` sets the default
-worker count.  See ``docs/experiment_engine.md``.
+worker count (clamped to the CPU count), ``REPRO_RUN_TIMEOUT`` sets
+the default per-run timeout in seconds.  See
+``docs/experiment_engine.md``.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
+import tempfile
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
@@ -42,7 +55,7 @@ import numpy as np
 
 from repro.core.controller import CMMController, RunStats
 from repro.core.epoch import EpochConfig
-from repro.core.policies import make_policy
+from repro.core.policies import POLICIES, make_policy
 from repro.experiments.config import ScaleConfig, get_scale
 from repro.metrics.speedup import harmonic_speedup, weighted_speedup, worst_case_speedup
 from repro.platform.simulated import SimulatedPlatform
@@ -53,6 +66,7 @@ from repro.workloads.speclike import BENCHMARKS, build_trace
 
 __all__ = [
     "SCHEMA_VERSION",
+    "ExperimentError",
     "PlannedRun",
     "ResultCache",
     "CacheStats",
@@ -61,6 +75,7 @@ __all__ = [
     "ExperimentSession",
     "default_cache_dir",
     "default_workers",
+    "default_run_timeout",
     "default_session",
     "set_default_session",
     "run",
@@ -73,6 +88,11 @@ SCHEMA_VERSION = 1
 KIND_MECHANISM = "mechanism"
 KIND_ALONE = "alone"
 KIND_PROFILE = "profile"
+#: Extension point: ``bench`` holds a ``"module:function"`` path to a
+#: top-level callable ``f(PlannedRun) -> dict`` resolved inside the
+#: worker.  Used by the chaos suite to drive crashing/hanging workers
+#: through the exact production pool path.
+KIND_HOOK = "hook"
 
 
 # --------------------------------------------------------------- defaults
@@ -86,15 +106,48 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+def _clamp_workers(n: int, source: str) -> int:
+    """Clamp a worker count to the CPU count, warning when it was absurd.
+
+    Oversubscribing the pool only adds context-switch overhead and
+    memory pressure — it can never make the sweep faster.
+    """
+    cpus = os.cpu_count() or 1
+    if n > cpus:
+        warnings.warn(
+            f"{source}={n} exceeds the {cpus} available CPUs; clamping to {cpus}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return cpus
+    return n
+
+
 def default_workers() -> int:
-    """``$REPRO_WORKERS`` or one worker per CPU (capped at 8)."""
+    """``$REPRO_WORKERS`` (clamped to the CPU count) or one worker per
+    CPU (capped at 8)."""
     env = os.environ.get("REPRO_WORKERS")
     if env:
         try:
-            return max(1, int(env))
+            n = max(1, int(env))
         except ValueError:
             raise ValueError(f"REPRO_WORKERS must be an integer, got {env!r}") from None
+        return _clamp_workers(n, "REPRO_WORKERS")
     return max(1, min(8, os.cpu_count() or 1))
+
+
+def default_run_timeout() -> float | None:
+    """``$REPRO_RUN_TIMEOUT`` in seconds, or ``None`` (no timeout)."""
+    env = os.environ.get("REPRO_RUN_TIMEOUT")
+    if not env:
+        return None
+    try:
+        value = float(env)
+    except ValueError:
+        raise ValueError(f"REPRO_RUN_TIMEOUT must be a number of seconds, got {env!r}") from None
+    if value <= 0:
+        raise ValueError(f"REPRO_RUN_TIMEOUT must be positive, got {value}")
+    return value
 
 
 # ------------------------------------------------------------------ keys
@@ -116,12 +169,21 @@ class PlannedRun:
     bench: str | None = None
     way_sweep: tuple[int, ...] | None = None
 
+    def __post_init__(self) -> None:
+        # An unknown mechanism is bad input, not a worker fault: fail
+        # eagerly with the registry's KeyError instead of letting the
+        # failure-handling machinery report it as a failed run.
+        if self.kind == KIND_MECHANISM and self.mechanism not in POLICIES:
+            raise KeyError(f"unknown policy {self.mechanism!r}; one of {sorted(POLICIES)}")
+
     @property
     def label(self) -> str:
         if self.kind == KIND_MECHANISM:
             return f"{self.mix.name}/{self.mechanism}"
         if self.kind == KIND_ALONE:
             return f"alone/{self.bench}"
+        if self.kind == KIND_HOOK:
+            return f"hook/{self.bench}"
         return f"profile/{self.bench}" + ("+ways" if self.way_sweep else "")
 
     def key_payload(self) -> dict:
@@ -149,6 +211,8 @@ class PlannedRun:
         elif self.kind == KIND_PROFILE:
             payload["bench"] = self.bench
             payload["way_sweep"] = list(self.way_sweep) if self.way_sweep else None
+        elif self.kind == KIND_HOOK:
+            payload["hook"] = self.bench
         else:  # pragma: no cover - guarded by constructors
             raise ValueError(f"unknown run kind {self.kind!r}")
         return payload
@@ -209,10 +273,19 @@ def _compute_profile(run: PlannedRun) -> dict:
     }
 
 
+def _compute_hook(run: PlannedRun) -> dict:
+    import importlib
+
+    module_name, _, func_name = run.bench.partition(":")
+    fn = getattr(importlib.import_module(module_name), func_name)
+    return fn(run)
+
+
 _COMPUTE: dict[str, Callable[[PlannedRun], dict]] = {
     KIND_MECHANISM: _compute_mechanism,
     KIND_ALONE: _compute_alone,
     KIND_PROFILE: _compute_profile,
+    KIND_HOOK: _compute_hook,
 }
 
 
@@ -258,15 +331,22 @@ class CacheStats:
     entries: int
     bytes: int
     by_kind: dict[str, int]
+    corrupt: int = 0
 
 
 class ResultCache:
     """Content-addressed result store: memory tier over an optional disk tier.
 
     Entries live at ``<root>/<key[:2]>/<key>.json``; ``root=None`` keeps
-    the cache purely in-memory (one process).  Writes are atomic
-    (tmp file + rename) so an interrupted sweep never leaves a torn
-    entry behind.
+    the cache purely in-memory (one process).  Writes are atomic — a
+    uniquely named temp file in the entry's directory followed by
+    ``os.replace`` — so neither an interrupted sweep nor two concurrent
+    sessions writing the same key can leave (or observe) a torn entry.
+
+    An entry whose JSON does not parse is *quarantined*: renamed to
+    ``<key>.corrupt`` next to where it lived (so it can be inspected)
+    and counted in :attr:`corrupt` / :attr:`CacheStats.corrupt` instead
+    of being silently re-missed forever.
     """
 
     def __init__(self, root: str | Path | None = None) -> None:
@@ -274,19 +354,42 @@ class ResultCache:
         self._mem: dict[str, dict] = {}
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self._warned_corrupt = False
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def _quarantine(self, path: Path) -> None:
+        with contextlib.suppress(OSError):
+            os.replace(path, path.with_suffix(".corrupt"))
+        self.corrupt += 1
+        if not self._warned_corrupt:
+            self._warned_corrupt = True
+            warnings.warn(
+                f"quarantined corrupt cache entry {path.name} to *.corrupt "
+                "(further corrupt entries this session are quarantined silently; "
+                "see `repro cache stats`)",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+
+    def _read_entry(self, path: Path) -> dict | None:
+        """Parse one on-disk entry, quarantining it if the JSON is torn."""
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError:
+            self._quarantine(path)
+            return None
+        except OSError:
+            return None
 
     def get(self, key: str) -> dict | None:
         rec = self._mem.get(key)
         if rec is None and self.root is not None:
             path = self._path(key)
             if path.is_file():
-                try:
-                    rec = json.loads(path.read_text())
-                except (OSError, json.JSONDecodeError):
-                    rec = None
+                rec = self._read_entry(path)
                 if rec is not None and rec.get("schema") != SCHEMA_VERSION:
                     rec = None
                 if rec is not None:
@@ -303,9 +406,15 @@ class ResultCache:
             return
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(record, sort_keys=True))
-        os.replace(tmp, path)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(json.dumps(record, sort_keys=True))
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
 
     def __contains__(self, key: str) -> bool:
         if key in self._mem:
@@ -317,28 +426,35 @@ class ResultCache:
             return []
         return sorted(self.root.glob("*/*.json"))
 
+    def _corrupt_entries(self) -> list[Path]:
+        if self.root is None or not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.corrupt"))
+
     def stats(self) -> CacheStats:
-        entries = self._disk_entries()
         by_kind: dict[str, int] = {}
         total = 0
-        for path in entries:
-            total += path.stat().st_size
-            try:
-                kind = json.loads(path.read_text()).get("kind", "?")
-            except (OSError, json.JSONDecodeError):
-                kind = "?"
+        n_entries = 0
+        for path in self._disk_entries():
+            size = path.stat().st_size
+            rec = self._read_entry(path)
+            if rec is None and not path.is_file():
+                continue  # just quarantined — not an entry any more
+            n_entries += 1
+            total += size
+            kind = rec.get("kind", "?") if rec is not None else "?"
             by_kind[kind] = by_kind.get(kind, 0) + 1
         if self.root is None:
             for rec in self._mem.values():
                 by_kind[rec.get("kind", "?")] = by_kind.get(rec.get("kind", "?"), 0) + 1
             return CacheStats(None, len(self._mem), 0, by_kind)
-        return CacheStats(self.root, len(entries), total, by_kind)
+        return CacheStats(self.root, n_entries, total, by_kind, len(self._corrupt_entries()))
 
     def clear(self) -> int:
-        """Drop every entry (memory and disk); returns entries removed."""
+        """Drop every entry (memory, disk, quarantine); returns entries removed."""
         removed = len(self._mem)
         self._mem.clear()
-        disk = self._disk_entries()
+        disk = self._disk_entries() + self._corrupt_entries()
         for path in disk:
             path.unlink(missing_ok=True)
         return max(removed, len(disk))
@@ -390,7 +506,11 @@ class RunSpec:
 
 @dataclass(frozen=True)
 class RunRecord:
-    """Timing/progress record for one executed (or replayed) run."""
+    """Timing/progress record for one executed (or replayed) run.
+
+    ``error`` is ``None`` for a successful run; otherwise it describes
+    why the run failed (worker exception, timeout, broken pool).
+    """
 
     key: str
     kind: str
@@ -398,6 +518,17 @@ class RunRecord:
     scale: str
     seconds: float
     cached: bool
+    error: str | None = None
+
+
+class ExperimentError(RuntimeError):
+    """One or more planned runs failed; carries the per-run errors."""
+
+    def __init__(self, errors: dict[str, str]) -> None:
+        self.errors = dict(errors)
+        preview = "; ".join(list(self.errors.values())[:3])
+        more = "" if len(self.errors) <= 3 else f" (+{len(self.errors) - 3} more)"
+        super().__init__(f"{len(self.errors)} experiment run(s) failed: {preview}{more}")
 
 
 # ---------------------------------------------------------------- session
@@ -418,10 +549,25 @@ class ExperimentSession:
         to :func:`default_cache_dir`, ``None`` keeps results in memory.
     max_workers:
         Process-pool width for cache misses; ``1`` runs serially.
-        Defaults to :func:`default_workers` (``$REPRO_WORKERS``).
+        Defaults to :func:`default_workers` (``$REPRO_WORKERS``);
+        values above the CPU count are clamped with a warning.
     progress:
         Optional callback ``(record, done, total)`` fired once per run
         as a batch executes.
+    run_timeout:
+        Per-run wall-clock budget in seconds for pool execution; a run
+        exceeding it is reported failed and its (possibly hung) worker
+        abandoned.  ``None`` (the default, or ``$REPRO_RUN_TIMEOUT``)
+        disables timeouts.  Not enforced on the serial path.
+    run_retries:
+        Extra attempts for a run whose worker raised (timeouts are not
+        retried — a hang is assumed deterministic).
+    pool_respawns:
+        Broken/hung pools tolerated per batch before the remaining runs
+        execute one-at-a-time in an isolation pool (which attributes
+        crashes to the run that caused them).
+    mp_context:
+        Optional ``multiprocessing`` context for the pools.
     """
 
     _UNSET = object()
@@ -434,17 +580,34 @@ class ExperimentSession:
         cache_dir: str | Path | None = _UNSET,
         max_workers: int | None = None,
         progress: Callable[[RunRecord, int, int], None] | None = None,
+        run_timeout: float | None = None,
+        run_retries: int = 1,
+        pool_respawns: int = 2,
+        mp_context=None,
     ) -> None:
         if cache is None:
             root = default_cache_dir() if cache_dir is self._UNSET else cache_dir
             cache = ResultCache(root)
         self.scale = scale
         self.cache = cache
-        self.max_workers = max_workers if max_workers is not None else default_workers()
-        if self.max_workers < 1:
-            raise ValueError("max_workers must be >= 1")
+        if max_workers is None:
+            self.max_workers = default_workers()
+        else:
+            if max_workers < 1:
+                raise ValueError("max_workers must be >= 1")
+            self.max_workers = _clamp_workers(max_workers, "max_workers")
+        if run_retries < 0 or pool_respawns < 0:
+            raise ValueError("run_retries and pool_respawns must be non-negative")
+        self.run_timeout = run_timeout if run_timeout is not None else default_run_timeout()
+        self.run_retries = run_retries
+        self.pool_respawns = pool_respawns
+        self.mp_context = mp_context
         self.progress = progress
         self.records: list[RunRecord] = []
+        #: key -> error message for runs that failed this session; kept
+        #: so later calls (e.g. per-mix evaluate after a sweep) report
+        #: the failure instead of re-executing a known-bad run.
+        self.failed: dict[str, str] = {}
 
     # -- plumbing ----------------------------------------------------
 
@@ -456,21 +619,40 @@ class ExperimentSession:
         if self.progress is not None:
             self.progress(record, done, total)
 
-    def execute(self, runs: Iterable[PlannedRun]) -> dict[str, dict]:
-        """Run a plan; returns ``{key: payload}`` for every planned run.
+    def execute(self, runs: Iterable[PlannedRun], *, strict: bool = True) -> dict[str, dict]:
+        """Run a plan; returns ``{key: payload}`` for every completed run.
 
         Duplicates collapse on their content key, cache hits replay
         from the store, and misses execute serially or across the
         process pool — results are identical either way.
+
+        A run whose worker raises, hangs past ``run_timeout``, or dies
+        with its pool costs only itself: completed results are already
+        persisted, unfinished runs are re-submitted to a respawned
+        pool, and the failure is recorded per-run
+        (:attr:`RunRecord.error`, :attr:`failed`).  With ``strict``
+        (the default) an :class:`ExperimentError` listing the failures
+        is raised *after* everything runnable has run; ``strict=False``
+        just omits the failed keys from the result.
         """
         ordered: dict[str, PlannedRun] = {}
         for r in runs:
             ordered.setdefault(r.key(), r)
         total = len(ordered)
         out: dict[str, dict] = {}
+        errors: dict[str, str] = {}
         misses: list[tuple[str, PlannedRun]] = []
         done = 0
         for key, r in ordered.items():
+            if key in self.failed:
+                done += 1
+                errors[key] = self.failed[key]
+                self._note(
+                    RunRecord(key, r.kind, r.label, r.sc.name, 0.0, cached=False,
+                              error=self.failed[key]),
+                    done, total,
+                )
+                continue
             rec = self.cache.get(key)
             if rec is not None:
                 out[key] = rec["payload"]
@@ -494,19 +676,138 @@ class ExperimentSession:
             done += 1
             self._note(RunRecord(key, r.kind, r.label, r.sc.name, secs, cached=False), done, total)
 
+        def fail(key: str, r: PlannedRun, err: BaseException | str) -> None:
+            nonlocal done
+            msg = f"{r.label}: {err}" if not isinstance(err, str) else err
+            errors[key] = msg
+            self.failed[key] = msg
+            done += 1
+            self._note(
+                RunRecord(key, r.kind, r.label, r.sc.name, 0.0, cached=False, error=msg),
+                done, total,
+            )
+
         if len(misses) > 1 and self.max_workers > 1:
-            workers = min(self.max_workers, len(misses))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(_execute_planned, r): (key, r) for key, r in misses}
-                for fut in as_completed(futures):
-                    key, r = futures[fut]
-                    payload, secs = fut.result()
-                    finish(key, r, payload, secs)
+            self._execute_parallel(misses, finish, fail)
         else:
-            for key, r in misses:
-                payload, secs = _execute_planned(r)
-                finish(key, r, payload, secs)
+            self._execute_serial(misses, finish, fail)
+        if errors and strict:
+            raise ExperimentError(errors)
         return out
+
+    def _execute_serial(self, misses, finish, fail) -> None:
+        for key, r in misses:
+            err: BaseException | None = None
+            for _attempt in range(self.run_retries + 1):
+                try:
+                    payload, secs = _execute_planned(r)
+                except Exception as e:
+                    err = e
+                else:
+                    finish(key, r, payload, secs)
+                    err = None
+                    break
+            if err is not None:
+                fail(key, r, err)
+
+    def _execute_parallel(self, misses, finish, fail) -> None:
+        """Pool execution with per-run timeout, retry, and pool respawn.
+
+        Completed runs are finished (and persisted) as their futures
+        resolve.  When the pool breaks — a worker died — or a run hangs
+        past its deadline, the pool is abandoned and the unfinished
+        runs are re-submitted to a fresh one; after ``pool_respawns``
+        such incidents the stragglers fall back to a one-run-at-a-time
+        isolation pool that pins each crash on the run that caused it.
+        """
+        pending: dict[str, PlannedRun] = dict(misses)
+        attempts: dict[str, int] = dict.fromkeys(pending, 0)
+        respawns = 0
+        while pending:
+            if respawns > self.pool_respawns:
+                self._execute_isolated(pending, finish, fail)
+                return
+            workers = min(self.max_workers, len(pending))
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=self.mp_context)
+            futures: dict = {}
+            now = time.monotonic()
+            deadline = None if self.run_timeout is None else now + self.run_timeout
+            broken = False
+            try:
+                for key, r in pending.items():
+                    futures[pool.submit(_execute_planned, r)] = key
+            except BrokenProcessPool:
+                broken = True
+            not_done = set(futures)
+            while not_done and not broken:
+                timeout = None if deadline is None else max(0.0, deadline - time.monotonic())
+                finished, not_done = wait(not_done, timeout=timeout, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    key = futures[fut]
+                    r = pending[key]
+                    try:
+                        payload, secs = fut.result()
+                    except BrokenProcessPool:
+                        broken = True  # key stays pending for the respawn
+                    except Exception as e:
+                        attempts[key] += 1
+                        if attempts[key] > self.run_retries:
+                            fail(key, r, e)
+                            pending.pop(key)
+                        # else: stays pending, re-submitted next round
+                    else:
+                        finish(key, r, payload, secs)
+                        pending.pop(key)
+                if not finished and deadline is not None and time.monotonic() >= deadline:
+                    # Every still-running worker is past the per-run
+                    # budget: report those runs failed and abandon the
+                    # pool (a hung worker poisons its slot).
+                    for fut in not_done:
+                        if fut.cancel():
+                            continue  # never started — stays pending
+                        key = futures[fut]
+                        r = pending.pop(key)
+                        fail(key, r, f"{r.label}: run exceeded {self.run_timeout:.6g}s timeout")
+                    broken = True
+            if broken:
+                pool.shutdown(wait=False, cancel_futures=True)
+                respawns += 1
+            else:
+                pool.shutdown()
+            # Retried-but-healthy keys loop around into a fresh pool.
+
+    def _execute_isolated(self, pending: dict[str, "PlannedRun"], finish, fail) -> None:
+        """Last-resort mode: one pool of one worker, one run at a time.
+
+        Slow, but deterministic under crashing workers: a crash or hang
+        is attributable to exactly the run that was executing, so every
+        healthy run still completes.
+        """
+        pool = ProcessPoolExecutor(max_workers=1, mp_context=self.mp_context)
+        try:
+            for key in list(pending):
+                r = pending.pop(key)
+                try:
+                    fut = pool.submit(_execute_planned, r)
+                except BrokenProcessPool:
+                    pool = ProcessPoolExecutor(max_workers=1, mp_context=self.mp_context)
+                    fut = pool.submit(_execute_planned, r)
+                try:
+                    payload, secs = fut.result(timeout=self.run_timeout)
+                except FuturesTimeoutError:
+                    fail(key, r, f"run exceeded {self.run_timeout:.6g}s timeout")
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=1, mp_context=self.mp_context)
+                except BrokenProcessPool as e:
+                    fail(key, r, e)
+                    pool.shutdown(wait=False)
+                    pool = ProcessPoolExecutor(max_workers=1, mp_context=self.mp_context)
+                except Exception as e:
+                    fail(key, r, e)
+                else:
+                    finish(key, r, payload, secs)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     # -- single runs -------------------------------------------------
 
@@ -634,7 +935,13 @@ class ExperimentSession:
         workloads_per_category: int | None = None,
         mixes: Sequence[WorkloadMix] | None = None,
     ) -> list:
-        """Evaluate every mix x mechanism; misses run in parallel first."""
+        """Evaluate every mix x mechanism; misses run in parallel first.
+
+        One bad workload no longer aborts the sweep: a mix whose runs
+        failed is skipped with a warning (its per-run errors are in
+        :attr:`records`/:attr:`failed`), and every other evaluation is
+        still returned.
+        """
         sc = self._resolve(sc)
         spec = RunSpec(
             mechanisms=tuple(mechanisms),
@@ -642,8 +949,14 @@ class ExperimentSession:
             workloads_per_category=workloads_per_category,
             mixes=tuple(mixes) if mixes is not None else None,
         )
-        self.execute(spec.expand(sc))  # fill the cache breadth-first
-        return [self.evaluate(mix, tuple(mechanisms), sc) for mix in spec.resolve_mixes(sc)]
+        self.execute(spec.expand(sc), strict=False)  # fill the cache breadth-first
+        evals = []
+        for mix in spec.resolve_mixes(sc):
+            try:
+                evals.append(self.evaluate(mix, tuple(mechanisms), sc))
+            except ExperimentError as e:
+                warnings.warn(f"skipping workload {mix.name}: {e}", RuntimeWarning, stacklevel=2)
+        return evals
 
 
 def build_eval(mix: WorkloadMix, alone: np.ndarray, base, runs: dict):

@@ -10,9 +10,24 @@ interface.  Two backends exist:
   (prefetch MSR 0x1A4), the same interfaces the paper's kernel module
   programs.  It is exercised in tests against a fake filesystem since
   no Xeon is available here.
+
+Any backend can further be wrapped in
+:class:`~repro.platform.faults.FaultyPlatform` to inject the failure
+modes of real hardware (failed writes, dropped/corrupt PMU samples)
+from a seeded, serializable :class:`~repro.platform.faults.FaultPlan` —
+see ``docs/robustness.md``.
 """
 
-from repro.platform.base import Platform
+from repro.platform.base import Platform, PlatformError
+from repro.platform.faults import FaultPlan, FaultyPlatform, scenario_plan, verify_safe_state
 from repro.platform.simulated import SimulatedPlatform
 
-__all__ = ["Platform", "SimulatedPlatform"]
+__all__ = [
+    "Platform",
+    "PlatformError",
+    "FaultPlan",
+    "FaultyPlatform",
+    "scenario_plan",
+    "verify_safe_state",
+    "SimulatedPlatform",
+]

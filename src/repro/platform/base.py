@@ -7,6 +7,17 @@ from abc import ABC, abstractmethod
 from repro.sim.pmu import PmuSample
 
 
+class PlatformError(RuntimeError):
+    """A platform control or measurement operation failed.
+
+    Raised (alongside ``OSError`` for resctrl-style filesystem
+    failures) when an MSR write, CAT programming call, or PMU sample
+    collection does not complete.  These errors are *transient by
+    contract*: callers may retry the same operation, and the CMM
+    controller does exactly that (see ``docs/robustness.md``).
+    """
+
+
 class Platform(ABC):
     """Control surface: prefetch MSRs, CAT partitions, PMU sampling.
 
@@ -14,6 +25,13 @@ class Platform(ABC):
     the PMU deltas observed during it.  On the simulator an interval is
     measured in demand accesses per core; on real hardware it is wall
     time.  The controller never needs to know which.
+
+    Every control write and ``run_interval`` may raise
+    :class:`PlatformError` or ``OSError``; on real hardware MSR and
+    resctrl operations fail transiently and PMU reads get dropped or
+    corrupted under counter multiplexing.  Backends are expected to
+    surface those failures rather than hide them — graceful degradation
+    is the controller's job.
     """
 
     @property
@@ -60,3 +78,12 @@ class Platform(ABC):
 
     def full_cbm(self) -> int:
         return (1 << self.llc_ways) - 1
+
+    def partitions_are_reset(self) -> bool | None:
+        """Whether the LLC is back to one full-mask partition.
+
+        Backends that can observe their partition state override this;
+        the default ``None`` means "unknown" (e.g. a write-only control
+        surface).  Used by safe-state verification, never by policies.
+        """
+        return None

@@ -141,6 +141,12 @@ class LinuxPlatform(Platform):
         self.resctrl.write_l3_cbm(None, full)
         self._core_clos = [0] * self._n_cores
 
+    def partitions_are_reset(self) -> bool:
+        no_groups = not any(
+            g.startswith(self.GROUP_PREFIX) for g in self.resctrl.list_groups()
+        )
+        return no_groups and all(c == 0 for c in self._core_clos)
+
     # --------------------------------------------------- measurement
 
     def run_interval(self, units: int) -> PmuSample:

@@ -43,6 +43,11 @@ class SimulatedPlatform(Platform):
     def reset_partitions(self) -> None:
         self.machine.cat.reset()
 
+    def partitions_are_reset(self) -> bool:
+        cat = self.machine.cat
+        full = (1 << cat.total_ways) - 1
+        return all(c == 0 for c in cat._core_clos) and cat.get_cbm(0) == full
+
     def run_interval(self, units: int) -> PmuSample:
         snap = self.machine.pmu.snapshot()
         self.machine.run_accesses(units)

@@ -1,0 +1,182 @@
+"""Controller hardening: retries, sample quarantine, safe-state fallback."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import CMMController, DegradedState, ResilienceConfig
+from repro.core.epoch import EpochConfig
+from repro.core.frontend import SampleValidationConfig, SampleValidator
+from repro.core.policies import make_policy
+from repro.platform.base import PlatformError
+from repro.platform.faults import FaultPlan, FaultyPlatform, verify_safe_state
+from repro.sim.msr import PF_ALL_ON
+from repro.sim.pmu import N_EVENTS, PmuSample
+
+from tests.core.fakes import FakePlatform
+
+EPOCH_CFG = EpochConfig(exec_units=512, sample_units=128, warmup_units=0)
+NO_SLEEP = ResilienceConfig(backoff_base_s=0.0)
+
+
+def make_controller(platform, *, resilience=NO_SLEEP, policy="cmm-a"):
+    sleeps = []
+    ctl = CMMController(
+        platform,
+        make_policy(policy),
+        epoch_cfg=EPOCH_CFG,
+        resilience_cfg=resilience,
+        sleep=sleeps.append,
+    )
+    return ctl, sleeps
+
+
+class FlakyWrites(FakePlatform):
+    """Fails the first ``fail_first`` prefetch-mask writes, then recovers."""
+
+    def __init__(self, fail_first: int):
+        super().__init__()
+        self.fail_first = fail_first
+        self.write_calls = 0
+
+    def set_prefetch_mask(self, core, mask):
+        self.write_calls += 1
+        if self.write_calls <= self.fail_first:
+            raise PlatformError("transient write failure")
+        super().set_prefetch_mask(core, mask)
+
+
+class DeadSampling(FakePlatform):
+    """Every PMU read is lost — the workload still advances."""
+
+    def run_interval(self, units):
+        super().run_interval(units)
+        raise PlatformError("sample lost")
+
+
+class TestWriteRetry:
+    def test_transient_write_failures_are_retried_away(self):
+        platform = FlakyWrites(fail_first=2)
+        ctl, _ = make_controller(platform)
+        stats = ctl.run(2)
+        assert stats.failures == []
+        assert stats.degraded is None
+
+    def test_backoff_grows_exponentially(self):
+        platform = FlakyWrites(fail_first=3)
+        cfg = ResilienceConfig(backoff_base_s=0.001, backoff_factor=2.0)
+        ctl, sleeps = make_controller(platform, resilience=cfg)
+        ctl.run(1)
+        assert sleeps[:3] == [0.001, 0.002, 0.004]
+
+    def test_retries_are_bounded(self):
+        platform = FlakyWrites(fail_first=10**9)
+        cfg = ResilienceConfig(
+            backoff_base_s=0.0, max_write_retries=2, failure_threshold=100
+        )
+        ctl, _ = make_controller(platform, resilience=cfg)
+        stats = ctl.run(1)
+        # The epoch fails gracefully instead of retrying forever.
+        assert len(stats.failures) == 1
+        assert stats.epochs[0].failure is not None
+
+
+class TestSampleQuarantine:
+    def test_corrupt_samples_never_reach_totals(self):
+        platform = FaultyPlatform(FakePlatform(), FaultPlan(seed=0, sample_nan=0.5))
+        ctl, _ = make_controller(platform)
+        stats = ctl.run(4)
+        assert stats.totals is not None
+        assert np.all(np.isfinite(stats.totals))
+
+    def test_stale_reuse_then_rejection(self):
+        v = SampleValidator(SampleValidationConfig(staleness_limit=2))
+        good = PmuSample(np.ones((4, N_EVENTS)), wall_cycles=1e6)
+        bad = PmuSample(np.full((4, N_EVENTS), np.nan), wall_cycles=1e6)
+        admitted, fresh = v.admit(good)
+        assert fresh and admitted is good
+        for _ in range(2):  # last-good stands in, up to the limit
+            admitted, fresh = v.admit(bad)
+            assert not fresh and admitted is good
+        from repro.core.frontend import SampleRejected
+
+        with pytest.raises(SampleRejected):
+            v.admit(bad)
+        assert v.rejected == 3
+        assert v.stale_reuses == 2
+
+
+class TestSafeStateFallback:
+    def test_k_consecutive_failures_trip_the_fallback(self):
+        platform = DeadSampling()
+        cfg = ResilienceConfig(backoff_base_s=0.0, failure_threshold=3, staleness_limit=0)
+        ctl, _ = make_controller(platform, resilience=cfg)
+        stats = ctl.run(6)  # never raises
+        assert isinstance(stats.degraded, DegradedState)
+        assert stats.degraded.consecutive_failures == 3
+        assert stats.degraded.epoch_index == 2
+        assert stats.degraded.safe_state_applied
+        assert len(stats.epochs) == 6
+
+    def test_safe_state_is_verifiable_on_the_platform(self):
+        platform = DeadSampling()
+        cfg = ResilienceConfig(backoff_base_s=0.0, failure_threshold=2, staleness_limit=0)
+        ctl, _ = make_controller(platform, resilience=cfg)
+        ctl.run(4)
+        assert all(m == PF_ALL_ON for m in platform.masks)
+        assert platform.core_clos == [0] * platform.n_cores
+        assert verify_safe_state(platform) == []
+
+    def test_fallback_survives_flaky_restore_writes(self):
+        # Even the safe-state restore goes through a faulty platform;
+        # per-core retries make it stick with overwhelming probability.
+        inner = FakePlatform()
+        platform = FaultyPlatform(
+            inner, FaultPlan(seed=11, write_fail=0.5, sample_drop=1.0)
+        )
+        cfg = ResilienceConfig(backoff_base_s=0.0, failure_threshold=2, staleness_limit=0)
+        ctl, _ = make_controller(platform, resilience=cfg)
+        stats = ctl.run(4)
+        assert stats.degraded is not None
+        assert stats.degraded.safe_state_applied
+        assert verify_safe_state(inner) == []
+
+    def test_clean_epoch_resets_the_failure_streak(self):
+        from repro.core.controller import EpochRecord, RunStats
+
+        platform = FakePlatform()
+        cfg = ResilienceConfig(backoff_base_s=0.0, failure_threshold=3)
+        ctl, _ = make_controller(platform, resilience=cfg)
+        stats = RunStats(platform.n_cores, platform.cycles_per_second)
+
+        def record(failure):
+            rec = EpochRecord(ctl._baseline(), 0, None, failure=failure)
+            ctl._record_outcome(stats, rec, len(stats.epochs))
+
+        # fail, fail, clean, fail, fail: the streak never reaches 3.
+        for failure in ["lost", "lost", None, "lost", "lost"]:
+            record(failure)
+        assert stats.degraded is None
+        record("lost")  # third consecutive failure trips the fallback
+        assert stats.degraded is not None
+
+    def test_degraded_run_keeps_accumulating_counters(self):
+        class DiesThenRecovers(FakePlatform):
+            def __init__(self):
+                super().__init__()
+                self._n = 0
+
+            def run_interval(self, units):
+                sample = super().run_interval(units)
+                self._n += 1
+                if self._n <= 40:
+                    raise PlatformError("sample lost")
+                return sample
+
+        platform = DiesThenRecovers()
+        cfg = ResilienceConfig(backoff_base_s=0.0, failure_threshold=2, staleness_limit=0)
+        ctl, _ = make_controller(platform, resilience=cfg)
+        stats = ctl.run(50)
+        assert stats.degraded is not None
+        assert len(stats.epochs) == 50
+        # Post-recovery degraded epochs still record workload progress.
+        assert stats.totals is not None and stats.totals.sum() > 0

@@ -1,0 +1,105 @@
+"""With faults disabled, the resilience layer must change *nothing*.
+
+The fingerprints and cache keys below were captured before the
+robustness machinery existed (retry wrappers, sample validation,
+safe-state fallback, engine hardening).  If any of them drift, the
+"resilience on by default, zero behavioral change without faults"
+contract is broken — or a cache schema bump is being smuggled in
+without invalidating ``SCHEMA_VERSION``.
+"""
+
+import dataclasses
+import hashlib
+
+import numpy as np
+
+from repro.core.controller import CMMController
+from repro.core.epoch import EpochConfig
+from repro.core.policies import make_policy
+from repro.experiments.config import TINY
+from repro.experiments.engine import (
+    KIND_ALONE,
+    KIND_MECHANISM,
+    KIND_PROFILE,
+    PlannedRun,
+)
+from repro.experiments.runner import build_machine
+from repro.platform.faults import FaultPlan, FaultyPlatform
+from repro.platform.simulated import SimulatedPlatform
+from repro.workloads.mixes import make_mixes
+
+SC = dataclasses.replace(
+    TINY, name="unit", quantum=256, sample_units=256, exec_units=2048, alone_accesses=4096
+)
+
+#: sha256(stats.totals.tobytes() + float64(stats.wall_cycles).tobytes())
+#: for SC + the first pref_agg mix (seed 2019), captured pre-hardening.
+PRE_HARDENING_FINGERPRINTS = {
+    "baseline": "49455a3f0475a441298d02faaf53c874bb45bb4eac8a7c74791d1dccaad1526e",
+    "cmm-a": "2322f568afb33f14f4142cee091e0a0ee93112e59b4bd2e0115fe665c7f5167d",
+    "pt": "0df1235fa58d11e7f2642650cd8c903cc8891d23f22b49f67dd20541af353e1a",
+}
+
+#: Content-addressed cache keys captured pre-hardening: faults-off
+#: sessions must keep replaying old on-disk results.
+PRE_HARDENING_KEYS = {
+    "mech-cmm-a": "487ec95432f344df3af37724a663738135d7dd109e7c6232e97f4a4a784455b8",
+    "alone-410.bwaves": "029c125f72c9cf1e9115fbcc5336d69262503209f36c2d9239fdb04e5e6c7f05",
+    "profile-453.povray": "75943b3fb8ddbf18a5f02792e2dc5c3d0db08313ce2a9769306798bb976e68cb",
+    "tiny-baseline": "9daf036c9e6daeb4dec6548cc9d3f6522f16bb59f17f454aef95d2cafd445346",
+}
+
+
+def the_mix():
+    return make_mixes("pref_agg", 1, seed=2019)[0]
+
+
+def fingerprint(stats):
+    return hashlib.sha256(
+        stats.totals.tobytes() + np.float64(stats.wall_cycles).tobytes()
+    ).hexdigest()
+
+
+def run_controller(mechanism, wrap=None):
+    machine = build_machine(the_mix(), SC)
+    platform = SimulatedPlatform(machine)
+    if wrap is not None:
+        platform = wrap(platform)
+    ctl = CMMController(
+        platform,
+        make_policy(mechanism),
+        epoch_cfg=EpochConfig(exec_units=SC.exec_units, sample_units=SC.sample_units),
+    )
+    return ctl.run(SC.n_epochs)
+
+
+class TestBitIdenticalCleanPath:
+    def test_controller_matches_pre_hardening_fingerprints(self):
+        for mech, expected in PRE_HARDENING_FINGERPRINTS.items():
+            assert fingerprint(run_controller(mech)) == expected, mech
+
+    def test_zero_rate_fault_wrapper_is_invisible(self):
+        wrap = lambda p: FaultyPlatform(p, FaultPlan(seed=123))
+        for mech, expected in PRE_HARDENING_FINGERPRINTS.items():
+            assert fingerprint(run_controller(mech, wrap=wrap)) == expected, mech
+
+
+class TestCacheKeyStability:
+    def test_keys_match_pre_hardening_captures(self):
+        mix = the_mix()
+        assert (
+            PlannedRun(KIND_MECHANISM, SC, mix=mix, mechanism="cmm-a").key()
+            == PRE_HARDENING_KEYS["mech-cmm-a"]
+        )
+        assert (
+            PlannedRun(KIND_ALONE, SC, bench="410.bwaves").key()
+            == PRE_HARDENING_KEYS["alone-410.bwaves"]
+        )
+        assert (
+            PlannedRun(KIND_PROFILE, SC, bench="453.povray", way_sweep=(1, 2)).key()
+            == PRE_HARDENING_KEYS["profile-453.povray"]
+        )
+        assert (
+            PlannedRun(KIND_MECHANISM, TINY, mix=mix, mechanism="baseline").key()
+            == PRE_HARDENING_KEYS["tiny-baseline"]
+        )

@@ -1,0 +1,147 @@
+"""The fault-injection layer itself: plans, determinism, injection."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.platform.base import PlatformError
+from repro.platform.faults import (
+    SCENARIOS,
+    WRAP_DELTA,
+    FaultPlan,
+    FaultyPlatform,
+    scenario_plan,
+    verify_safe_state,
+)
+from repro.sim.msr import PF_ALL_ON
+
+from tests.core.fakes import FakePlatform
+
+
+class TestFaultPlan:
+    def test_defaults_inject_nothing(self):
+        plan = FaultPlan()
+        assert all(
+            getattr(plan, f.name) == 0.0
+            for f in dataclasses.fields(plan)
+            if f.name != "seed"
+        )
+
+    @pytest.mark.parametrize("field", ["write_fail", "sample_drop", "sample_nan"])
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_rates_must_be_probabilities(self, field, rate):
+        with pytest.raises(ValueError, match=field):
+            FaultPlan(**{field: rate})
+
+    def test_json_roundtrip(self):
+        plan = scenario_plan("meltdown", seed=42)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_scenarios_all_resolve(self):
+        for name in SCENARIOS:
+            plan = scenario_plan(name, seed=7)
+            assert plan.seed == 7
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError, match="no-such-scenario"):
+            scenario_plan("no-such-scenario")
+
+
+class TestFaultyPlatform:
+    def test_zero_rate_plan_is_transparent(self):
+        inner = FakePlatform()
+        faulty = FaultyPlatform(inner, FaultPlan(seed=3))
+        faulty.set_prefetch_mask(1, 0xF)
+        faulty.set_clos_cbm(1, 0b1111)
+        faulty.assign_core_clos(1, 1)
+        sample = faulty.run_interval(100)
+        assert inner.masks[1] == 0xF
+        assert inner.cbm[1] == 0b1111
+        assert inner.core_clos[1] == 1
+        assert np.all(np.isfinite(sample.deltas))
+        assert faulty.injected == {}
+
+    def test_injection_is_deterministic_per_seed(self):
+        def drive(seed):
+            p = FaultyPlatform(FakePlatform(), scenario_plan("meltdown", seed))
+            outcomes = []
+            for i in range(200):
+                try:
+                    p.set_prefetch_mask(i % 4, 0)
+                    outcomes.append("w-ok")
+                except (PlatformError, OSError) as e:
+                    outcomes.append(type(e).__name__)
+                try:
+                    s = p.run_interval(10)
+                    outcomes.append(float(np.nansum(s.deltas)))
+                except PlatformError:
+                    outcomes.append("dropped")
+            return outcomes, dict(p.injected)
+
+        assert drive(5) == drive(5)
+        assert drive(5) != drive(6)
+
+    def test_write_fault_precedes_the_write(self):
+        inner = FakePlatform()
+        faulty = FaultyPlatform(inner, FaultPlan(seed=0, write_fail=1.0))
+        with pytest.raises(PlatformError, match="set_prefetch_mask"):
+            faulty.set_prefetch_mask(2, 0xF)
+        assert inner.masks[2] == 0  # the write never reached the backend
+
+    def test_oserror_is_ebusy(self):
+        faulty = FaultyPlatform(FakePlatform(), FaultPlan(seed=0, write_oserror=1.0))
+        with pytest.raises(OSError) as ei:
+            faulty.set_clos_cbm(0, 0xFF)
+        import errno
+
+        assert ei.value.errno == errno.EBUSY
+
+    def test_dropped_sample_still_advances_the_workload(self):
+        inner = FakePlatform()
+        faulty = FaultyPlatform(inner, FaultPlan(seed=0, sample_drop=1.0))
+        with pytest.raises(PlatformError, match="dropped"):
+            faulty.run_interval(100)
+        assert inner.intervals_run == 1
+
+    def test_nan_injection_never_mutates_inner_counters(self):
+        inner = FakePlatform()
+        faulty = FaultyPlatform(inner, FaultPlan(seed=1, sample_nan=1.0))
+        clean = inner.behavior(inner)
+        corrupted = faulty.run_interval(100)
+        assert np.isnan(corrupted.deltas).any()
+        assert np.all(np.isfinite(clean))  # fake's counters untouched
+
+    def test_wrap_injection_magnitude(self):
+        faulty = FaultyPlatform(FakePlatform(), FaultPlan(seed=2, sample_wrap=1.0))
+        s = faulty.run_interval(100)
+        assert np.abs(s.deltas).max() >= WRAP_DELTA / 2
+
+    def test_multiplex_scales_whole_sample(self):
+        inner = FakePlatform()
+        clean = inner.run_interval(100)
+        faulty = FaultyPlatform(FakePlatform(), FaultPlan(seed=3, sample_multiplex=1.0))
+        s = faulty.run_interval(100)
+        ratio = s.deltas[clean.deltas > 0] / clean.deltas[clean.deltas > 0]
+        assert np.allclose(ratio, ratio.flat[0])
+        assert 1.5 <= ratio.flat[0] <= 4.0
+
+    def test_reset_partitions_is_never_faulted(self):
+        inner = FakePlatform()
+        faulty = FaultyPlatform(inner, FaultPlan(seed=0, write_fail=1.0, write_oserror=1.0))
+        faulty.reset_partitions()  # must not raise
+        assert inner.core_clos == [0] * inner.n_cores
+
+
+class TestVerifySafeState:
+    def test_clean_platform_is_safe(self):
+        p = FakePlatform()
+        for c in range(p.n_cores):
+            p.set_prefetch_mask(c, PF_ALL_ON)
+        assert verify_safe_state(p) == []
+
+    def test_disabled_prefetcher_is_reported(self):
+        p = FakePlatform()
+        p.set_prefetch_mask(2, 0xF)
+        problems = verify_safe_state(p)
+        assert any("core 2" in msg for msg in problems)

@@ -1,0 +1,37 @@
+"""Hook workers for the engine failure tests.
+
+Resolved inside pool workers via ``KIND_HOOK`` runs
+(``bench="tests.chaos.workers:<name>"``), so every function must be a
+top-level callable taking the :class:`PlannedRun`.  Requires the
+``fork`` start method (the child inherits the parent's ``sys.path``).
+"""
+
+import os
+import time
+
+#: How long ``hang`` sleeps — longer than any test timeout, short
+#: enough that abandoned workers don't stall interpreter teardown.
+HANG_SECONDS = 2.5
+
+
+def ok(run):
+    return {"ok": True, "hook": run.bench}
+
+
+# Aliases give each successful run a distinct content key.
+ok_a = ok
+ok_b = ok
+ok_c = ok
+
+
+def boom(run):
+    raise ValueError("injected worker exception")
+
+
+def crash(run):
+    os._exit(17)  # kills the worker process: BrokenProcessPool upstream
+
+
+def hang(run):
+    time.sleep(HANG_SECONDS)
+    return {"ok": True, "hook": run.bench}

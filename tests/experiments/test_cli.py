@@ -81,6 +81,34 @@ class TestCacheCommand:
         args = build_parser().parse_args(["run", "--workers", "4", "--no-cache"])
         assert args.workers == 4 and args.no_cache
 
+    def test_stats_reports_corrupt_entries(self, capsys, tmp_path):
+        from repro.experiments.engine import SCHEMA_VERSION, ResultCache
+
+        root = tmp_path / "c"
+        key = "ab" * 32
+        ResultCache(root).put(
+            key, {"schema": SCHEMA_VERSION, "kind": "alone", "payload": {"ipc": 1.0}}
+        )
+        (root / key[:2] / f"{key}.json").write_text("torn")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert main(["cache", "stats", "--cache-dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "corrupt    : 1" in out and "entries    : 0" in out
+
+
+class TestChaosCommand:
+    def test_unknown_scenario_is_an_error(self, capsys):
+        assert main(["chaos", "--scenario", "frobnicate"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_single_scenario_runs_clean(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert main(["chaos", "--scenario", "dropped-samples", "--seed", "3",
+                     "--epochs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "dropped-samples seed=3" in out
+        assert "1/1 scenarios ok" in out
+
 
 @pytest.mark.slow
 class TestRunAndFigureCommands:

@@ -113,6 +113,68 @@ class TestResultCache:
         assert cache.get("56" * 32)["payload"]["ipc"] == 1.0
         assert cache.stats().root is None
 
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"schema": SCHEMA_VERSION, "kind": "alone", "payload": {}})
+        leftovers = [p for p in tmp_path.rglob("*") if p.is_file() and p.suffix != ".json"]
+        assert leftovers == []
+
+    def test_interrupted_put_leaves_old_entry_intact(self, tmp_path, monkeypatch):
+        key = "ab" * 32
+        cache = ResultCache(tmp_path)
+        cache.put(key, {"schema": SCHEMA_VERSION, "kind": "alone", "payload": {"ipc": 1.0}})
+
+        def explode(*a, **k):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("json.dumps", explode)
+        with pytest.raises(KeyboardInterrupt):
+            cache.put(key, {"schema": SCHEMA_VERSION, "kind": "alone", "payload": {"ipc": 9.0}})
+        monkeypatch.undo()
+        # The on-disk entry is the old one, whole, and no temp remains.
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key)["payload"]["ipc"] == 1.0
+        assert [p for p in tmp_path.rglob("*.tmp")] == []
+
+    def test_corrupt_entry_is_quarantined(self, tmp_path):
+        key = "ab" * 32
+        ResultCache(tmp_path).put(key, {"schema": SCHEMA_VERSION, "kind": "alone", "payload": {}})
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.write_text('{"schema": 1, "kind": "alo')  # torn write
+        cache = ResultCache(tmp_path)
+        with pytest.warns(RuntimeWarning, match="quarantined corrupt cache entry"):
+            assert cache.get(key) is None
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+        assert cache.corrupt == 1
+        s = cache.stats()
+        assert s.entries == 0 and s.corrupt == 1
+
+    def test_corrupt_warning_fires_once_per_session(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = ["ab" * 32, "cd" * 32]
+        for key in keys:
+            cache.put(key, {"schema": SCHEMA_VERSION, "kind": "alone", "payload": {}})
+            (tmp_path / key[:2] / f"{key}.json").write_text("not json")
+        cache._mem.clear()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for key in keys:
+                assert cache.get(key) is None
+        assert sum("quarantined" in str(w.message) for w in caught) == 1
+        assert cache.corrupt == 2
+
+    def test_clear_removes_quarantined_entries(self, tmp_path):
+        key = "ab" * 32
+        cache = ResultCache(tmp_path)
+        cache.put(key, {"schema": SCHEMA_VERSION, "kind": "alone", "payload": {}})
+        (tmp_path / key[:2] / f"{key}.json").write_text("garbage")
+        cache._mem.clear()
+        with pytest.warns(RuntimeWarning):
+            cache.get(key)
+        assert cache.clear() >= 1
+        assert list(tmp_path.rglob("*.corrupt")) == []
+
 
 class TestSessionCaching:
     def test_hit_after_miss(self, session, mix):
@@ -190,7 +252,8 @@ class TestRunSpec:
 
 
 class TestParallelDeterminism:
-    def test_parallel_matches_serial_bit_for_bit(self, tmp_path, mix):
+    def test_parallel_matches_serial_bit_for_bit(self, tmp_path, mix, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 4)  # defeat the 1-CPU clamp
         serial = ExperimentSession(cache_dir=tmp_path / "s", max_workers=1)
         parallel = ExperimentSession(cache_dir=tmp_path / "p", max_workers=2)
         ev_s = serial.evaluate(mix, ("pt",), SC)
@@ -272,11 +335,24 @@ class TestDefaults:
         assert default_cache_dir() == tmp_path / "env-cache"
 
     def test_default_workers_env(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 4)
         monkeypatch.setenv("REPRO_WORKERS", "3")
         assert default_workers() == 3
         monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
         with pytest.raises(ValueError):
             default_workers()
+
+    def test_env_workers_clamped_to_cpu_count(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 4)
+        monkeypatch.setenv("REPRO_WORKERS", "64")
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS=64.*clamping to 4"):
+            assert default_workers() == 4
+
+    def test_session_workers_clamped_to_cpu_count(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 4)
+        with pytest.warns(RuntimeWarning, match="max_workers=64.*clamping to 4"):
+            session = ExperimentSession(cache_dir=None, max_workers=64)
+        assert session.max_workers == 4
 
     def test_default_session_singleton(self):
         set_default_session(None)
