@@ -45,6 +45,8 @@ Quickstart::
 from repro.core import CMMController, make_policy, policy_names
 from repro.core.allocation import ResourceConfig
 from repro.core.epoch import EpochConfig
+from repro.core.pipeline import DecisionPipeline, Stage, SweepScorer
+from repro.core.trace import EpochTrace, StageTrace
 from repro.experiments.config import ScaleConfig, get_scale
 from repro.experiments.engine import (
     ExperimentError,
@@ -68,11 +70,13 @@ from repro.sim.machine import Machine
 from repro.sim.params import MachineParams, default_params, scaled_params
 from repro.workloads.mixes import WorkloadMix, all_mixes, make_mixes
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CMMController",
+    "DecisionPipeline",
     "EpochConfig",
+    "EpochTrace",
     "ExperimentError",
     "ExperimentSession",
     "FaultPlan",
@@ -86,6 +90,9 @@ __all__ = [
     "RunSpec",
     "ScaleConfig",
     "SimulatedPlatform",
+    "Stage",
+    "StageTrace",
+    "SweepScorer",
     "WorkloadEval",
     "WorkloadMix",
     "all_mixes",

@@ -7,6 +7,7 @@ Commands
 ``mixes [--category C]``  show the generated workload mixes
 ``run [...]``             evaluate mechanisms on workloads of a category
 ``figure <id>``           regenerate one paper figure/table
+``trace [...]``           render per-epoch decision timelines for one run
 ``chaos [...]``           run seeded fault-injection scenarios (CI gate)
 ``cache stats|clear``     inspect or wipe the on-disk result cache
 
@@ -22,7 +23,7 @@ import sys
 from typing import Sequence
 
 from repro.experiments.config import SCALES, get_scale
-from repro.experiments.report import render_table
+from repro.experiments.report import render_table, render_trace_timeline
 from repro.workloads.mixes import CATEGORIES, make_mixes
 from repro.workloads.speclike import BENCHMARKS, benchmark
 
@@ -101,6 +102,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("figure", help="regenerate one paper figure/table")
     p.add_argument("id", choices=FIGURES)
+    _add_scale(p)
+    _add_engine(p)
+
+    p = sub.add_parser("trace", help="render per-epoch decision timelines for one run")
+    p.add_argument("--mechanism", default="cmm-a")
+    p.add_argument("--category", choices=CATEGORIES, default="pref_agg")
+    p.add_argument("--mix", type=int, default=0,
+                   help="mix index within the category (see `repro mixes`)")
+    p.add_argument("--epoch", type=int, default=None, help="show only this epoch")
+    p.add_argument("--json", action="store_true", help="emit the raw JSON trace records")
     _add_scale(p)
     _add_engine(p)
 
@@ -228,6 +239,33 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    import json
+
+    from repro.core.trace import traces_to_dicts
+
+    sc = get_scale(args.scale)
+    session = _make_session(args)
+    mixes = make_mixes(args.category, sc.workloads_per_category, seed=sc.seed)
+    if not 0 <= args.mix < len(mixes):
+        print(f"--mix must be in [0, {len(mixes) - 1}] for {args.category} @ {sc.name}",
+              file=sys.stderr)
+        return 2
+    mix = mixes[args.mix]
+    traces = session.traces(mix, args.mechanism, sc)
+    if args.epoch is not None:
+        traces = [t for t in traces if t.epoch == args.epoch]
+        if not traces:
+            print(f"no epoch {args.epoch} in this {sc.n_epochs}-epoch run", file=sys.stderr)
+            return 2
+    if args.json:
+        print(json.dumps(traces_to_dicts(traces), indent=2))
+    else:
+        print(render_trace_timeline(
+            traces, title=f"{mix.name} / {args.mechanism} @ {sc.name}"))
+    return 0
+
+
 def cmd_chaos(args) -> int:
     from repro.experiments.chaos import run_chaos_scenario
     from repro.platform.faults import SCENARIOS
@@ -278,6 +316,7 @@ COMMANDS = {
     "mixes": cmd_mixes,
     "run": cmd_run,
     "figure": cmd_figure,
+    "trace": cmd_trace,
     "chaos": cmd_chaos,
     "cache": cmd_cache,
 }

@@ -25,7 +25,21 @@ from repro.core.frontend import (
     SampleValidator,
 )
 from repro.core.metrics_defs import TableIMetrics, CoreSummary, summarize_sample
+from repro.core.pipeline import (
+    ActuateStage,
+    ClassifyStage,
+    CoordinatedThrottleStage,
+    DecisionPipeline,
+    DunnStage,
+    PartitionStage,
+    PipelineState,
+    SenseStage,
+    Stage,
+    SweepScorer,
+    ThrottleSweepStage,
+)
 from repro.core.policies import POLICIES, make_policy, policy_names
+from repro.core.trace import TRACE_SCHEMA_VERSION, EpochTrace, StageTrace, TraceSchemaError
 
 __all__ = [
     "ResourceConfig",
@@ -48,4 +62,19 @@ __all__ = [
     "POLICIES",
     "make_policy",
     "policy_names",
+    "ActuateStage",
+    "ClassifyStage",
+    "CoordinatedThrottleStage",
+    "DecisionPipeline",
+    "DunnStage",
+    "PartitionStage",
+    "PipelineState",
+    "SenseStage",
+    "Stage",
+    "SweepScorer",
+    "ThrottleSweepStage",
+    "TRACE_SCHEMA_VERSION",
+    "EpochTrace",
+    "StageTrace",
+    "TraceSchemaError",
 ]

@@ -43,15 +43,21 @@ from repro.core.frontend import (
     SampleValidationConfig,
     SampleValidator,
 )
+from repro.core.pipeline import RECOVERABLE, ActuateStage
 from repro.core.policy_base import Policy
-from repro.platform.base import Platform, PlatformError
+from repro.core.trace import EpochTrace, config_summary
+from repro.platform.base import Platform
 from repro.sim.msr import PF_ALL_ON
 from repro.sim.pmu import Event, PmuSample
 
-#: Failures the controller absorbs instead of propagating: declared
-#: platform faults, resctrl-style OS errors, and quarantined samples
-#: (SampleRejected subclasses PlatformError).
-RECOVERABLE = (PlatformError, OSError)
+__all__ = [
+    "RECOVERABLE",
+    "ResilienceConfig",
+    "DegradedState",
+    "EpochRecord",
+    "RunStats",
+    "CMMController",
+]
 
 
 @dataclass(frozen=True)
@@ -118,6 +124,9 @@ class RunStats:
     epochs: list[EpochRecord] = field(default_factory=list)
     failures: list[str] = field(default_factory=list)
     degraded: DegradedState | None = None
+    #: Structured per-epoch decision records (see repro.core.trace);
+    #: empty when the controller runs with ``trace=False``.
+    traces: list[EpochTrace] = field(default_factory=list)
 
     def add(self, sample: PmuSample) -> None:
         if self.totals is None:
@@ -164,6 +173,7 @@ class CMMController:
         detector_cfg: DetectorConfig | None = None,
         resilience_cfg: ResilienceConfig | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        trace: bool = True,
     ) -> None:
         self.platform = platform
         self.policy = policy
@@ -171,6 +181,9 @@ class CMMController:
         self.detector = AggDetector(detector_cfg)
         self.resilience = resilience_cfg or ResilienceConfig()
         self._sleep = sleep
+        # Tracing is observability only — on by default, and bit-identical
+        # either way (pinned by tests/chaos/test_differential.py).
+        self.trace = trace
         self._validator: SampleValidator | None = None
         self._last_chosen: ResourceConfig | None = None
         self._consecutive_failures = 0
@@ -277,13 +290,13 @@ class CMMController:
         for interval in ctx.intervals:
             stats.add(interval.sample)
 
-        try:
-            self._apply_config(chosen)
+        actuation = ActuateStage(self._apply_config).apply(chosen)
+        if actuation.detail["applied"]:
             self._last_chosen = chosen
-        except RECOVERABLE as e:
+        else:
             # The platform keeps whatever (possibly partial) allocation
             # the failed batch left behind; the next epoch re-plans.
-            failure = failure or f"apply failed: {e}"
+            failure = failure or f"apply failed: {actuation.detail['error']}"
 
         exec_sample: PmuSample | None = None
         try:
@@ -294,6 +307,17 @@ class CMMController:
 
         record = EpochRecord(chosen, len(ctx.intervals), exec_sample, failure=failure)
         self._record_outcome(stats, record, epoch_index)
+        if self.trace:
+            stats.traces.append(
+                EpochTrace(
+                    epoch=epoch_index,
+                    policy=self.policy.name,
+                    stages=list(ctx.stage_traces) + [actuation],
+                    winner=config_summary(chosen),
+                    sampling_intervals=len(ctx.intervals),
+                    failure=failure,
+                )
+            )
         return record
 
     def _run_degraded_epoch(self, stats: RunStats, epoch_index: int) -> EpochRecord:
@@ -308,6 +332,17 @@ class CMMController:
             stats.failures.append(f"epoch {epoch_index}: {failure}")
         record = EpochRecord(self._baseline(), 0, exec_sample, failure=failure)
         stats.epochs.append(record)
+        if self.trace:
+            stats.traces.append(
+                EpochTrace(
+                    epoch=epoch_index,
+                    policy=self.policy.name,
+                    winner=config_summary(record.chosen),
+                    sampling_intervals=0,
+                    failure=failure,
+                    degraded=True,
+                )
+            )
         return record
 
     def run(self, n_epochs: int) -> RunStats:

@@ -15,19 +15,37 @@ resources is not having to sacrifice useful prefetching):
 
 Throttle combinations are sampled *with the partitions already
 applied* so the hm-IPC scores reflect the coordinated configuration.
+
+The plan is a :class:`~repro.core.pipeline.DecisionPipeline`: Sense →
+Classify (with friendliness probe) → Dunn fallback (option d) →
+Partition (variant layout; decides alone when no unfriendly cores
+exist) → coordinated throttle sweep.
 """
 
 from __future__ import annotations
 
 from repro.core.allocation import ResourceConfig
-from repro.core.dunn import dunn_config
-from repro.core.epoch import EpochContext, IntervalResult
-from repro.core.partitioning import CLOS_AGG, CLOS_UNFRIENDLY, contiguous_mask, partition_ways
-from repro.core.policy_base import Policy, friendliness_split
-from repro.core.throttling import off_combinations, throttle_groups
-from repro.sim.cat import low_ways_mask
+from repro.core.epoch import EpochContext
+from repro.core.pipeline import (
+    LAYOUT_AGG,
+    LAYOUT_FRIENDLY,
+    LAYOUT_SPLIT,
+    PARTITION_FACTOR,
+    ClassifyStage,
+    CoordinatedThrottleStage,
+    DecisionPipeline,
+    DunnStage,
+    PartitionStage,
+    SenseStage,
+    SweepScorer,
+    partition_layout,
+)
+from repro.core.policy_base import Policy
 
 VARIANTS = ("a", "b", "c")
+
+#: CMM variant letter → partition layout of Fig. 6.
+VARIANT_LAYOUTS = {"a": LAYOUT_AGG, "b": LAYOUT_FRIENDLY, "c": LAYOUT_SPLIT}
 
 
 class CMMPolicy(Policy):
@@ -55,7 +73,6 @@ class CMMPolicy(Policy):
         # Same hysteresis as PT: a throttled combination must beat the
         # partitioned-but-unthrottled interval by this relative margin.
         self.selection_margin = selection_margin
-        from repro.core.partitioning import PARTITION_FACTOR
         self.partition_factor = PARTITION_FACTOR if partition_factor is None else partition_factor
         self.last_agg_set: tuple[int, ...] = ()
         self.last_split: tuple[tuple[int, ...], tuple[int, ...]] = ((), ())
@@ -69,72 +86,43 @@ class CMMPolicy(Policy):
         unfriendly: tuple[int, ...],
         llc_ways: int,
     ) -> ResourceConfig:
-        cfg = base
-        agg = tuple(sorted(friendly + unfriendly))
-        if self.variant == "a":
-            ways = partition_ways(len(agg), llc_ways, factor=self.partition_factor)
-            cfg = cfg.with_partition(CLOS_AGG, low_ways_mask(ways, llc_ways), agg)
-        elif self.variant == "b":
-            if friendly:
-                ways = partition_ways(len(friendly), llc_ways, factor=self.partition_factor)
-                cfg = cfg.with_partition(CLOS_AGG, low_ways_mask(ways, llc_ways), friendly)
-        else:  # "c"
-            shift = 0
-            if friendly:
-                wf = partition_ways(len(friendly), llc_ways, factor=self.partition_factor)
-                cfg = cfg.with_partition(CLOS_AGG, contiguous_mask(wf, 0, llc_ways), friendly)
-                shift = wf
-            if unfriendly:
-                wu = partition_ways(len(unfriendly), llc_ways, factor=self.partition_factor)
-                if shift + wu > llc_ways:
-                    shift = max(0, llc_ways - wu)
-                cfg = cfg.with_partition(
-                    CLOS_UNFRIENDLY, contiguous_mask(wu, shift, llc_ways), unfriendly
-                )
-        return cfg
+        """The variant's partition layout (kept for tests/benchmarks)."""
+        return partition_layout(
+            VARIANT_LAYOUTS[self.variant],
+            base,
+            tuple(sorted(friendly + unfriendly)),
+            friendly,
+            unfriendly,
+            llc_ways,
+            factor=self.partition_factor,
+        )
 
     # ------------------------------------------------------------ plan
 
+    def _pipeline(self) -> DecisionPipeline:
+        return DecisionPipeline([
+            SenseStage(),
+            ClassifyStage(
+                probe_friendliness=True,
+                friendly_threshold=self.friendly_threshold,
+                empty_decision=None,  # option (d) decides instead
+            ),
+            DunnStage(k=self.dunn_k, only_when_agg_empty=True),
+            PartitionStage(
+                VARIANT_LAYOUTS[self.variant],
+                factor=self.partition_factor,
+                decide="no_unfriendly",  # "If no such cores are found, only CP"
+            ),
+            CoordinatedThrottleStage(
+                max_exhaustive=self.max_exhaustive,
+                n_groups=self.n_groups,
+                scorer=SweepScorer(self.selection_margin),
+            ),
+        ])
+
     def plan(self, ctx: EpochContext) -> ResourceConfig:
-        base = ctx.baseline_config()
-        r_on = ctx.sample(base)  # interval 1: all on (detection)
-        agg = ctx.detect(r_on.summaries).agg_set
-        self.last_agg_set = agg
-        if not agg:
-            # Option (d): nothing aggressive to manage; use Dunn.
-            return dunn_config(r_on.summaries, base, ctx.llc_ways, k=self.dunn_k)
-
-        r_off = ctx.sample(base.with_prefetch_off(agg))  # interval 2: friendliness probe
-        friendly, unfriendly = friendliness_split(
-            r_on.summaries, r_off.summaries, agg, speedup_threshold=self.friendly_threshold
-        )
-        self.last_split = (friendly, unfriendly)
-
-        partitioned = self._partitioned(base, friendly, unfriendly, ctx.llc_ways)
-        if not unfriendly:
-            # Only CP applies ("If no such cores are found, only CP").
-            return partitioned
-
-        groups = throttle_groups(
-            unfriendly, r_on.summaries, max_exhaustive=self.max_exhaustive, n_groups=self.n_groups
-        )
-        reference: IntervalResult | None = None  # partitioned, nothing throttled
-        best: IntervalResult | None = None
-        for off_cores in off_combinations(groups):
-            if ctx.budget_left() <= 1:  # keep one interval for the re-reference
-                break
-            result = ctx.sample(partitioned.with_prefetch_off(off_cores))
-            if not off_cores:
-                reference = result
-            if best is None or result.hm_ipc > best.hm_ipc:
-                best = result
-        if best is None:
-            return partitioned
-        # Re-sample the unthrottled reference after the sweep (cache
-        # state drifts upward across the profiling epoch; see PT).
-        ref_hm = reference.hm_ipc if reference is not None else 0.0
-        if ctx.budget_left() > 0:
-            ref_hm = max(ref_hm, ctx.sample(partitioned).hm_ipc)
-        if best.hm_ipc <= (1.0 + self.selection_margin) * ref_hm:
-            return partitioned
-        return best.config
+        state = self._pipeline().run(ctx)
+        self.last_agg_set = state.agg_set
+        if state.agg_set:
+            self.last_split = (state.friendly, state.unfriendly)
+        return state.decision

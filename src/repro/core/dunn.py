@@ -12,66 +12,27 @@ W_k = all ways and W_j proportional to the cluster's share of total
 stalls (cumulative), floored at ``min_ways``.  Dunn ignores
 prefetching entirely — which is precisely the weakness the paper's
 Pref-CP plans exploit.
+
+The clustering/way-assignment math lives in
+:mod:`repro.core.pipeline` (shared with CMM's option-d fallback) and
+is re-exported here under its historical names; the policy itself is a
+two-stage :class:`~repro.core.pipeline.DecisionPipeline`.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.allocation import ResourceConfig
 from repro.core.epoch import EpochContext
-from repro.core.kmeans import cluster_groups
-from repro.core.metrics_defs import CoreSummary
+from repro.core.pipeline import (
+    DecisionPipeline,
+    DunnStage,
+    SenseStage,
+    dunn_config,
+    dunn_way_assignment,
+)
 from repro.core.policy_base import Policy
-from repro.sim.cat import low_ways_mask
 
-
-def dunn_way_assignment(
-    cluster_stalls: list[float], total_ways: int, *, min_ways: int = 2
-) -> list[int]:
-    """Nested way counts for clusters ordered by ascending stalls.
-
-    The most-stalled cluster always receives the full cache; lower
-    clusters receive ways proportional to their cumulative share of
-    total stalls, floored and made monotone.
-    """
-    k = len(cluster_stalls)
-    if k == 0:
-        return []
-    if any(s < 0 for s in cluster_stalls):
-        raise ValueError("stall counts must be non-negative")
-    total = sum(cluster_stalls)
-    if total <= 0:
-        return [total_ways] * k
-    ways = []
-    cum = 0.0
-    for s in cluster_stalls:
-        cum += s
-        ways.append(max(min_ways, int(round(total_ways * cum / total))))
-    # Enforce monotonicity and pin the top cluster to the full cache.
-    for i in range(1, k):
-        ways[i] = max(ways[i], ways[i - 1])
-    ways[-1] = total_ways
-    return [min(w, total_ways) for w in ways]
-
-
-def dunn_config(
-    summaries: list[CoreSummary], base: ResourceConfig, llc_ways: int, *, k: int = 4, clos_base: int = 4
-) -> ResourceConfig:
-    """Build the Dunn partitioning from one interval's summaries."""
-    active = [s.cpu for s in summaries if s.active]
-    if not active:
-        return base
-    stalls = [summaries[c].stalls_l2_pending for c in active]
-    groups = cluster_groups(np.asarray(stalls), min(k, len(active)))
-    cluster_stall_means = [float(np.mean([stalls[i] for i in g])) for g in groups]
-    ways = dunn_way_assignment(cluster_stall_means, llc_ways)
-    cfg = base
-    for j, g in enumerate(groups):
-        cores = [active[i] for i in g]
-        mask = low_ways_mask(ways[j], llc_ways)
-        cfg = cfg.with_partition(clos_base + j, mask, cores)
-    return cfg
+__all__ = ["DunnPolicy", "dunn_config", "dunn_way_assignment"]
 
 
 class DunnPolicy(Policy):
@@ -82,7 +43,8 @@ class DunnPolicy(Policy):
     def __init__(self, *, k: int = 4) -> None:
         self.k = k
 
+    def _pipeline(self) -> DecisionPipeline:
+        return DecisionPipeline([SenseStage(), DunnStage(k=self.k)])
+
     def plan(self, ctx: EpochContext) -> ResourceConfig:
-        base = ctx.baseline_config()
-        r_on = ctx.sample(base)
-        return dunn_config(r_on.summaries, base, ctx.llc_ways, k=self.k)
+        return self._pipeline().run(ctx).decision

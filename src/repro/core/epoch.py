@@ -21,6 +21,7 @@ from typing import Callable
 from repro.core.allocation import ResourceConfig
 from repro.core.frontend import AggDetector, DetectionReport, SampleValidator
 from repro.core.metrics_defs import CoreSummary, hm_ipc, summarize_sample
+from repro.core.trace import StageTrace
 from repro.platform.base import Platform
 from repro.sim.pmu import PmuSample
 
@@ -83,6 +84,7 @@ class EpochContext:
         self.validator = validator
         self._applier = applier
         self.intervals: list[IntervalResult] = []
+        self.stage_traces: list[StageTrace] = []
 
     @property
     def n_cores(self) -> int:
@@ -123,3 +125,7 @@ class EpochContext:
 
     def detect(self, summaries: list[CoreSummary]) -> DetectionReport:
         return self.detector.detect(summaries)
+
+    def record_stage(self, trace: StageTrace) -> None:
+        """Append one pipeline stage's trace record (observability only)."""
+        self.stage_traces.append(trace)

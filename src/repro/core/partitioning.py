@@ -12,50 +12,46 @@ Two plans, both leaving every prefetcher enabled:
 Partition sizing follows the paper's empirical rule: 1.5x the number
 of cores in the partition, in ways ("a partition size of 1.5 times the
 size of the Agg set works well"), clamped to the CAT constraints.
+
+Both plans are :class:`~repro.core.pipeline.DecisionPipeline`
+compositions over the shared :class:`~repro.core.pipeline.
+PartitionStage`; the sizing/layout math itself lives in
+:mod:`repro.core.pipeline` and is re-exported here under its
+historical names.
 """
 
 from __future__ import annotations
 
-import math
-
 from repro.core.allocation import ResourceConfig
 from repro.core.epoch import EpochContext
-from repro.core.policy_base import Policy, friendliness_split
-from repro.sim.cat import low_ways_mask
+from repro.core.pipeline import (
+    CLOS_AGG,
+    CLOS_NEUTRAL,
+    CLOS_UNFRIENDLY,
+    LAYOUT_AGG,
+    LAYOUT_SPLIT,
+    PARTITION_FACTOR,
+    ClassifyStage,
+    DecisionPipeline,
+    PartitionStage,
+    SenseStage,
+    contiguous_mask,
+    partition_layout,
+    partition_ways,
+)
+from repro.core.policy_base import Policy
 
-#: CLOS ids used by the partitioning policies.
-CLOS_NEUTRAL = 0
-CLOS_AGG = 1
-CLOS_UNFRIENDLY = 2
-
-PARTITION_FACTOR = 1.5
-
-
-def partition_ways(
-    n_cores_in_partition: int,
-    total_ways: int,
-    *,
-    min_ways: int = 1,
-    factor: float = PARTITION_FACTOR,
-) -> int:
-    """The paper's sizing rule, clamped to [min_ways, total_ways - 1].
-
-    ``factor`` defaults to the empirically-determined 1.5 ways per
-    partitioned core; the ablation benchmarks sweep it.
-    """
-    if n_cores_in_partition < 1:
-        raise ValueError("partition needs at least one core")
-    if factor <= 0:
-        raise ValueError("factor must be positive")
-    want = math.ceil(factor * n_cores_in_partition)
-    return max(min_ways, min(want, max(total_ways - 1, min_ways)))
-
-
-def contiguous_mask(n_ways: int, shift: int, total_ways: int) -> int:
-    """A contiguous CBM of ``n_ways`` starting at bit ``shift``."""
-    if shift + n_ways > total_ways:
-        raise ValueError(f"mask of {n_ways} ways at shift {shift} exceeds {total_ways}")
-    return ((1 << n_ways) - 1) << shift
+__all__ = [
+    "CLOS_AGG",
+    "CLOS_NEUTRAL",
+    "CLOS_UNFRIENDLY",
+    "PARTITION_FACTOR",
+    "PrefCPPolicy",
+    "PrefCP2Policy",
+    "contiguous_mask",
+    "partition_layout",
+    "partition_ways",
+]
 
 
 class PrefCPPolicy(Policy):
@@ -67,15 +63,17 @@ class PrefCPPolicy(Policy):
         self.partition_factor = partition_factor
         self.last_agg_set: tuple[int, ...] = ()
 
+    def _pipeline(self) -> DecisionPipeline:
+        return DecisionPipeline([
+            SenseStage(),
+            ClassifyStage(empty_decision="baseline"),
+            PartitionStage(LAYOUT_AGG, factor=self.partition_factor, decide="always"),
+        ])
+
     def plan(self, ctx: EpochContext) -> ResourceConfig:
-        base = ctx.baseline_config()
-        r_on = ctx.sample(base)
-        agg = ctx.detect(r_on.summaries).agg_set
-        self.last_agg_set = agg
-        if not agg:
-            return base
-        ways = partition_ways(len(agg), ctx.llc_ways, factor=self.partition_factor)
-        return base.with_partition(CLOS_AGG, low_ways_mask(ways, ctx.llc_ways), agg)
+        state = self._pipeline().run(ctx)
+        self.last_agg_set = state.agg_set
+        return state.decision
 
 
 class PrefCP2Policy(Policy):
@@ -88,31 +86,20 @@ class PrefCP2Policy(Policy):
         self.last_agg_set: tuple[int, ...] = ()
         self.last_split: tuple[tuple[int, ...], tuple[int, ...]] = ((), ())
 
-    def plan(self, ctx: EpochContext) -> ResourceConfig:
-        base = ctx.baseline_config()
-        r_on = ctx.sample(base)
-        agg = ctx.detect(r_on.summaries).agg_set
-        self.last_agg_set = agg
-        if not agg:
-            return base
-        r_off = ctx.sample(base.with_prefetch_off(agg))
-        friendly, unfriendly = friendliness_split(
-            r_on.summaries, r_off.summaries, agg, speedup_threshold=self.friendly_threshold
-        )
-        self.last_split = (friendly, unfriendly)
+    def _pipeline(self) -> DecisionPipeline:
+        return DecisionPipeline([
+            SenseStage(),
+            ClassifyStage(
+                probe_friendliness=True,
+                friendly_threshold=self.friendly_threshold,
+                empty_decision="baseline",
+            ),
+            PartitionStage(LAYOUT_SPLIT, decide="always"),
+        ])
 
-        cfg = base
-        shift = 0
-        if friendly:
-            wf = partition_ways(len(friendly), ctx.llc_ways)
-            cfg = cfg.with_partition(CLOS_AGG, contiguous_mask(wf, 0, ctx.llc_ways), friendly)
-            shift = wf
-        if unfriendly:
-            wu = partition_ways(len(unfriendly), ctx.llc_ways)
-            if shift + wu > ctx.llc_ways:
-                # Not enough ways for two disjoint partitions: overlap at the top.
-                shift = max(0, ctx.llc_ways - wu)
-            cfg = cfg.with_partition(
-                CLOS_UNFRIENDLY, contiguous_mask(wu, shift, ctx.llc_ways), unfriendly
-            )
-        return cfg
+    def plan(self, ctx: EpochContext) -> ResourceConfig:
+        state = self._pipeline().run(ctx)
+        self.last_agg_set = state.agg_set
+        if state.agg_set:
+            self.last_split = (state.friendly, state.unfriendly)
+        return state.decision

@@ -1,0 +1,689 @@
+"""The CMM decision pipeline: Sense → Classify → Decide → Actuate.
+
+The paper's control loop (Fig. 4-6) has one fixed shape — sample the
+machine, classify cores (the Fig. 5 Agg filter plus the Sec. III-B1
+friendliness probe), decide the next allocation (a throttle sweep, a
+partition layout, or Dunn clustering), and actuate it.  This module
+makes that shape explicit: each step is a typed :class:`Stage`, a
+policy is a :class:`DecisionPipeline` — a declarative stage
+composition — and every hm-IPC sweep shares one :class:`SweepScorer`
+that owns candidate comparison, ``selection_margin`` hysteresis, and
+the post-sweep re-reference.
+
+Stage contract
+--------------
+A stage receives the mutable :class:`PipelineState`, may draw sampling
+intervals through ``state.ctx`` (the :class:`~repro.core.epoch.
+EpochContext`, which validates every PMU sample), and returns a
+JSON-safe detail dict that becomes its :class:`~repro.core.trace.
+StageTrace`.  Setting ``state.decision`` ends the pipeline: later
+stages are recorded as skipped.  A stage whose ``applies(state)`` is
+false is skipped without running.
+
+The pipeline is pure bookkeeping around the exact platform-call
+sequence the pre-refactor policies made: decisions are bit-identical
+(pinned by ``tests/chaos/test_differential.py``), and the structured
+:class:`~repro.core.trace.EpochTrace` assembled by the controller is
+observability only.
+
+The pure decision math the stages share — partition sizing/layout,
+throttle grouping and combination enumeration, Dunn way assignment —
+lives here too; :mod:`~repro.core.partitioning`,
+:mod:`~repro.core.throttling` and :mod:`~repro.core.dunn` re-export it
+under their historical names.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from itertools import chain, combinations
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.allocation import ResourceConfig
+from repro.core.epoch import EpochContext, IntervalResult
+from repro.core.kmeans import cluster_groups
+from repro.core.metrics_defs import CoreSummary
+from repro.core.policy_base import friendliness_split
+from repro.core.trace import StageTrace, config_summary, json_safe_detail
+from repro.platform.base import PlatformError
+from repro.sim.cat import low_ways_mask
+from repro.sim.msr import MASK_L1_OFF, MASK_L2_OFF
+
+#: Failures the control loop absorbs instead of propagating: declared
+#: platform faults, resctrl-style OS errors, and quarantined samples
+#: (SampleRejected subclasses PlatformError).
+RECOVERABLE = (PlatformError, OSError)
+
+#: CLOS ids used by the partitioning layouts.
+CLOS_NEUTRAL = 0
+CLOS_AGG = 1
+CLOS_UNFRIENDLY = 2
+
+#: The paper's empirical sizing rule: 1.5 ways per partitioned core.
+PARTITION_FACTOR = 1.5
+
+#: Partition layouts (paper Sec. III-B2/B3): the whole Agg set pooled
+#: low (Pref-CP, CMM-a), only the friendly subset partitioned (CMM-b),
+#: or friendly and unfriendly in separate partitions (Pref-CP2, CMM-c).
+LAYOUT_AGG = "agg"
+LAYOUT_FRIENDLY = "friendly"
+LAYOUT_SPLIT = "split"
+LAYOUTS = (LAYOUT_AGG, LAYOUT_FRIENDLY, LAYOUT_SPLIT)
+
+
+# ------------------------------------------------- pure decision math
+
+
+def partition_ways(
+    n_cores_in_partition: int,
+    total_ways: int,
+    *,
+    min_ways: int = 1,
+    factor: float = PARTITION_FACTOR,
+) -> int:
+    """The paper's sizing rule, clamped to [min_ways, total_ways - 1].
+
+    ``factor`` defaults to the empirically-determined 1.5 ways per
+    partitioned core; the ablation benchmarks sweep it.
+    """
+    if n_cores_in_partition < 1:
+        raise ValueError("partition needs at least one core")
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    want = math.ceil(factor * n_cores_in_partition)
+    return max(min_ways, min(want, max(total_ways - 1, min_ways)))
+
+
+def contiguous_mask(n_ways: int, shift: int, total_ways: int) -> int:
+    """A contiguous CBM of ``n_ways`` starting at bit ``shift``."""
+    if shift + n_ways > total_ways:
+        raise ValueError(f"mask of {n_ways} ways at shift {shift} exceeds {total_ways}")
+    return ((1 << n_ways) - 1) << shift
+
+
+def partition_layout(
+    layout: str,
+    base: ResourceConfig,
+    agg: tuple[int, ...],
+    friendly: tuple[int, ...],
+    unfriendly: tuple[int, ...],
+    llc_ways: int,
+    *,
+    factor: float = PARTITION_FACTOR,
+) -> ResourceConfig:
+    """Build one of the paper's partition layouts over ``base``.
+
+    ``LAYOUT_SPLIT`` places friendly ways at the bottom and unfriendly
+    ways directly above; when the two partitions do not fit disjointly
+    the unfriendly mask is clamped to the top of the cache and the
+    overlap with the friendly partition is intentional (overlapping
+    partitioning, as the paper uses).
+    """
+    cfg = base
+    if layout == LAYOUT_AGG:
+        if agg:
+            ways = partition_ways(len(agg), llc_ways, factor=factor)
+            cfg = cfg.with_partition(CLOS_AGG, low_ways_mask(ways, llc_ways), agg)
+    elif layout == LAYOUT_FRIENDLY:
+        if friendly:
+            ways = partition_ways(len(friendly), llc_ways, factor=factor)
+            cfg = cfg.with_partition(CLOS_AGG, low_ways_mask(ways, llc_ways), friendly)
+    elif layout == LAYOUT_SPLIT:
+        shift = 0
+        if friendly:
+            wf = partition_ways(len(friendly), llc_ways, factor=factor)
+            cfg = cfg.with_partition(CLOS_AGG, contiguous_mask(wf, 0, llc_ways), friendly)
+            shift = wf
+        if unfriendly:
+            wu = partition_ways(len(unfriendly), llc_ways, factor=factor)
+            if shift + wu > llc_ways:
+                # Not enough ways for two disjoint partitions: overlap at the top.
+                shift = max(0, llc_ways - wu)
+            cfg = cfg.with_partition(
+                CLOS_UNFRIENDLY, contiguous_mask(wu, shift, llc_ways), unfriendly
+            )
+    else:
+        raise ValueError(f"layout must be one of {LAYOUTS}, got {layout!r}")
+    return cfg
+
+
+def throttle_groups(
+    agg_set: Sequence[int],
+    summaries: list[CoreSummary],
+    *,
+    max_exhaustive: int = 3,
+    n_groups: int = 3,
+) -> list[list[int]]:
+    """Group the Agg set for combination search.
+
+    Small sets stay singleton groups (exhaustive search); larger sets
+    are k-means-clustered by L2 PTR so cores exerting similar LLC
+    pressure are throttled together.
+    """
+    agg = list(agg_set)
+    if len(agg) <= max_exhaustive:
+        return [[c] for c in agg]
+    ptr = [summaries[c].metrics.l2_ptr for c in agg]
+    groups = cluster_groups(ptr, n_groups)
+    return [[agg[i] for i in idxs] for idxs in groups if idxs]
+
+
+def off_combinations(groups: list[list[int]]) -> Iterable[tuple[int, ...]]:
+    """All subsets of groups, yielded as flat core tuples (off cores).
+
+    Includes the empty subset (all on) and the full subset (all off);
+    callers typically skip those because intervals 1 and 2 already
+    measured them.
+    """
+    idx = range(len(groups))
+    for subset in chain.from_iterable(combinations(idx, r) for r in range(len(groups) + 1)):
+        yield tuple(sorted(c for g in subset for c in groups[g]))
+
+
+def dunn_way_assignment(
+    cluster_stalls: list[float], total_ways: int, *, min_ways: int = 2
+) -> list[int]:
+    """Nested way counts for clusters ordered by ascending stalls.
+
+    The most-stalled cluster always receives the full cache; lower
+    clusters receive ways proportional to their cumulative share of
+    total stalls, floored and made monotone.
+    """
+    k = len(cluster_stalls)
+    if k == 0:
+        return []
+    if any(s < 0 for s in cluster_stalls):
+        raise ValueError("stall counts must be non-negative")
+    total = sum(cluster_stalls)
+    if total <= 0:
+        return [total_ways] * k
+    ways = []
+    cum = 0.0
+    for s in cluster_stalls:
+        cum += s
+        ways.append(max(min_ways, int(round(total_ways * cum / total))))
+    # Enforce monotonicity and pin the top cluster to the full cache.
+    for i in range(1, k):
+        ways[i] = max(ways[i], ways[i - 1])
+    ways[-1] = total_ways
+    return [min(w, total_ways) for w in ways]
+
+
+def dunn_config(
+    summaries: list[CoreSummary], base: ResourceConfig, llc_ways: int, *, k: int = 4, clos_base: int = 4
+) -> ResourceConfig:
+    """Build the Dunn partitioning from one interval's summaries."""
+    active = [s.cpu for s in summaries if s.active]
+    if not active:
+        return base
+    stalls = [summaries[c].stalls_l2_pending for c in active]
+    groups = cluster_groups(np.asarray(stalls), min(k, len(active)))
+    cluster_stall_means = [float(np.mean([stalls[i] for i in g])) for g in groups]
+    ways = dunn_way_assignment(cluster_stall_means, llc_ways)
+    cfg = base
+    for j, g in enumerate(groups):
+        cores = [active[i] for i in g]
+        mask = low_ways_mask(ways[j], llc_ways)
+        cfg = cfg.with_partition(clos_base + j, mask, cores)
+    return cfg
+
+
+# ----------------------------------------------------- pipeline state
+
+
+@dataclass
+class PipelineState:
+    """Everything the stages of one profiling epoch share.
+
+    ``scratch`` is a free-form dict for policy-specific stages (e.g.
+    the PPM baseline's group split) that the built-in fields don't
+    cover.  Once ``decision`` is set the pipeline stops running stages.
+    """
+
+    ctx: EpochContext
+    base: ResourceConfig
+    r_on: IntervalResult | None = None
+    report: object | None = None             # frontend DetectionReport
+    agg_set: tuple[int, ...] = ()
+    r_off: IntervalResult | None = None
+    friendly: tuple[int, ...] = ()
+    unfriendly: tuple[int, ...] = ()
+    partitioned: ResourceConfig | None = None
+    decision: ResourceConfig | None = None
+    scratch: dict = field(default_factory=dict)
+
+
+class Stage(ABC):
+    """One composable step of a decision pipeline."""
+
+    name: str = "stage"
+
+    def applies(self, state: PipelineState) -> bool:
+        """Whether this stage should run given the state so far."""
+        return True
+
+    @abstractmethod
+    def run(self, state: PipelineState) -> dict | None:
+        """Execute the stage; returns the JSON-safe trace detail."""
+
+
+class DecisionPipeline:
+    """A declarative stage composition that plans one epoch.
+
+    ``run`` threads a fresh :class:`PipelineState` through the stages,
+    recording one :class:`~repro.core.trace.StageTrace` per stage on
+    the context (skipped stages included, with the reason).  If no
+    stage decides, the baseline configuration is the decision.
+    """
+
+    def __init__(self, stages: Sequence[Stage]) -> None:
+        self.stages = tuple(stages)
+
+    def run(self, ctx: EpochContext) -> PipelineState:
+        state = PipelineState(ctx=ctx, base=ctx.baseline_config())
+        for stage in self.stages:
+            if state.decision is not None:
+                ctx.record_stage(StageTrace(stage.name, {"reason": "decision-already-made"}, skipped=True))
+                continue
+            if not stage.applies(state):
+                ctx.record_stage(StageTrace(stage.name, {"reason": "not-applicable"}, skipped=True))
+                continue
+            detail = stage.run(state)
+            ctx.record_stage(StageTrace(stage.name, json_safe_detail(detail or {})))
+        if state.decision is None:
+            state.decision = state.base
+        return state
+
+    def plan(self, ctx: EpochContext) -> ResourceConfig:
+        return self.run(ctx).decision
+
+
+# ----------------------------------------------------- sweep scoring
+
+
+class SweepScorer:
+    """Shared hm-IPC sweep arbitration.
+
+    Owns the three things every throttle sweep (PT, PPM, CMM) repeats:
+    scoring candidates by harmonic-mean IPC, the post-sweep
+    *re-reference* (cache state drifts upward across the profiling
+    epoch — working sets keep warming — so an early reference interval
+    understates the unthrottled configuration and every later candidate
+    would look like a win), and ``selection_margin`` hysteresis (short
+    sampling intervals are noisy; without a margin the search chases
+    sub-noise "wins" that trade a friendly core's large loss for a
+    marginal aggregate gain).
+    """
+
+    def __init__(self, selection_margin: float = 0.03) -> None:
+        self.selection_margin = selection_margin
+
+    def better(self, candidate: IntervalResult, best: IntervalResult | None) -> bool:
+        """Strictly-greater hm-IPC comparison (first result wins ties)."""
+        return best is None or candidate.hm_ipc > best.hm_ipc
+
+    def rereference(self, ctx: EpochContext, config: ResourceConfig, prior_hm: float) -> float:
+        """Re-sample the unthrottled reference after the sweep.
+
+        Returns the max of ``prior_hm`` and a fresh sample of
+        ``config`` (when an interval of budget remains).
+        """
+        if ctx.budget_left() > 0:
+            return max(prior_hm, ctx.sample(config).hm_ipc)
+        return prior_hm
+
+    def accepts(self, best_hm: float, reference_hm: float) -> bool:
+        """Whether the best candidate beats the reference by the margin."""
+        return best_hm > (1.0 + self.selection_margin) * reference_hm
+
+
+# ------------------------------------------------------------- stages
+
+
+class SenseStage(Stage):
+    """Interval 1: the all-on detection interval (paper Fig. 4).
+
+    Always samples under the baseline configuration — cores may have
+    been throttled in the previous epoch, and detection statistics need
+    prefetchers running.  Sampling goes through the context, so the
+    PMU sample is validated/quarantined before any metric is computed.
+    """
+
+    name = "sense"
+
+    def run(self, state: PipelineState) -> dict:
+        state.r_on = state.ctx.sample(state.base)
+        s = state.r_on
+        return {
+            "hm_ipc": s.hm_ipc,
+            "fresh": s.fresh,
+            "ipc": [c.ipc for c in s.summaries],
+            "active": [c.cpu for c in s.summaries if c.active],
+        }
+
+
+class ClassifyStage(Stage):
+    """The Fig. 5 Agg filter, plus the optional friendliness probe.
+
+    With ``probe_friendliness`` and a non-empty Agg set, interval 2
+    samples the Agg set with prefetchers off and splits it into
+    (friendly, unfriendly) by prefetch speedup — the probe doubles as
+    the all-off throttle candidate (``state.r_off``).
+
+    ``empty_decision="baseline"`` ends the epoch with the baseline
+    config when nothing aggressive is found (PT / Pref-CP plans);
+    ``empty_decision=None`` leaves the decision to a later stage
+    (CMM's Dunn fallback, option d).
+    """
+
+    name = "classify"
+
+    def __init__(
+        self,
+        *,
+        probe_friendliness: bool = False,
+        friendly_threshold: float = 0.50,
+        empty_decision: str | None = "baseline",
+    ) -> None:
+        self.probe_friendliness = probe_friendliness
+        self.friendly_threshold = friendly_threshold
+        self.empty_decision = empty_decision
+
+    def run(self, state: PipelineState) -> dict:
+        ctx = state.ctx
+        report = ctx.detect(state.r_on.summaries)
+        state.report = report
+        state.agg_set = report.agg_set
+        detail: dict = {
+            "agg_set": list(report.agg_set),
+            "pga_mean": report.pga_mean,
+            "candidates_pga": list(report.candidates_pga),
+            "candidates_pmr": list(report.candidates_pmr),
+            "candidates_ptr": list(report.candidates_ptr),
+        }
+        if not report.agg_set:
+            if self.empty_decision == "baseline":
+                state.decision = state.base
+                detail["reason"] = "empty-agg-set"
+            return detail
+        if self.probe_friendliness:
+            state.r_off = ctx.sample(state.base.with_prefetch_off(report.agg_set))
+            state.friendly, state.unfriendly = friendliness_split(
+                state.r_on.summaries,
+                state.r_off.summaries,
+                report.agg_set,
+                speedup_threshold=self.friendly_threshold,
+            )
+            detail["friendly"] = list(state.friendly)
+            detail["unfriendly"] = list(state.unfriendly)
+        return detail
+
+
+class PartitionStage(Stage):
+    """Decide: partition-way allocation (paper Sec. III-B2).
+
+    Builds one of the :data:`LAYOUTS` over the Agg set.  With
+    ``decide="always"`` the layout is the epoch's decision (Pref-CP /
+    Pref-CP2); with ``decide="no_unfriendly"`` it decides only when no
+    unfriendly cores exist ("If no such cores are found, only CP") and
+    otherwise stays in ``state.partitioned`` for the coordinated
+    throttle sweep to build on.
+    """
+
+    name = "decide:partition"
+
+    def __init__(
+        self,
+        layout: str,
+        *,
+        factor: float = PARTITION_FACTOR,
+        decide: str = "always",
+    ) -> None:
+        if layout not in LAYOUTS:
+            raise ValueError(f"layout must be one of {LAYOUTS}, got {layout!r}")
+        if decide not in ("always", "no_unfriendly"):
+            raise ValueError(f"decide must be 'always' or 'no_unfriendly', got {decide!r}")
+        self.layout = layout
+        self.factor = factor
+        self.decide = decide
+
+    def applies(self, state: PipelineState) -> bool:
+        return bool(state.agg_set)
+
+    def run(self, state: PipelineState) -> dict:
+        cfg = partition_layout(
+            self.layout,
+            state.base,
+            state.agg_set,
+            state.friendly,
+            state.unfriendly,
+            state.ctx.llc_ways,
+            factor=self.factor,
+        )
+        state.partitioned = cfg
+        decided = self.decide == "always" or not state.unfriendly
+        if decided:
+            state.decision = cfg
+        detail = {
+            "layout": self.layout,
+            "factor": self.factor,
+            "partitions": {str(clos): cbm for clos, cbm in cfg.clos_cbm},
+            "decided": decided,
+        }
+        if decided and self.decide == "no_unfriendly":
+            detail["reason"] = "no-unfriendly-cores"
+        return detail
+
+
+class ThrottleSweepStage(Stage):
+    """Decide: the PT exhaustive/k-means throttle sweep (Sec. III-B1).
+
+    Uses the classify probe as the all-off candidate and initial best,
+    tries every remaining on/off combination at group granularity
+    (keeping one interval for the re-reference), optionally probes
+    partial disables of the winning off-set (``fine_grained``), then
+    lets the :class:`SweepScorer` arbitrate against the re-referenced
+    all-on baseline.
+    """
+
+    name = "decide:throttle-sweep"
+
+    def __init__(
+        self,
+        *,
+        max_exhaustive: int = 3,
+        n_groups: int = 3,
+        fine_grained: bool = False,
+        scorer: SweepScorer | None = None,
+    ) -> None:
+        self.max_exhaustive = max_exhaustive
+        self.n_groups = n_groups
+        self.fine_grained = fine_grained
+        self.scorer = scorer or SweepScorer()
+
+    def applies(self, state: PipelineState) -> bool:
+        return bool(state.agg_set) and state.r_off is not None
+
+    def run(self, state: PipelineState) -> dict:
+        ctx, base, agg = state.ctx, state.base, state.agg_set
+        groups = throttle_groups(
+            agg, state.r_on.summaries, max_exhaustive=self.max_exhaustive, n_groups=self.n_groups
+        )
+        best: IntervalResult = state.r_off
+        best_off: tuple[int, ...] = tuple(agg)
+        candidates = [{"off": list(agg), "hm_ipc": state.r_off.hm_ipc, "source": "probe"}]
+        seen = {(), tuple(agg)}
+        truncated = False
+        for off_cores in off_combinations(groups):
+            if off_cores in seen:
+                continue
+            seen.add(off_cores)
+            if ctx.budget_left() <= 1:  # keep one interval for the re-reference
+                truncated = True
+                break
+            result = ctx.sample(base.with_prefetch_off(off_cores))
+            candidates.append({"off": list(off_cores), "hm_ipc": result.hm_ipc, "source": "sweep"})
+            if self.scorer.better(result, best):
+                best = result
+                best_off = off_cores
+        if self.fine_grained and best_off:
+            # Probe partial disables of the winning off-set.
+            for mask in (MASK_L2_OFF, MASK_L1_OFF):
+                if ctx.budget_left() <= 1:
+                    break
+                cand = base
+                for c in best_off:
+                    cand = cand.with_prefetch_mask(c, mask)
+                result = ctx.sample(cand)
+                candidates.append(
+                    {"off": list(best_off), "mask": mask, "hm_ipc": result.hm_ipc, "source": "fine"}
+                )
+                if self.scorer.better(result, best):
+                    best = result
+        reference = self.scorer.rereference(ctx, base, state.r_on.hm_ipc)
+        adopted = self.scorer.accepts(best.hm_ipc, reference)
+        state.decision = best.config if adopted else base
+        return {
+            "groups": [list(g) for g in groups],
+            "candidates": candidates,
+            "reference_hm": reference,
+            "margin": self.scorer.selection_margin,
+            "truncated": truncated,
+            "best_hm": best.hm_ipc,
+            "reason": "adopted" if adopted else "margin-not-met",
+        }
+
+
+class CoordinatedThrottleStage(Stage):
+    """Decide: CMM's throttle sweep over the unfriendly cores (Fig. 6).
+
+    Combinations are sampled *with the partitions already applied* so
+    the hm-IPC scores reflect the coordinated configuration; the empty
+    combination (partitioned, nothing throttled) doubles as the
+    reference, re-sampled after the sweep by the shared scorer.
+    """
+
+    name = "decide:coordinated-throttle"
+
+    def __init__(
+        self,
+        *,
+        max_exhaustive: int = 3,
+        n_groups: int = 3,
+        scorer: SweepScorer | None = None,
+    ) -> None:
+        self.max_exhaustive = max_exhaustive
+        self.n_groups = n_groups
+        self.scorer = scorer or SweepScorer()
+
+    def applies(self, state: PipelineState) -> bool:
+        return bool(state.unfriendly) and state.partitioned is not None
+
+    def run(self, state: PipelineState) -> dict:
+        ctx = state.ctx
+        partitioned = state.partitioned
+        groups = throttle_groups(
+            state.unfriendly,
+            state.r_on.summaries,
+            max_exhaustive=self.max_exhaustive,
+            n_groups=self.n_groups,
+        )
+        reference: IntervalResult | None = None  # partitioned, nothing throttled
+        best: IntervalResult | None = None
+        best_off: tuple[int, ...] = ()
+        candidates = []
+        truncated = False
+        for off_cores in off_combinations(groups):
+            if ctx.budget_left() <= 1:  # keep one interval for the re-reference
+                truncated = True
+                break
+            result = ctx.sample(partitioned.with_prefetch_off(off_cores))
+            candidates.append({
+                "off": list(off_cores),
+                "hm_ipc": result.hm_ipc,
+                "source": "reference" if not off_cores else "sweep",
+            })
+            if not off_cores:
+                reference = result
+            if self.scorer.better(result, best):
+                best = result
+                best_off = off_cores
+        detail = {
+            "groups": [list(g) for g in groups],
+            "candidates": candidates,
+            "margin": self.scorer.selection_margin,
+            "truncated": truncated,
+        }
+        if best is None:
+            state.decision = partitioned
+            detail["reason"] = "budget-exhausted"
+            return detail
+        ref_hm = self.scorer.rereference(
+            ctx, partitioned, reference.hm_ipc if reference is not None else 0.0
+        )
+        adopted = self.scorer.accepts(best.hm_ipc, ref_hm)
+        state.decision = best.config if adopted else partitioned
+        detail.update(
+            reference_hm=ref_hm,
+            best_hm=best.hm_ipc,
+            best_off=list(best_off),
+            reason="adopted" if adopted else "margin-not-met",
+        )
+        return detail
+
+
+class DunnStage(Stage):
+    """Decide: Selfa et al.'s stall-clustering partitioner (PACT'17).
+
+    With ``only_when_agg_empty`` the stage is CMM's option (d): it runs
+    only when the classify stage found nothing aggressive to manage.
+    """
+
+    name = "decide:dunn"
+
+    def __init__(self, *, k: int = 4, only_when_agg_empty: bool = False) -> None:
+        self.k = k
+        self.only_when_agg_empty = only_when_agg_empty
+
+    def applies(self, state: PipelineState) -> bool:
+        return not (self.only_when_agg_empty and state.agg_set)
+
+    def run(self, state: PipelineState) -> dict:
+        cfg = dunn_config(state.r_on.summaries, state.base, state.ctx.llc_ways, k=self.k)
+        state.decision = cfg
+        return {
+            "k": self.k,
+            "partitions": {str(clos): cbm for clos, cbm in cfg.clos_cbm},
+            "reason": "dunn-clustering" if state.agg_set == () else "dunn",
+        }
+
+
+class ActuateStage(Stage):
+    """Actuate: apply the chosen config through the injected applier.
+
+    The controller constructs one with its retry-with-backoff wrapper;
+    recoverable failures are absorbed into the stage trace (the next
+    epoch re-plans against whatever partial allocation stuck).
+    """
+
+    name = "actuate"
+
+    def __init__(self, applier: Callable[[ResourceConfig], None]) -> None:
+        self._applier = applier
+
+    def apply(self, config: ResourceConfig) -> StageTrace:
+        detail: dict = {"config": config_summary(config), "applied": True}
+        try:
+            self._applier(config)
+        except RECOVERABLE as e:
+            detail["applied"] = False
+            detail["error"] = str(e)
+        return StageTrace(self.name, detail)
+
+    def run(self, state: PipelineState) -> dict:
+        trace = self.apply(state.decision if state.decision is not None else state.base)
+        return trace.detail

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 
 from repro.core.allocation import ResourceConfig
@@ -53,6 +54,13 @@ def friendliness_split(
     for c in agg_set:
         ipc_on = on[c].ipc
         ipc_off = off[c].ipc
-        speedup = ipc_on / ipc_off - 1.0 if ipc_off > 0 else 0.0
+        if ipc_off > 0:
+            speedup = ipc_on / ipc_off - 1.0
+        elif ipc_on > 0:
+            # IPC collapsed to zero with prefetchers off: effectively
+            # infinite prefetch speedup — the core *needs* prefetching.
+            speedup = math.inf
+        else:
+            speedup = 0.0  # idle either way; nothing to protect
         (friendly if speedup > speedup_threshold else unfriendly).append(c)
     return tuple(friendly), tuple(unfriendly)

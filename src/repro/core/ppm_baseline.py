@@ -15,6 +15,11 @@ misses `Rand Access`-like cores (their PPM is ~1: one adjacent-line
 prefetch per demand miss) while flagging streamers (PPM >> 1), so it
 forfeits exactly the throttling opportunities PT exploits — see
 ``benchmarks/bench_baseline_ppm.py``.
+
+The plan composes the shared :class:`~repro.core.pipeline.SenseStage`
+with two policy-specific stages (the PPM group split and its small
+fixed-candidate sweep) — a worked example of extending the pipeline
+with custom stages; see ``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -22,7 +27,16 @@ from __future__ import annotations
 from repro.core.allocation import ResourceConfig
 from repro.core.epoch import EpochContext, IntervalResult
 from repro.core.metrics_defs import CoreSummary
+from repro.core.pipeline import (
+    DecisionPipeline,
+    PipelineState,
+    SenseStage,
+    Stage,
+    SweepScorer,
+)
 from repro.core.policy_base import Policy
+
+__all__ = ["PPMGroupThrottlingPolicy", "ppm_groups"]
 
 
 def ppm_groups(summaries: list[CoreSummary], *, ppm_floor: float = 0.05) -> tuple[list[int], list[int]]:
@@ -36,6 +50,62 @@ def ppm_groups(summaries: list[CoreSummary], *, ppm_floor: float = 0.05) -> tupl
     return sorted(aggressive), sorted(meek)
 
 
+class _PPMGroupStage(Stage):
+    """Classify by L2 PPM into (aggressive, meek); baseline when none."""
+
+    name = "classify:ppm"
+
+    def run(self, state: PipelineState) -> dict:
+        aggressive, meek = ppm_groups(state.r_on.summaries)
+        state.scratch["ppm_groups"] = (tuple(aggressive), tuple(meek))
+        detail = {"aggressive": aggressive, "meek": meek}
+        if not aggressive:
+            state.decision = state.base
+            detail["reason"] = "no-aggressive-group"
+        return detail
+
+
+class _PPMSweepStage(Stage):
+    """The 2^2 group on/off sweep ({on,on} measured by the sense stage)."""
+
+    name = "decide:ppm-sweep"
+
+    def __init__(self, scorer: SweepScorer) -> None:
+        self.scorer = scorer
+
+    def run(self, state: PipelineState) -> dict:
+        ctx, base = state.ctx, state.base
+        aggressive, meek = state.scratch["ppm_groups"]
+        candidates: list[tuple[int, ...]] = [aggressive]
+        if meek:
+            candidates += [meek, tuple(sorted(aggressive + meek))]
+        best: IntervalResult | None = None
+        scored = []
+        truncated = False
+        for off in candidates:
+            if ctx.budget_left() <= 1:
+                truncated = True
+                break
+            result = ctx.sample(base.with_prefetch_off(off))
+            scored.append({"off": list(off), "hm_ipc": result.hm_ipc, "source": "sweep"})
+            if self.scorer.better(result, best):
+                best = result
+        detail = {"candidates": scored, "margin": self.scorer.selection_margin, "truncated": truncated}
+        if best is None:
+            state.decision = base
+            detail["reason"] = "budget-exhausted"
+            return detail
+        reference = self.scorer.rereference(ctx, base, state.r_on.hm_ipc)
+        adopted = self.scorer.accepts(best.hm_ipc, reference)
+        state.decision = best.config if adopted else base
+        detail.update(
+            reference_hm=reference,
+            best_hm=best.hm_ipc,
+            reason="adopted" if adopted else "margin-not-met",
+        )
+        return detail
+
+
 class PPMGroupThrottlingPolicy(Policy):
     """Two-group (aggressive/meek) prefetch throttling keyed on L2 PPM."""
 
@@ -45,28 +115,14 @@ class PPMGroupThrottlingPolicy(Policy):
         self.selection_margin = selection_margin
         self.last_groups: tuple[tuple[int, ...], tuple[int, ...]] = ((), ())
 
-    def plan(self, ctx: EpochContext) -> ResourceConfig:
-        base = ctx.baseline_config()
-        r_on = ctx.sample(base)
-        aggressive, meek = ppm_groups(r_on.summaries)
-        self.last_groups = (tuple(aggressive), tuple(meek))
-        if not aggressive:
-            return base
+    def _pipeline(self) -> DecisionPipeline:
+        return DecisionPipeline([
+            SenseStage(),
+            _PPMGroupStage(),
+            _PPMSweepStage(SweepScorer(self.selection_margin)),
+        ])
 
-        # Group-level settings: {on,on} measured; try the other three.
-        candidates: list[tuple[int, ...]] = [tuple(aggressive)]
-        if meek:
-            candidates += [tuple(meek), tuple(sorted(aggressive + meek))]
-        best: IntervalResult | None = None
-        for off in candidates:
-            if ctx.budget_left() <= 1:
-                break
-            result = ctx.sample(base.with_prefetch_off(off))
-            if best is None or result.hm_ipc > best.hm_ipc:
-                best = result
-        if best is None:
-            return base
-        reference = max(r_on.hm_ipc, ctx.sample(base).hm_ipc if ctx.budget_left() > 0 else 0.0)
-        if best.hm_ipc > (1.0 + self.selection_margin) * reference:
-            return best.config
-        return base
+    def plan(self, ctx: EpochContext) -> ResourceConfig:
+        state = self._pipeline().run(ctx)
+        self.last_groups = state.scratch.get("ppm_groups", ((), ()))
+        return state.decision

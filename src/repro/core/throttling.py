@@ -17,52 +17,28 @@ Profiling epoch structure:
 The combination with the highest harmonic-mean IPC (the paper's proxy
 for ANTT / harmonic speedup) wins and is applied for the next
 execution epoch.
+
+The plan is a :class:`~repro.core.pipeline.DecisionPipeline`
+composition — Sense, Classify (with the friendliness probe doubling as
+the all-off candidate), and the exhaustive/k-means throttle sweep.
 """
 
 from __future__ import annotations
 
-from itertools import chain, combinations
-from typing import Iterable, Sequence
-
 from repro.core.allocation import ResourceConfig
-from repro.core.epoch import EpochContext, IntervalResult
-from repro.core.kmeans import cluster_groups
-from repro.core.metrics_defs import CoreSummary
+from repro.core.epoch import EpochContext
+from repro.core.pipeline import (
+    ClassifyStage,
+    DecisionPipeline,
+    SenseStage,
+    SweepScorer,
+    ThrottleSweepStage,
+    off_combinations,
+    throttle_groups,
+)
 from repro.core.policy_base import Policy
-from repro.sim.msr import MASK_L1_OFF, MASK_L2_OFF
 
-
-def throttle_groups(
-    agg_set: Sequence[int],
-    summaries: list[CoreSummary],
-    *,
-    max_exhaustive: int = 3,
-    n_groups: int = 3,
-) -> list[list[int]]:
-    """Group the Agg set for combination search.
-
-    Small sets stay singleton groups (exhaustive search); larger sets
-    are k-means-clustered by L2 PTR so cores exerting similar LLC
-    pressure are throttled together.
-    """
-    agg = list(agg_set)
-    if len(agg) <= max_exhaustive:
-        return [[c] for c in agg]
-    ptr = [summaries[c].metrics.l2_ptr for c in agg]
-    groups = cluster_groups(ptr, n_groups)
-    return [[agg[i] for i in idxs] for idxs in groups if idxs]
-
-
-def off_combinations(groups: list[list[int]]) -> Iterable[tuple[int, ...]]:
-    """All subsets of groups, yielded as flat core tuples (off cores).
-
-    Includes the empty subset (all on) and the full subset (all off);
-    callers typically skip those because intervals 1 and 2 already
-    measured them.
-    """
-    idx = range(len(groups))
-    for subset in chain.from_iterable(combinations(idx, r) for r in range(len(groups) + 1)):
-        yield tuple(sorted(c for g in subset for c in groups[g]))
+__all__ = ["PrefetchThrottlingPolicy", "off_combinations", "throttle_groups"]
 
 
 class PrefetchThrottlingPolicy(Policy):
@@ -89,58 +65,27 @@ class PrefetchThrottlingPolicy(Policy):
         # prefetchers disabled and only the L1 prefetchers disabled.
         self.fine_grained = fine_grained
         # A throttled combination must beat the all-on interval's hm-IPC
-        # by this relative margin to be adopted: sampling intervals are
-        # short, and without hysteresis the search chases sub-noise
-        # "wins" that trade a friendly core's large loss for a marginal
-        # aggregate gain.
+        # by this relative margin to be adopted: see SweepScorer.
         self.selection_margin = selection_margin
         self.last_agg_set: tuple[int, ...] = ()
 
+    def _pipeline(self) -> DecisionPipeline:
+        return DecisionPipeline([
+            SenseStage(),
+            ClassifyStage(
+                probe_friendliness=True,
+                friendly_threshold=self.friendly_threshold,
+                empty_decision="baseline",  # nothing to throttle this epoch
+            ),
+            ThrottleSweepStage(
+                max_exhaustive=self.max_exhaustive,
+                n_groups=self.n_groups,
+                fine_grained=self.fine_grained,
+                scorer=SweepScorer(self.selection_margin),
+            ),
+        ])
+
     def plan(self, ctx: EpochContext) -> ResourceConfig:
-        base = ctx.baseline_config()
-        r_on = ctx.sample(base)  # interval 1: all prefetchers on
-        report = ctx.detect(r_on.summaries)
-        agg = report.agg_set
-        self.last_agg_set = agg
-        if not agg:
-            return base  # nothing to throttle this epoch
-
-        all_off_cfg = base.with_prefetch_off(agg)
-        r_off = ctx.sample(all_off_cfg)  # interval 2: Agg prefetchers off
-
-        groups = throttle_groups(
-            agg, r_on.summaries, max_exhaustive=self.max_exhaustive, n_groups=self.n_groups
-        )
-
-        best: IntervalResult = r_off
-        best_off: tuple[int, ...] = tuple(agg)
-        seen = {(), tuple(agg)}
-        for off_cores in off_combinations(groups):
-            if off_cores in seen:
-                continue
-            seen.add(off_cores)
-            if ctx.budget_left() <= 1:  # keep one interval for the re-reference
-                break
-            result = ctx.sample(base.with_prefetch_off(off_cores))
-            if result.hm_ipc > best.hm_ipc:
-                best = result
-                best_off = off_cores
-        if self.fine_grained and best_off:
-            # Probe partial disables of the winning off-set.
-            for mask in (MASK_L2_OFF, MASK_L1_OFF):
-                if ctx.budget_left() <= 1:
-                    break
-                cand = base
-                for c in best_off:
-                    cand = cand.with_prefetch_mask(c, mask)
-                result = ctx.sample(cand)
-                if result.hm_ipc > best.hm_ipc:
-                    best = result
-        # Re-sample the all-on reference *after* the sweep: cache state
-        # drifts upward across the profiling epoch (working sets keep
-        # warming), so the early interval-1 score understates the
-        # baseline and every later candidate would look like a win.
-        reference = max(r_on.hm_ipc, ctx.sample(base).hm_ipc if ctx.budget_left() > 0 else 0.0)
-        if best.hm_ipc > (1.0 + self.selection_margin) * reference:
-            return best.config
-        return base  # nothing convincingly beat leaving prefetchers on
+        state = self._pipeline().run(ctx)
+        self.last_agg_set = state.agg_set
+        return state.decision

@@ -1,0 +1,167 @@
+"""Structured epoch tracing: why each epoch landed on its config.
+
+Every decision-pipeline stage (see :mod:`repro.core.pipeline`) emits a
+:class:`StageTrace` — inputs summarized, candidates scored, rejection
+reasons — and the controller folds them, together with the actuation
+and execution outcomes, into one :class:`EpochTrace` per epoch on
+:attr:`~repro.core.controller.RunStats.traces`.
+
+Traces are *observability*, never *behavior*: producing them changes
+no platform call, no sample, and no decision (pinned by
+``tests/chaos/test_differential.py``), and they are excluded from
+experiment cache keys.  The experiment engine persists them beside
+cached results (``<key>.traces.json``), schema-versioned so a reader
+never silently misinterprets records written by a different layout —
+bump :data:`TRACE_SCHEMA_VERSION` whenever the serialized shape
+changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+#: Bump whenever the serialized trace layout changes; readers refuse
+#: records from a different schema instead of misreading them.
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceSchemaError(ValueError):
+    """A serialized trace was written under an incompatible schema."""
+
+
+def config_summary(config) -> dict:
+    """JSON-safe summary of a :class:`~repro.core.allocation.ResourceConfig`."""
+    return {
+        "prefetch_masks": list(config.prefetch_masks),
+        "throttled": list(config.throttled_cores()),
+        "clos_cbm": {str(clos): cbm for clos, cbm in config.clos_cbm},
+        "core_clos": list(config.core_clos),
+    }
+
+
+@dataclass
+class StageTrace:
+    """One pipeline stage's structured account of what it did.
+
+    ``detail`` is a JSON-serializable dict whose keys are stage
+    specific (``agg_set`` for classify, ``candidates`` for the sweep
+    stages, ``error`` for a failed actuation, ...).  ``skipped`` marks
+    stages that never ran because an earlier stage already decided.
+    """
+
+    stage: str
+    detail: dict = field(default_factory=dict)
+    skipped: bool = False
+
+    def to_dict(self) -> dict:
+        return {"stage": self.stage, "detail": self.detail, "skipped": self.skipped}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "StageTrace":
+        return cls(stage=d["stage"], detail=dict(d["detail"]), skipped=bool(d["skipped"]))
+
+
+@dataclass
+class EpochTrace:
+    """The full decision record of one controller epoch.
+
+    ``winner`` is the :func:`config_summary` of the applied config;
+    ``degraded`` marks post-fallback epochs that ran uncontrolled.
+    """
+
+    epoch: int
+    policy: str
+    stages: list[StageTrace] = field(default_factory=list)
+    winner: dict | None = None
+    sampling_intervals: int = 0
+    failure: str | None = None
+    degraded: bool = False
+    schema: int = TRACE_SCHEMA_VERSION
+
+    # ------------------------------------------------- conveniences
+
+    def stage(self, name: str) -> StageTrace | None:
+        """The first stage trace named ``name`` (``None`` if absent)."""
+        for s in self.stages:
+            if s.stage == name:
+                return s
+        return None
+
+    @property
+    def agg_set(self) -> tuple[int, ...]:
+        """The classify stage's Agg set (empty when no classify ran)."""
+        s = self.stage("classify")
+        return tuple(s.detail.get("agg_set", ())) if s is not None else ()
+
+    @property
+    def candidates(self) -> list[dict]:
+        """Every scored candidate across the epoch's decide stages."""
+        out: list[dict] = []
+        for s in self.stages:
+            out.extend(s.detail.get("candidates", ()))
+        return out
+
+    @property
+    def decision_reason(self) -> str | None:
+        """The last decide-stage reason (adopted / margin-not-met / ...)."""
+        reason = None
+        for s in self.stages:
+            reason = s.detail.get("reason", reason)
+        return reason
+
+    # ------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "epoch": self.epoch,
+            "policy": self.policy,
+            "stages": [s.to_dict() for s in self.stages],
+            "winner": self.winner,
+            "sampling_intervals": self.sampling_intervals,
+            "failure": self.failure,
+            "degraded": self.degraded,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "EpochTrace":
+        schema = d.get("schema")
+        if schema != TRACE_SCHEMA_VERSION:
+            raise TraceSchemaError(
+                f"trace schema {schema!r} is not the supported {TRACE_SCHEMA_VERSION}"
+            )
+        return cls(
+            epoch=d["epoch"],
+            policy=d["policy"],
+            stages=[StageTrace.from_dict(s) for s in d["stages"]],
+            winner=d["winner"],
+            sampling_intervals=d["sampling_intervals"],
+            failure=d["failure"],
+            degraded=d["degraded"],
+            schema=schema,
+        )
+
+
+def traces_to_dicts(traces: Iterable[EpochTrace]) -> list[dict]:
+    return [t.to_dict() for t in traces]
+
+
+def traces_from_dicts(records: Iterable[dict]) -> list[EpochTrace]:
+    return [EpochTrace.from_dict(d) for d in records]
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce numpy scalars / tuples into plain JSON types."""
+    if hasattr(value, "item"):
+        return value.item()
+    if isinstance(value, (tuple, list)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return value
+
+
+def json_safe_detail(detail: dict) -> dict:
+    """Normalize a stage detail dict so ``json.dumps`` round-trips it."""
+    return {str(k): _json_safe(v) for k, v in detail.items()}

@@ -47,7 +47,7 @@ import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
@@ -56,6 +56,13 @@ import numpy as np
 from repro.core.controller import CMMController, RunStats
 from repro.core.epoch import EpochConfig
 from repro.core.policies import POLICIES, make_policy
+from repro.core.trace import (
+    TRACE_SCHEMA_VERSION,
+    EpochTrace,
+    TraceSchemaError,
+    traces_from_dicts,
+    traces_to_dicts,
+)
 from repro.experiments.config import ScaleConfig, get_scale
 from repro.metrics.speedup import harmonic_speedup, weighted_speedup, worst_case_speedup
 from repro.platform.simulated import SimulatedPlatform
@@ -235,12 +242,16 @@ def _compute_mechanism(run: PlannedRun) -> dict:
     epoch_cfg = EpochConfig(exec_units=sc.exec_units, sample_units=sc.sample_units)
     controller = CMMController(platform, make_policy(run.mechanism), epoch_cfg=epoch_cfg)
     stats = controller.run(sc.n_epochs)
+    # "traces" rides along to the session, which persists it *beside*
+    # the result (<key>.traces.json) — never inside the hashed payload,
+    # so cache keys and stored payloads stay byte-identical.
     return {
         "n_cores": stats.n_cores,
         "cycles_per_second": stats.cycles_per_second,
         "wall_cycles": stats.wall_cycles,
         "totals": stats.totals.tolist(),
         "n_epochs": len(stats.epochs),
+        "traces": traces_to_dicts(stats.traces),
     }
 
 
@@ -296,15 +307,16 @@ def _execute_planned(run: PlannedRun) -> tuple[dict, float]:
     return payload, time.perf_counter() - t0
 
 
-def _rehydrate_stats(payload: dict) -> RunStats:
-    # Cached replays carry the accumulated PMU totals (all metrics) but
-    # not per-epoch decision records; use a live run for timelines.
+def _rehydrate_stats(payload: dict, traces: list[EpochTrace] | None = None) -> RunStats:
+    # Cached replays carry the accumulated PMU totals (all metrics) and
+    # the structured decision traces, but not raw per-epoch samples.
     return RunStats(
         n_cores=payload["n_cores"],
         cycles_per_second=payload["cycles_per_second"],
         totals=np.asarray(payload["totals"], dtype=float),
         wall_cycles=payload["wall_cycles"],
         epochs=[],
+        traces=traces or [],
     )
 
 
@@ -352,6 +364,7 @@ class ResultCache:
     def __init__(self, root: str | Path | None = None) -> None:
         self.root = Path(root).expanduser() if root is not None else None
         self._mem: dict[str, dict] = {}
+        self._mem_traces: dict[str, list[dict]] = {}
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
@@ -359,6 +372,9 @@ class ResultCache:
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def _traces_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.traces.json"
 
     def _quarantine(self, path: Path) -> None:
         with contextlib.suppress(OSError):
@@ -416,6 +432,50 @@ class ResultCache:
                 os.unlink(tmp)
             raise
 
+    def put_traces(self, key: str, traces: list[dict]) -> None:
+        """Persist one run's decision traces *beside* its result entry.
+
+        Traces live in their own ``<key>.traces.json`` (own schema
+        version) so result payloads, cache keys, and every existing
+        entry stay byte-identical whether tracing is on or off.
+        """
+        self._mem_traces[key] = traces
+        if self.root is None:
+            return
+        path = self._traces_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {"schema": TRACE_SCHEMA_VERSION, "traces": traces}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(json.dumps(record, sort_keys=True))
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+    def get_traces(self, key: str) -> list[dict] | None:
+        """The stored trace records for ``key``, or ``None``.
+
+        ``None`` also covers records written under a different trace
+        schema — callers should recompute rather than misread them.
+        """
+        recs = self._mem_traces.get(key)
+        if recs is None and self.root is not None:
+            path = self._traces_path(key)
+            if path.is_file():
+                try:
+                    stored = json.loads(path.read_text())
+                except (json.JSONDecodeError, OSError):
+                    return None
+                if stored.get("schema") != TRACE_SCHEMA_VERSION:
+                    return None
+                recs = stored.get("traces")
+                if recs is not None:
+                    self._mem_traces[key] = recs
+        return recs
+
     def __contains__(self, key: str) -> bool:
         if key in self._mem:
             return True
@@ -424,7 +484,13 @@ class ResultCache:
     def _disk_entries(self) -> list[Path]:
         if self.root is None or not self.root.is_dir():
             return []
-        return sorted(self.root.glob("*/*.json"))
+        # Trace sidecars are not result entries.
+        return sorted(p for p in self.root.glob("*/*.json") if not p.name.endswith(".traces.json"))
+
+    def _disk_traces(self) -> list[Path]:
+        if self.root is None or not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.traces.json"))
 
     def _corrupt_entries(self) -> list[Path]:
         if self.root is None or not self.root.is_dir():
@@ -451,11 +517,16 @@ class ResultCache:
         return CacheStats(self.root, n_entries, total, by_kind, len(self._corrupt_entries()))
 
     def clear(self) -> int:
-        """Drop every entry (memory, disk, quarantine); returns entries removed."""
+        """Drop every entry (memory, disk, quarantine); returns entries removed.
+
+        Trace sidecars are deleted along with their entries but are not
+        counted — they are derived observability, not results.
+        """
         removed = len(self._mem)
         self._mem.clear()
+        self._mem_traces.clear()
         disk = self._disk_entries() + self._corrupt_entries()
-        for path in disk:
+        for path in disk + self._disk_traces():
             path.unlink(missing_ok=True)
         return max(removed, len(disk))
 
@@ -663,6 +734,12 @@ class ExperimentSession:
 
         def finish(key: str, r: PlannedRun, payload: dict, secs: float) -> None:
             nonlocal done
+            # Decision traces are persisted beside the entry, never in
+            # it: the stored payload stays byte-identical to pre-trace
+            # versions and the content key is untouched.
+            traces = payload.pop("traces", None)
+            if traces is not None:
+                self.cache.put_traces(key, traces)
             self.cache.put(key, {
                 "schema": SCHEMA_VERSION,
                 "kind": r.kind,
@@ -834,7 +911,8 @@ class ExperimentSession:
         if isinstance(policy_or_name, str) and detector_cfg is None and sample_units is None:
             planned = PlannedRun(KIND_MECHANISM, sc, mix=mix, mechanism=policy_or_name)
             payload = self.execute([planned])[planned.key()]
-            return RunResult(mix, label or policy_or_name, _rehydrate_stats(payload))
+            traces = self._load_traces(planned.key())
+            return RunResult(mix, label or policy_or_name, _rehydrate_stats(payload, traces))
 
         policy = make_policy(policy_or_name) if isinstance(policy_or_name, str) else policy_or_name
         machine = build_machine(mix, sc)
@@ -846,6 +924,37 @@ class ExperimentSession:
         controller = CMMController(platform, policy, epoch_cfg=epoch_cfg, detector_cfg=detector_cfg)
         stats = controller.run(sc.n_epochs)
         return RunResult(mix, label or getattr(policy, "name", "custom"), stats)
+
+    def _load_traces(self, key: str) -> list[EpochTrace] | None:
+        """Parse the stored traces for ``key``; ``None`` when absent/stale."""
+        recs = self.cache.get_traces(key)
+        if recs is None:
+            return None
+        try:
+            return traces_from_dicts(recs)
+        except (TraceSchemaError, KeyError, TypeError):
+            return None
+
+    def traces(
+        self, mix: WorkloadMix, mechanism: str, sc: ScaleConfig | None = None
+    ) -> list[EpochTrace]:
+        """Per-epoch decision traces for one (mix, mechanism) run.
+
+        Runs through the cache like any other request.  Entries cached
+        before tracing existed (or under an older trace schema) have no
+        sidecar; the run is then recomputed once — deterministically
+        bit-identical to the cached result — and its traces persisted.
+        """
+        sc = self._resolve(sc)
+        planned = PlannedRun(KIND_MECHANISM, sc, mix=mix, mechanism=mechanism)
+        key = planned.key()
+        self.execute([planned])
+        traces = self._load_traces(key)
+        if traces is None:
+            payload = _compute_mechanism(planned)
+            self.cache.put_traces(key, payload["traces"])
+            traces = traces_from_dicts(payload["traces"])
+        return traces
 
     def alone_ipc(self, bench: str, sc: ScaleConfig | None = None) -> float:
         sc = self._resolve(sc)

@@ -52,6 +52,47 @@ def rows_to_csv(rows: list[dict]) -> str:
     return buf.getvalue()
 
 
+def traces_to_rows(traces) -> list[dict]:
+    """Flatten :class:`~repro.core.trace.EpochTrace` records into one
+    row per (epoch, stage) with the headline decision columns."""
+    rows = []
+    for t in traces:
+        for s in t.stages:
+            rows.append({
+                "epoch": t.epoch,
+                "policy": t.policy,
+                "stage": s.stage,
+                "skipped": s.skipped,
+                "reason": s.detail.get("reason", ""),
+                "agg_set": s.detail.get("agg_set", ""),
+                "n_candidates": len(s.detail.get("candidates", ())),
+                "best_hm": s.detail.get("best_hm", ""),
+                "reference_hm": s.detail.get("reference_hm", ""),
+                "winner_throttled": (t.winner or {}).get("throttled", ""),
+                "failure": t.failure or "",
+                "degraded": t.degraded,
+            })
+    return rows
+
+
+def traces_to_csv(traces) -> str:
+    """CSV text for a run's traces (one row per epoch x stage)."""
+    return rows_to_csv(traces_to_rows(traces))
+
+
+def write_traces(traces, directory: str | Path, *, stem: str = "traces") -> tuple[Path, Path]:
+    """Write ``<stem>.json`` (full records) and ``<stem>.csv`` (flattened)."""
+    from repro.core.trace import traces_to_dicts
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    jpath = directory / f"{stem}.json"
+    cpath = directory / f"{stem}.csv"
+    jpath.write_text(json.dumps(traces_to_dicts(traces), indent=2))
+    cpath.write_text(traces_to_csv(traces))
+    return jpath, cpath
+
+
 def write_figure(figure: dict, directory: str | Path, *, stem: str | None = None) -> tuple[Path, Path]:
     """Write ``<stem>.json`` and ``<stem>.csv`` under ``directory``.
 

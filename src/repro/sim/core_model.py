@@ -24,7 +24,7 @@ iterates the pair to a damped fixed point.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.controller import CMMController, RunStats
+from repro.core.controller import CMMController
 from repro.core.epoch import EpochConfig
 from repro.core.policies import make_policy
 from repro.core.policy_base import BaselinePolicy, Policy

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.allocation import ResourceConfig
 from repro.core.coordinated import CMMPolicy
 from repro.core.epoch import EpochConfig, EpochContext
 from repro.core.frontend import AggDetector
@@ -94,6 +95,45 @@ class TestCMMc:
     def test_unfriendly_throttled(self):
         _, rc, _ = run_cmm("c")
         assert rc.throttled_cores() == (1,)
+
+
+class TestCMMcOverlapClamp:
+    """Regression: when the two split partitions don't fit disjointly,
+    the unfriendly mask must clamp to the top of the cache and overlap
+    the friendly partition (overlapping partitioning, as in the paper)
+    rather than raise or silently shrink."""
+
+    def _masks(self, policy, base, friendly, unfriendly, llc_ways):
+        rc = policy._partitioned(base, friendly, unfriendly, llc_ways)
+        table = dict(rc.clos_cbm)
+        return rc, table[CLOS_AGG], table[CLOS_UNFRIENDLY]
+
+    def test_overlap_clamped_to_top(self):
+        policy = CMMPolicy("c")
+        base = ResourceConfig.all_on(N_CORES, 8)
+        # 3 friendly + 3 unfriendly cores => ceil(1.5*3) = 5 ways each;
+        # 5 + 5 > 8, so the unfriendly partition clamps to bits 3..7.
+        rc, agg_mask, unf_mask = self._masks(policy, base, (0, 1, 2), (3, 4, 5), 8)
+        assert agg_mask == 0b00011111
+        assert unf_mask == 0b11111000
+        assert agg_mask & unf_mask == 0b00011000  # intentional overlap
+        assert rc.core_clos[0] == CLOS_AGG
+        assert rc.core_clos[3] == CLOS_UNFRIENDLY
+
+    def test_disjoint_when_cache_is_big_enough(self):
+        policy = CMMPolicy("c")
+        base = ResourceConfig.all_on(N_CORES, LLC_WAYS)
+        _, agg_mask, unf_mask = self._masks(policy, base, (0,), (1,), LLC_WAYS)
+        assert agg_mask == 0b11
+        assert unf_mask == 0b1100
+        assert agg_mask & unf_mask == 0
+
+    def test_repeat_call_is_stable(self):
+        policy = CMMPolicy("c")
+        base = ResourceConfig.all_on(N_CORES, 8)
+        first = policy._partitioned(base, (0, 1, 2), (3, 4, 5), 8)
+        second = policy._partitioned(base, (0, 1, 2), (3, 4, 5), 8)
+        assert first == second
 
 
 class TestFallbacks:

@@ -1,0 +1,166 @@
+"""The composable decision pipeline: stages, scorer, actuation."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.allocation import ResourceConfig
+from repro.core.epoch import EpochConfig, EpochContext
+from repro.core.frontend import AggDetector
+from repro.core.pipeline import (
+    LAYOUT_AGG,
+    ActuateStage,
+    DecisionPipeline,
+    SenseStage,
+    Stage,
+    SweepScorer,
+    contiguous_mask,
+    partition_layout,
+    partition_ways,
+)
+from repro.platform.base import PlatformError
+from tests.core.fakes import FakePlatform, make_counts, quiet_row
+
+N_CORES = 4
+LLC_WAYS = 8
+
+
+def make_ctx(**cfg_kwargs):
+    plat = FakePlatform(
+        n_cores=N_CORES,
+        llc_ways=LLC_WAYS,
+        behavior=lambda p: make_counts([quiet_row()] * N_CORES),
+    )
+    return EpochContext(plat, AggDetector(), EpochConfig(**cfg_kwargs))
+
+
+class Decide(Stage):
+    """Decides immediately with a marker config."""
+
+    name = "decide:test"
+
+    def run(self, state):
+        state.decision = state.base.with_prefetch_off((0,))
+        return {"reason": "test-decided"}
+
+
+class Inapplicable(Stage):
+    name = "decide:never"
+
+    def applies(self, state):
+        return False
+
+    def run(self, state):  # pragma: no cover - must not run
+        raise AssertionError("inapplicable stage ran")
+
+
+class TestDecisionPipeline:
+    def test_default_decision_is_baseline(self):
+        ctx = make_ctx()
+        state = DecisionPipeline([SenseStage()]).run(ctx)
+        assert state.decision == ctx.baseline_config()
+
+    def test_inapplicable_stage_recorded_as_skipped(self):
+        ctx = make_ctx()
+        DecisionPipeline([SenseStage(), Inapplicable()]).run(ctx)
+        trace = ctx.stage_traces[-1]
+        assert trace.stage == "decide:never"
+        assert trace.skipped
+        assert trace.detail["reason"] == "not-applicable"
+
+    def test_stages_after_decision_are_skipped(self):
+        ctx = make_ctx()
+        state = DecisionPipeline([Decide(), SenseStage()]).run(ctx)
+        assert state.decision.throttled_cores() == (0,)
+        trace = ctx.stage_traces[-1]
+        assert trace.stage == "sense" and trace.skipped
+        assert trace.detail["reason"] == "decision-already-made"
+        assert ctx.intervals == []  # the skipped sense never sampled
+
+    def test_plan_returns_the_decision(self):
+        assert DecisionPipeline([Decide()]).plan(make_ctx()).throttled_cores() == (0,)
+
+    def test_every_stage_leaves_a_trace(self):
+        ctx = make_ctx()
+        DecisionPipeline([SenseStage(), Inapplicable(), Decide()]).run(ctx)
+        assert [t.stage for t in ctx.stage_traces] == ["sense", "decide:never", "decide:test"]
+
+
+class TestSweepScorer:
+    def r(self, hm):
+        return SimpleNamespace(hm_ipc=hm)
+
+    def test_better_is_strictly_greater(self):
+        scorer = SweepScorer()
+        assert scorer.better(self.r(1.0), None)
+        assert scorer.better(self.r(1.1), self.r(1.0))
+        assert not scorer.better(self.r(1.0), self.r(1.0))  # first wins ties
+
+    def test_accepts_applies_margin(self):
+        scorer = SweepScorer(selection_margin=0.10)
+        assert scorer.accepts(1.11, 1.0)
+        assert not scorer.accepts(1.10, 1.0)  # boundary is exclusive
+        assert not scorer.accepts(1.05, 1.0)
+
+    def test_rereference_takes_max_of_prior_and_fresh_sample(self):
+        ctx = make_ctx()
+        base = ctx.baseline_config()
+        fresh = ctx.sample(base).hm_ipc
+        assert SweepScorer().rereference(ctx, base, prior_hm=0.0) == fresh
+        assert SweepScorer().rereference(ctx, base, prior_hm=99.0) == 99.0
+
+    def test_rereference_skips_sampling_when_budget_exhausted(self):
+        ctx = make_ctx(max_sampling_intervals=2)
+        base = ctx.baseline_config()
+        ctx.sample(base)
+        ctx.sample(base)
+        n = len(ctx.intervals)
+        assert SweepScorer().rereference(ctx, base, prior_hm=0.5) == 0.5
+        assert len(ctx.intervals) == n
+
+
+class TestPartitionHelpers:
+    def test_unknown_layout_rejected(self):
+        base = ResourceConfig.all_on(N_CORES, LLC_WAYS)
+        with pytest.raises(ValueError):
+            partition_layout("diagonal", base, (0,), (0,), (), LLC_WAYS)
+
+    def test_agg_layout_with_empty_set_is_base(self):
+        base = ResourceConfig.all_on(N_CORES, LLC_WAYS)
+        assert partition_layout(LAYOUT_AGG, base, (), (), (), LLC_WAYS) == base
+
+    def test_partition_ways_clamps(self):
+        assert partition_ways(1, 8) == 2           # ceil(1.5 * 1)
+        assert partition_ways(100, 8) == 7         # never the whole cache
+
+    def test_contiguous_mask_bounds(self):
+        assert contiguous_mask(3, 2, 8) == 0b11100
+        with pytest.raises(ValueError):
+            contiguous_mask(5, 4, 8)
+
+
+class TestActuateStage:
+    def test_success_records_config_summary(self):
+        applied = []
+        stage = ActuateStage(applied.append)
+        cfg = ResourceConfig.all_on(N_CORES, LLC_WAYS)
+        trace = stage.apply(cfg)
+        assert applied == [cfg]
+        assert trace.stage == "actuate"
+        assert trace.detail["applied"] is True
+        assert trace.detail["config"]["core_clos"] == [0] * N_CORES
+
+    def test_recoverable_failure_captured_not_raised(self):
+        def applier(config):
+            raise PlatformError("msr write refused")
+
+        trace = ActuateStage(applier).apply(ResourceConfig.all_on(N_CORES, LLC_WAYS))
+        assert trace.detail["applied"] is False
+        assert trace.detail["error"] == "msr write refused"
+
+    def test_unrecoverable_failure_propagates(self):
+        def applier(config):
+            raise RuntimeError("bug")
+
+        with pytest.raises(RuntimeError):
+            ActuateStage(applier).apply(ResourceConfig.all_on(N_CORES, LLC_WAYS))

@@ -1,6 +1,5 @@
 """Policy base: friendliness split and the baseline policy."""
 
-import pytest
 
 from repro.core.epoch import EpochConfig, EpochContext
 from repro.core.frontend import AggDetector
@@ -33,8 +32,18 @@ class TestFriendlinessSplit:
         assert friendly == (0,)
         assert unfriendly == (1,)
 
-    def test_zero_off_ipc_counts_unfriendly(self):
+    def test_zero_off_ipc_counts_friendly(self):
+        # IPC collapsing to zero with prefetchers off means the core is
+        # entirely carried by prefetching: infinite speedup, friendly.
         on = summ([1.0])
+        off = summ([0.0])
+        friendly, unfriendly = friendliness_split(on, off, (0,))
+        assert friendly == (0,)
+        assert unfriendly == ()
+
+    def test_idle_both_ways_counts_unfriendly(self):
+        # Zero IPC in both intervals: nothing to protect, no speedup.
+        on = summ([0.0])
         off = summ([0.0])
         friendly, unfriendly = friendliness_split(on, off, (0,))
         assert friendly == ()

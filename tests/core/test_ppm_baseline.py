@@ -1,6 +1,5 @@
 """PPM-group baseline (SPAC-style) and the paper's critique of it."""
 
-import pytest
 
 from repro.core.epoch import EpochConfig, EpochContext
 from repro.core.frontend import AggDetector

@@ -1,14 +1,12 @@
 """PT policy: grouping, combination search, margin/selection behaviour."""
 
-import pytest
 
 from repro.core.epoch import EpochConfig, EpochContext
 from repro.core.frontend import AggDetector
-from repro.core.metrics_defs import CoreSummary, TableIMetrics, summarize_sample
+from repro.core.metrics_defs import CoreSummary, TableIMetrics
 from repro.core.throttling import PrefetchThrottlingPolicy, off_combinations, throttle_groups
 from repro.sim.msr import PF_ALL_OFF, PF_ALL_ON
-from repro.sim.pmu import Event
-from tests.core.fakes import CPS, FakePlatform, aggressive_row, make_counts, quiet_row
+from tests.core.fakes import FakePlatform, aggressive_row, make_counts, quiet_row
 
 
 def summaries_with_ptr(ptrs):

@@ -1,0 +1,192 @@
+"""EpochTrace serialization: round-trip, schema gating, golden trace."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import ResourceConfig
+from repro.core.controller import CMMController
+from repro.core.epoch import EpochConfig
+from repro.core.policies import make_policy
+from repro.core.trace import (
+    TRACE_SCHEMA_VERSION,
+    EpochTrace,
+    StageTrace,
+    TraceSchemaError,
+    config_summary,
+    json_safe_detail,
+    traces_from_dicts,
+    traces_to_dicts,
+)
+from repro.experiments.config import TINY
+from repro.experiments.runner import build_machine
+from repro.platform.simulated import SimulatedPlatform
+from repro.workloads.mixes import make_mixes
+
+SC = dataclasses.replace(
+    TINY, name="unit", quantum=256, sample_units=256, exec_units=2048, alone_accesses=4096
+)
+
+
+def sample_trace():
+    return EpochTrace(
+        epoch=3,
+        policy="cmm-a",
+        stages=[
+            StageTrace("sense", {"hm_ipc": 0.75, "active": [0, 1]}),
+            StageTrace("classify", {"agg_set": [0], "friendly": [0], "unfriendly": []}),
+            StageTrace("decide:dunn", {"reason": "not-applicable"}, skipped=True),
+            StageTrace(
+                "decide:coordinated-throttle",
+                {
+                    "candidates": [{"off": [], "hm_ipc": 0.75}, {"off": [0], "hm_ipc": 0.8}],
+                    "reason": "adopted",
+                },
+            ),
+            StageTrace("actuate", {"applied": True}),
+        ],
+        winner={"throttled": [0], "clos_cbm": {"0": 255}},
+        sampling_intervals=4,
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        trace = sample_trace()
+        payload = json.dumps(traces_to_dicts([trace]))
+        (back,) = traces_from_dicts(json.loads(payload))
+        assert back == trace
+
+    def test_round_trip_preserves_skipped_and_failure(self):
+        trace = EpochTrace(
+            epoch=0,
+            policy="pt",
+            stages=[StageTrace("sense", {}, skipped=True)],
+            failure="apply failed: boom",
+            degraded=True,
+        )
+        (back,) = traces_from_dicts(json.loads(json.dumps(traces_to_dicts([trace]))))
+        assert back == trace
+        assert back.stages[0].skipped
+        assert back.degraded
+
+    def test_dicts_are_json_serializable(self):
+        # No tuples, numpy scalars, or non-string keys may survive.
+        json.dumps(sample_trace().to_dict())
+
+
+class TestSchemaGate:
+    def test_current_schema_accepted(self):
+        d = sample_trace().to_dict()
+        assert d["schema"] == TRACE_SCHEMA_VERSION
+        assert EpochTrace.from_dict(d).schema == TRACE_SCHEMA_VERSION
+
+    def test_future_schema_rejected(self):
+        d = sample_trace().to_dict()
+        d["schema"] = TRACE_SCHEMA_VERSION + 1
+        with pytest.raises(TraceSchemaError):
+            EpochTrace.from_dict(d)
+
+    def test_missing_schema_rejected(self):
+        d = sample_trace().to_dict()
+        del d["schema"]
+        with pytest.raises(TraceSchemaError):
+            EpochTrace.from_dict(d)
+
+
+class TestConveniences:
+    def test_agg_set_and_candidates(self):
+        trace = sample_trace()
+        assert trace.agg_set == (0,)
+        assert len(trace.candidates) == 2
+        assert trace.decision_reason == "adopted"
+
+    def test_stage_lookup(self):
+        trace = sample_trace()
+        assert trace.stage("classify").detail["agg_set"] == [0]
+        assert trace.stage("nonexistent") is None
+
+
+class TestJsonSafeDetail:
+    def test_numpy_and_tuples_coerced(self):
+        detail = json_safe_detail(
+            {"hm": np.float64(1.5), "agg": (0, 1), "nested": {2: np.int64(7)}}
+        )
+        assert detail == {"hm": 1.5, "agg": [0, 1], "nested": {"2": 7}}
+        json.dumps(detail)
+
+    def test_config_summary_is_json_safe(self):
+        summary = config_summary(ResourceConfig.all_on(4, 8))
+        json.dumps(summary)
+        assert summary["throttled"] == []
+        assert summary["clos_cbm"] == {"0": 0xFF}
+
+
+class TestGoldenCmmATrace:
+    """One cmm-a epoch on the tiny pref_agg mix: the trace must tell
+    the full sense → classify → decide → actuate story and survive a
+    serialization round trip bit-for-bit."""
+
+    @pytest.fixture(scope="class")
+    def record(self):
+        machine = build_machine(make_mixes("pref_agg", 1, seed=2019)[0], SC)
+        ctl = CMMController(
+            SimulatedPlatform(machine),
+            make_policy("cmm-a"),
+            epoch_cfg=EpochConfig(exec_units=SC.exec_units, sample_units=SC.sample_units),
+        )
+        stats = ctl.run(1)
+        assert len(stats.traces) == 1
+        return stats.epochs[0], stats.traces[0]
+
+    def test_stage_sequence(self, record):
+        _, trace = record
+        names = [s.stage for s in trace.stages]
+        assert names == [
+            "sense",
+            "classify",
+            "decide:dunn",
+            "decide:partition",
+            "decide:coordinated-throttle",
+            "actuate",
+        ]
+
+    def test_classification_detail(self, record):
+        _, trace = record
+        classify = trace.stage("classify")
+        assert not classify.skipped
+        assert trace.agg_set == tuple(classify.detail["agg_set"])
+        assert trace.agg_set  # the pref_agg mix must trip the detector
+        split = set(classify.detail["friendly"]) | set(classify.detail["unfriendly"])
+        assert split == set(trace.agg_set)
+
+    def test_dunn_skipped_when_agg_nonempty(self, record):
+        _, trace = record
+        assert trace.stage("decide:dunn").skipped
+
+    def test_sweep_scored_candidates(self, record):
+        _, trace = record
+        sweep = trace.stage("decide:coordinated-throttle")
+        assert not sweep.skipped
+        assert sweep.detail["candidates"]
+        for cand in sweep.detail["candidates"]:
+            assert set(cand) >= {"off", "hm_ipc"}
+        assert trace.decision_reason in ("adopted", "margin-not-met", "budget-exhausted")
+
+    def test_winner_matches_applied_config(self, record):
+        epoch, trace = record
+        assert trace.winner == config_summary(epoch.chosen)
+        assert trace.stage("actuate").detail["applied"] is True
+        assert trace.failure is None and not trace.degraded
+
+    def test_sampling_interval_budget(self, record):
+        _, trace = record
+        assert 0 < trace.sampling_intervals <= EpochConfig().max_sampling_intervals
+
+    def test_round_trip_identity(self, record):
+        _, trace = record
+        payload = json.dumps(traces_to_dicts([trace]))
+        (back,) = traces_from_dicts(json.loads(payload))
+        assert back == trace

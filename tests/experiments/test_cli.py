@@ -96,6 +96,41 @@ class TestCacheCommand:
         assert "corrupt    : 1" in out and "entries    : 0" in out
 
 
+class TestTraceCommand:
+    def test_bad_mix_index_is_an_error(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert main(["trace", "--mix", "99",
+                     "--cache-dir", str(tmp_path / "c"), "--workers", "1"]) == 2
+        assert "--mix must be in" in capsys.readouterr().err
+
+    def test_timeline_renders_decisions(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        argv = ["trace", "--mechanism", "cmm-a",
+                "--cache-dir", str(tmp_path / "c"), "--workers", "1"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        for needle in ("epoch 0", "cmm-a", "sense", "classify", "candidate",
+                       "winner:", "agg_set"):
+            assert needle in out, needle
+        # Second invocation replays from cache, traces intact.
+        assert main(argv) == 0
+        assert "winner:" in capsys.readouterr().out
+
+    def test_json_output_is_parseable(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        from repro.core.trace import TRACE_SCHEMA_VERSION
+
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert main(["trace", "--mechanism", "pt", "--epoch", "0", "--json",
+                     "--cache-dir", str(tmp_path / "c"), "--workers", "1"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 1
+        assert records[0]["schema"] == TRACE_SCHEMA_VERSION
+        assert records[0]["policy"] == "pt"
+        assert [s["stage"] for s in records[0]["stages"]][:2] == ["sense", "classify"]
+
+
 class TestChaosCommand:
     def test_unknown_scenario_is_an_error(self, capsys):
         assert main(["chaos", "--scenario", "frobnicate"]) == 2

@@ -11,7 +11,8 @@ import warnings
 import numpy as np
 import pytest
 
-from repro.experiments.config import TINY, ScaleConfig
+from repro.core.trace import TRACE_SCHEMA_VERSION, traces_to_dicts
+from repro.experiments.config import TINY
 from repro.experiments.engine import (
     KIND_ALONE,
     KIND_MECHANISM,
@@ -384,3 +385,61 @@ class TestProfiles:
         session.profile("453.povray", sc)
         session.profile("453.povray", sc, way_sweep=(1,))
         assert [r.cached for r in session.records] == [False, False]
+
+
+class TestTracePersistence:
+    """Decision traces ride beside cached results, never inside them."""
+
+    def test_sidecar_written_beside_entry(self, session, mix):
+        stats = session.run(mix, "cmm-a", SC).stats
+        assert stats.traces and stats.traces[0].policy == "cmm-a"
+        key = PlannedRun(KIND_MECHANISM, SC, mix=mix, mechanism="cmm-a").key()
+        sidecar = session.cache.root / key[:2] / f"{key}.traces.json"
+        assert sidecar.is_file()
+        record = json.loads(sidecar.read_text())
+        assert record["schema"] == TRACE_SCHEMA_VERSION
+        assert len(record["traces"]) == SC.n_epochs
+
+    def test_cached_replay_rehydrates_traces(self, session, mix):
+        first = session.run(mix, "cmm-a", SC).stats
+        second = session.run(mix, "cmm-a", SC).stats
+        assert [r.cached for r in session.records] == [False, True]
+        assert traces_to_dicts(second.traces) == traces_to_dicts(first.traces)
+
+    def test_sidecars_invisible_to_stats_and_counted_out_of_clear(self, session, mix):
+        session.run(mix, "cmm-a", SC)
+        s = session.cache.stats()
+        assert s.entries == 1 and s.by_kind == {"mechanism": 1}
+        assert session.cache.clear() == 1  # sidecars deleted but not counted
+        assert list(session.cache.root.glob("*/*.traces.json")) == []
+
+    def test_stale_trace_schema_ignored(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_traces("ab" * 32, [{"anything": 1}])
+        sidecar = tmp_path / "ab" / (("ab" * 32) + ".traces.json")
+        stale = json.loads(sidecar.read_text())
+        stale["schema"] = TRACE_SCHEMA_VERSION + 1
+        sidecar.write_text(json.dumps(stale))
+        assert ResultCache(tmp_path).get_traces("ab" * 32) is None
+
+    def test_corrupt_sidecar_ignored(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_traces("cd" * 32, [{"anything": 1}])
+        path = tmp_path / "cd" / (("cd" * 32) + ".traces.json")
+        path.write_text("{not json")
+        assert ResultCache(tmp_path).get_traces("cd" * 32) is None
+
+    def test_traces_recomputed_when_sidecar_missing(self, session, mix):
+        before = session.traces(mix, "cmm-a", SC)
+        key = PlannedRun(KIND_MECHANISM, SC, mix=mix, mechanism="cmm-a").key()
+        sidecar = session.cache.root / key[:2] / f"{key}.traces.json"
+        sidecar.unlink()
+        fresh = ExperimentSession(cache_dir=session.cache.root, max_workers=1)
+        after = fresh.traces(mix, "cmm-a", SC)
+        assert sidecar.is_file()  # recompute re-persisted the sidecar
+        assert traces_to_dicts(after) == traces_to_dicts(before)
+
+    def test_payload_has_no_trace_key(self, session, mix):
+        session.run(mix, "cmm-a", SC)
+        key = PlannedRun(KIND_MECHANISM, SC, mix=mix, mechanism="cmm-a").key()
+        assert "traces" not in session.cache.get(key)["payload"]

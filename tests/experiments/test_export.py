@@ -69,3 +69,49 @@ class TestWriteFigure:
         jpath, _ = write_figure(figure, tmp_path / "deep" / "dir", stem="custom")
         assert jpath.name == "custom.json"
         assert jpath.exists()
+
+
+class TestTraceExport:
+    @pytest.fixture
+    def traces(self):
+        from repro.core.trace import EpochTrace, StageTrace
+
+        return [
+            EpochTrace(
+                epoch=0,
+                policy="cmm-a",
+                stages=[
+                    StageTrace("sense", {"hm_ipc": 0.7}),
+                    StageTrace("classify", {"agg_set": [0, 1]}),
+                    StageTrace(
+                        "decide:coordinated-throttle",
+                        {"candidates": [{"off": [], "hm_ipc": 0.7}, {"off": [1], "hm_ipc": 0.8}],
+                         "best_hm": 0.8, "reference_hm": 0.7, "reason": "adopted"},
+                    ),
+                    StageTrace("decide:dunn", {"reason": "not-applicable"}, skipped=True),
+                ],
+                winner={"throttled": [1]},
+                sampling_intervals=4,
+            )
+        ]
+
+    def test_one_row_per_stage(self, traces):
+        from repro.experiments.export import traces_to_rows
+
+        rows = traces_to_rows(traces)
+        assert [r["stage"] for r in rows] == [
+            "sense", "classify", "decide:coordinated-throttle", "decide:dunn"]
+        sweep = rows[2]
+        assert sweep["n_candidates"] == 2 and sweep["best_hm"] == 0.8
+        assert sweep["winner_throttled"] == [1]
+        assert rows[3]["skipped"] is True and rows[3]["reason"] == "not-applicable"
+
+    def test_write_traces_emits_json_and_csv(self, traces, tmp_path):
+        from repro.core.trace import traces_from_dicts
+        from repro.experiments.export import write_traces
+
+        jpath, cpath = write_traces(traces, tmp_path, stem="t")
+        assert traces_from_dicts(json.loads(jpath.read_text())) == traces
+        header, *rows = cpath.read_text().strip().splitlines()
+        assert "stage" in header and "winner_throttled" in header
+        assert len(rows) == 4

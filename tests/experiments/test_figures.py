@@ -2,7 +2,6 @@
 
 import dataclasses
 
-import pytest
 
 from repro.experiments.config import TINY
 from repro.experiments.figures import (

@@ -143,7 +143,6 @@ class TestPhaseAdaptation:
 
         from repro.core.controller import CMMController
         from repro.core.epoch import EpochConfig
-        from repro.core.policy_base import Policy
         from repro.core.throttling import PrefetchThrottlingPolicy
         from repro.platform.simulated import SimulatedPlatform
         from repro.sim.machine import Machine

@@ -1,6 +1,5 @@
 """Per-quantum timing solver."""
 
-import numpy as np
 import pytest
 
 from repro.sim.core_model import QuantumCounts, solve_quantum

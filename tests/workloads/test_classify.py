@@ -9,7 +9,6 @@ import pytest
 from repro.sim.params import scaled_params
 from repro.workloads.classify import (
     AloneProfile,
-    MeasuredClass,
     classify,
     profile_benchmark,
     run_alone,
