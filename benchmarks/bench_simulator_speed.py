@@ -14,6 +14,13 @@ The ``test_engine_*`` benches cover the experiment engine: a cold
 evaluation (every run simulated) vs. a warm replay of the identical
 evaluation from the on-disk result cache — the wall-clock win that
 makes figure regeneration cheap.
+
+The ``test_trace_*`` benches split a simulated run's cost into its two
+components — trace *generation* and the simulation *kernel* — and
+measure the trace plane (:mod:`repro.sim.tracestore`): replaying a
+materialized trace vs. regenerating it live, and a cold engine sweep
+with the plane on vs. off.  ``benchmarks/emit_bench_json.py --engine``
+records the sweep numbers in ``BENCH_engine.json``.
 """
 
 import dataclasses
@@ -25,8 +32,9 @@ from repro.experiments.config import TINY
 from repro.experiments.engine import ExperimentSession
 from repro.sim.cache import Cache, PartitionedCache
 from repro.sim.fastcache import FastCache, FastPartitionedCache
-from repro.sim.machine import Machine
+from repro.sim.machine import CORE_ADDRESS_STRIDE_LINES, Machine
 from repro.sim.params import CacheGeometry, scaled_params
+from repro.sim.tracestore import TraceStore
 from repro.workloads.mixes import make_mixes
 from repro.workloads.speclike import build_trace
 
@@ -143,6 +151,50 @@ def test_fast_partitioned_cache_batch_rate(benchmark):
     benchmark.pedantic(lambda: p.access_many(lines, allowed), rounds=3, iterations=1)
 
 
+QUANTUM = 512
+
+
+@pytest.mark.parametrize("scenario", sorted(CORE_SCENARIOS))
+def test_trace_generation_rate(benchmark, scenario):
+    """Trace generation alone, chunked at the machine quantum.
+
+    The complement of this and the core-throughput benches is the pure
+    kernel time: ``run_accesses`` pays both, this pays only generation.
+    """
+    params = scaled_params(16)
+    benches = CORE_SCENARIOS[scenario]
+
+    def gen():
+        for core, bench in enumerate(benches):
+            t = build_trace(
+                bench, llc_lines=params.llc.lines,
+                base_line=core * CORE_ADDRESS_STRIDE_LINES, seed=core,
+            )
+            for _ in range(N_ACCESSES // QUANTUM):
+                t.chunk(QUANTUM)
+
+    benchmark.pedantic(gen, rounds=3, iterations=1)
+
+
+def test_materialized_trace_replay_rate(benchmark):
+    """Zero-copy replay of an already-materialized trace (the trace
+    plane's steady state — compare with ``test_trace_generation_rate``)."""
+    params = scaled_params(16)
+    store = TraceStore(None, mode="memory")
+    store.trace_for(
+        "410.bwaves", llc_lines=params.llc.lines, base_line=0, seed=0, length=N_ACCESSES
+    )
+
+    def replay():
+        t = store.trace_for(
+            "410.bwaves", llc_lines=params.llc.lines, base_line=0, seed=0, length=N_ACCESSES
+        )
+        for _ in range(N_ACCESSES // QUANTUM):
+            t.chunk(QUANTUM)
+
+    benchmark.pedantic(replay, rounds=3, iterations=1)
+
+
 def test_engine_cold_evaluation(benchmark, tmp_path):
     """Every run simulated: the price the cache and pool amortise."""
     mix = make_mixes("pref_agg", 1, seed=2019)[0]
@@ -150,7 +202,30 @@ def test_engine_cold_evaluation(benchmark, tmp_path):
 
     def cold():
         session = ExperimentSession(cache_dir=tmp_path / f"cold{next(counter)}", max_workers=1)
-        return session.evaluate(mix, ENGINE_MECHS, ENGINE_SC)
+        try:
+            return session.evaluate(mix, ENGINE_MECHS, ENGINE_SC)
+        finally:
+            session.close()
+
+    benchmark.pedantic(cold, rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("plane", ["off", "memory"])
+def test_engine_cold_sweep_trace_plane(benchmark, tmp_path, plane):
+    """Cold sweep with the trace plane off (the pre-plane execution
+    path: every run regenerates its traces) vs. on (materialize once,
+    replay everywhere)."""
+    mix = make_mixes("pref_agg", 1, seed=2019)[0]
+    counter = iter(range(1000))
+
+    def cold():
+        session = ExperimentSession(
+            cache_dir=tmp_path / f"{plane}{next(counter)}", max_workers=1, trace_cache=plane
+        )
+        try:
+            return session.evaluate(mix, ("pt", "dunn", "cmm-a"), ENGINE_SC)
+        finally:
+            session.close()
 
     benchmark.pedantic(cold, rounds=2, iterations=1)
 

@@ -4,7 +4,10 @@ Measures the core-throughput scenarios from
 ``bench_simulator_speed.py`` (accesses simulated per second) for the
 ``fast`` and ``reference`` engines and writes the results, per-scenario
 speedups and their geometric mean to ``BENCH_simulator.json`` at the
-repository root.
+repository root.  Each scenario also records trace-*generation*
+throughput separately, so the split between generation and kernel time
+is visible (``trace_share_of_fast`` is the fraction of a fast-engine
+run spent producing trace chunks).
 
 Methodology: scenarios are measured best-of-``--rounds`` with the
 engines *interleaved* round by round, so transient machine load hits
@@ -22,6 +25,13 @@ kernel (e.g. ``git worktree add /tmp/prepr <commit>`` then
 ``--baseline-src /tmp/prepr/src``).  Without it, any baseline figures
 in an existing ``BENCH_simulator.json`` are carried forward with their
 original provenance note.
+
+``--engine`` instead measures the *experiment engine's* cold sweep —
+one full-machine mix evaluated under several mechanisms — with the
+trace plane (:mod:`repro.sim.tracestore`) on vs. off, and writes
+``BENCH_engine.json``.  The plane-off lane is the pre-trace-plane
+execution path: every run regenerates its traces live.  Lanes are
+interleaved round by round like the simulator benches.
 """
 
 from __future__ import annotations
@@ -30,8 +40,10 @@ import argparse
 import importlib
 import json
 import math
+import os
 import platform
 import sys
+import tempfile
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -40,6 +52,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from bench_simulator_speed import CORE_SCENARIOS  # noqa: E402
+
+QUANTUM = 512
 
 
 def _load_stack(src_root: str):
@@ -76,11 +90,113 @@ def _throughput(src_root: str, engine: str | None, benches: list[str], n: int) -
     return n * len(benches) / (time.perf_counter() - t0)
 
 
+def _trace_gen_throughput(src_root: str, benches: list[str], n: int) -> float:
+    """Trace generation alone (no kernel), chunked at the quantum."""
+    _Machine, scaled_params, build_trace = _load_stack(src_root)
+    params = scaled_params(16)
+    import importlib as _il
+
+    stride = _il.import_module("repro.sim.machine").CORE_ADDRESS_STRIDE_LINES
+    t0 = time.perf_counter()
+    for core, bench in enumerate(benches):
+        t = build_trace(
+            bench, llc_lines=params.llc.lines, base_line=core * stride, seed=core
+        )
+        for _ in range(n // QUANTUM):
+            t.chunk(QUANTUM)
+    return n * len(benches) / (time.perf_counter() - t0)
+
+
 def _geomean(vals: list[float]) -> float | None:
     vals = [v for v in vals if v]
     if not vals:
         return None
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+# ------------------------------------------------------- engine sweep
+
+ENGINE_MECHANISMS = ("baseline", "pt", "dunn", "cmm-a")
+
+
+def _engine_sweep_times(trace_cache: str, tmp_root: Path, tag: str) -> dict[str, float]:
+    """Cold per-mechanism wall seconds for one full-machine mix.
+
+    One session per lane per round — the result cache starts empty
+    (every run simulates) but the trace store persists *within* the
+    sweep, which is exactly the plane's production shape: the first
+    mechanism pays materialization, the rest replay.
+    """
+    from repro.experiments.engine import ExperimentSession
+    from repro.workloads.mixes import make_mixes
+
+    from bench_simulator_speed import ENGINE_SC
+
+    mix = make_mixes("pref_agg", 1, seed=2019)[0]
+    session = ExperimentSession(
+        cache_dir=tmp_root / tag, max_workers=1, trace_cache=trace_cache
+    )
+    times: dict[str, float] = {}
+    try:
+        for mech in ENGINE_MECHANISMS:
+            t0 = time.perf_counter()
+            session.run(mix, mech, ENGINE_SC)
+            times[mech] = time.perf_counter() - t0
+    finally:
+        session.close()
+    return times
+
+
+def emit_engine(args) -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        best: dict[tuple[str, str], float] = {}
+        lanes = ["off", "memory"]
+        with tempfile.TemporaryDirectory(prefix="bench-engine-") as tmp:
+            tmp_root = Path(tmp)
+            for rnd in range(args.rounds):
+                for lane in lanes:
+                    times = _engine_sweep_times(lane, tmp_root, f"{lane}-{rnd}")
+                    for mech, secs in times.items():
+                        key = (mech, lane)
+                        best[key] = min(best.get(key, float("inf")), secs)
+        mechanisms = {}
+        for mech in ENGINE_MECHANISMS:
+            off = best[(mech, "off")]
+            on = best[(mech, "memory")]
+            mechanisms[mech] = {
+                "plane_off_s": round(off, 4),
+                "plane_on_s": round(on, 4),
+                "speedup": round(off / on, 3),
+            }
+            print(f"{mech}: off={off * 1e3:.1f}ms  on={on * 1e3:.1f}ms  "
+                  f"x{off / on:.2f}")
+        geo = _geomean([m["speedup"] for m in mechanisms.values()])
+        payload = {
+            "generated_utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+            "host": {
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+                "cpus": os.cpu_count(),
+            },
+            "method": (
+                f"cold per-mechanism runs of one full-machine mix at the "
+                f"bench-engine scale, best of {args.rounds} interleaved rounds, "
+                f"max_workers=1 (serial); plane_off is the pre-trace-plane "
+                f"execution path (live per-run trace generation); plane_on "
+                f"shares one in-memory materialization across the sweep"
+            ),
+            "mechanisms": mechanisms,
+            "geomean_speedup_plane_on_vs_off": round(geo, 3) if geo else None,
+        }
+        out = args.out if args.out.name != "BENCH_simulator.json" else (
+            REPO_ROOT / "BENCH_engine.json"
+        )
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+        return 0
+    finally:
+        sys.path.pop(0)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -98,7 +214,15 @@ def main(argv: list[str] | None = None) -> int:
         "--baseline-note",
         default="pre-PR kernel (commit before the fast engine landed)",
     )
+    ap.add_argument(
+        "--engine",
+        action="store_true",
+        help="measure the experiment engine's cold sweep (trace plane on "
+        "vs off) and write BENCH_engine.json instead",
+    )
     args = ap.parse_args(argv)
+    if args.engine:
+        return emit_engine(args)
 
     src = str(REPO_ROOT / "src")
     prior = {}
@@ -116,22 +240,31 @@ def main(argv: list[str] | None = None) -> int:
                 rate = _throughput(root, engine, benches, args.accesses)
                 key = (name, lane)
                 best[key] = max(best.get(key, 0.0), rate)
+            rate = _trace_gen_throughput(src, benches, args.accesses)
+            best[(name, "trace_gen")] = max(best.get((name, "trace_gen"), 0.0), rate)
         print(f"{name}: " + "  ".join(
-            f"{lane}={best[(name, lane)]:,.0f}/s" for lane, _, _ in lanes))
+            f"{lane}={best[(name, lane)]:,.0f}/s" for lane, _, _ in lanes)
+            + f"  trace_gen={best[(name, 'trace_gen')]:,.0f}/s")
 
     scenarios = {}
     for name, benches in CORE_SCENARIOS.items():
         fast = best[(name, "fast")]
         ref = best[(name, "reference")]
+        trace_gen = best[(name, "trace_gen")]
         pre = best.get((name, "pre_pr"))
         if pre is None:
             pre = (
                 prior.get("scenarios", {}).get(name, {}).get("pre_pr_acc_per_s")
             )
+        # Generation and kernel times add: 1/fast = 1/kernel + 1/trace_gen.
+        kernel_inv = 1.0 / fast - 1.0 / trace_gen
         scenarios[name] = {
             "benchmarks": benches,
             "fast_acc_per_s": round(fast),
             "reference_acc_per_s": round(ref),
+            "trace_gen_acc_per_s": round(trace_gen),
+            "kernel_only_acc_per_s": round(1.0 / kernel_inv) if kernel_inv > 0 else None,
+            "trace_share_of_fast": round(fast / trace_gen, 3),
             "pre_pr_acc_per_s": round(pre) if pre else None,
             "speedup_fast_vs_reference": round(fast / ref, 2),
             "speedup_fast_vs_pre_pr": round(fast / pre, 2) if pre else None,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.experiments.config import SCALES, get_scale
@@ -294,19 +295,28 @@ def cmd_chaos(args) -> int:
 
 def cmd_cache(args) -> int:
     from repro.experiments.engine import ResultCache, default_cache_dir
+    from repro.sim.tracestore import TraceStore
 
-    cache = ResultCache(args.cache_dir or default_cache_dir())
+    root = Path(args.cache_dir or default_cache_dir())
+    cache = ResultCache(root)
+    store = TraceStore(root / "tracestore", mode="disk")
     if args.action == "clear":
         removed = cache.clear()
+        traces_removed = store.clear()
         print(f"removed {removed} cached results from {cache.root}")
+        print(f"removed {traces_removed} materialized traces from {store.root}")
         return 0
     s = cache.stats()
+    t = store.stats()
     print(f"cache root : {s.root}")
     print(f"entries    : {s.entries}")
     print(f"size       : {s.bytes / 1e6:.2f} MB")
     print(f"corrupt    : {s.corrupt}")
     for kind in sorted(s.by_kind):
         print(f"  {kind:<10}: {s.by_kind[kind]}")
+    print(f"trace store: {t.root}")
+    print(f"  traces   : {t.entries}")
+    print(f"  size     : {t.bytes / 1e6:.2f} MB")
     return 0
 
 

@@ -28,10 +28,22 @@ runs are re-submitted to a respawned pool, and the failure is reported
 per-run (:attr:`RunRecord.error`) rather than thrown away with the
 whole sweep.  See ``docs/robustness.md``.
 
+The **trace plane** (:mod:`repro.sim.tracestore`) rides underneath:
+each session owns a :class:`~repro.sim.tracestore.TraceStore` that
+materializes every deterministic benchmark trace once and replays it
+as zero-copy slices.  The worker pool is *persistent* across batches;
+misses are submitted in mix-affine order and each run carries a small
+manifest naming the shared-memory segments holding its traces, so
+workers attach by name instead of unpickling arrays (and keep their
+attachments for later runs of the same mix).  The plane is a pure
+transport optimisation — results are bit-identical with it on or off,
+and it is excluded from cache keys like the simulation engine choice.
+
 Environment knobs: ``REPRO_CACHE_DIR`` relocates the on-disk store
 (default ``~/.cache/repro``), ``REPRO_WORKERS`` sets the default
 worker count (clamped to the CPU count), ``REPRO_RUN_TIMEOUT`` sets
-the default per-run timeout in seconds.  See
+the default per-run timeout in seconds, ``REPRO_TRACE_CACHE`` selects
+the trace-plane mode (``off``/``memory``/``disk``).  See
 ``docs/experiment_engine.md``.
 """
 
@@ -44,6 +56,7 @@ import os
 import tempfile
 import time
 import warnings
+import weakref
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -66,7 +79,8 @@ from repro.core.trace import (
 from repro.experiments.config import ScaleConfig, get_scale
 from repro.metrics.speedup import harmonic_speedup, weighted_speedup, worst_case_speedup
 from repro.platform.simulated import SimulatedPlatform
-from repro.sim.machine import Machine
+from repro.sim import tracestore
+from repro.sim.machine import CORE_ADDRESS_STRIDE_LINES, Machine
 from repro.workloads.classify import AloneProfile, profile_benchmark
 from repro.workloads.mixes import CATEGORIES, WorkloadMix, make_mixes
 from repro.workloads.speclike import BENCHMARKS, build_trace
@@ -193,13 +207,29 @@ class PlannedRun:
             return f"hook/{self.bench}"
         return f"profile/{self.bench}" + ("+ways" if self.way_sweep else "")
 
+    @property
+    def affinity_group(self) -> str:
+        """Runs sharing this label consume the same materialized traces.
+
+        The scheduler submits misses grouped by it (mix-affine order)
+        so a persistent pool worker that has already attached a mix's
+        shared-memory segments serves that mix's remaining mechanisms
+        from its attachment cache.
+        """
+        if self.kind == KIND_MECHANISM:
+            return f"mix:{self.mix.name}:{self.mix.seed}"
+        return f"{self.kind}:{self.bench}"
+
     def key_payload(self) -> dict:
-        """Everything the simulated outcome depends on."""
+        """Everything the simulated outcome depends on.
+
+        The simulation engine choice and the trace-plane mode are both
+        differential-tested bit-identical (tests/sim/test_fast_engine.py,
+        tests/experiments/test_trace_plane.py), so neither can change
+        the outcome — excluding them keeps cached results valid across
+        engine/plane choices and default changes.
+        """
         machine = asdict(self.sc.params())
-        # The simulation engine is differential-tested bit-identical
-        # (tests/sim/test_fast_engine.py), so it cannot change the
-        # outcome — excluding it keeps cached results valid across
-        # engine choices and engine-default changes.
         machine.pop("sim_engine", None)
         payload = {
             "schema": SCHEMA_VERSION,
@@ -237,7 +267,7 @@ def _compute_mechanism(run: PlannedRun) -> dict:
     from repro.experiments.runner import build_machine  # avoid import cycle
 
     sc = run.sc
-    machine = build_machine(run.mix, sc)
+    machine = build_machine(run.mix, sc, trace_store=tracestore.active_view())
     platform = SimulatedPlatform(machine)
     epoch_cfg = EpochConfig(exec_units=sc.exec_units, sample_units=sc.sample_units)
     controller = CMMController(platform, make_policy(run.mechanism), epoch_cfg=epoch_cfg)
@@ -259,7 +289,20 @@ def _compute_alone(run: PlannedRun) -> dict:
     sc = run.sc
     params = sc.params()
     m = Machine(params, quantum=sc.quantum)
-    trace = build_trace(run.bench, llc_lines=params.llc.lines, base_line=m.core_base_line(0), seed=0)
+    view = tracestore.active_view()
+    trace = None
+    if view is not None:
+        trace = view.trace_for(
+            run.bench,
+            llc_lines=params.llc.lines,
+            base_line=m.core_base_line(0),
+            seed=0,
+            length=2 * sc.alone_accesses,
+        )
+    if trace is None:
+        trace = build_trace(
+            run.bench, llc_lines=params.llc.lines, base_line=m.core_base_line(0), seed=0
+        )
     m.attach_trace(0, trace)
     m.run_accesses(sc.alone_accesses)  # warm-up lap
     snap = m.pmu.snapshot()
@@ -271,7 +314,8 @@ def _compute_alone(run: PlannedRun) -> dict:
 def _compute_profile(run: PlannedRun) -> dict:
     sc = run.sc
     prof = profile_benchmark(
-        run.bench, sc.params(), sc.profile_accesses, way_sweep=run.way_sweep
+        run.bench, sc.params(), sc.profile_accesses, way_sweep=run.way_sweep,
+        trace_store=tracestore.active_view(),
     )
     return {
         "name": prof.name,
@@ -300,11 +344,63 @@ _COMPUTE: dict[str, Callable[[PlannedRun], dict]] = {
 }
 
 
-def _execute_planned(run: PlannedRun) -> tuple[dict, float]:
-    """Worker entry point: compute one payload, report wall seconds."""
+def _execute_planned(run: PlannedRun, traces=None) -> tuple[dict, float]:
+    """Worker entry point: compute one payload, report wall seconds.
+
+    ``traces`` is the run's trace source: the session's
+    :class:`~repro.sim.tracestore.TraceStore` on the serial path, a
+    shared-memory *manifest* dict (turned into a
+    :class:`~repro.sim.tracestore.ManifestView` here, inside the
+    worker) on the pool path, or ``None`` for plain live generation.
+    """
+    if isinstance(traces, dict):
+        traces = tracestore.ManifestView(traces)
     t0 = time.perf_counter()
-    payload = _COMPUTE[run.kind](run)
+    with tracestore.use_view(traces):
+        payload = _COMPUTE[run.kind](run)
     return payload, time.perf_counter() - t0
+
+
+def _trace_requirements(run: PlannedRun) -> list[dict]:
+    """The traces a planned run will consume, as ``TraceStore.publish``
+    keyword sets.  Must mirror what the compute functions request."""
+    from repro.experiments.runner import mechanism_trace_length
+
+    sc = run.sc
+    llc_lines = sc.params().llc.lines
+    if run.kind == KIND_MECHANISM:
+        length = mechanism_trace_length(sc)
+        return [
+            {
+                "spec": bench,
+                "llc_lines": llc_lines,
+                "base_line": core * CORE_ADDRESS_STRIDE_LINES,
+                "seed": run.mix.seed + core,
+                "length": length,
+            }
+            for core, bench in enumerate(run.mix.benchmarks)
+        ]
+    if run.kind == KIND_ALONE:
+        return [
+            {
+                "spec": run.bench,
+                "llc_lines": llc_lines,
+                "base_line": 0,
+                "seed": 0,
+                "length": 2 * sc.alone_accesses,
+            }
+        ]
+    if run.kind == KIND_PROFILE:
+        return [
+            {
+                "spec": run.bench,
+                "llc_lines": llc_lines,
+                "base_line": 0,
+                "seed": 0,
+                "length": 2 * sc.profile_accesses,
+            }
+        ]
+    return []  # hooks consume no traces
 
 
 def _rehydrate_stats(payload: dict, traces: list[EpochTrace] | None = None) -> RunStats:
@@ -639,6 +735,12 @@ class ExperimentSession:
         crashes to the run that caused them).
     mp_context:
         Optional ``multiprocessing`` context for the pools.
+    trace_cache:
+        Trace-plane mode (``off``/``memory``/``disk``); defaults to
+        ``$REPRO_TRACE_CACHE``.  ``off`` regenerates every trace live
+        (the pre-plane behaviour); results are bit-identical either
+        way.  The disk tier lives under ``<cache root>/tracestore``;
+        an in-memory result cache implies an in-memory trace store.
     """
 
     _UNSET = object()
@@ -655,6 +757,7 @@ class ExperimentSession:
         run_retries: int = 1,
         pool_respawns: int = 2,
         mp_context=None,
+        trace_cache: str | None = None,
     ) -> None:
         if cache is None:
             root = default_cache_dir() if cache_dir is self._UNSET else cache_dir
@@ -679,6 +782,90 @@ class ExperimentSession:
         #: so later calls (e.g. per-mix evaluate after a sweep) report
         #: the failure instead of re-executing a known-bad run.
         self.failed: dict[str, str] = {}
+        mode = tracestore.trace_cache_mode(trace_cache)
+        if mode == "off":
+            self.trace_store: tracestore.TraceStore | None = None
+        else:
+            trace_root = self.cache.root / "tracestore" if self.cache.root is not None else None
+            self.trace_store = tracestore.TraceStore(trace_root, mode=mode)
+        #: The persistent batch pool and the single-worker isolation
+        #: pool, held in a plain dict so the exit finalizer can shut
+        #: them down without keeping the session alive.
+        self._pools: dict[str, ProcessPoolExecutor | None] = {"batch": None, "iso": None}
+        self._pool_width = 0
+        self._pools_finalizer = weakref.finalize(
+            self, ExperimentSession._shutdown_pools, self._pools
+        )
+
+    # -- lifecycle ---------------------------------------------------
+
+    @staticmethod
+    def _shutdown_pools(pools: dict[str, ProcessPoolExecutor | None]) -> None:
+        for name, pool in list(pools.items()):
+            pools[name] = None
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut down the worker pools and unlink every published
+        shared-memory segment.  Idempotent; also runs automatically at
+        interpreter exit (including ``KeyboardInterrupt``) via
+        ``weakref.finalize``, so abandoned sessions never leak
+        ``/dev/shm`` residue."""
+        self._pools_finalizer()
+        if self.trace_store is not None:
+            self.trace_store.close()
+
+    def __enter__(self) -> "ExperimentSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pool(self, width: int) -> ProcessPoolExecutor:
+        """The persistent batch pool, (re)spawned only when missing or
+        too narrow for this batch — not per batch."""
+        pool = self._pools["batch"]
+        if pool is not None and self._pool_width < width:
+            self._pools["batch"] = None
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=width, mp_context=self.mp_context)
+            self._pools["batch"] = pool
+            self._pool_width = width
+        return pool
+
+    def _discard_pool(self) -> None:
+        pool, self._pools["batch"] = self._pools["batch"], None
+        self._pool_width = 0
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _manifest_for(self, run: PlannedRun) -> dict | None:
+        """Materialize + publish the run's traces; ``{key: item}`` or
+        ``None`` when the plane is off / shared memory is unavailable."""
+        if self.trace_store is None:
+            return None
+        manifest: dict[str, dict] = {}
+        for req in _trace_requirements(run):
+            item = self.trace_store.publish(**req)
+            if item is not None:
+                manifest[item["key"]] = item
+        return manifest or None
+
+    @staticmethod
+    def _affinity_order(misses: list[tuple[str, PlannedRun]]) -> list[tuple[str, PlannedRun]]:
+        """Misses regrouped so runs sharing traces are adjacent.
+
+        Groups keep first-seen order (stable, deterministic), so a
+        plan that is already grouped — the common case — is returned
+        unchanged.
+        """
+        groups: dict[str, list[tuple[str, PlannedRun]]] = {}
+        for key, r in misses:
+            groups.setdefault(r.affinity_group, []).append((key, r))
+        return [kr for grp in groups.values() for kr in grp]
 
     # -- plumbing ----------------------------------------------------
 
@@ -777,7 +964,7 @@ class ExperimentSession:
             err: BaseException | None = None
             for _attempt in range(self.run_retries + 1):
                 try:
-                    payload, secs = _execute_planned(r)
+                    payload, secs = _execute_planned(r, self.trace_store)
                 except Exception as e:
                     err = e
                 else:
@@ -790,14 +977,21 @@ class ExperimentSession:
     def _execute_parallel(self, misses, finish, fail) -> None:
         """Pool execution with per-run timeout, retry, and pool respawn.
 
+        The batch pool is *persistent*: it outlives this batch and is
+        reused by the next one, so workers keep their attached
+        shared-memory segments (and warm imports) across batches.  Runs
+        are submitted in affinity order — runs over the same mix
+        adjacent — so a worker picking up consecutive tasks mostly
+        re-reads segments it already mapped.
+
         Completed runs are finished (and persisted) as their futures
         resolve.  When the pool breaks — a worker died — or a run hangs
-        past its deadline, the pool is abandoned and the unfinished
+        past its deadline, the pool is discarded and the unfinished
         runs are re-submitted to a fresh one; after ``pool_respawns``
         such incidents the stragglers fall back to a one-run-at-a-time
         isolation pool that pins each crash on the run that caused it.
         """
-        pending: dict[str, PlannedRun] = dict(misses)
+        pending: dict[str, PlannedRun] = dict(self._affinity_order(misses))
         attempts: dict[str, int] = dict.fromkeys(pending, 0)
         respawns = 0
         while pending:
@@ -805,14 +999,14 @@ class ExperimentSession:
                 self._execute_isolated(pending, finish, fail)
                 return
             workers = min(self.max_workers, len(pending))
-            pool = ProcessPoolExecutor(max_workers=workers, mp_context=self.mp_context)
+            pool = self._ensure_pool(workers)
             futures: dict = {}
             now = time.monotonic()
             deadline = None if self.run_timeout is None else now + self.run_timeout
             broken = False
             try:
                 for key, r in pending.items():
-                    futures[pool.submit(_execute_planned, r)] = key
+                    futures[pool.submit(_execute_planned, r, self._manifest_for(r))] = key
             except BrokenProcessPool:
                 broken = True
             not_done = set(futures)
@@ -847,44 +1041,53 @@ class ExperimentSession:
                         fail(key, r, f"{r.label}: run exceeded {self.run_timeout:.6g}s timeout")
                     broken = True
             if broken:
-                pool.shutdown(wait=False, cancel_futures=True)
+                self._discard_pool()
                 respawns += 1
-            else:
-                pool.shutdown()
-            # Retried-but-healthy keys loop around into a fresh pool.
+            # else: the healthy pool stays alive for the next batch.
 
     def _execute_isolated(self, pending: dict[str, "PlannedRun"], finish, fail) -> None:
         """Last-resort mode: one pool of one worker, one run at a time.
 
         Slow, but deterministic under crashing workers: a crash or hang
         is attributable to exactly the run that was executing, so every
-        healthy run still completes.
+        healthy run still completes.  The single-worker pool is owned
+        by the session and reused — across runs *and* across batches —
+        until it actually breaks (crash or hang); only then is it
+        respawned, instead of paying a fresh worker per retried run.
         """
-        pool = ProcessPoolExecutor(max_workers=1, mp_context=self.mp_context)
-        try:
-            for key in list(pending):
-                r = pending.pop(key)
-                try:
-                    fut = pool.submit(_execute_planned, r)
-                except BrokenProcessPool:
-                    pool = ProcessPoolExecutor(max_workers=1, mp_context=self.mp_context)
-                    fut = pool.submit(_execute_planned, r)
-                try:
-                    payload, secs = fut.result(timeout=self.run_timeout)
-                except FuturesTimeoutError:
-                    fail(key, r, f"run exceeded {self.run_timeout:.6g}s timeout")
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    pool = ProcessPoolExecutor(max_workers=1, mp_context=self.mp_context)
-                except BrokenProcessPool as e:
-                    fail(key, r, e)
-                    pool.shutdown(wait=False)
-                    pool = ProcessPoolExecutor(max_workers=1, mp_context=self.mp_context)
-                except Exception as e:
-                    fail(key, r, e)
-                else:
-                    finish(key, r, payload, secs)
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+
+        def discard_iso(wait_: bool) -> None:
+            pool, self._pools["iso"] = self._pools["iso"], None
+            if pool is not None:
+                pool.shutdown(wait=wait_, cancel_futures=True)
+
+        def iso_pool() -> ProcessPoolExecutor:
+            pool = self._pools["iso"]
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=1, mp_context=self.mp_context)
+                self._pools["iso"] = pool
+            return pool
+
+        for key in list(pending):
+            r = pending.pop(key)
+            manifest = self._manifest_for(r)
+            try:
+                fut = iso_pool().submit(_execute_planned, r, manifest)
+            except BrokenProcessPool:
+                discard_iso(wait_=False)
+                fut = iso_pool().submit(_execute_planned, r, manifest)
+            try:
+                payload, secs = fut.result(timeout=self.run_timeout)
+            except FuturesTimeoutError:
+                fail(key, r, f"run exceeded {self.run_timeout:.6g}s timeout")
+                discard_iso(wait_=False)
+            except BrokenProcessPool as e:
+                fail(key, r, e)
+                discard_iso(wait_=True)
+            except Exception as e:
+                fail(key, r, e)  # worker survived; keep its pool
+            else:
+                finish(key, r, payload, secs)
 
     # -- single runs -------------------------------------------------
 
@@ -915,7 +1118,7 @@ class ExperimentSession:
             return RunResult(mix, label or policy_or_name, _rehydrate_stats(payload, traces))
 
         policy = make_policy(policy_or_name) if isinstance(policy_or_name, str) else policy_or_name
-        machine = build_machine(mix, sc)
+        machine = build_machine(mix, sc, trace_store=self.trace_store)
         platform = SimulatedPlatform(machine)
         epoch_cfg = EpochConfig(
             exec_units=sc.exec_units,

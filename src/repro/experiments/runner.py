@@ -28,19 +28,52 @@ from repro.workloads.mixes import WorkloadMix
 from repro.workloads.speclike import build_trace
 
 
-def build_machine(mix: WorkloadMix, sc: ScaleConfig) -> Machine:
-    """A fresh machine with the mix's benchmarks attached, one per core."""
+def mechanism_trace_length(sc: ScaleConfig) -> int:
+    """Upper bound on per-core accesses a mechanism run can consume.
+
+    Warm-up plus, per epoch, the policy's worst-case profiling budget
+    and the execution interval (:class:`~repro.core.epoch.EpochConfig`
+    defaults).  The trace plane materializes this many accesses up
+    front; a run that somehow outruns it just drops back to live
+    generation, so the bound is a sizing hint, not a correctness limit.
+    """
+    from repro.core.epoch import EpochConfig
+
+    cfg = EpochConfig(exec_units=sc.exec_units, sample_units=sc.sample_units)
+    per_epoch = cfg.max_sampling_intervals * cfg.sample_units + cfg.exec_units
+    return cfg.warmup_units + sc.n_epochs * per_epoch
+
+
+def build_machine(mix: WorkloadMix, sc: ScaleConfig, *, trace_store=None) -> Machine:
+    """A fresh machine with the mix's benchmarks attached, one per core.
+
+    ``trace_store`` (a :class:`~repro.sim.tracestore.TraceStore` or a
+    worker-side manifest view) serves materialized traces instead of
+    synthesising fresh generators — bit-identical either way.  ``None``
+    (the default) keeps the classic live-generation path.
+    """
     params = sc.params()
     if mix.n_cores > params.n_cores:
         raise ValueError(f"mix {mix.name} needs {mix.n_cores} cores, machine has {params.n_cores}")
     m = Machine(params, quantum=sc.quantum)
+    length = mechanism_trace_length(sc) if trace_store is not None else 0
     for core, bench in enumerate(mix.benchmarks):
-        trace = build_trace(
-            bench,
-            llc_lines=params.llc.lines,
-            base_line=m.core_base_line(core),
-            seed=mix.seed + core,
-        )
+        trace = None
+        if trace_store is not None:
+            trace = trace_store.trace_for(
+                bench,
+                llc_lines=params.llc.lines,
+                base_line=m.core_base_line(core),
+                seed=mix.seed + core,
+                length=length,
+            )
+        if trace is None:
+            trace = build_trace(
+                bench,
+                llc_lines=params.llc.lines,
+                base_line=m.core_base_line(core),
+                seed=mix.seed + core,
+            )
         m.attach_trace(core, trace)
     return m
 

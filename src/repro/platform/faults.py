@@ -42,6 +42,7 @@ __all__ = [
     "FaultyPlatform",
     "SCENARIOS",
     "scenario_plan",
+    "verify_no_segment_leaks",
     "verify_safe_state",
 ]
 
@@ -249,3 +250,18 @@ def verify_safe_state(platform: Platform) -> list[str]:
     if platform.partitions_are_reset() is False:
         problems.append("LLC partitions not reset")
     return problems
+
+
+def verify_no_segment_leaks() -> list[str]:
+    """Problems with the host's shared-memory state, as a
+    :func:`verify_safe_state`-style list.
+
+    The trace plane (:mod:`repro.sim.tracestore`) publishes
+    parent-owned ``/dev/shm`` segments; a session that exits — normally
+    or through a crash — must leave none behind.  Each leaked segment
+    is one problem string.  Used by the chaos suite after killing pool
+    workers mid-run, and worth running after any experiment crash.
+    """
+    from repro.sim.tracestore import shm_residue
+
+    return [f"leaked shared-memory segment: {name}" for name in shm_residue()]

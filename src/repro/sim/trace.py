@@ -24,6 +24,20 @@ deterministic given the seed.
 Each trace record is a ``(ctx, line)`` pair: ``ctx`` stands in for the
 program counter of the triggering load (used by the IP-stride
 prefetcher) and ``line`` is a global cache-line number.
+
+**Chunk-alignment invariance.**  ``TraceGenerator.chunk`` draws one
+RNG pick per started burst (``ceil(n / burst_len)`` picks) and every
+stream advances in pure element-space, so the emitted ``(ctx, line)``
+stream depends only on the *cumulative* number of accesses requested —
+not on how that total was partitioned into chunks — **provided every
+chunk size is a multiple of** ``burst_len``.  A non-multiple request
+starts a partial burst whose remainder is discarded, which changes the
+RNG/stream positions relative to any other partition.  All practical
+request sizes (simulator quanta, sampling/exec intervals) are
+multiples of the default ``burst_len`` of 32; the materialized trace
+plane (:mod:`repro.sim.tracestore`) relies on this invariant to replay
+a once-generated trace bit-identically under any aligned chunking, and
+falls back to a live generator on the first unaligned request.
 """
 
 from __future__ import annotations

@@ -85,17 +85,34 @@ def run_alone(
     ways: int | None = None,
     quantum: int = 1024,
     warmup: int = 0,
+    trace_store=None,
 ) -> tuple[Machine, tuple]:
     """Run a benchmark alone on core 0.
 
     ``warmup`` accesses are executed before the PMU snapshot so caches
     reach steady state; the returned snapshot marks the measured
     window's start.  Returns ``(machine, snapshot)``.
+
+    ``trace_store`` serves the trace from the materialized plane
+    (:mod:`repro.sim.tracestore`) — a profile way-sweep re-runs the
+    *same* trace a dozen times, which the store generates exactly once.
     """
     if isinstance(spec, str):
         spec = benchmark(spec)
     m = Machine(params, quantum=quantum)
-    trace = build_trace(spec, llc_lines=params.llc.lines, base_line=m.core_base_line(0), seed=seed)
+    trace = None
+    if trace_store is not None:
+        trace = trace_store.trace_for(
+            spec,
+            llc_lines=params.llc.lines,
+            base_line=m.core_base_line(0),
+            seed=seed,
+            length=warmup + n_accesses,
+        )
+    if trace is None:
+        trace = build_trace(
+            spec, llc_lines=params.llc.lines, base_line=m.core_base_line(0), seed=seed
+        )
     m.attach_trace(0, trace)
     m.prefetch_msr.set_mask(0, prefetch_mask)
     if ways is not None:
@@ -128,6 +145,7 @@ def profile_benchmark(
     seed: int = 0,
     warmup: int | None = None,
     way_sweep: tuple[int, ...] | None = None,
+    trace_store=None,
 ) -> AloneProfile:
     """Measure everything Figs. 1-3 need for one benchmark.
 
@@ -138,9 +156,15 @@ def profile_benchmark(
         spec = benchmark(spec)
     if warmup is None:
         warmup = n_accesses
-    m_on, s_on = run_alone(spec, params, n_accesses, seed=seed, prefetch_mask=0x0, warmup=warmup)
+    m_on, s_on = run_alone(
+        spec, params, n_accesses, seed=seed, prefetch_mask=0x0, warmup=warmup,
+        trace_store=trace_store,
+    )
     ipc_on, demand_on, total_on = _ipc_and_bw(m_on, s_on)
-    m_off, s_off = run_alone(spec, params, n_accesses, seed=seed, prefetch_mask=0xF, warmup=warmup)
+    m_off, s_off = run_alone(
+        spec, params, n_accesses, seed=seed, prefetch_mask=0xF, warmup=warmup,
+        trace_store=trace_store,
+    )
     ipc_off, demand_off, _ = _ipc_and_bw(m_off, s_off)
 
     ipc_by_ways: dict[int, float] = {}
@@ -148,7 +172,10 @@ def profile_benchmark(
         for w in way_sweep:
             if w > params.llc.ways:
                 continue
-            m_w, s_w = run_alone(spec, params, n_accesses, seed=seed, ways=w, warmup=warmup)
+            m_w, s_w = run_alone(
+                spec, params, n_accesses, seed=seed, ways=w, warmup=warmup,
+                trace_store=trace_store,
+            )
             ipc_by_ways[w], _, _ = _ipc_and_bw(m_w, s_w)
 
     return AloneProfile(

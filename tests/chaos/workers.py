@@ -24,6 +24,19 @@ ok_b = ok
 ok_c = ok
 
 
+#: ``slow`` sleeps long enough that a crash elsewhere in the batch
+#: breaks the pool while these runs are still in flight.
+SLOW_SECONDS = 0.4
+
+
+def slow(run):
+    time.sleep(SLOW_SECONDS)
+    return {"ok": True, "hook": run.bench}
+
+
+slow_a = slow_b = slow_c = slow
+
+
 def boom(run):
     raise ValueError("injected worker exception")
 
