@@ -10,7 +10,7 @@ candidates under the same selection rule).
 import numpy as np
 
 from repro.core.throttling import PrefetchThrottlingPolicy
-from repro.experiments.runner import ALONE_CACHE, run_mechanism, run_policy_object
+from repro.experiments.engine import default_session, run
 from repro.metrics.speedup import harmonic_speedup
 from repro.workloads.mixes import make_mixes
 
@@ -23,13 +23,13 @@ def _sweep(scale):
     for fine in (False, True):
         vals = []
         for mix in mixes:
-            alone = ALONE_CACHE.ipcs_for(mix, scale)
-            base = run_mechanism(mix, "baseline", scale)
-            run = run_policy_object(
+            alone = default_session().alone_ipcs(mix, scale)
+            base = run(mix, "baseline", scale)
+            res = run(
                 mix, PrefetchThrottlingPolicy(fine_grained=fine), scale,
                 label="pt-fine" if fine else "pt",
             )
-            vals.append(harmonic_speedup(run.ipc, alone) / harmonic_speedup(base.ipc, alone))
+            vals.append(harmonic_speedup(res.ipc, alone) / harmonic_speedup(base.ipc, alone))
         means["fine" if fine else "coarse"] = float(np.mean(vals))
     return means
 

@@ -15,7 +15,7 @@ the paper's 1.5x compromise protects.
 import numpy as np
 
 from repro.core.partitioning import PrefCPPolicy
-from repro.experiments.runner import ALONE_CACHE, run_mechanism, run_policy_object
+from repro.experiments.engine import default_session, run
 from repro.metrics.speedup import harmonic_speedup
 from repro.workloads.mixes import make_mixes
 
@@ -30,13 +30,13 @@ def _sweep(scale):
     for factor in FACTORS:
         vals = []
         for mix in mixes:
-            alone = ALONE_CACHE.ipcs_for(mix, scale)
-            base = run_mechanism(mix, "baseline", scale)
-            run = run_policy_object(
+            alone = default_session().alone_ipcs(mix, scale)
+            base = run(mix, "baseline", scale)
+            res = run(
                 mix, PrefCPPolicy(partition_factor=factor), scale, label=f"pref-cp@{factor}"
             )
             vals.append(
-                harmonic_speedup(run.ipc, alone) / harmonic_speedup(base.ipc, alone)
+                harmonic_speedup(res.ipc, alone) / harmonic_speedup(base.ipc, alone)
             )
         means[factor] = float(np.mean(vals))
     return means

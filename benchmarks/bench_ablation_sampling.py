@@ -8,7 +8,7 @@ sampling interval halved and doubled and check the outcome is stable.
 import numpy as np
 
 from repro.core.throttling import PrefetchThrottlingPolicy
-from repro.experiments.runner import ALONE_CACHE, run_mechanism, run_policy_object
+from repro.experiments.engine import default_session, run
 from repro.metrics.speedup import harmonic_speedup
 from repro.workloads.mixes import make_mixes
 
@@ -20,13 +20,13 @@ def _sweep(scale):
         units = max(128, int(scale.sample_units * mult))
         vals = []
         for mix in mixes:
-            alone = ALONE_CACHE.ipcs_for(mix, scale)
-            base = run_mechanism(mix, "baseline", scale)
-            run = run_policy_object(
+            alone = default_session().alone_ipcs(mix, scale)
+            base = run(mix, "baseline", scale)
+            res = run(
                 mix, PrefetchThrottlingPolicy(), scale,
                 label=f"pt@{units}", sample_units=units,
             )
-            vals.append(harmonic_speedup(run.ipc, alone) / harmonic_speedup(base.ipc, alone))
+            vals.append(harmonic_speedup(res.ipc, alone) / harmonic_speedup(base.ipc, alone))
         means[mult] = float(np.mean(vals))
     return means
 

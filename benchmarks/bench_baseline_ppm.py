@@ -9,7 +9,7 @@ is ~1 — PPM-group must trail the Fig. 5-based PT.
 
 import numpy as np
 
-from repro.experiments.runner import ALONE_CACHE, run_mechanism
+from repro.experiments.engine import default_session, run
 from repro.metrics.speedup import harmonic_speedup
 from repro.workloads.mixes import make_mixes
 
@@ -19,10 +19,10 @@ def _sweep(scale):
     for mech in ("pt", "ppm-group"):
         vals = []
         for mix in make_mixes("pref_unfri", scale.workloads_per_category, seed=scale.seed):
-            alone = ALONE_CACHE.ipcs_for(mix, scale)
-            base = run_mechanism(mix, "baseline", scale)
-            run = run_mechanism(mix, mech, scale)
-            vals.append(harmonic_speedup(run.ipc, alone) / harmonic_speedup(base.ipc, alone))
+            alone = default_session().alone_ipcs(mix, scale)
+            base = run(mix, "baseline", scale)
+            res = run(mix, mech, scale)
+            vals.append(harmonic_speedup(res.ipc, alone) / harmonic_speedup(base.ipc, alone))
         means[mech] = float(np.mean(vals))
     return means
 

@@ -26,12 +26,23 @@ kernel (e.g. ``git worktree add /tmp/prepr <commit>`` then
 in an existing ``BENCH_simulator.json`` are carried forward with their
 original provenance note.
 
-``--engine`` instead measures the *experiment engine's* cold sweep —
-one full-machine mix evaluated under several mechanisms — with the
-trace plane (:mod:`repro.sim.tracestore`) on vs. off, and writes
-``BENCH_engine.json``.  The plane-off lane is the pre-trace-plane
-execution path: every run regenerates its traces live.  Lanes are
-interleaved round by round like the simulator benches.
+``--engine`` instead measures the *experiment engine* and writes
+``BENCH_engine.json``.  Two families of scenarios:
+
+* **mechanism sweeps** — one full-machine mix evaluated under several
+  mechanisms with the trace plane (:mod:`repro.sim.tracestore`) on vs.
+  off; the plane-off lane is the pre-trace-plane execution path (every
+  run regenerates its traces live);
+* **batch sweeps** — a wide static CAT sweep of one mix (every
+  way-split x two CLOS layouts, the Fig. 3/Table I shape) executed by
+  ``repro.simulate_batch`` on the multi-run batch engine vs. per-run
+  scalar fast machines.  Both lanes share one warm in-memory trace
+  store, so the measured ratio isolates the batch kernel (lane
+  deduplication + the lockstep grouped LLC), not trace reuse.  The
+  bench also asserts the two lanes' results are bit-identical and
+  records that in the payload.
+
+Lanes are interleaved round by round like the simulator benches.
 """
 
 from __future__ import annotations
@@ -147,6 +158,91 @@ def _engine_sweep_times(trace_cache: str, tmp_root: Path, tag: str) -> dict[str,
     return times
 
 
+BATCH_CATEGORIES = ("pref_agg", "pref_unfri")
+BATCH_ACCESSES = 24576
+
+
+def _batch_sweep_specs(mix, sc):
+    """Every CAT way-split x two CLOS layouts, prefetchers on — the
+    widest static sweep the experiment layer runs (Fig. 3 shape)."""
+    from repro.experiments.batch import BatchRunSpec
+
+    w = sc.params().llc.ways
+    alternating = tuple(c % 2 for c in range(mix.n_cores))
+    halved = tuple(0 if c < mix.n_cores // 2 else 1 for c in range(mix.n_cores))
+    specs = []
+    for k in range(1, w):
+        cbm0 = (1 << k) - 1
+        cbm1 = ((1 << w) - 1) ^ cbm0
+        for layout in (alternating, halved):
+            specs.append(
+                BatchRunSpec(
+                    mix=mix,
+                    n_accesses=BATCH_ACCESSES,
+                    masks=(0x0,) * mix.n_cores,
+                    clos_cbms=((0, cbm0), (1, cbm1)),
+                    core_clos=layout,
+                )
+            )
+    return specs
+
+
+def _batch_scalar_run(mix, spec, sc, store):
+    from repro.experiments.runner import build_machine
+
+    m = build_machine(mix, sc, trace_store=store)
+    for cpu, mask in enumerate(spec.masks):
+        m.prefetch_msr.set_mask(cpu, mask)
+    for clos, cbm in spec.clos_cbms:
+        m.cat.set_cbm(clos, cbm)
+    for cpu, clos in enumerate(spec.core_clos):
+        m.cat.assign_core(cpu, clos)
+    snap = m.pmu.snapshot()
+    m.run_accesses(spec.n_accesses)
+    return m.pmu.delta_since(snap)
+
+
+def _measure_batch_sweeps(rounds: int) -> dict[str, dict]:
+    from repro.experiments.batch import simulate_batch
+    from repro.experiments.config import ScaleConfig
+    from repro.sim.tracestore import TraceStore
+    from repro.workloads.mixes import make_mixes
+
+    sc = ScaleConfig(name="bench-batch", llc_scale=16, quantum=512)
+    store = TraceStore(None, mode="memory")
+    out: dict[str, dict] = {}
+    for cat in BATCH_CATEGORIES:
+        mix = make_mixes(cat, 1, seed=2019)[0]
+        specs = _batch_sweep_specs(mix, sc)
+        best_batch = best_scalar = float("inf")
+        identical = True
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            batch = simulate_batch(specs, sc, trace_store=store)
+            best_batch = min(best_batch, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            scalar = [_batch_scalar_run(mix, s, sc, store) for s in specs]
+            best_scalar = min(best_scalar, time.perf_counter() - t0)
+            identical = identical and all(
+                (rs.totals == s.deltas).all() and rs.wall_cycles == s.wall_cycles
+                for rs, s in zip(batch, scalar)
+            )
+        out[cat] = {
+            "runs": len(specs),
+            "accesses_per_core": BATCH_ACCESSES,
+            "scalar_s": round(best_scalar, 3),
+            "batch_s": round(best_batch, 3),
+            "speedup": round(best_scalar / best_batch, 2),
+            "bit_identical": identical,
+        }
+        print(
+            f"batch {cat}: R={len(specs)} scalar={best_scalar:.2f}s "
+            f"batch={best_batch:.2f}s x{best_scalar / best_batch:.2f} "
+            f"identical={identical}"
+        )
+    return out
+
+
 def emit_engine(args) -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     try:
@@ -160,6 +256,7 @@ def emit_engine(args) -> int:
                     for mech, secs in times.items():
                         key = (mech, lane)
                         best[key] = min(best.get(key, float("inf")), secs)
+        batch_sweeps = _measure_batch_sweeps(args.rounds)
         mechanisms = {}
         for mech in ENGINE_MECHANISMS:
             off = best[(mech, "off")]
@@ -184,10 +281,19 @@ def emit_engine(args) -> int:
                 f"bench-engine scale, best of {args.rounds} interleaved rounds, "
                 f"max_workers=1 (serial); plane_off is the pre-trace-plane "
                 f"execution path (live per-run trace generation); plane_on "
-                f"shares one in-memory materialization across the sweep"
+                f"shares one in-memory materialization across the sweep; "
+                f"batch_sweeps compare repro.simulate_batch (multi-run batch "
+                f"engine) against per-run scalar fast machines over a warm "
+                f"shared trace store, {BATCH_ACCESSES} accesses/core"
             ),
             "mechanisms": mechanisms,
             "geomean_speedup_plane_on_vs_off": round(geo, 3) if geo else None,
+            "batch_sweeps": batch_sweeps,
+            "geomean_speedup_batch_vs_scalar": (
+                round(g, 2)
+                if (g := _geomean([s["speedup"] for s in batch_sweeps.values()]))
+                else None
+            ),
         }
         out = args.out if args.out.name != "BENCH_simulator.json" else (
             REPO_ROOT / "BENCH_engine.json"

@@ -25,14 +25,20 @@ Public API tour:
 Running things:
 
 * :func:`run` — one (workload, mechanism-or-policy) simulation through
-  the default session; replaces the deprecated ``run_mechanism`` /
-  ``run_policy_object`` pair.
+  the default session.
+* :func:`simulate_batch` — many runs at once: specs sharing a workload
+  mix are executed on one batch kernel (shared zero-copy trace, lane
+  deduplication, lockstep grouped-LLC sweeps), bit-identical to running
+  each on its own machine.
 * :meth:`ExperimentSession.evaluate` / :meth:`ExperimentSession.sweep`
-  — baseline-normalized metrics for one or many workloads (the
-  deprecated ``evaluate_workload`` free function forwards here).
-* Sessions **own their caches** (dependency injection); the old
-  module-level ``ALONE_CACHE`` global survives only as a deprecated
-  alias backed by the default session.
+  — baseline-normalized metrics for one or many workloads.
+* Sessions **own their caches** (dependency injection) and pick their
+  simulation engine through the :mod:`repro.sim.engines` registry
+  (``engine=`` argument, ``REPRO_SIM_ENGINE`` env var, or ``auto``).
+
+The 1.x shims ``run_mechanism`` / ``run_policy_object`` /
+``evaluate_workload`` / ``ALONE_CACHE`` were removed in 2.0 — see
+CHANGELOG.md for the migration table.
 
 Quickstart::
 
@@ -57,24 +63,30 @@ from repro.experiments.engine import (
     run,
     set_default_session,
 )
-from repro.experiments.runner import (
-    RunResult,
-    WorkloadEval,
-    evaluate_workload,
-    run_mechanism,
-)
+from repro.experiments.batch import BatchRunSpec, simulate_batch
+from repro.experiments.runner import RunResult, WorkloadEval
 from repro.platform.base import PlatformError
 from repro.platform.faults import FaultPlan, FaultyPlatform
 from repro.platform.simulated import SimulatedPlatform
+from repro.sim.engines import (
+    EngineSelectionError,
+    EngineSpec,
+    available_engines,
+    register_engine,
+    resolve_engine,
+)
 from repro.sim.machine import Machine
 from repro.sim.params import MachineParams, default_params, scaled_params
 from repro.workloads.mixes import WorkloadMix, all_mixes, make_mixes
 
-__version__ = "1.2.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    "BatchRunSpec",
     "CMMController",
     "DecisionPipeline",
+    "EngineSelectionError",
+    "EngineSpec",
     "EpochConfig",
     "EpochTrace",
     "ExperimentError",
@@ -96,18 +108,20 @@ __all__ = [
     "WorkloadEval",
     "WorkloadMix",
     "all_mixes",
+    "available_engines",
     "default_params",
     "default_session",
-    "evaluate_workload",
     "get_scale",
     "make_mixes",
     "make_policy",
     "policy_names",
     "quick_run",
+    "register_engine",
+    "resolve_engine",
     "run",
-    "run_mechanism",
     "scaled_params",
     "set_default_session",
+    "simulate_batch",
     "__version__",
 ]
 

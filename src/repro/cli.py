@@ -49,6 +49,20 @@ def _workers(value: str) -> int:
 _workers.__name__ = "int"  # argparse: "invalid int value", not "_workers"
 
 
+def _engine_name(value: str) -> str:
+    from repro.sim.engines import ENGINE_AUTO, EngineSelectionError, get_engine
+
+    if value != ENGINE_AUTO:
+        try:
+            get_engine(value)
+        except EngineSelectionError as e:
+            raise argparse.ArgumentTypeError(str(e)) from None
+    return value
+
+
+_engine_name.__name__ = "engine"
+
+
 def _add_engine(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workers", type=_workers, default=None,
                    help="parallel simulation processes (default: $REPRO_WORKERS or CPUs)")
@@ -56,15 +70,29 @@ def _add_engine(p: argparse.ArgumentParser) -> None:
                    help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)")
     p.add_argument("--no-cache", action="store_true",
                    help="keep results in memory only for this invocation")
+    p.add_argument("--engine", type=_engine_name, default=None,
+                   help="simulation engine from the repro.sim.engines registry "
+                        "(default: $REPRO_SIM_ENGINE or auto; results are "
+                        "bit-identical across engines)")
 
 
 def _make_session(args):
     from repro.experiments.engine import ExperimentSession, default_cache_dir, set_default_session
 
+    engine = getattr(args, "engine", None)
+    if engine is not None:
+        # Pool workers resolve their engine from the environment; the
+        # session object itself prefers the explicit argument.
+        import os
+
+        from repro.sim.engines import ENV_VAR
+
+        os.environ[ENV_VAR] = engine
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     session = ExperimentSession(
         cache_dir=cache_dir,
         max_workers=args.workers,
+        engine=engine,
         progress=lambda rec, done, total: print(
             f"[{done}/{total}] {'cached' if rec.cached else f'{rec.seconds:5.1f}s'}  {rec.label}",
             file=sys.stderr,
@@ -317,6 +345,7 @@ def cmd_cache(args) -> int:
     print(f"trace store: {t.root}")
     print(f"  traces   : {t.entries}")
     print(f"  size     : {t.bytes / 1e6:.2f} MB")
+    print(f"  fallbacks: {t.fallbacks}")
     return 0
 
 

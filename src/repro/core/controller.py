@@ -127,6 +127,10 @@ class RunStats:
     #: Structured per-epoch decision records (see repro.core.trace);
     #: empty when the controller runs with ``trace=False``.
     traces: list[EpochTrace] = field(default_factory=list)
+    #: Zero-copy go-live fallbacks the run's traces took (see
+    #: ``MaterializedTrace.chunk``); 0 for live-generated traces and
+    #: for cache-rehydrated stats.  Batch sweeps assert this stays 0.
+    trace_fallbacks: int = 0
 
     def add(self, sample: PmuSample) -> None:
         if self.totals is None:
@@ -365,4 +369,7 @@ class CMMController:
                 stats.failures.append(f"warmup: {e}")
         for _ in range(n_epochs):
             self.run_epoch(stats)
+        fallbacks = getattr(self.platform, "trace_fallbacks", None)
+        if callable(fallbacks):
+            stats.trace_fallbacks = int(fallbacks())
         return stats

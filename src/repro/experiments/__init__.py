@@ -18,6 +18,7 @@ Shapes (who wins, by what factor) are stable across scales; absolute
 values are simulator units, not Xeon measurements (see EXPERIMENTS.md).
 """
 
+from repro.experiments.batch import BatchRunSpec, BatchUnavailable, simulate_batch
 from repro.experiments.config import ScaleConfig, get_scale, SCALES
 from repro.experiments.engine import (
     ExperimentSession,
@@ -33,8 +34,6 @@ from repro.experiments.runner import (
     RunResult,
     WorkloadEval,
     build_machine,
-    evaluate_workload,
-    run_mechanism,
 )
 
 __all__ = [
@@ -42,6 +41,8 @@ __all__ = [
     "get_scale",
     "SCALES",
     "AloneCache",
+    "BatchRunSpec",
+    "BatchUnavailable",
     "ExperimentSession",
     "PlannedRun",
     "ResultCache",
@@ -51,7 +52,6 @@ __all__ = [
     "WorkloadEval",
     "build_machine",
     "default_session",
-    "evaluate_workload",
-    "run_mechanism",
     "set_default_session",
+    "simulate_batch",
 ]

@@ -1,0 +1,283 @@
+"""Batched multi-run execution: ``repro.simulate_batch`` and the
+session's mix-affine group dispatch.
+
+This is the experiment-layer face of the sim-layer batch kernel
+(:mod:`repro.sim.batch`).  A *batch* is a set of runs over the **same
+workload mix** — the natural shape of the paper's sweeps (one mix under
+PT / Dunn / CMM / partition-size ablations).  All runs share one
+:class:`~repro.sim.batch.BatchKernel`: a single zero-copy materialized
+trace per core plus the lane trees that deduplicate the private-core
+simulation across runs.  Results are bit-identical to running each
+configuration on its own scalar fast machine.
+
+Two entry points:
+
+* :func:`simulate_batch` — public API (re-exported as
+  ``repro.simulate_batch``): takes :class:`BatchRunSpec` rows (either a
+  named mechanism driven by the CMM controller, or a *static*
+  prefetch-mask / CAT configuration run for a fixed access count) and
+  returns one :class:`~repro.core.controller.RunStats` per spec.
+  Specs are grouped by mix; a group that cannot be batched (trace
+  plane off) transparently falls back to per-run scalar-fast machines.
+* :func:`compute_mechanism_group` — used by
+  ``ExperimentSession._execute_serial`` to batch a mix-affine group of
+  planned mechanism runs; payloads are byte-identical to the scalar
+  ``_compute_mechanism`` path, so the result cache cannot tell (and
+  does not care) which path produced an entry.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.controller import CMMController, RunStats
+from repro.core.epoch import EpochConfig
+from repro.core.policies import make_policy
+from repro.experiments.config import ScaleConfig, get_scale
+from repro.platform.simulated import SimulatedPlatform
+from repro.sim import tracestore
+from repro.sim.batch import BatchKernel, run_static_sweep
+from repro.sim.machine import CORE_ADDRESS_STRIDE_LINES, Machine
+from repro.workloads.mixes import WorkloadMix
+
+__all__ = ["BatchRunSpec", "BatchUnavailable", "simulate_batch", "compute_mechanism_group"]
+
+
+class BatchUnavailable(RuntimeError):
+    """A group could not be batched (e.g. trace plane off); callers
+    fall back to per-run scalar execution."""
+
+
+@dataclass(frozen=True)
+class BatchRunSpec:
+    """One run in a batch: a mechanism, or a static control configuration.
+
+    Exactly one of ``mechanism`` (controller-driven, ``sc.n_epochs``
+    epochs) or ``n_accesses`` (static: apply ``masks`` / CAT and run
+    that many accesses per core) must be set.  ``masks`` are per-core
+    MSR 0x1A4 prefetcher masks; ``clos_cbms`` are ``(clos, cbm)`` CAT
+    writes and ``core_clos`` the per-core CLOS assignment — all applied
+    before the run starts (mechanism runs take control afterwards).
+    """
+
+    mix: WorkloadMix
+    mechanism: str | None = None
+    n_accesses: int | None = None
+    masks: tuple[int, ...] = ()
+    clos_cbms: tuple[tuple[int, int], ...] = ()
+    core_clos: tuple[int, ...] = ()
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.mechanism is None) == (self.n_accesses is None):
+            raise ValueError("set exactly one of mechanism= or n_accesses=")
+
+    @property
+    def name(self) -> str:
+        return self.label or self.mechanism or f"static:{self.n_accesses}"
+
+
+def _mix_key(mix: WorkloadMix) -> tuple:
+    return (mix.name, mix.seed, tuple(mix.benchmarks))
+
+
+def _mechanism_trace_length(sc: ScaleConfig) -> int:
+    from repro.experiments.runner import mechanism_trace_length
+
+    return mechanism_trace_length(sc)
+
+
+def build_batch_kernel(
+    mix: WorkloadMix, sc: ScaleConfig, trace_store, *, length: int | None = None
+) -> BatchKernel | None:
+    """A shared kernel for ``mix``, or ``None`` when it can't be built.
+
+    Requires every core's trace to come from the trace plane as a
+    forkable :class:`~repro.sim.tracestore.MaterializedTrace`; the
+    request mirrors :func:`repro.experiments.runner.build_machine`
+    byte for byte (same llc_lines / base_line / seed / length), which
+    is what makes batch results bit-identical to scalar ones.
+    """
+    if trace_store is None:
+        return None
+    params = sc.params()
+    if mix.n_cores > params.n_cores:
+        raise ValueError(f"mix {mix.name} needs {mix.n_cores} cores, machine has {params.n_cores}")
+    length = length if length is not None else _mechanism_trace_length(sc)
+    kernel = BatchKernel(params, quantum=sc.quantum)
+    for core, bench in enumerate(mix.benchmarks):
+        trace = trace_store.trace_for(
+            bench,
+            llc_lines=params.llc.lines,
+            base_line=core * CORE_ADDRESS_STRIDE_LINES,
+            seed=mix.seed + core,
+            length=length,
+        )
+        if trace is None or not hasattr(trace, "fork"):
+            return None
+        kernel.add_core(core, trace)
+    return kernel
+
+
+def _run_mechanism(machine, mechanism: str, sc: ScaleConfig) -> RunStats:
+    """Drive one machine with a named policy — the scalar semantics."""
+    controller = CMMController(
+        SimulatedPlatform(machine),
+        make_policy(mechanism),
+        epoch_cfg=EpochConfig(exec_units=sc.exec_units, sample_units=sc.sample_units),
+    )
+    return controller.run(sc.n_epochs)
+
+
+def _apply_static(machine, spec: BatchRunSpec) -> None:
+    for cpu, mask in enumerate(spec.masks):
+        machine.prefetch_msr.set_mask(cpu, mask)
+    for clos, cbm in spec.clos_cbms:
+        machine.cat.set_cbm(clos, cbm)
+    for cpu, clos in enumerate(spec.core_clos):
+        machine.cat.assign_core(cpu, clos)
+
+
+def _run_static(machine, spec: BatchRunSpec) -> RunStats:
+    _apply_static(machine, spec)
+    snap = machine.pmu.snapshot()
+    machine.run_accesses(spec.n_accesses)
+    sample = machine.pmu.delta_since(snap)
+    return RunStats(
+        n_cores=machine.params.n_cores,
+        cycles_per_second=machine.params.cycles_per_second,
+        totals=sample.deltas,
+        wall_cycles=sample.wall_cycles,
+        epochs=[],
+        trace_fallbacks=machine.trace_fallbacks(),
+    )
+
+
+def _scalar_machine(mix: WorkloadMix, sc: ScaleConfig, trace_store) -> Machine:
+    from repro.experiments.runner import build_machine
+
+    return build_machine(mix, sc, trace_store=trace_store)
+
+
+def simulate_batch(
+    specs,
+    sc: ScaleConfig | None = None,
+    *,
+    trace_store=None,
+) -> list[RunStats]:
+    """Run every spec, batching runs that share a mix; one RunStats each.
+
+    ``trace_store`` defaults to the active worker view, else the
+    default session's store.  Groups whose traces cannot be served by
+    the plane fall back to per-run scalar-fast machines — same
+    results, no sharing.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    sc = sc or get_scale()
+    if trace_store is None:
+        trace_store = tracestore.active_view()
+    if trace_store is None:
+        from repro.experiments.engine import default_session
+
+        trace_store = default_session().trace_store
+    groups: dict[tuple, list[int]] = {}
+    for i, spec in enumerate(specs):
+        if not isinstance(spec, BatchRunSpec):
+            raise TypeError(f"simulate_batch takes BatchRunSpec rows, got {type(spec).__name__}")
+        groups.setdefault(_mix_key(spec.mix), []).append(i)
+
+    out: list[RunStats | None] = [None] * len(specs)
+    for indices in groups.values():
+        mix = specs[indices[0]].mix
+        lens = [specs[i].n_accesses for i in indices if specs[i].n_accesses is not None]
+        if any(specs[i].mechanism is not None for i in indices):
+            lens.append(_mechanism_trace_length(sc))
+        length = max(lens)
+        kernel = build_batch_kernel(mix, sc, trace_store, length=length)
+        done: set[int] = set()
+        if kernel is not None:
+            for i, stats in _run_lockstep_sweeps(kernel, specs, indices):
+                out[i] = stats
+                done.add(i)
+        for i in indices:
+            if i in done:
+                continue
+            spec = specs[i]
+            machine = kernel.machine() if kernel is not None else _scalar_machine(mix, sc, trace_store)
+            if spec.mechanism is not None:
+                out[i] = _run_mechanism(machine, spec.mechanism, sc)
+            else:
+                out[i] = _run_static(machine, spec)
+    return out
+
+
+def _run_lockstep_sweeps(kernel: BatchKernel, specs, indices):
+    """Yield ``(index, RunStats)`` for static sub-groups run in lockstep.
+
+    Static specs sharing one (pf-mask vector, access count) pair have
+    identical core phases and merged request streams, so they advance
+    through :func:`repro.sim.batch.run_static_sweep`'s grouped SoA LLC
+    in a single pass — the sweep shape where the batch engine's ~Nx
+    throughput comes from.  Sub-groups of one, mechanism specs, and any
+    sweep that fails stay on the per-run path (bit-identical either way).
+    """
+    sweeps: dict[tuple, list[int]] = {}
+    for i in indices:
+        spec = specs[i]
+        if spec.n_accesses is not None:
+            sweeps.setdefault((spec.masks, spec.n_accesses), []).append(i)
+    params = kernel.params
+    for (masks, n_acc), idxs in sweeps.items():
+        if len(idxs) < 2:
+            continue
+        configs = [(specs[i].clos_cbms, specs[i].core_clos) for i in idxs]
+        try:
+            rows = run_static_sweep(kernel, configs, masks, n_acc)
+        except Exception:
+            continue  # per-run fallback handles these indices
+        fallbacks = kernel.trace_fallbacks()
+        for i, row in zip(idxs, rows):
+            yield i, RunStats(
+                n_cores=params.n_cores,
+                cycles_per_second=params.cycles_per_second,
+                totals=row.pmu_counts,
+                wall_cycles=row.wall_cycles,
+                epochs=[],
+                trace_fallbacks=fallbacks,
+            )
+
+
+def compute_mechanism_group(runs, trace_store) -> list[tuple[dict, float]]:
+    """Batch-execute a mix-affine group of planned mechanism runs.
+
+    ``runs`` are :class:`~repro.experiments.engine.PlannedRun` rows of
+    kind ``mechanism`` sharing one mix and scale.  Returns ``(payload,
+    seconds)`` per run, where the payload dict is byte-identical to the
+    scalar ``_compute_mechanism`` one.  Raises :class:`BatchUnavailable`
+    when the group can't be batched; the session then falls back to the
+    per-run scalar path.
+    """
+    from repro.core.trace import traces_to_dicts
+
+    r0 = runs[0]
+    sc = r0.sc
+    kernel = build_batch_kernel(r0.mix, sc, trace_store)
+    if kernel is None:
+        raise BatchUnavailable(f"trace plane cannot serve mix {r0.mix.name}")
+    out: list[tuple[dict, float]] = []
+    for r in runs:
+        t0 = time.perf_counter()
+        stats = _run_mechanism(kernel.machine(), r.mechanism, sc)
+        payload = {
+            "n_cores": stats.n_cores,
+            "cycles_per_second": stats.cycles_per_second,
+            "wall_cycles": stats.wall_cycles,
+            "totals": stats.totals.tolist(),
+            "n_epochs": len(stats.epochs),
+            "traces": traces_to_dicts(stats.traces),
+        }
+        out.append((payload, time.perf_counter() - t0))
+    return out

@@ -80,6 +80,7 @@ from repro.experiments.config import ScaleConfig, get_scale
 from repro.metrics.speedup import harmonic_speedup, weighted_speedup, worst_case_speedup
 from repro.platform.simulated import SimulatedPlatform
 from repro.sim import tracestore
+from repro.sim.engines import ENGINE_AUTO, ENGINE_BATCH, ENV_VAR, EngineSpec, get_engine
 from repro.sim.machine import CORE_ADDRESS_STRIDE_LINES, Machine
 from repro.workloads.classify import AloneProfile, profile_benchmark
 from repro.workloads.mixes import CATEGORIES, WorkloadMix, make_mixes
@@ -741,6 +742,16 @@ class ExperimentSession:
         (the pre-plane behaviour); results are bit-identical either
         way.  The disk tier lives under ``<cache root>/tracestore``;
         an in-memory result cache implies an in-memory trace store.
+    engine:
+        Simulation-engine name for this session's runs, resolved
+        through the :mod:`repro.sim.engines` registry (explicit
+        argument beats ``$REPRO_SIM_ENGINE`` beats ``auto``).  ``auto``
+        — the default — picks the batch engine, so serial mix-affine
+        mechanism groups execute through one shared
+        :class:`~repro.sim.batch.BatchKernel`; results are bit-identical
+        to per-run execution, and the engine name never enters result
+        cache keys.  Naming a non-batched engine (``fast``,
+        ``reference``) disables group dispatch.
     """
 
     _UNSET = object()
@@ -758,12 +769,16 @@ class ExperimentSession:
         pool_respawns: int = 2,
         mp_context=None,
         trace_cache: str | None = None,
+        engine: str | None = None,
     ) -> None:
         if cache is None:
             root = default_cache_dir() if cache_dir is self._UNSET else cache_dir
             cache = ResultCache(root)
         self.scale = scale
         self.cache = cache
+        if engine is not None and engine != ENGINE_AUTO:
+            get_engine(engine)  # typed EngineSelectionError on unknown names
+        self.engine = engine
         if max_workers is None:
             self.max_workers = default_workers()
         else:
@@ -959,8 +974,58 @@ class ExperimentSession:
             raise ExperimentError(errors)
         return out
 
-    def _execute_serial(self, misses, finish, fail) -> None:
+    def _engine_spec(self) -> EngineSpec:
+        """This session's resolved engine (explicit > env > auto=batch).
+
+        Sessions resolve ``auto`` to the batch engine — unlike a bare
+        :class:`~repro.sim.machine.Machine`, a session sees whole plans
+        and can group mix-affine runs — so setting ``$REPRO_SIM_ENGINE``
+        (or ``engine=``) to a scalar engine is the off switch.
+        """
+        name = self.engine or os.environ.get(ENV_VAR) or ENGINE_AUTO
+        if name == ENGINE_AUTO:
+            name = ENGINE_BATCH
+        return get_engine(name)
+
+    def _execute_batched(self, misses, finish):
+        """Dispatch batchable mix-affine groups; return leftover misses.
+
+        A group of >= 2 mechanism misses sharing an affinity group and
+        scale executes through one shared batch kernel
+        (:func:`repro.experiments.batch.compute_mechanism_group`);
+        payloads are byte-identical to the per-run path.  Any failure
+        returns the whole group to the scalar loop, which retains the
+        retry semantics.
+        """
+        spec = self._engine_spec()
+        if not spec.batched or self.trace_store is None:
+            return misses
+        from repro.experiments.batch import compute_mechanism_group
+
+        groups: dict[tuple, list[tuple[str, PlannedRun]]] = {}
         for key, r in misses:
+            g = (
+                (r.affinity_group, r.sc.name)
+                if r.kind == KIND_MECHANISM
+                else ("#single", key)
+            )
+            groups.setdefault(g, []).append((key, r))
+        remaining: list[tuple[str, PlannedRun]] = []
+        for grp in groups.values():
+            if len(grp) < 2:
+                remaining.extend(grp)
+                continue
+            try:
+                rows = compute_mechanism_group([r for _, r in grp], self.trace_store)
+            except Exception:
+                remaining.extend(grp)
+                continue
+            for (key, r), (payload, secs) in zip(grp, rows):
+                finish(key, r, payload, secs)
+        return remaining
+
+    def _execute_serial(self, misses, finish, fail) -> None:
+        for key, r in self._execute_batched(misses, finish):
             err: BaseException | None = None
             for _attempt in range(self.run_retries + 1):
                 try:

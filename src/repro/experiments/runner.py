@@ -5,17 +5,18 @@ mechanisms), attaches one benchmark trace per core, wraps the machine
 in a :class:`SimulatedPlatform`, and drives it with a
 :class:`CMMController` carrying the requested policy.
 
-Execution and caching now live in :mod:`repro.experiments.engine`:
+Execution and caching live in :mod:`repro.experiments.engine`:
 an :class:`~repro.experiments.engine.ExperimentSession` deduplicates,
-parallelises and persists runs.  This module keeps the result types
+parallelises and persists runs, and batch execution lives in
+:func:`repro.simulate_batch`.  This module keeps the result types
 (:class:`RunResult`, :class:`WorkloadEval`), the machine factory, and
-deprecated shims for the pre-engine API (``run_mechanism``,
-``run_policy_object``, ``evaluate_workload``, ``ALONE_CACHE``).
+the injectable :class:`AloneCache`.  The pre-engine shims
+(``run_mechanism``, ``run_policy_object``, ``evaluate_workload``,
+``ALONE_CACHE``) were removed in 2.0 — see CHANGELOG.md.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -109,47 +110,12 @@ class RunResult:
         return 1000.0 * self.total_stalls / inst if inst > 0 else 0.0
 
 
-def run_mechanism(mix: WorkloadMix, mechanism: str, sc: ScaleConfig | None = None) -> RunResult:
-    """Deprecated: use :func:`repro.run` / :meth:`ExperimentSession.run`."""
-    warnings.warn(
-        "run_mechanism() is deprecated; use repro.run(mix, mechanism, sc) "
-        "or ExperimentSession.run()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.experiments.engine import default_session
-
-    return default_session().run(mix, mechanism, sc)
-
-
-def run_policy_object(
-    mix: WorkloadMix,
-    policy,
-    sc: ScaleConfig | None = None,
-    *,
-    label: str | None = None,
-    detector_cfg=None,
-    sample_units: int | None = None,
-) -> RunResult:
-    """Deprecated: use :func:`repro.run` / :meth:`ExperimentSession.run`."""
-    warnings.warn(
-        "run_policy_object() is deprecated; use repro.run(mix, policy, sc, ...) "
-        "or ExperimentSession.run()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.experiments.engine import default_session
-
-    return default_session().run(
-        mix, policy, sc, label=label, detector_cfg=detector_cfg, sample_units=sample_units
-    )
-
-
 class AloneCache:
     """Per-scale in-memory cache of alone-run IPCs (prefetchers on, full LLC).
 
-    Still usable standalone (and injectable into ``evaluate_workload``),
-    but sessions supersede it: :meth:`ExperimentSession.alone_ipc`
+    Still usable standalone (and injectable into
+    :meth:`ExperimentSession.evaluate` via ``alone_cache=``), but
+    sessions supersede it: :meth:`ExperimentSession.alone_ipc`
     persists the same measurement in the on-disk store.
     """
 
@@ -177,35 +143,6 @@ class AloneCache:
         return sample.ipc(0)
 
 
-class _SessionAloneCache(AloneCache):
-    """The ``ALONE_CACHE`` shim: measurements go through the default
-    session, so legacy callers share the engine's on-disk store."""
-
-    def _measure(self, bench: str, sc: ScaleConfig) -> float:
-        from repro.experiments.engine import default_session
-
-        return default_session().alone_ipc(bench, sc)
-
-
-_LEGACY_ALONE_CACHE: _SessionAloneCache | None = None
-
-
-def __getattr__(name: str):
-    if name == "ALONE_CACHE":
-        warnings.warn(
-            "ALONE_CACHE is deprecated; sessions own their caches now — use "
-            "ExperimentSession.alone_ipc()/alone_ipcs() (or pass alone_cache= "
-            "explicitly)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        global _LEGACY_ALONE_CACHE
-        if _LEGACY_ALONE_CACHE is None:
-            _LEGACY_ALONE_CACHE = _SessionAloneCache()
-        return _LEGACY_ALONE_CACHE
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
 @dataclass
 class WorkloadEval:
     """One workload evaluated under several mechanisms."""
@@ -218,25 +155,3 @@ class WorkloadEval:
 
     def metric(self, mechanism: str, name: str) -> float:
         return self.metrics[mechanism][name]
-
-
-def evaluate_workload(
-    mix: WorkloadMix,
-    mechanisms: tuple[str, ...],
-    sc: ScaleConfig | None = None,
-    *,
-    alone_cache: AloneCache | None = None,
-) -> WorkloadEval:
-    """Deprecated: use :meth:`ExperimentSession.evaluate`.
-
-    Delegates to the default session (cached, possibly parallel) and
-    computes the same HS/WS/worst-case/BW/stall metrics as before.
-    """
-    warnings.warn(
-        "evaluate_workload() is deprecated; use ExperimentSession.evaluate()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.experiments.engine import default_session
-
-    return default_session().evaluate(mix, mechanisms, sc, alone_cache=alone_cache)

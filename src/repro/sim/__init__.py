@@ -14,7 +14,18 @@ E5-2620 v4 used by the paper (see DESIGN.md section 2).  It models:
 
 from repro.sim.params import MachineParams, CacheGeometry
 from repro.sim.cache import Cache, PartitionedCache
-from repro.sim.engines import ENGINE_FAST, ENGINE_REFERENCE, ENGINES, resolve_engine
+from repro.sim.engines import (
+    ENGINE_BATCH,
+    ENGINE_FAST,
+    ENGINE_REFERENCE,
+    ENGINES,
+    EngineSelectionError,
+    EngineSpec,
+    available_engines,
+    get_engine,
+    register_engine,
+    resolve_engine,
+)
 from repro.sim.fastcache import FastCache, FastPartitionedCache
 from repro.sim.machine import Machine
 from repro.sim.msr import MsrFile, PrefetchMsr, PF_ALL_ON, PF_ALL_OFF
@@ -28,9 +39,15 @@ __all__ = [
     "PartitionedCache",
     "FastCache",
     "FastPartitionedCache",
+    "ENGINE_BATCH",
     "ENGINE_FAST",
     "ENGINE_REFERENCE",
     "ENGINES",
+    "EngineSelectionError",
+    "EngineSpec",
+    "available_engines",
+    "get_engine",
+    "register_engine",
     "resolve_engine",
     "Machine",
     "MsrFile",

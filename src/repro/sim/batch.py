@@ -1,0 +1,737 @@
+"""Multi-run batch kernel: lane-deduplicated core phase over one trace.
+
+The ``batch`` engine advances N independent runs of the *same workload
+mix* while sharing the expensive half of the simulator between them.
+The key observation is a strict layering in :class:`~repro.sim.machine.
+Machine`'s quantum (DESIGN.md section 5): the **core phase** — trace
+chunk through private L1/L2 with prefetcher triggering — depends only
+on the core's trace, its prefetcher-mask history and the quantum
+partition.  It never observes the LLC, CAT partitioning, DRAM or any
+other core.  Runs that differ only in CAT masks (the paper's
+partition-size sweeps) share *every* core phase; runs that diverge in
+prefetcher masks share the common history prefix (e.g. the warmup all
+mechanisms execute under the baseline configuration).
+
+Instead of a structure-of-arrays with an explicit run axis, per-core
+state is deduplicated behind **lanes**: a per-core tree whose edges are
+keyed by ``(quantum_len, pf_mask)`` and store the core phase's entire
+observable output for that quantum —
+
+* the sign-encoded LLC request list (``line`` demand / ``~line``
+  prefetch, exactly what :func:`repro.sim.fastengine.run_core_chunk`
+  emits),
+* the ``QuantumCounts`` fields the core phase sets (``n_access``,
+  ``n_l2_hit_d``),
+* the per-core PMU row delta (seven integral core events, exact in
+  float64),
+* the L1/L2 :class:`~repro.sim.cache.CacheStats` deltas, and
+* the trace's ``inst_per_mem`` / ``mlp`` for the quantum.
+
+The first run to take a ``(q, mask)`` step computes it with the
+unmodified scalar fast kernel against live lane state (FastCache L1/L2,
+prefetcher bank, a zero-copy fork of the shared
+:class:`~repro.sim.tracestore.MaterializedTrace`); every later run
+replays the recorded edge in O(1).  A :class:`LaneMachine` — a
+:class:`Machine` whose ``_core_phase`` consumes lanes — then runs its
+*own* LLC phase (private ``FastPartitionedCache`` + CAT) and timing
+phase on those outputs.  Because the downstream phases are byte-for-
+byte the scalar implementation fed byte-for-byte the scalar inputs
+(integer deltas are exact in float64 and the merge order is replayed
+verbatim), batch results are **bit-identical** to the scalar fast
+engine, which is itself pinned bit-identical to ``reference``.
+
+Lane state is snapshotted every :data:`SNAP_EVERY` trunk quanta (and at
+divergence points), so a run forking off a shared prefix replays at
+most ``SNAP_EVERY - 1`` quanta of kernel work to rebuild state.  Trace
+snapshots record only the cursor position and are taken only while the
+materialized replay is still zero-copy; if a trace ever goes live
+(alignment fallback), that lane stops snapshotting and rebuilds replay
+the recorded quantum partition faithfully — bit-identical either way,
+with every fallback counted (see ``BatchKernel.trace_fallbacks``).
+
+The round-robin LLC merge depends only on the request lists, not on
+LLC/CAT state, so merges are also cached per unique lane-edge
+combination (:func:`repro.sim.fastengine.merge_llc_requests`) and
+shared across runs; the serve loop always executes against the
+consuming machine's own LLC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim import fastengine
+from repro.sim.cat import CatController
+from repro.sim.core_model import QuantumCounts, solve_quantum
+from repro.sim.engines import ENGINE_BATCH
+from repro.sim.fastcache import FastCache
+from repro.sim.machine import Machine
+from repro.sim.memory import DramModel
+from repro.sim.msr import MsrFile, PrefetchMsr, enables_from_mask
+from repro.sim.params import MachineParams
+from repro.sim.pmu import N_EVENTS, Event
+from repro.sim.prefetcher import PrefetcherBank
+
+__all__ = [
+    "SNAP_EVERY",
+    "BatchKernel",
+    "GroupedLLC",
+    "LaneMachine",
+    "StaticSweepRun",
+    "run_static_sweep",
+]
+
+#: Trunk-snapshot period, in quanta.  Smaller = cheaper forks, more
+#: copying on first-run trunks; 16 keeps snapshot overhead ~1/16 of a
+#: dict-copy per quantum while bounding fork replay to 15 quanta.
+SNAP_EVERY = 16
+
+
+class _LaneState:
+    """Live private-core state a lane edge is computed against.
+
+    Duck-types the ``l1``/``l2``/``bank``/``trace`` attributes of
+    ``Machine``'s per-core state, which is all
+    :func:`repro.sim.fastengine.run_core_chunk` touches.
+    """
+
+    __slots__ = ("l1", "l2", "bank", "trace", "mask_applied")
+
+    def __init__(self, l1, l2, bank, trace, mask_applied=-1) -> None:
+        self.l1 = l1
+        self.l2 = l2
+        self.bank = bank
+        self.trace = trace
+        self.mask_applied = mask_applied
+
+
+class _LaneEdge:
+    """One quantum's recorded core-phase output along a lane."""
+
+    __slots__ = (
+        "child",
+        "llc_req",
+        "n_access",
+        "n_l2_hit_d",
+        "pmu_row",
+        "l1_stats",
+        "l2_stats",
+        "ipm",
+        "mlp",
+    )
+
+
+class _LaneNode:
+    """A point in a core's (quantum, mask) history tree."""
+
+    __slots__ = ("parent", "key", "edges", "snapshot", "depth")
+
+    def __init__(self, parent=None, key=None) -> None:
+        self.parent = parent
+        self.key = key  # (q, mask) edge taken from parent to reach here
+        self.edges: dict[tuple[int, int], _LaneEdge] = {}
+        self.snapshot: _LaneState | None = None
+        self.depth = 0 if parent is None else parent.depth + 1
+
+
+class _LaneTree:
+    """All recorded histories of one core across the batch's runs."""
+
+    def __init__(self, params: MachineParams, base_trace) -> None:
+        self.params = params
+        self.base_trace = base_trace
+        self.root = _LaneNode()
+        # Strong refs to every trace fork so fallbacks stay countable
+        # even after a hot state is dropped (forks are tiny views).
+        self.forks: list = []
+        self._scratch = np.zeros((1, N_EVENTS), dtype=np.float64)
+
+    # -- state management --------------------------------------------
+
+    def _fork_trace(self, pos: int):
+        t = self.base_trace.fork(pos)
+        self.forks.append(t)
+        return t
+
+    def _fresh_state(self) -> _LaneState:
+        p = self.params
+        bank = PrefetcherBank(
+            stride_table=p.stride_table_entries,
+            stride_degree=p.stride_degree,
+            stride_confidence=p.stride_confidence,
+            streamer_pages=p.streamer_table_pages,
+            streamer_degree=p.streamer_degree,
+        )
+        return _LaneState(FastCache(p.l1), FastCache(p.l2), bank, self._fork_trace(0))
+
+    def _clone_state(self, st: _LaneState) -> _LaneState:
+        p = self.params
+        l1 = FastCache(p.l1)
+        l1._sets = [dict(s) for s in st.l1._sets]
+        l2 = FastCache(p.l2)
+        l2._sets = [dict(s) for s in st.l2._sets]
+        bank = PrefetcherBank(
+            stride_table=p.stride_table_entries,
+            stride_degree=p.stride_degree,
+            stride_confidence=p.stride_confidence,
+            streamer_pages=p.streamer_table_pages,
+            streamer_degree=p.streamer_degree,
+        )
+        bank.set_enables(
+            stride=st.bank.en_stride,
+            next_line=st.bank.en_next_line,
+            streamer=st.bank.en_streamer,
+            adjacent=st.bank.en_adjacent,
+        )
+        bank.ip_stride._table = {k: v[:] for k, v in st.bank.ip_stride._table.items()}
+        bank.streamer._table = {k: v[:] for k, v in st.bank.streamer._table.items()}
+        return _LaneState(l1, l2, bank, self._fork_trace(st.trace.pos), st.mask_applied)
+
+    def _state_at(self, node: _LaneNode) -> _LaneState:
+        """Rebuild live state for ``node``: nearest snapshot + replay."""
+        path: list[tuple[int, int]] = []
+        anchor = node
+        while anchor.parent is not None and anchor.snapshot is None:
+            path.append(anchor.key)
+            anchor = anchor.parent
+        st = self._clone_state(anchor.snapshot) if anchor.snapshot else self._fresh_state()
+        for q, mask in reversed(path):
+            self._run_kernel(st, q, mask)
+        return st
+
+    # -- kernel -------------------------------------------------------
+
+    def _run_kernel(self, st: _LaneState, q: int, mask: int):
+        """Advance ``st`` by one quantum under ``mask``; return outputs."""
+        if mask != st.mask_applied:
+            en = enables_from_mask(mask)
+            st.bank.set_enables(
+                stride=en["stride"],
+                next_line=en["next_line"],
+                streamer=en["streamer"],
+                adjacent=en["adjacent"],
+            )
+            st.mask_applied = mask
+        ipm = st.trace.inst_per_mem
+        mlp = st.trace.mlp
+        s1, s2 = st.l1.stats, st.l2.stats
+        s1.accesses = s1.hits = s1.pref_fills = s1.pref_used = s1.pref_evicted_unused = 0
+        s2.accesses = s2.hits = s2.pref_fills = s2.pref_used = s2.pref_evicted_unused = 0
+        scratch = self._scratch
+        scratch[:] = 0.0
+        qc = QuantumCounts()
+        llc_req: list[int] = []
+        fastengine.run_core_chunk(0, st, q, qc, llc_req, scratch)
+        return qc, llc_req, scratch[0].copy(), ipm, mlp
+
+    def step(self, cursor: "_LaneCursor", q: int, mask: int) -> _LaneEdge:
+        """Advance a run's cursor one quantum, computing the edge once."""
+        node = cursor.node
+        key = (q, mask)
+        edge = node.edges.get(key)
+        if edge is not None:
+            # Replay: the cursor's hot state (if any) is now stale.
+            if cursor.state is not None:
+                cursor.state = None
+            cursor.node = edge.child
+            return edge
+        st = cursor.state
+        if st is None:
+            st = self._state_at(node)
+        if node.edges and node.snapshot is None and st.trace._live is None:
+            # Second+ divergence from this node: pin a snapshot so the
+            # remaining siblings fork from here instead of replaying.
+            node.snapshot = self._clone_state(st)
+        qc, llc_req, pmu_row, ipm, mlp = self._run_kernel(st, q, mask)
+        edge = _LaneEdge()
+        child = _LaneNode(node, key)
+        edge.child = child
+        edge.llc_req = llc_req
+        edge.n_access = qc.n_access
+        edge.n_l2_hit_d = qc.n_l2_hit_d
+        edge.pmu_row = pmu_row
+        edge.l1_stats = (
+            st.l1.stats.accesses,
+            st.l1.stats.hits,
+            st.l1.stats.pref_fills,
+            st.l1.stats.pref_used,
+            st.l1.stats.pref_evicted_unused,
+        )
+        edge.l2_stats = (
+            st.l2.stats.accesses,
+            st.l2.stats.hits,
+            st.l2.stats.pref_fills,
+            st.l2.stats.pref_used,
+            st.l2.stats.pref_evicted_unused,
+        )
+        edge.ipm = ipm
+        edge.mlp = mlp
+        node.edges[key] = edge
+        if child.depth % SNAP_EVERY == 0 and st.trace._live is None:
+            child.snapshot = self._clone_state(st)
+        cursor.node = child
+        cursor.state = st
+        return edge
+
+    def occupancy(self, cursor: "_LaneCursor") -> tuple[int, int]:
+        """(L1, L2) line occupancy of the cursor's current lane state."""
+        st = cursor.state if cursor.state is not None else self._state_at(cursor.node)
+        return st.l1.occupancy(), st.l2.occupancy()
+
+    def trace_fallbacks(self) -> int:
+        return sum(t.fallbacks for t in self.forks)
+
+
+class _LaneCursor:
+    """One run's position in one core's lane tree."""
+
+    __slots__ = ("tree", "node", "state")
+
+    def __init__(self, tree: _LaneTree) -> None:
+        self.tree = tree
+        self.node = tree.root
+        self.state: _LaneState | None = None
+
+
+#: Larger than any LRU stamp; masks disallowed/empty ways out of the
+#: vectorised victim argmin.
+_TS_INF = np.int64(np.iinfo(np.int64).max)
+
+
+class _PreparedStream:
+    """A merged LLC request stream decoded into NumPy columns.
+
+    ``segments`` partitions the stream into maximal conflict-free
+    prefixes: within a segment every request maps to a *distinct* LLC
+    set, so the requests touch disjoint state and the grouped serve can
+    process a whole segment — for every run at once — with one batch of
+    array operations while preserving the scalar serve order exactly
+    (requests to different sets never interact; LRU order, victim
+    choice and counters are all per-set).
+    """
+
+    __slots__ = ("n", "line", "si", "is_pref", "demand", "cpu_col", "cpu_groups", "segments")
+
+    def __init__(self, merged, mcpus, set_mask: int) -> None:
+        enc = np.asarray(merged, dtype=np.int64)
+        self.n = len(enc)
+        is_pref = enc < 0
+        line = np.where(is_pref, ~enc, enc)
+        self.line = line
+        self.si = line & set_mask
+        self.is_pref = is_pref
+        self.demand = ~is_pref
+        cpu = np.asarray(mcpus, dtype=np.int64)
+        self.cpu_col = cpu
+        self.cpu_groups = [
+            (c, np.flatnonzero(cpu == c)) for c in np.unique(cpu).tolist()
+        ]
+        segments: list[tuple[int, int]] = []
+        seen: set[int] = set()
+        start = 0
+        for i, s in enumerate(self.si.tolist()):
+            if s in seen:
+                segments.append((start, i))
+                seen.clear()
+                start = i
+            seen.add(s)
+        if self.n:
+            segments.append((start, self.n))
+        self.segments = segments
+
+
+class GroupedLLC:
+    """R independent LLC images in structure-of-arrays layout.
+
+    The run axis leads: ``tags``/``stamps``/``pref`` are ``(runs, sets,
+    ways)`` arrays holding every run's way-partitioned LLC at once, so
+    one pass over a shared merged request stream advances all runs
+    together.  Bit-identical mapping onto
+    :class:`~repro.sim.fastcache.FastPartitionedCache`'s dict sets:
+
+    * dict order is last-touch order (hits pop + reinsert), so "first
+      entry" == minimum LRU stamp; ``stamps`` hold each way's last
+      touch as its global stream position.
+    * the free-way bitmask tracks never-filled ways, so ``tags == -1``
+      is exactly "free"; the scalar picks the lowest set bit of
+      ``free & abits`` and ``argmax`` over a boolean way axis picks the
+      same lowest allowed free way.
+    * the victim when no allowed way is free is the min-stamp valid way
+      among the allowed ways — which is also ``next(iter(set))`` when
+      the partition spans every way, because a set with no free way has
+      all ways valid.
+
+    Every request touches exactly one way per run (hits refresh the hit
+    way, misses fill the chosen way), so each segment needs a single
+    scatter per state array.
+    """
+
+    def __init__(self, geometry, n_runs: int) -> None:
+        self.geometry = geometry
+        self.n_runs = n_runs
+        shape = (n_runs, geometry.sets, geometry.ways)
+        self.tags = np.full(shape, -1, dtype=np.int64)
+        self.stamps = np.zeros(shape, dtype=np.int64)
+        self.pref = np.zeros(shape, dtype=np.uint8)
+        self._seq = 1
+        # CacheStats mirror: accesses are stream-shared, the rest per run.
+        self.accesses = 0
+        self.hits = np.zeros(n_runs, dtype=np.int64)
+        self.pref_fills = np.zeros(n_runs, dtype=np.int64)
+        self.pref_used = np.zeros(n_runs, dtype=np.int64)
+        self.pref_evicted_unused = np.zeros(n_runs, dtype=np.int64)
+
+    def stats_for(self, run: int) -> tuple[int, int, int, int, int]:
+        """One run's ``CacheStats`` tuple (accesses, hits, fills, used, evicted)."""
+        return (
+            self.accesses,
+            int(self.hits[run]),
+            int(self.pref_fills[run]),
+            int(self.pref_used[run]),
+            int(self.pref_evicted_unused[run]),
+        )
+
+    def occupancy(self, run: int) -> int:
+        return int((self.tags[run] != -1).sum())
+
+    def serve(self, stream: _PreparedStream, allowed, hits_d, mem_d, pref_m) -> None:
+        """Serve one quantum's merged stream for every run at once.
+
+        ``allowed`` is the ``(runs, cpus, ways)`` boolean CAT matrix;
+        ``hits_d``/``mem_d``/``pref_m`` are ``(runs, cpus)`` int64
+        accumulators for demand hits, demand fills and prefetch fills —
+        the per-core counters the scalar serve loop tracks.
+        """
+        tags, stamps, pref = self.tags, self.stamps, self.pref
+        R = self.n_runs
+        S = self.geometry.sets
+        W = self.geometry.ways
+        n = stream.n
+        tags_f = tags.reshape(R * S * W)
+        stamps_f = stamps.reshape(R * S * W)
+        pref_f = pref.reshape(R * S * W)
+        run_off = (np.arange(R, dtype=np.int64) * S * W)[:, None]
+        seqs = np.arange(self._seq, self._seq + n, dtype=np.int64)
+        slot = stream.si * W  # per-request flat set offset
+        # Per-request outcome columns, reduced to stats once per quantum.
+        H = np.empty((R, n), dtype=bool)  # hit?
+        OP = np.empty((R, n), dtype=bool)  # touched way's pref bit was set?
+        OV = np.empty((R, n), dtype=bool)  # touched way held a valid line?
+        # One (runs, requests, ways) CAT gather per quantum; segments
+        # below slice views out of it instead of re-gathering.
+        allow_q = allowed[:, stream.cpu_col, :]
+        for a, b in stream.segments:
+            si = stream.si[a:b]
+            line = stream.line[a:b]
+            sub_t = tags[:, si, :]  # (R, k, W)
+            hit = sub_t == line[None, :, None]
+            hit_any = hit.any(axis=2)
+            way = hit.argmax(axis=2)
+            if not hit_any.all():
+                allow = allow_q[:, a:b, :]  # (R, k, W) view
+                invalid = sub_t == -1
+                freem = invalid & allow
+                have_free = freem.any(axis=2)
+                wmiss = freem.argmax(axis=2)
+                need_vic = ~(hit_any | have_free)
+                if need_vic.any():
+                    vic = np.where(
+                        allow & ~invalid, stamps[:, si, :], _TS_INF
+                    ).argmin(axis=2)
+                    wmiss = np.where(have_free, wmiss, vic)
+                way = np.where(hit_any, way, wmiss)
+            flat = run_off + (slot[a:b] + way)  # (R, k)
+            old_p = pref_f[flat]
+            H[:, a:b] = hit_any
+            OP[:, a:b] = old_p
+            OV[:, a:b] = tags_f[flat] != -1
+            # Hits keep the bit on prefetch touches and clear it on
+            # demand; fills set it iff the fill is a prefetch.
+            new_p = np.where(
+                hit_any, old_p & stream.is_pref[a:b][None, :], stream.is_pref[a:b][None, :]
+            )
+            tags_f[flat] = line[None, :]
+            stamps_f[flat] = seqs[a:b][None, :]
+            pref_f[flat] = new_p
+        dem = stream.demand[None, :]
+        ispf = stream.is_pref[None, :]
+        M = ~H
+        fillm = M & ispf
+        self.hits += H.sum(axis=1)
+        self.pref_used += (H & dem & OP).sum(axis=1)
+        self.pref_evicted_unused += (M & OV & OP).sum(axis=1)
+        self.pref_fills += fillm.sum(axis=1)
+        dh = H & dem
+        dm = M & dem
+        for c, sel in stream.cpu_groups:
+            hits_d[:, c] += dh[:, sel].sum(axis=1)
+            mem_d[:, c] += dm[:, sel].sum(axis=1)
+            pref_m[:, c] += fillm[:, sel].sum(axis=1)
+        self._seq += n
+        self.accesses += n
+
+
+class BatchKernel:
+    """Shared lane trees + merge cache for one batch of mix-affine runs.
+
+    Build one kernel per (params, quantum, per-core traces) group, then
+    :meth:`machine` a fresh :class:`LaneMachine` per run.  Runs may
+    execute sequentially or interleaved; lanes are computed on first
+    use and replayed ever after.
+    """
+
+    def __init__(self, params: MachineParams, *, quantum: int) -> None:
+        self.params = params
+        self.quantum = int(quantum)
+        self._trees: dict[int, _LaneTree] = {}
+        self._merge_cache: dict[tuple, tuple] = {}
+        self._stream_cache: dict[int, _PreparedStream] = {}
+        self.runs_built = 0
+
+    def add_core(self, cpu: int, base_trace) -> None:
+        """Register a core's shared materialized trace (forkable)."""
+        if not hasattr(base_trace, "fork"):
+            raise TypeError(
+                "batch kernel requires forkable materialized traces "
+                f"(got {type(base_trace).__name__} for core {cpu}); "
+                "enable the trace plane or fall back to the scalar engine"
+            )
+        self._trees[cpu] = _LaneTree(self.params, base_trace)
+
+    @property
+    def lane_cores(self) -> tuple[int, ...]:
+        return tuple(sorted(self._trees))
+
+    def machine(self) -> "LaneMachine":
+        """A fresh run member consuming this kernel's lanes."""
+        self.runs_built += 1
+        return LaneMachine(self)
+
+    def merged(self, llc_reqs: list[list]) -> tuple:
+        """Cached round-robin merge for one combination of lane edges.
+
+        Keyed by the identity of the (immutable, kernel-owned) request
+        lists — identical edge combinations across runs resolve to the
+        same key, so the merge interleave is computed once per unique
+        quantum shape instead of once per run.
+        """
+        key = tuple(id(r) if r else 0 for r in llc_reqs)
+        hit = self._merge_cache.get(key)
+        if hit is None:
+            hit = fastengine.merge_llc_requests(llc_reqs)
+            self._merge_cache[key] = hit
+        return hit
+
+    def grouped_stream(self, llc_reqs: list[list]) -> _PreparedStream:
+        """Cached decoded + conflict-segmented merge for the grouped serve.
+
+        Layered on :meth:`merged`: the cached merge tuple's identity is
+        stable per unique lane combination, so the NumPy decode and the
+        set-conflict segmentation are also computed once per unique
+        quantum shape and shared by every run in a lockstep sweep.
+        """
+        pre = self.merged(llc_reqs)
+        key = id(pre)
+        hit = self._stream_cache.get(key)
+        if hit is None:
+            hit = _PreparedStream(pre[1], pre[2], self.params.llc.sets - 1)
+            self._stream_cache[key] = hit
+        return hit
+
+    def trace_fallbacks(self) -> int:
+        """Total zero-copy go-live fallbacks across every lane fork."""
+        return sum(t.trace_fallbacks() for t in self._trees.values())
+
+
+class LaneMachine(Machine):
+    """A ``Machine`` whose core phase replays a :class:`BatchKernel`.
+
+    Everything downstream of the core phase — LLC + CAT, DRAM, PMU,
+    timing — is this machine's own scalar-fast state, so per-run
+    control (MSR masks, CAT masks) behaves exactly as on a scalar
+    machine and results are bit-identical to one.
+    """
+
+    def __init__(self, kernel: BatchKernel) -> None:
+        super().__init__(kernel.params, quantum=kernel.quantum, engine=ENGINE_BATCH)
+        self._kernel = kernel
+        self._cursors: dict[int, _LaneCursor] = {}
+        for cpu in kernel.lane_cores:
+            self._cursors[cpu] = _LaneCursor(kernel._trees[cpu])
+            self.cores[cpu].active = True
+
+    def attach_trace(self, core: int, trace) -> None:  # pragma: no cover
+        raise TypeError(
+            "LaneMachine cores are driven by the batch kernel's lanes; "
+            "register traces via BatchKernel.add_core before building runs"
+        )
+
+    def _core_phase(self, q, counts, ipm, mlp, active, llc_reqs) -> None:
+        pmu_counts = self.pmu.counts
+        get_mask = self.prefetch_msr.get_mask
+        for cpu, cursor in self._cursors.items():
+            active[cpu] = True
+            e = cursor.tree.step(cursor, q, get_mask(cpu))
+            qc = counts[cpu]
+            qc.n_access = e.n_access
+            qc.n_l2_hit_d = e.n_l2_hit_d
+            llc_reqs[cpu] = e.llc_req
+            ipm[cpu] = e.ipm
+            mlp[cpu] = e.mlp
+            # Row add: untouched events gain +0.0, which is exact for
+            # the non-negative counters the PMU holds; the seven core
+            # events add the same float64 integers the scalar path does.
+            pmu_counts[cpu] += e.pmu_row
+            cs = self.cores[cpu]
+            s1, d1 = cs.l1.stats, e.l1_stats
+            s1.accesses += d1[0]
+            s1.hits += d1[1]
+            s1.pref_fills += d1[2]
+            s1.pref_used += d1[3]
+            s1.pref_evicted_unused += d1[4]
+            s2, d2 = cs.l2.stats, e.l2_stats
+            s2.accesses += d2[0]
+            s2.hits += d2[1]
+            s2.pref_fills += d2[2]
+            s2.pref_used += d2[3]
+            s2.pref_evicted_unused += d2[4]
+
+    def _llc_phase(self, counts, llc_reqs) -> None:
+        fastengine.run_llc_phase(
+            self, counts, llc_reqs, self.pmu.counts, self._kernel.merged(llc_reqs)
+        )
+
+    def private_occupancy(self, cpu: int) -> tuple[int, int]:
+        """(L1, L2) occupancy of this run's lane state for ``cpu``.
+
+        The member's own ``cores[cpu].l1/l2`` only accumulate stats
+        deltas; the actual cache contents live in the lane state.
+        """
+        cursor = self._cursors[cpu]
+        return cursor.tree.occupancy(cursor)
+
+    def trace_fallbacks(self) -> int:
+        return self._kernel.trace_fallbacks()
+
+
+class StaticSweepRun:
+    """One run's outputs from :func:`run_static_sweep`."""
+
+    __slots__ = ("pmu_counts", "wall_cycles", "llc_stats", "llc_occupancy")
+
+    def __init__(self, pmu_counts, wall_cycles, llc_stats, llc_occupancy) -> None:
+        self.pmu_counts = pmu_counts  # (n_cores, N_EVENTS) float64
+        self.wall_cycles = wall_cycles
+        self.llc_stats = llc_stats  # (accesses, hits, fills, used, evicted)
+        self.llc_occupancy = llc_occupancy
+
+
+def run_static_sweep(
+    kernel: BatchKernel,
+    configs: list[tuple[tuple[tuple[int, int], ...], tuple[int, ...]]],
+    masks: tuple[int, ...],
+    n_accesses: int,
+) -> list[StaticSweepRun]:
+    """Advance R static runs in lockstep through one SoA kernel pass.
+
+    ``configs`` is one ``(clos_cbms, core_clos)`` CAT configuration per
+    run; ``masks`` are the per-core prefetcher masks *shared by every
+    run* — that is what makes the core phase, and therefore the merged
+    LLC request stream, identical across the sweep, so a single lane
+    walk feeds a :class:`GroupedLLC` that serves all runs per quantum.
+    Timing stays a per-run scalar fixed point fed the grouped serve's
+    per-run counters, and every per-run arithmetic sequence matches a
+    scalar fast machine op for op: results are bit-identical to running
+    each configuration on its own machine.
+    """
+    params = kernel.params
+    n = params.n_cores
+    R = len(configs)
+    # Effective per-core masks: static configs overlay MSR defaults.
+    pmsr = PrefetchMsr(MsrFile(n))
+    for cpu, m in enumerate(masks):
+        pmsr.set_mask(cpu, m)
+    eff_mask = [pmsr.get_mask(cpu) for cpu in range(n)]
+    # Per-run CAT -> (runs, cpus, ways) boolean allowed-way matrix.
+    W = params.llc.ways
+    allowed = np.zeros((R, n, W), dtype=bool)
+    for r, (clos_cbms, core_clos) in enumerate(configs):
+        cat = CatController(W, n)
+        for clos, cbm in clos_cbms:
+            cat.set_cbm(clos, cbm)
+        for cpu, clos in enumerate(core_clos):
+            cat.assign_core(cpu, clos)
+        for cpu in range(n):
+            for w in cat.allowed_ways(cpu):
+                allowed[r, cpu, w] = True
+
+    glc = GroupedLLC(params.llc, R)
+    cursors = {cpu: _LaneCursor(kernel._trees[cpu]) for cpu in kernel.lane_cores}
+    pmu = [np.zeros((n, N_EVENTS), dtype=np.float64) for _ in range(R)]
+    wall = [0.0] * R
+    drams = [DramModel(params) for _ in range(R)]
+    line_bytes = float(params.line_bytes)
+    hits_d = np.zeros((R, n), dtype=np.int64)
+    mem_d = np.zeros((R, n), dtype=np.int64)
+    pref_m = np.zeros((R, n), dtype=np.int64)
+
+    remaining = int(n_accesses)
+    while remaining > 0:
+        q = min(kernel.quantum, remaining)
+        llc_reqs: list[list] = [[] for _ in range(n)]
+        edges = {}
+        for cpu, cursor in cursors.items():
+            e = cursor.tree.step(cursor, q, eff_mask[cpu])
+            edges[cpu] = e
+            llc_reqs[cpu] = e.llc_req
+        stream = kernel.grouped_stream(llc_reqs)
+        hits_d[:] = 0
+        mem_d[:] = 0
+        pref_m[:] = 0
+        if stream.n:
+            glc.serve(stream, allowed, hits_d, mem_d, pref_m)
+        active = [False] * n
+        ipm = [0.0] * n
+        mlp = [1.0] * n
+        for cpu, e in edges.items():
+            active[cpu] = True
+            ipm[cpu] = e.ipm
+            mlp[cpu] = e.mlp
+        for r in range(R):
+            counts = [QuantumCounts() for _ in range(n)]
+            prow = pmu[r]
+            for cpu, e in edges.items():
+                qc = counts[cpu]
+                qc.n_access = e.n_access
+                qc.n_l2_hit_d = e.n_l2_hit_d
+                qc.n_llc_hit_d = int(hits_d[r, cpu])
+                nm = int(mem_d[r, cpu])
+                if nm:
+                    qc.n_mem_d = nm
+                    qc.demand_bytes = nm * line_bytes
+                    prow[cpu, Event.L3_LOAD_MISS] += nm
+                npf = int(pref_m[r, cpu])
+                if npf:
+                    qc.pref_bytes = npf * line_bytes
+                prow[cpu] += e.pmu_row
+            timing = solve_quantum(params, drams[r], counts, ipm, mlp, active)
+            demand_b = 0.0
+            pref_b = 0.0
+            for cpu in range(n):
+                if not active[cpu]:
+                    continue
+                c = counts[cpu]
+                prow[cpu, Event.INSTRUCTIONS] += c.n_access * (1.0 + ipm[cpu])
+                prow[cpu, Event.CYCLES] += timing.cycles[cpu]
+                prow[cpu, Event.STALLS_L2_PENDING] += timing.stalls_l2_pending[cpu]
+                prow[cpu, Event.MEM_DEMAND_BYTES] += c.demand_bytes
+                prow[cpu, Event.MEM_PREF_BYTES] += c.pref_bytes
+                demand_b += c.demand_bytes
+                pref_b += c.pref_bytes
+            drams[r].account(demand_b, pref_b)
+            wall[r] += timing.machine_cycles
+        remaining -= q
+
+    return [
+        StaticSweepRun(pmu[r], wall[r], glc.stats_for(r), glc.occupancy(r)) for r in range(R)
+    ]

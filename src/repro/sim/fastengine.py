@@ -428,9 +428,45 @@ def run_core_chunk(cpu, cs, q, qc, llc_req, pmu_counts) -> None:
     pmu_counts[cpu, Event.L2_PREF_MISS] += n_l2_pref_miss
 
 
-def run_llc_phase(machine, counts, llc_reqs, pmu_counts) -> None:
-    """Serve all cores' LLC requests, merged round-robin (fused loop)."""
+def merge_llc_requests(llc_reqs) -> tuple[list, list, list]:
+    """Round-robin merge of per-core request lists, materialized.
+
+    Returns ``(busy, merged, mcpus)`` — the busy-core list plus the
+    column-major interleaved request stream and the core each request
+    came from, as plain lists.  The merge depends only on the request
+    lists (not on CAT or LLC state), so the batch kernel computes it
+    once per unique lane combination and replays it across runs.
+    """
     busy = [cpu for cpu, reqs in enumerate(llc_reqs) if reqs]
+    if not busy:
+        return busy, [], []
+    if len(busy) == 1:
+        cpu0 = busy[0]
+        merged = list(llc_reqs[cpu0])
+        return busy, merged, [cpu0] * len(merged)
+    lens = [len(llc_reqs[c]) for c in busy]
+    maxlen = max(lens)
+    mat = np.full((len(busy), maxlen), _SENTINEL, dtype=np.int64)
+    for row, c in enumerate(busy):
+        mat[row, : lens[row]] = llc_reqs[c]
+    flat = mat.T.ravel()
+    valid = flat != _SENTINEL
+    merged = flat[valid].tolist()
+    mcpus = np.tile(np.asarray(busy, dtype=np.int64), maxlen)[valid].tolist()
+    return busy, merged, mcpus
+
+
+def run_llc_phase(machine, counts, llc_reqs, pmu_counts, premerged=None) -> None:
+    """Serve all cores' LLC requests, merged round-robin (fused loop).
+
+    ``premerged`` short-circuits the merge with a cached
+    :func:`merge_llc_requests` result (the batch kernel's merge cache);
+    the serve loop itself always runs against this machine's LLC/CAT.
+    """
+    if premerged is None:
+        busy = [cpu for cpu, reqs in enumerate(llc_reqs) if reqs]
+    else:
+        busy = premerged[0]
     if not busy:
         return
     llc = machine.llc
@@ -448,7 +484,9 @@ def run_llc_phase(machine, counts, llc_reqs, pmu_counts) -> None:
         abits_l[cpu] = llc._allowed_bits(machine.cat.allowed_ways(cpu))
 
     # --- round-robin merge (vectorised column-major interleave) -----
-    if len(busy) == 1:
+    if premerged is not None:
+        pairs = zip(premerged[1], premerged[2])
+    elif len(busy) == 1:
         cpu0 = busy[0]
         pairs = zip(llc_reqs[cpu0], _repeat(cpu0))
     else:

@@ -68,8 +68,14 @@ class Machine:
         if self.quantum < 1:
             raise ValueError("quantum must be positive")
         # Explicit argument beats params.sim_engine beats $REPRO_SIM_ENGINE.
-        self.engine = resolve_engine(engine if engine is not None else self.params.sim_engine)
-        self._fast = self.engine == ENGINE_FAST
+        # The registry resolves the name to a full EngineSpec; the spec's
+        # kernel decides which scalar hot path this machine runs (a
+        # batch-capable engine degrades to its scalar kernel here — the
+        # multi-run path lives in repro.sim.batch / repro.simulate_batch).
+        spec = resolve_engine(engine if engine is not None else self.params.sim_engine)
+        self.engine_spec = spec
+        self.engine = spec.name
+        self._fast = spec.kernel == ENGINE_FAST
         n = self.params.n_cores
         self.cores = [_CoreState(self.params, self._fast) for _ in range(n)]
         self.llc: PartitionedCache | FastPartitionedCache
@@ -139,6 +145,14 @@ class Machine:
             remaining -= q
 
     def _run_quantum(self, q: int) -> None:
+        """One quantum = core phase -> LLC phase -> timing phase.
+
+        Each phase is an overridable method so engine variants (the
+        batch kernel's lane-backed machine in :mod:`repro.sim.batch`)
+        can substitute one phase while inheriting the rest unchanged —
+        bit-identity follows from feeding the untouched downstream
+        phases the exact same inputs.
+        """
         self._sync_prefetchers()
         n = self.params.n_cores
         counts = [QuantumCounts() for _ in range(n)]
@@ -148,10 +162,15 @@ class Machine:
         # Request lists: (line, is_prefetch) tuples for the reference
         # engine, sign-encoded ints (``line`` / ``~line``) for fast.
         llc_reqs: list[list] = [[] for _ in range(n)]
+        self._core_phase(q, counts, ipm, mlp, active, llc_reqs)
+        self._llc_phase(counts, llc_reqs)
+        self._timing_phase(counts, ipm, mlp, active)
+
+    def _core_phase(self, q, counts, ipm, mlp, active, llc_reqs) -> None:
+        """Filter each active core's chunk through its private hierarchy."""
         pmu_counts = self.pmu.counts
         fast = self._fast
-
-        for cpu in range(n):
+        for cpu in range(self.params.n_cores):
             cs = self.cores[cpu]
             if not cs.active:
                 continue
@@ -163,15 +182,20 @@ class Machine:
             else:
                 self._run_core_chunk_reference(cpu, cs, q, counts[cpu], llc_reqs[cpu], pmu_counts)
 
-        if fast:
-            fastengine.run_llc_phase(self, counts, llc_reqs, pmu_counts)
+    def _llc_phase(self, counts, llc_reqs) -> None:
+        """Merge all cores' LLC requests round-robin and serve them."""
+        if self._fast:
+            fastengine.run_llc_phase(self, counts, llc_reqs, self.pmu.counts)
         else:
-            self._run_llc_phase_reference(counts, llc_reqs, pmu_counts)
+            self._run_llc_phase_reference(counts, llc_reqs, self.pmu.counts)
 
+    def _timing_phase(self, counts, ipm, mlp, active) -> None:
+        """Solve the quantum's fixed-point timing and account PMU/DRAM."""
+        pmu_counts = self.pmu.counts
         timing = solve_quantum(self.params, self.dram, counts, ipm, mlp, active)
         demand_b = 0.0
         pref_b = 0.0
-        for cpu in range(n):
+        for cpu in range(self.params.n_cores):
             if not active[cpu]:
                 continue
             c = counts[cpu]
@@ -184,6 +208,15 @@ class Machine:
             pref_b += c.pref_bytes
         self.dram.account(demand_b, pref_b)
         self.pmu.wall_cycles += timing.machine_cycles
+
+    def trace_fallbacks(self) -> int:
+        """Total zero-copy go-live fallbacks across attached traces.
+
+        Non-zero only when a :class:`~repro.sim.tracestore.MaterializedTrace`
+        had to leave the zero-copy path (see ``MaterializedTrace.chunk``);
+        plain generator traces report 0.
+        """
+        return sum(int(getattr(cs.trace, "fallbacks", 0)) for cs in self.cores)
 
     def _run_core_chunk_reference(
         self,

@@ -68,6 +68,7 @@ __all__ = [
     "MaterializedTrace",
     "TraceStore",
     "TraceStoreStats",
+    "fallback_count",
     "trace_cache_mode",
     "trace_key",
     "active_view",
@@ -186,6 +187,7 @@ class MaterializedTrace:
         return self._footprint
 
     def _go_live(self) -> None:
+        global _PROCESS_FALLBACKS
         gen = self._factory()
         # All requests so far were align-multiples, so the position is
         # too — one aligned fast-forward call reproduces the internal
@@ -195,6 +197,28 @@ class MaterializedTrace:
             gen.chunk(self._pos)
         self._live = gen
         self.fallbacks += 1
+        _PROCESS_FALLBACKS += 1
+
+    def fork(self, pos: int = 0) -> "MaterializedTrace":
+        """Cheap clone sharing the materialized arrays, cursor at ``pos``.
+
+        The batch kernel's lane forks: each lane replays the same
+        zero-copy arrays through its own cursor.  ``pos`` must be a
+        position a zero-copy replay actually reached (lane snapshots
+        only record positions while ``_live is None``), so the clone's
+        state is fully described by the cursor.
+        """
+        t = MaterializedTrace(
+            self._ctx,
+            self._lines,
+            inst_per_mem=self.inst_per_mem,
+            mlp=self.mlp,
+            footprint=self._footprint,
+            factory=self._factory,
+            align=self._align,
+        )
+        t._pos = int(pos)
+        return t
 
     def chunk(self, n: int) -> tuple[np.ndarray, np.ndarray]:
         if self._live is None:
@@ -207,6 +231,18 @@ class MaterializedTrace:
         return out
 
 
+# Process-wide count of MaterializedTrace zero-copy go-live fallbacks
+# (every _go_live adds one).  Surfaced via fallback_count() /
+# TraceStoreStats.fallbacks / `repro cache stats` so batch runs can
+# assert the whole sweep stayed on the zero-copy path.
+_PROCESS_FALLBACKS = 0
+
+
+def fallback_count() -> int:
+    """Zero-copy go-live fallbacks in this process (all traces, all stores)."""
+    return _PROCESS_FALLBACKS
+
+
 @dataclass(frozen=True)
 class TraceStoreStats:
     """What a :class:`TraceStore`'s disk tier holds (plus live segments)."""
@@ -216,6 +252,8 @@ class TraceStoreStats:
     bytes: int
     shm_segments: int
     shm_bytes: int
+    #: process-wide go-live fallbacks at sampling time (see fallback_count)
+    fallbacks: int = 0
 
 
 @dataclass
@@ -475,7 +513,9 @@ class TraceStore:
             entries = len(self._mem)
             total = sum(2 * len(e.ctx) * 8 for e in self._mem.values())
         shm_bytes = sum(getattr(s, "size", 0) for s in self._shm.values())
-        return TraceStoreStats(self.root, entries, total, len(self._shm), shm_bytes)
+        return TraceStoreStats(
+            self.root, entries, total, len(self._shm), shm_bytes, fallback_count()
+        )
 
     def clear(self) -> int:
         """Drop the memory tier and every on-disk entry; returns entries removed."""

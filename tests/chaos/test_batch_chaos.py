@@ -1,0 +1,103 @@
+"""Batched-sweep chaos: batch-layer failures must be invisible.
+
+The batch engine sits between sessions and the simulator, so its
+failure contract matters: a group that cannot be batched, a lockstep
+sweep that dies mid-flight, or a batch path sabotaged outright must
+degrade to per-run scalar execution with **identical results** — never
+an exception, never a changed payload, never a half-written entry.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import batch as B
+from repro.experiments.batch import BatchRunSpec, simulate_batch
+from repro.experiments.config import TINY, ScaleConfig
+from repro.experiments.engine import KIND_MECHANISM, ExperimentSession, PlannedRun
+from repro.sim.tracestore import TraceStore
+from repro.workloads.mixes import make_mixes
+
+SC = ScaleConfig(name="batch-chaos", llc_scale=16, n_cores=4, quantum=512)
+MECH_SC = dataclasses.replace(SC, sample_units=512, exec_units=2048, n_epochs=1)
+
+
+@pytest.fixture(scope="module")
+def store():
+    return TraceStore(None, mode="memory")
+
+
+@pytest.fixture(scope="module")
+def mix():
+    return make_mixes("pref_agg", 1, n_cores=4, seed=2019)[0]
+
+
+def _static_specs(mix, width=3):
+    w = SC.params().llc.ways
+    specs = []
+    for i in range(width):
+        cbm0 = (1 << (2 + i)) - 1
+        specs.append(
+            BatchRunSpec(
+                mix=mix,
+                n_accesses=4096,
+                masks=(0x0,) * mix.n_cores,
+                clos_cbms=((0, cbm0), (1, ((1 << w) - 1) ^ cbm0)),
+                core_clos=tuple(c % 2 for c in range(mix.n_cores)),
+            )
+        )
+    return specs
+
+
+class TestLockstepFailureFallback:
+    def test_sweep_crash_degrades_to_per_run(self, store, mix, monkeypatch):
+        specs = _static_specs(mix)
+        healthy = simulate_batch(specs, SC, trace_store=store)
+
+        def bomb(*a, **kw):
+            raise RuntimeError("injected lockstep failure")
+
+        monkeypatch.setattr(B, "run_static_sweep", bomb)
+        degraded = simulate_batch(specs, SC, trace_store=store)
+        for h, d in zip(healthy, degraded):
+            assert np.array_equal(h.totals, d.totals)
+            assert h.wall_cycles == d.wall_cycles
+
+    def test_unbatchable_store_degrades_to_scalar(self, mix):
+        """Trace plane off: no kernel can be built, results unchanged."""
+        warm = TraceStore(None, mode="memory")
+        specs = _static_specs(mix, width=2)
+        batched = simulate_batch(specs, SC, trace_store=warm)
+        off = simulate_batch(specs, SC, trace_store=TraceStore(None, mode="off"))
+        for a, b in zip(batched, off):
+            assert np.array_equal(a.totals, b.totals)
+            assert a.wall_cycles == b.wall_cycles
+
+
+class TestSessionGroupFailureFallback:
+    def test_sabotaged_group_dispatch_is_invisible(self, monkeypatch):
+        """A crashing compute_mechanism_group must not fail the sweep or
+        change any payload — the session retries runs per-run."""
+        mix = make_mixes("pref_agg", 1, n_cores=4, seed=2019)[0]
+        runs = [
+            PlannedRun(KIND_MECHANISM, MECH_SC, mix=mix, mechanism=m)
+            for m in ("baseline", "pt")
+        ]
+        healthy = ExperimentSession(
+            cache_dir=None, max_workers=1, trace_cache="memory"
+        ).execute(runs)
+
+        def bomb(*a, **kw):
+            raise RuntimeError("injected batch-group failure")
+
+        monkeypatch.setattr(B, "compute_mechanism_group", bomb)
+        degraded = ExperimentSession(
+            cache_dir=None, max_workers=1, trace_cache="memory"
+        ).execute(runs)
+        assert healthy.keys() == degraded.keys()
+        for key in healthy:
+            assert json.dumps(healthy[key], sort_keys=True) == json.dumps(
+                degraded[key], sort_keys=True
+            )

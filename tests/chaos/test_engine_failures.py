@@ -126,7 +126,11 @@ class TestSweepResilience:
     def test_sweep_skips_broken_workloads_and_warns(self, tmp_path, monkeypatch):
         from repro.experiments import engine as E
 
-        session = make_session(tmp_path, max_workers=1)
+        # Pin the scalar engine: the sabotage point is the per-run
+        # compute hook, which batched group dispatch legitimately
+        # bypasses (batch-layer failure fallback is covered in
+        # test_batch_chaos.py).
+        session = make_session(tmp_path, max_workers=1, engine="fast")
         sc = dataclasses.replace(
             TINY, name="unit", quantum=256, sample_units=256,
             exec_units=2048, alone_accesses=4096,

@@ -1,4 +1,4 @@
-"""The parallel experiment engine: keys, cache, sessions, shims.
+"""The parallel experiment engine: keys, cache, sessions.
 
 Uses a reduced scale so the whole module stays fast; the
 parallel-determinism test spins up a real two-process pool.
@@ -11,6 +11,7 @@ import warnings
 import numpy as np
 import pytest
 
+import repro
 from repro.core.trace import TRACE_SCHEMA_VERSION, traces_to_dicts
 from repro.experiments.config import TINY
 from repro.experiments.engine import (
@@ -266,17 +267,10 @@ class TestParallelDeterminism:
 
 
 class TestEvaluate:
-    def test_matches_legacy_evaluate_workload(self, session, mix):
+    def test_matches_fresh_session(self, session, mix):
         ev = session.evaluate(mix, ("pt",), SC)
-        with pytest.warns(DeprecationWarning):
-            from repro.experiments.runner import evaluate_workload
-
-            set_default_session(ExperimentSession(cache_dir=None, max_workers=1))
-            try:
-                legacy = evaluate_workload(mix, ("pt",), SC)
-            finally:
-                set_default_session(None)
-        assert ev.metrics == legacy.metrics
+        other = ExperimentSession(cache_dir=None, max_workers=1).evaluate(mix, ("pt",), SC)
+        assert ev.metrics == other.metrics
 
     def test_injected_alone_cache_is_used(self, session, mix):
         from repro.experiments.runner import AloneCache
@@ -292,42 +286,18 @@ class TestEvaluate:
         assert "pt" in evals[0].metrics and "baseline" in evals[0].metrics
 
 
-class TestDeprecationShims:
-    def test_run_mechanism_warns_and_works(self, mix):
-        from repro.experiments import runner
+class TestShimsRemoved:
+    """The 1.x pre-engine API is gone in 2.0 (see CHANGELOG.md)."""
 
-        with pytest.warns(DeprecationWarning, match="run_mechanism"):
-            r = runner.run_mechanism(mix, "baseline", SC)
-        assert (r.ipc > 0).all()
-
-    def test_run_policy_object_warns_and_works(self, mix):
-        from repro.core.dunn import DunnPolicy
-        from repro.experiments import runner
-
-        with pytest.warns(DeprecationWarning, match="run_policy_object"):
-            r = runner.run_policy_object(mix, DunnPolicy(), SC)
-        assert r.mechanism == "dunn"
-
-    def test_evaluate_workload_warns_and_works(self, mix):
-        from repro.experiments import runner
-
-        with pytest.warns(DeprecationWarning, match="evaluate_workload"):
-            ev = runner.evaluate_workload(mix, ("pt",), SC)
-        assert ev.metrics["baseline"]["hs_norm"] == 1.0
-
-    def test_alone_cache_alias_warns_and_shares_store(self, mix):
-        from repro.experiments import runner
-
-        with pytest.warns(DeprecationWarning, match="ALONE_CACHE"):
-            alias = runner.ALONE_CACHE
-        ipc = alias.ipc("410.bwaves", SC)
-        assert ipc == default_session().alone_ipc("410.bwaves", SC)
-
-    def test_unknown_attribute_still_raises(self):
+    @pytest.mark.parametrize(
+        "name", ["run_mechanism", "run_policy_object", "evaluate_workload", "ALONE_CACHE"]
+    )
+    def test_legacy_names_absent(self, name):
         from repro.experiments import runner
 
         with pytest.raises(AttributeError):
-            runner.NO_SUCH_THING
+            getattr(runner, name)
+        assert not hasattr(repro, name)
 
 
 class TestDefaults:

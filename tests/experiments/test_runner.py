@@ -9,12 +9,8 @@ import numpy as np
 import pytest
 
 from repro.experiments.config import TINY
-from repro.experiments.runner import (
-    AloneCache,
-    build_machine,
-    evaluate_workload,
-    run_mechanism,
-)
+from repro.experiments.engine import default_session, run
+from repro.experiments.runner import AloneCache, build_machine
 from repro.workloads.mixes import make_mixes
 
 # A deliberately small scale for unit testing the plumbing.
@@ -59,27 +55,27 @@ class TestAloneCache:
         assert (arr > 0).all()
 
 
-class TestRunMechanism:
+class TestRun:
     def test_baseline_run(self, mix):
-        r = run_mechanism(mix, "baseline", SC)
+        r = run(mix, "baseline", SC)
         assert r.mechanism == "baseline"
         assert (r.ipc > 0).all()
         assert r.mem_bandwidth_mbs > 0
 
     def test_deterministic(self, mix):
-        a = run_mechanism(mix, "baseline", SC)
-        b = run_mechanism(mix, "baseline", SC)
+        a = run(mix, "baseline", SC)
+        b = run(mix, "baseline", SC)
         np.testing.assert_allclose(a.ipc, b.ipc)
 
     def test_unknown_mechanism(self, mix):
         with pytest.raises(KeyError):
-            run_mechanism(mix, "bogus", SC)
+            run(mix, "bogus", SC)
 
 
-class TestEvaluateWorkload:
+class TestSessionEvaluate:
     @pytest.fixture(scope="class")
     def ev(self, mix, cache):
-        return evaluate_workload(mix, ("pt",), SC, alone_cache=cache)
+        return default_session().evaluate(mix, ("pt",), SC, alone_cache=cache)
 
     def test_baseline_metrics_are_identity(self, ev):
         m = ev.metrics["baseline"]
@@ -107,9 +103,8 @@ class TestEvaluateWorkload:
 class TestRunPolicyObject:
     def test_custom_policy_and_sample_units(self, mix):
         from repro.core.partitioning import PrefCPPolicy
-        from repro.experiments.runner import run_policy_object
 
-        r = run_policy_object(
+        r = run(
             mix, PrefCPPolicy(partition_factor=1.0), SC,
             label="pref-cp@1.0", sample_units=128,
         )
@@ -118,19 +113,15 @@ class TestRunPolicyObject:
 
     def test_label_defaults_to_policy_name(self, mix):
         from repro.core.dunn import DunnPolicy
-        from repro.experiments.runner import run_policy_object
 
-        r = run_policy_object(mix, DunnPolicy(), SC)
+        r = run(mix, DunnPolicy(), SC)
         assert r.mechanism == "dunn"
 
     def test_detector_cfg_forwarded(self, mix):
         from repro.core.frontend import DetectorConfig
         from repro.core.throttling import PrefetchThrottlingPolicy
-        from repro.experiments.runner import run_policy_object
 
         # An impossible PTR floor: nothing can ever be detected.
         policy = PrefetchThrottlingPolicy()
-        run_policy_object(
-            mix, policy, SC, detector_cfg=DetectorConfig(ptr_min=1e18)
-        )
+        run(mix, policy, SC, detector_cfg=DetectorConfig(ptr_min=1e18))
         assert policy.last_agg_set == ()

@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.experiments.config import TINY
-from repro.experiments.runner import ALONE_CACHE, evaluate_workload, run_mechanism
+from repro.experiments.engine import default_session, run
 from repro.workloads.mixes import make_mixes
 
 SC = dataclasses.replace(
@@ -21,13 +21,13 @@ SC = dataclasses.replace(
 @pytest.fixture(scope="module")
 def unfri_eval():
     mix = make_mixes("pref_unfri", 1, seed=2019)[0]
-    return evaluate_workload(mix, ("pt", "dunn", "pref-cp", "cmm-a"), SC, alone_cache=ALONE_CACHE)
+    return default_session().evaluate(mix, ("pt", "dunn", "pref-cp", "cmm-a"), SC)
 
 
 @pytest.fixture(scope="module")
 def noagg_eval():
     mix = make_mixes("pref_no_agg", 1, seed=2019)[0]
-    return evaluate_workload(mix, ("pt", "cmm-a"), SC, alone_cache=ALONE_CACHE)
+    return default_session().evaluate(mix, ("pt", "cmm-a"), SC)
 
 
 class TestInterferenceExists:
@@ -129,8 +129,8 @@ class TestControllerDynamics:
 class TestDeterminism:
     def test_full_evaluation_reproducible(self):
         mix = make_mixes("pref_agg", 1, seed=2019)[0]
-        a = run_mechanism(mix, "cmm-a", SC)
-        b = run_mechanism(mix, "cmm-a", SC)
+        a = run(mix, "cmm-a", SC)
+        b = run(mix, "cmm-a", SC)
         np.testing.assert_allclose(a.ipc, b.ipc)
 
 
