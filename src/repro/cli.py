@@ -346,6 +346,10 @@ def cmd_cache(args) -> int:
     print(f"  traces   : {t.entries}")
     print(f"  size     : {t.bytes / 1e6:.2f} MB")
     print(f"  fallbacks: {t.fallbacks}")
+    from repro.sim.batch import degradation_count
+
+    print("batch engine:")
+    print(f"  degradations: {degradation_count()}")
     return 0
 
 

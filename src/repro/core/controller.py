@@ -131,6 +131,12 @@ class RunStats:
     #: ``MaterializedTrace.chunk``); 0 for live-generated traces and
     #: for cache-rehydrated stats.  Batch sweeps assert this stays 0.
     trace_fallbacks: int = 0
+    #: Batch-engine degradations attributed to this run (lockstep
+    #: fork-to-scalar / unbatchable group; see repro.sim.batch).  0 on
+    #: scalar machines and for cache-rehydrated stats; results are
+    #: bit-identical either way — this only records that the fast path
+    #: was lost.
+    batch_degradations: int = 0
 
     def add(self, sample: PmuSample) -> None:
         if self.totals is None:
@@ -372,4 +378,7 @@ class CMMController:
         fallbacks = getattr(self.platform, "trace_fallbacks", None)
         if callable(fallbacks):
             stats.trace_fallbacks = int(fallbacks())
+        degradations = getattr(self.platform, "batch_degradations", None)
+        if callable(degradations):
+            stats.batch_degradations = int(degradations())
         return stats

@@ -7,8 +7,15 @@ workload mix** — the natural shape of the paper's sweeps (one mix under
 PT / Dunn / CMM / partition-size ablations).  All runs share one
 :class:`~repro.sim.batch.BatchKernel`: a single zero-copy materialized
 trace per core plus the lane trees that deduplicate the private-core
-simulation across runs.  Results are bit-identical to running each
-configuration on its own scalar fast machine.
+simulation across runs.  Groups of 2+ mechanism runs go further and
+execute in **masked lockstep** (:func:`_lockstep_mechanisms`): one
+:class:`~repro.sim.batch.GroupedCore` per core and one grouped LLC
+advance every run's controller loop together, per-run prefetch-mask
+and CAT-allow tensors applied per quantum, so runs stay batched even
+after their policies diverge.  Results are bit-identical to running
+each configuration on its own scalar fast machine; a
+:class:`~repro.sim.batch.LockstepError` degrades the group to per-run
+lane-tree machines (counted in ``RunStats.batch_degradations``).
 
 Two entry points:
 
@@ -31,13 +38,16 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.core.controller import CMMController, RunStats
-from repro.core.epoch import EpochConfig
-from repro.core.policies import make_policy
+from repro.core.controller import RunStats
 from repro.experiments.config import ScaleConfig, get_scale
-from repro.platform.simulated import SimulatedPlatform
 from repro.sim import tracestore
-from repro.sim.batch import BatchKernel, run_static_sweep
+from repro.sim.batch import (
+    BatchKernel,
+    LockstepError,
+    LockstepGroup,
+    note_degradation,
+    run_static_sweep,
+)
 from repro.sim.machine import CORE_ADDRESS_STRIDE_LINES, Machine
 from repro.workloads.mixes import WorkloadMix
 
@@ -122,12 +132,26 @@ def build_batch_kernel(
 
 def _run_mechanism(machine, mechanism: str, sc: ScaleConfig) -> RunStats:
     """Drive one machine with a named policy — the scalar semantics."""
-    controller = CMMController(
-        SimulatedPlatform(machine),
-        make_policy(mechanism),
-        epoch_cfg=EpochConfig(exec_units=sc.exec_units, sample_units=sc.sample_units),
-    )
-    return controller.run(sc.n_epochs)
+    from repro.experiments.runner import drive_mechanism
+
+    return drive_mechanism(machine, mechanism, sc)
+
+
+def _lockstep_mechanisms(kernel: BatchKernel, mechanisms, sc: ScaleConfig) -> list[RunStats]:
+    """Run a group of mechanism runs in masked lockstep; one RunStats each.
+
+    Every run gets its own unmodified controller loop on a
+    :class:`~repro.sim.batch.LockstepMachine`; the group shares one
+    :class:`~repro.sim.batch.GroupedCore` per core and one grouped LLC,
+    so runs stay batched even after their per-quantum decisions diverge.
+    Raises :class:`~repro.sim.batch.LockstepError` when the group cannot
+    complete batched; callers fall back per-run (bit-identical results).
+    """
+    group = LockstepGroup(kernel, len(mechanisms))
+    drivers = [
+        (lambda m, _mech=mech: _run_mechanism(m, _mech, sc)) for mech in mechanisms
+    ]
+    return group.run(drivers)
 
 
 def _apply_static(machine, spec: BatchRunSpec) -> None:
@@ -151,6 +175,7 @@ def _run_static(machine, spec: BatchRunSpec) -> RunStats:
         wall_cycles=sample.wall_cycles,
         epochs=[],
         trace_fallbacks=machine.trace_fallbacks(),
+        batch_degradations=machine.batch_degradations(),
     )
 
 
@@ -198,15 +223,35 @@ def simulate_batch(
         length = max(lens)
         kernel = build_batch_kernel(mix, sc, trace_store, length=length)
         done: set[int] = set()
+        degraded: set[int] = set()
         if kernel is not None:
-            for i, stats in _run_lockstep_sweeps(kernel, specs, indices):
+            results, degraded = _run_lockstep_sweeps(kernel, specs, indices)
+            for i, stats in results.items():
                 out[i] = stats
                 done.add(i)
+            mech_idx = [i for i in indices if specs[i].mechanism is not None]
+            if len(mech_idx) >= 2:
+                try:
+                    mech_stats = _lockstep_mechanisms(
+                        kernel, [specs[i].mechanism for i in mech_idx], sc
+                    )
+                except LockstepError:
+                    note_degradation()
+                    degraded.update(mech_idx)
+                else:
+                    for i, stats in zip(mech_idx, mech_stats):
+                        out[i] = stats
+                        done.add(i)
+        elif len(indices) >= 2:
+            # A 2+ run group the batch plane could not serve at all.
+            note_degradation()
         for i in indices:
             if i in done:
                 continue
             spec = specs[i]
             machine = kernel.machine() if kernel is not None else _scalar_machine(mix, sc, trace_store)
+            if i in degraded:
+                machine._batch_degradations = 1
             if spec.mechanism is not None:
                 out[i] = _run_mechanism(machine, spec.mechanism, sc)
             else:
@@ -215,15 +260,18 @@ def simulate_batch(
 
 
 def _run_lockstep_sweeps(kernel: BatchKernel, specs, indices):
-    """Yield ``(index, RunStats)`` for static sub-groups run in lockstep.
+    """Run static sub-groups in lockstep; return ``(results, degraded)``.
 
     Static specs sharing one (pf-mask vector, access count) pair have
     identical core phases and merged request streams, so they advance
     through :func:`repro.sim.batch.run_static_sweep`'s grouped SoA LLC
     in a single pass — the sweep shape where the batch engine's ~Nx
-    throughput comes from.  Sub-groups of one, mechanism specs, and any
-    sweep that fails stay on the per-run path (bit-identical either way).
+    throughput comes from.  Sub-groups of one and mechanism specs stay
+    on the per-run path; a sweep that fails lands its indices in the
+    ``degraded`` set (per-run fallback, bit-identical, counted).
     """
+    results: dict[int, RunStats] = {}
+    degraded: set[int] = set()
     sweeps: dict[tuple, list[int]] = {}
     for i in indices:
         spec = specs[i]
@@ -237,10 +285,12 @@ def _run_lockstep_sweeps(kernel: BatchKernel, specs, indices):
         try:
             rows = run_static_sweep(kernel, configs, masks, n_acc)
         except Exception:
+            note_degradation()
+            degraded.update(idxs)
             continue  # per-run fallback handles these indices
         fallbacks = kernel.trace_fallbacks()
         for i, row in zip(idxs, rows):
-            yield i, RunStats(
+            results[i] = RunStats(
                 n_cores=params.n_cores,
                 cycles_per_second=params.cycles_per_second,
                 totals=row.pmu_counts,
@@ -248,9 +298,28 @@ def _run_lockstep_sweeps(kernel: BatchKernel, specs, indices):
                 epochs=[],
                 trace_fallbacks=fallbacks,
             )
+    return results, degraded
 
 
-def compute_mechanism_group(runs, trace_store) -> list[tuple[dict, float]]:
+def _payload(stats: RunStats) -> dict:
+    """The session's mechanism result payload (cache/wire format).
+
+    Byte-identical across the scalar, lane-tree and lockstep paths —
+    the result cache cannot tell which one produced an entry.
+    """
+    from repro.core.trace import traces_to_dicts
+
+    return {
+        "n_cores": stats.n_cores,
+        "cycles_per_second": stats.cycles_per_second,
+        "wall_cycles": stats.wall_cycles,
+        "totals": stats.totals.tolist(),
+        "n_epochs": len(stats.epochs),
+        "traces": traces_to_dicts(stats.traces),
+    }
+
+
+def compute_mechanism_group(runs, trace_store, *, lockstep: bool = True) -> list[tuple[dict, float]]:
     """Batch-execute a mix-affine group of planned mechanism runs.
 
     ``runs`` are :class:`~repro.experiments.engine.PlannedRun` rows of
@@ -259,25 +328,35 @@ def compute_mechanism_group(runs, trace_store) -> list[tuple[dict, float]]:
     scalar ``_compute_mechanism`` one.  Raises :class:`BatchUnavailable`
     when the group can't be batched; the session then falls back to the
     per-run scalar path.
-    """
-    from repro.core.trace import traces_to_dicts
 
+    With ``lockstep`` (the session passes the ``batch`` engine's
+    ``dynamic`` capability) a group of 2+ runs executes in masked
+    lockstep — one grouped SoA pass even though the mechanisms diverge.
+    A :class:`~repro.sim.batch.LockstepError` degrades the group to the
+    per-run lane-tree path, counted as a degradation per run.
+    """
     r0 = runs[0]
     sc = r0.sc
     kernel = build_batch_kernel(r0.mix, sc, trace_store)
     if kernel is None:
         raise BatchUnavailable(f"trace plane cannot serve mix {r0.mix.name}")
+    degraded = False
+    if lockstep and len(runs) >= 2:
+        t0 = time.perf_counter()
+        try:
+            all_stats = _lockstep_mechanisms(kernel, [r.mechanism for r in runs], sc)
+        except LockstepError:
+            note_degradation()
+            degraded = True
+        else:
+            per_run = (time.perf_counter() - t0) / len(runs)
+            return [(_payload(stats), per_run) for stats in all_stats]
     out: list[tuple[dict, float]] = []
     for r in runs:
         t0 = time.perf_counter()
-        stats = _run_mechanism(kernel.machine(), r.mechanism, sc)
-        payload = {
-            "n_cores": stats.n_cores,
-            "cycles_per_second": stats.cycles_per_second,
-            "wall_cycles": stats.wall_cycles,
-            "totals": stats.totals.tolist(),
-            "n_epochs": len(stats.epochs),
-            "traces": traces_to_dicts(stats.traces),
-        }
-        out.append((payload, time.perf_counter() - t0))
+        machine = kernel.machine()
+        if degraded:
+            machine._batch_degradations = 1
+        stats = _run_mechanism(machine, r.mechanism, sc)
+        out.append((_payload(stats), time.perf_counter() - t0))
     return out

@@ -265,14 +265,11 @@ class PlannedRun:
 
 
 def _compute_mechanism(run: PlannedRun) -> dict:
-    from repro.experiments.runner import build_machine  # avoid import cycle
+    from repro.experiments.runner import build_machine, drive_mechanism  # avoid import cycle
 
     sc = run.sc
     machine = build_machine(run.mix, sc, trace_store=tracestore.active_view())
-    platform = SimulatedPlatform(machine)
-    epoch_cfg = EpochConfig(exec_units=sc.exec_units, sample_units=sc.sample_units)
-    controller = CMMController(platform, make_policy(run.mechanism), epoch_cfg=epoch_cfg)
-    stats = controller.run(sc.n_epochs)
+    stats = drive_mechanism(machine, run.mechanism, sc)
     # "traces" rides along to the session, which persists it *beside*
     # the result (<key>.traces.json) — never inside the hashed payload,
     # so cache keys and stored payloads stay byte-identical.
@@ -1001,7 +998,9 @@ class ExperimentSession:
         if not spec.batched or self.trace_store is None:
             return misses
         from repro.experiments.batch import compute_mechanism_group
+        from repro.sim.batch import note_degradation
 
+        lockstep = "dynamic" in spec.capabilities
         groups: dict[tuple, list[tuple[str, PlannedRun]]] = {}
         for key, r in misses:
             g = (
@@ -1016,8 +1015,11 @@ class ExperimentSession:
                 remaining.extend(grp)
                 continue
             try:
-                rows = compute_mechanism_group([r for _, r in grp], self.trace_store)
+                rows = compute_mechanism_group(
+                    [r for _, r in grp], self.trace_store, lockstep=lockstep
+                )
             except Exception:
+                note_degradation()
                 remaining.extend(grp)
                 continue
             for (key, r), (payload, secs) in zip(grp, rows):

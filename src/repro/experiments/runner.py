@@ -45,6 +45,27 @@ def mechanism_trace_length(sc: ScaleConfig) -> int:
     return cfg.warmup_units + sc.n_epochs * per_epoch
 
 
+def drive_mechanism(machine: Machine, mechanism: str, sc: ScaleConfig) -> RunStats:
+    """Drive one machine with a named policy — the scalar semantics.
+
+    The single place controller construction for a mechanism run lives:
+    the session's scalar path, the batch layer's per-run fallback and
+    the lockstep drivers all call this, so every path is the same
+    controller fed the same :class:`~repro.core.epoch.EpochConfig`.
+    """
+    from repro.core.controller import CMMController
+    from repro.core.epoch import EpochConfig
+    from repro.core.policies import make_policy
+    from repro.platform.simulated import SimulatedPlatform
+
+    controller = CMMController(
+        SimulatedPlatform(machine),
+        make_policy(mechanism),
+        epoch_cfg=EpochConfig(exec_units=sc.exec_units, sample_units=sc.sample_units),
+    )
+    return controller.run(sc.n_epochs)
+
+
 def build_machine(mix: WorkloadMix, sc: ScaleConfig, *, trace_store=None) -> Machine:
     """A fresh machine with the mix's benchmarks attached, one per core.
 

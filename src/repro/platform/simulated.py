@@ -56,3 +56,7 @@ class SimulatedPlatform(Platform):
     def trace_fallbacks(self) -> int:
         """Zero-copy go-live fallbacks across the machine's traces."""
         return self.machine.trace_fallbacks()
+
+    def batch_degradations(self) -> int:
+        """Batch-engine degradations attributed to this machine's run."""
+        return self.machine.batch_degradations()

@@ -54,9 +54,45 @@ LLC/CAT state, so merges are also cached per unique lane-edge
 combination (:func:`repro.sim.fastengine.merge_llc_requests`) and
 shared across runs; the serve loop always executes against the
 consuming machine's own LLC.
+
+Masked lockstep (dynamic batching)
+----------------------------------
+
+Lane trees pay off while runs share history; once per-quantum policy
+decisions diverge (PT throttling one run's prefetchers, CMM resizing
+another's partition), every ``(q, mask)`` edge is unique and the tree
+degrades to per-run scalar work.  :class:`GroupedCore` +
+:class:`LockstepGroup` remove that cliff: all R runs of a mix advance
+through the shared zero-copy trace *together*, one quantum at a time,
+SIMT-style.  Private-core state lives in **lanes** again — but now a
+lane is a *state-equality class across runs at the same trace
+position*, not a shared history prefix.  Each step partitions a lane's
+runs by their per-run prefetch mask (the divergence axis), clones the
+live image per partition, advances each image once with the unmodified
+scalar kernel, and re-merges lanes whose images become bitwise equal
+again (order-sensitive dict comparison: CPython preserves insertion
+order, which *is* the LRU/FIFO order the kernels evict by).  The LLC
+side reuses :class:`GroupedLLC` with a per-run CAT allow tensor and a
+``runs=`` subgroup axis, and the timing phase is the inherited scalar
+``Machine._timing_phase`` fed per-run grouped-serve counters — the same
+op-for-op replication :func:`run_static_sweep` pins.
+
+:class:`LockstepGroup` drives R unmodified per-run controller loops
+(each on its own :class:`LockstepMachine`, a ``Machine`` that parks at
+every quantum boundary) from one scheduler thread, stepping the group
+at the minimum ``(trace_pos, quantum)`` so ragged sampling schedules
+stay correct.  Exactly one thread is ever runnable, so execution is
+deterministic and bit-identical to running each controller on its own
+scalar fast machine.  Any failure inside the lockstep plane raises
+:class:`LockstepError`; callers fall back to per-run execution and
+count a degradation (:func:`note_degradation`, surfaced as
+``RunStats.batch_degradations``).
 """
 
 from __future__ import annotations
+
+import threading
+from collections import deque
 
 import numpy as np
 
@@ -75,9 +111,15 @@ from repro.sim.prefetcher import PrefetcherBank
 __all__ = [
     "SNAP_EVERY",
     "BatchKernel",
+    "GroupedCore",
     "GroupedLLC",
     "LaneMachine",
+    "LockstepError",
+    "LockstepGroup",
+    "LockstepMachine",
     "StaticSweepRun",
+    "degradation_count",
+    "note_degradation",
     "run_static_sweep",
 ]
 
@@ -85,6 +127,43 @@ __all__ = [
 #: copying on first-run trunks; 16 keeps snapshot overhead ~1/16 of a
 #: dict-copy per quantum while bounding fork replay to 15 quanta.
 SNAP_EVERY = 16
+
+# Process-wide degradation tally, mirroring the trace plane's
+# fallback counter idiom: every fork-to-scalar or unbatchable-group
+# event is counted here (in addition to per-run attribution on the
+# fallback machines) so `repro cache stats` can surface it.
+_PROCESS_DEGRADATIONS = 0
+
+
+def note_degradation(n: int = 1) -> None:
+    """Record ``n`` batch-engine degradations (fallback to scalar)."""
+    global _PROCESS_DEGRADATIONS
+    _PROCESS_DEGRADATIONS += int(n)
+
+
+def degradation_count() -> int:
+    """Process-wide batch degradations recorded so far."""
+    return _PROCESS_DEGRADATIONS
+
+
+class LockstepError(RuntimeError):
+    """A lockstep group cannot continue batched; run members per-run.
+
+    Raised by :class:`LockstepGroup`/:class:`GroupedCore` whenever the
+    batched plane hits a shape it cannot handle bit-identically (live
+    traces needing a split, a member stalling, an internal failure).
+    Callers catch it, count a degradation and re-run scalar — results
+    are identical either way by construction.
+    """
+
+
+class _LockstepAbort(BaseException):
+    """Unwinds a member thread past ``except Exception`` handlers.
+
+    Derives from ``BaseException`` so controller-level recovery code
+    (which catches ``Exception``/RECOVERABLE) cannot swallow the abort
+    and keep driving a machine whose group is being torn down.
+    """
 
 
 class _LaneState:
@@ -121,6 +200,117 @@ class _LaneEdge:
     )
 
 
+def _fresh_bank(p: MachineParams) -> PrefetcherBank:
+    return PrefetcherBank(
+        stride_table=p.stride_table_entries,
+        stride_degree=p.stride_degree,
+        stride_confidence=p.stride_confidence,
+        streamer_pages=p.streamer_table_pages,
+        streamer_degree=p.streamer_degree,
+    )
+
+
+def _clone_image(params: MachineParams, st: _LaneState, trace) -> _LaneState:
+    """Deep-copy a lane image's private-core state onto a given trace fork."""
+    l1 = FastCache(params.l1)
+    l1._sets = [dict(s) for s in st.l1._sets]
+    l2 = FastCache(params.l2)
+    l2._sets = [dict(s) for s in st.l2._sets]
+    bank = _fresh_bank(params)
+    bank.set_enables(
+        stride=st.bank.en_stride,
+        next_line=st.bank.en_next_line,
+        streamer=st.bank.en_streamer,
+        adjacent=st.bank.en_adjacent,
+    )
+    bank.ip_stride._table = {k: v[:] for k, v in st.bank.ip_stride._table.items()}
+    bank.streamer._table = {k: v[:] for k, v in st.bank.streamer._table.items()}
+    return _LaneState(l1, l2, bank, trace, st.mask_applied)
+
+
+def _advance_image(st: _LaneState, q: int, mask: int, scratch):
+    """Advance a lane image one quantum under ``mask``; return the outputs.
+
+    The single scalar-kernel entry point shared by the lane trees and
+    :class:`GroupedCore`: applies the mask exactly like the scalar
+    machine's ``_sync_prefetchers`` (latched, decode on change only),
+    zeroes the per-quantum stats windows and runs the unmodified
+    :func:`repro.sim.fastengine.run_core_chunk`.
+    """
+    if mask != st.mask_applied:
+        en = enables_from_mask(mask)
+        st.bank.set_enables(
+            stride=en["stride"],
+            next_line=en["next_line"],
+            streamer=en["streamer"],
+            adjacent=en["adjacent"],
+        )
+        st.mask_applied = mask
+    ipm = st.trace.inst_per_mem
+    mlp = st.trace.mlp
+    s1, s2 = st.l1.stats, st.l2.stats
+    s1.accesses = s1.hits = s1.pref_fills = s1.pref_used = s1.pref_evicted_unused = 0
+    s2.accesses = s2.hits = s2.pref_fills = s2.pref_used = s2.pref_evicted_unused = 0
+    scratch[:] = 0.0
+    qc = QuantumCounts()
+    llc_req: list[int] = []
+    fastengine.run_core_chunk(0, st, q, qc, llc_req, scratch)
+    return qc, llc_req, scratch[0].copy(), ipm, mlp
+
+
+def _fill_edge(st: _LaneState, qc, llc_req, pmu_row, ipm, mlp) -> "_LaneEdge":
+    """Package one quantum's core-phase outputs as a lane edge."""
+    edge = _LaneEdge()
+    edge.child = None
+    edge.llc_req = llc_req
+    edge.n_access = qc.n_access
+    edge.n_l2_hit_d = qc.n_l2_hit_d
+    edge.pmu_row = pmu_row
+    edge.l1_stats = (
+        st.l1.stats.accesses,
+        st.l1.stats.hits,
+        st.l1.stats.pref_fills,
+        st.l1.stats.pref_used,
+        st.l1.stats.pref_evicted_unused,
+    )
+    edge.l2_stats = (
+        st.l2.stats.accesses,
+        st.l2.stats.hits,
+        st.l2.stats.pref_fills,
+        st.l2.stats.pref_used,
+        st.l2.stats.pref_evicted_unused,
+    )
+    edge.ipm = ipm
+    edge.mlp = mlp
+    return edge
+
+
+def _images_equal(a: _LaneState, b: _LaneState) -> bool:
+    """Behavioural equality of two lane images at the same trace position.
+
+    Order-sensitive: dict insertion order is the caches' LRU order and
+    the prefetcher tables' FIFO order, so content equality alone is not
+    enough.  ``mask_applied`` and the bank enable flags are deliberately
+    ignored — merged lanes only ever advance under an explicitly
+    supplied mask, and :func:`_advance_image` re-applies it (and
+    ``set_enables`` writes flags only, no table side effects), so two
+    images that differ solely in latched mask behave identically from
+    here on.  Live traces never compare equal: their replay is
+    position-dependent in ways a merged fork cannot reproduce.
+    """
+    if a.trace._live is not None or b.trace._live is not None:
+        return False
+    if a.trace.pos != b.trace.pos:
+        return False
+    t1, t2 = a.bank.ip_stride._table, b.bank.ip_stride._table
+    if t1 != t2 or list(t1) != list(t2):
+        return False
+    t1, t2 = a.bank.streamer._table, b.bank.streamer._table
+    if t1 != t2 or list(t1) != list(t2):
+        return False
+    return a.l1.state_equal(b.l1) and a.l2.state_equal(b.l2)
+
+
 class _LaneNode:
     """A point in a core's (quantum, mask) history tree."""
 
@@ -155,37 +345,10 @@ class _LaneTree:
 
     def _fresh_state(self) -> _LaneState:
         p = self.params
-        bank = PrefetcherBank(
-            stride_table=p.stride_table_entries,
-            stride_degree=p.stride_degree,
-            stride_confidence=p.stride_confidence,
-            streamer_pages=p.streamer_table_pages,
-            streamer_degree=p.streamer_degree,
-        )
-        return _LaneState(FastCache(p.l1), FastCache(p.l2), bank, self._fork_trace(0))
+        return _LaneState(FastCache(p.l1), FastCache(p.l2), _fresh_bank(p), self._fork_trace(0))
 
     def _clone_state(self, st: _LaneState) -> _LaneState:
-        p = self.params
-        l1 = FastCache(p.l1)
-        l1._sets = [dict(s) for s in st.l1._sets]
-        l2 = FastCache(p.l2)
-        l2._sets = [dict(s) for s in st.l2._sets]
-        bank = PrefetcherBank(
-            stride_table=p.stride_table_entries,
-            stride_degree=p.stride_degree,
-            stride_confidence=p.stride_confidence,
-            streamer_pages=p.streamer_table_pages,
-            streamer_degree=p.streamer_degree,
-        )
-        bank.set_enables(
-            stride=st.bank.en_stride,
-            next_line=st.bank.en_next_line,
-            streamer=st.bank.en_streamer,
-            adjacent=st.bank.en_adjacent,
-        )
-        bank.ip_stride._table = {k: v[:] for k, v in st.bank.ip_stride._table.items()}
-        bank.streamer._table = {k: v[:] for k, v in st.bank.streamer._table.items()}
-        return _LaneState(l1, l2, bank, self._fork_trace(st.trace.pos), st.mask_applied)
+        return _clone_image(self.params, st, self._fork_trace(st.trace.pos))
 
     def _state_at(self, node: _LaneNode) -> _LaneState:
         """Rebuild live state for ``node``: nearest snapshot + replay."""
@@ -203,26 +366,7 @@ class _LaneTree:
 
     def _run_kernel(self, st: _LaneState, q: int, mask: int):
         """Advance ``st`` by one quantum under ``mask``; return outputs."""
-        if mask != st.mask_applied:
-            en = enables_from_mask(mask)
-            st.bank.set_enables(
-                stride=en["stride"],
-                next_line=en["next_line"],
-                streamer=en["streamer"],
-                adjacent=en["adjacent"],
-            )
-            st.mask_applied = mask
-        ipm = st.trace.inst_per_mem
-        mlp = st.trace.mlp
-        s1, s2 = st.l1.stats, st.l2.stats
-        s1.accesses = s1.hits = s1.pref_fills = s1.pref_used = s1.pref_evicted_unused = 0
-        s2.accesses = s2.hits = s2.pref_fills = s2.pref_used = s2.pref_evicted_unused = 0
-        scratch = self._scratch
-        scratch[:] = 0.0
-        qc = QuantumCounts()
-        llc_req: list[int] = []
-        fastengine.run_core_chunk(0, st, q, qc, llc_req, scratch)
-        return qc, llc_req, scratch[0].copy(), ipm, mlp
+        return _advance_image(st, q, mask, self._scratch)
 
     def step(self, cursor: "_LaneCursor", q: int, mask: int) -> _LaneEdge:
         """Advance a run's cursor one quantum, computing the edge once."""
@@ -243,29 +387,9 @@ class _LaneTree:
             # remaining siblings fork from here instead of replaying.
             node.snapshot = self._clone_state(st)
         qc, llc_req, pmu_row, ipm, mlp = self._run_kernel(st, q, mask)
-        edge = _LaneEdge()
+        edge = _fill_edge(st, qc, llc_req, pmu_row, ipm, mlp)
         child = _LaneNode(node, key)
         edge.child = child
-        edge.llc_req = llc_req
-        edge.n_access = qc.n_access
-        edge.n_l2_hit_d = qc.n_l2_hit_d
-        edge.pmu_row = pmu_row
-        edge.l1_stats = (
-            st.l1.stats.accesses,
-            st.l1.stats.hits,
-            st.l1.stats.pref_fills,
-            st.l1.stats.pref_used,
-            st.l1.stats.pref_evicted_unused,
-        )
-        edge.l2_stats = (
-            st.l2.stats.accesses,
-            st.l2.stats.hits,
-            st.l2.stats.pref_fills,
-            st.l2.stats.pref_used,
-            st.l2.stats.pref_evicted_unused,
-        )
-        edge.ipm = ipm
-        edge.mlp = mlp
         node.edges[key] = edge
         if child.depth % SNAP_EVERY == 0 and st.trace._live is None:
             child.snapshot = self._clone_state(st)
@@ -301,16 +425,23 @@ _TS_INF = np.int64(np.iinfo(np.int64).max)
 class _PreparedStream:
     """A merged LLC request stream decoded into NumPy columns.
 
-    ``segments`` partitions the stream into maximal conflict-free
-    prefixes: within a segment every request maps to a *distinct* LLC
-    set, so the requests touch disjoint state and the grouped serve can
-    process a whole segment — for every run at once — with one batch of
-    array operations while preserving the scalar serve order exactly
-    (requests to different sets never interact; LRU order, victim
-    choice and counters are all per-set).
+    ``rounds`` partitions the stream by *occurrence rank within each
+    set*: round ``r`` holds every request that is the ``r``-th access
+    to its LLC set.  Within a round all sets are distinct, so the
+    requests touch disjoint state and the grouped serve can process a
+    whole round — for every run at once — with one batch of array
+    operations.  Processing rounds in rank order preserves the scalar
+    serve exactly: requests to different sets never interact (LRU
+    order, victim choice and counters are all per-set) and each
+    request carries its absolute stream position as its LRU stamp, so
+    only the relative order of same-set requests matters — which rank
+    order keeps by construction.
     """
 
-    __slots__ = ("n", "line", "si", "is_pref", "demand", "cpu_col", "cpu_groups", "segments")
+    __slots__ = (
+        "n", "line", "si", "is_pref", "demand", "prepared",
+        "cpu_col", "cpu_perm", "cpu_starts", "cpu_ids", "seg_ids", "rounds",
+    )
 
     def __init__(self, merged, mcpus, set_mask: int) -> None:
         enc = np.asarray(merged, dtype=np.int64)
@@ -321,23 +452,75 @@ class _PreparedStream:
         self.si = line & set_mask
         self.is_pref = is_pref
         self.demand = ~is_pref
-        cpu = np.asarray(mcpus, dtype=np.int64)
-        self.cpu_col = cpu
-        self.cpu_groups = [
-            (c, np.flatnonzero(cpu == c)) for c in np.unique(cpu).tolist()
-        ]
-        segments: list[tuple[int, int]] = []
-        seen: set[int] = set()
-        start = 0
-        for i, s in enumerate(self.si.tolist()):
-            if s in seen:
-                segments.append((start, i))
-                seen.clear()
-                start = i
-            seen.add(s)
+        self.cpu_col = np.asarray(mcpus, dtype=np.int64)
+        # The sort-heavy reduction/round structures are built on first
+        # serve: streams that only ever feed a multi-quantum concat
+        # never need their own (the concat builds one for the span).
+        self.prepared = False
+
+    def prepare(self) -> "_PreparedStream":
+        if not self.prepared:
+            self._finish(self.cpu_col, None)
+        return self
+
+    @classmethod
+    def concat(cls, streams: list["_PreparedStream"], n_cores: int) -> "_PreparedStream":
+        """Concatenate per-quantum streams into one multi-segment stream.
+
+        Requests keep their order, so occurrence ranks — and therefore
+        the serve's per-set replay order and absolute LRU stamps — are
+        exactly those of serving the quanta back to back.  Stats reduce
+        over ``(segment, cpu)`` blocks instead of cpus, letting the
+        caller recover per-quantum counters from a single serve.
+        """
+        self = cls.__new__(cls)
+        self.n = sum(s.n for s in streams)
+        self.line = np.concatenate([s.line for s in streams])
+        self.si = np.concatenate([s.si for s in streams])
+        self.is_pref = np.concatenate([s.is_pref for s in streams])
+        self.demand = np.concatenate([s.demand for s in streams])
+        self.cpu_col = np.concatenate([s.cpu_col for s in streams])
+        seg = np.repeat(
+            np.arange(len(streams), dtype=np.int64),
+            [s.n for s in streams],
+        )
+        self._finish(seg * n_cores + self.cpu_col, n_cores)
+        return self
+
+    def _finish(self, blk, n_cores) -> None:
+        """Build stat-reduction blocks and occurrence-rank rounds."""
+        self.prepared = True
+        perm = np.argsort(blk, kind="stable")
+        sb = blk[perm]
         if self.n:
-            segments.append((start, self.n))
-        self.segments = segments
+            starts = np.flatnonzero(np.r_[True, sb[1:] != sb[:-1]])
+        else:
+            starts = np.empty(0, dtype=np.int64)
+        self.cpu_perm = perm
+        self.cpu_starts = starts
+        ids = sb[starts]
+        if n_cores is None:
+            self.cpu_ids = ids
+            self.seg_ids = None
+        else:
+            self.cpu_ids = ids % n_cores
+            self.seg_ids = ids // n_cores
+        if self.n:
+            order = np.argsort(self.si, kind="stable")
+            ss = self.si[order]
+            newgrp = np.empty(self.n, dtype=bool)
+            newgrp[0] = True
+            np.not_equal(ss[1:], ss[:-1], out=newgrp[1:])
+            idx = np.arange(self.n, dtype=np.int64)
+            ranks = idx - np.maximum.accumulate(np.where(newgrp, idx, 0))
+            by_rank = np.argsort(ranks, kind="stable")
+            counts = np.bincount(ranks[by_rank])
+            self.rounds = [
+                (ids_r, self.si[ids_r], self.line[ids_r], self.is_pref[ids_r])
+                for ids_r in np.split(order[by_rank], np.cumsum(counts)[:-1])
+            ]
+        else:
+            self.rounds = []
 
 
 class GroupedLLC:
@@ -374,8 +557,19 @@ class GroupedLLC:
         self.stamps = np.zeros(shape, dtype=np.int64)
         self.pref = np.zeros(shape, dtype=np.uint8)
         self._seq = 1
-        # CacheStats mirror: accesses are stream-shared, the rest per run.
-        self.accesses = 0
+        # Free (never-filled) lines left per run; fills only consume
+        # free ways, so zero here means the free-way search is dead.
+        self.free_lines = np.full(n_runs, geometry.sets * geometry.ways, dtype=np.int64)
+        # Per-run count of free lines currently *allowed* (union over
+        # cores), keyed by the allow matrix it was computed against —
+        # CAT flips invalidate the entry.  A CAT-partitioned run never
+        # fills its disallowed ways, so ``free_lines`` stays positive
+        # forever; this refinement still lets the serve skip the
+        # free-way search once nothing free is reachable.
+        self._af: dict[int, list] = {}
+        # CacheStats mirror, all per run (lockstep subgroups may serve
+        # different runs different stream lengths).
+        self.accesses = np.zeros(n_runs, dtype=np.int64)
         self.hits = np.zeros(n_runs, dtype=np.int64)
         self.pref_fills = np.zeros(n_runs, dtype=np.int64)
         self.pref_used = np.zeros(n_runs, dtype=np.int64)
@@ -384,7 +578,7 @@ class GroupedLLC:
     def stats_for(self, run: int) -> tuple[int, int, int, int, int]:
         """One run's ``CacheStats`` tuple (accesses, hits, fills, used, evicted)."""
         return (
-            self.accesses,
+            int(self.accesses[run]),
             int(self.hits[run]),
             int(self.pref_fills[run]),
             int(self.pref_used[run]),
@@ -394,81 +588,236 @@ class GroupedLLC:
     def occupancy(self, run: int) -> int:
         return int((self.tags[run] != -1).sum())
 
-    def serve(self, stream: _PreparedStream, allowed, hits_d, mem_d, pref_m) -> None:
+    def _allowed_free(self, run: int, allowed) -> int:
+        """Count free lines reachable under ``run``'s current allow row.
+
+        Cached against the row's bytes: CAT flips invalidate the entry,
+        free fills decrement it in :meth:`serve`, so the recompute (a
+        full-image scan) only happens after a partition change.
+        """
+        b = allowed[run].tobytes()
+        ent = self._af.get(run)
+        if ent is None or ent[0] != b:
+            if self.free_lines[run]:
+                cnt = int(((self.tags[run] == -1) & allowed[run].any(axis=0)).sum())
+            else:
+                cnt = 0
+            ent = [b, cnt]
+            self._af[run] = ent
+        return ent[1]
+
+    def _dedup_classes(self, run_idx, allowed):
+        """Partition subgroup runs into bitwise-identical serve classes.
+
+        Two runs land in one class when their CAT allow rows and full
+        LLC images match — an identical stream then produces identical
+        outcomes, so only the class representative needs serving.
+        Returns ``(reps, class_idx, dups)``: representative positions
+        into ``run_idx``, each position's class number, and
+        ``(duplicate_run, representative_run)`` pairs.
+        """
+        reps: list[int] = []
+        class_idx = np.empty(len(run_idx), dtype=np.int64)
+        dups: list[tuple[int, int]] = []
+        for i, run in enumerate(run_idx):
+            r = int(run)
+            for ci, pi in enumerate(reps):
+                p = int(run_idx[pi])
+                if (
+                    np.array_equal(allowed[r], allowed[p])
+                    and np.array_equal(self.tags[r], self.tags[p])
+                    and np.array_equal(self.stamps[r], self.stamps[p])
+                    and np.array_equal(self.pref[r], self.pref[p])
+                ):
+                    class_idx[i] = ci
+                    dups.append((r, p))
+                    break
+            else:
+                class_idx[i] = len(reps)
+                reps.append(i)
+        return np.asarray(reps, dtype=np.int64), class_idx, dups
+
+    def serve(self, stream: _PreparedStream, allowed, hits_d, mem_d, pref_m, runs=None) -> None:
         """Serve one quantum's merged stream for every run at once.
 
-        ``allowed`` is the ``(runs, cpus, ways)`` boolean CAT matrix;
-        ``hits_d``/``mem_d``/``pref_m`` are ``(runs, cpus)`` int64
+        ``allowed`` is the ``(n_runs, cpus, ways)`` boolean CAT matrix;
+        ``hits_d``/``mem_d``/``pref_m`` are ``(R, cpus)`` int64
         accumulators for demand hits, demand fills and prefetch fills —
-        the per-core counters the scalar serve loop tracks.
+        the per-core counters the scalar serve loop tracks.  ``runs``
+        restricts the serve to a subgroup of run indices (the lockstep
+        scheduler serves each unique stream shape to exactly the runs
+        that produced it); accumulator rows align with ``runs`` order.
+        Defaults to all runs.
+
+        The subgroup path dedups the run axis too: runs whose LLC
+        image (tags/stamps/pref) and CAT allow row are bitwise equal
+        see identical outcomes for an identical stream, so only one
+        representative per equality class is served; duplicates get
+        the representative's stats and a copy of the touched sets.
         """
+        stream.prepare()
         tags, stamps, pref = self.tags, self.stamps, self.pref
-        R = self.n_runs
         S = self.geometry.sets
         W = self.geometry.ways
         n = stream.n
-        tags_f = tags.reshape(R * S * W)
-        stamps_f = stamps.reshape(R * S * W)
-        pref_f = pref.reshape(R * S * W)
-        run_off = (np.arange(R, dtype=np.int64) * S * W)[:, None]
+        full = runs is None
+        if full:
+            run_idx = np.arange(self.n_runs, dtype=np.int64)
+            stat_idx = run_idx
+            class_idx = None
+            dups: list[tuple[int, int]] = []
+        else:
+            stat_idx = np.asarray(runs, dtype=np.int64)
+            reps, class_idx, dups = self._dedup_classes(stat_idx, allowed)
+            run_idx = stat_idx[reps]
+        R = len(run_idx)
+        tags_f = tags.reshape(self.n_runs * S * W)
+        stamps_f = stamps.reshape(self.n_runs * S * W)
+        pref_f = pref.reshape(self.n_runs * S * W)
+        run_off = (run_idx * S * W)[:, None]
+        rsel = run_idx[:, None]
         seqs = np.arange(self._seq, self._seq + n, dtype=np.int64)
-        slot = stream.si * W  # per-request flat set offset
         # Per-request outcome columns, reduced to stats once per quantum.
         H = np.empty((R, n), dtype=bool)  # hit?
         OP = np.empty((R, n), dtype=bool)  # touched way's pref bit was set?
         OV = np.empty((R, n), dtype=bool)  # touched way held a valid line?
-        # One (runs, requests, ways) CAT gather per quantum; segments
-        # below slice views out of it instead of re-gathering.
-        allow_q = allowed[:, stream.cpu_col, :]
-        for a, b in stream.segments:
-            si = stream.si[a:b]
-            line = stream.line[a:b]
-            sub_t = tags[:, si, :]  # (R, k, W)
+        # One (runs, requests, ways) CAT gather per quantum, deferred
+        # to the first round that actually misses; rounds index into it
+        # instead of re-gathering.
+        allow_q = None
+        # Fills only ever consume free ways, never create them, so once
+        # a run's LLC is full the free-way search can be skipped: every
+        # miss takes the LRU victim among the allowed ways.  A run with
+        # CAT keeps its disallowed ways unfilled forever, so the gate
+        # counts free lines *reachable* under the current allow rows —
+        # invalid entries only shrink and ``allowed`` is fixed for the
+        # whole serve, so the condition holds for every round.  The
+        # loop deliberately touches every rep so each has a fresh
+        # ``_af`` entry for the decrement and duplicate copies below.
+        all_full = True
+        for r in run_idx:
+            if self._allowed_free(int(r), allowed):
+                all_full = False
+        free_dec = None
+        # When every served run allows every way (non-CAT mechanisms),
+        # the allow mask is the identity and its gathers/wheres vanish.
+        allow_trivial = bool(allowed[run_idx].all())
+        for ids, si, line, ispf_r in stream.rounds:
+            sub_t = tags[:, si, :] if full else tags[rsel, si]  # (R, k, W)
             hit = sub_t == line[None, :, None]
-            hit_any = hit.any(axis=2)
             way = hit.argmax(axis=2)
-            if not hit_any.all():
-                allow = allow_q[:, a:b, :]  # (R, k, W) view
-                invalid = sub_t == -1
-                freem = invalid & allow
-                have_free = freem.any(axis=2)
-                wmiss = freem.argmax(axis=2)
-                need_vic = ~(hit_any | have_free)
-                if need_vic.any():
-                    vic = np.where(
-                        allow & ~invalid, stamps[:, si, :], _TS_INF
-                    ).argmin(axis=2)
-                    wmiss = np.where(have_free, wmiss, vic)
-                way = np.where(hit_any, way, wmiss)
-            flat = run_off + (slot[a:b] + way)  # (R, k)
+            # The argmax way is a hit way iff any way hit — one small
+            # gather instead of a second full reduction over ways.
+            hit_any = np.take_along_axis(hit, way[:, :, None], axis=2)[:, :, 0]
+            if hit_any.all():
+                # A touched way on a hit always holds a valid line.
+                OV[:, ids] = True
+            else:
+                if allow_trivial:
+                    allow = None
+                else:
+                    if allow_q is None:
+                        if full:
+                            allow_q = allowed[:, stream.cpu_col, :]
+                        else:
+                            allow_q = allowed[rsel, stream.cpu_col]
+                    allow = allow_q[:, ids, :]  # (R, k, W)
+                if all_full:
+                    sub_s = stamps[:, si, :] if full else stamps[rsel, si]
+                    if allow is None:
+                        vic = sub_s.argmin(axis=2)
+                    else:
+                        vic = np.where(allow, sub_s, _TS_INF).argmin(axis=2)
+                    way = np.where(hit_any, way, vic)
+                    # Hits touch a valid line, victims evict one.
+                    OV[:, ids] = True
+                else:
+                    invalid = sub_t == -1
+                    freem = invalid if allow is None else invalid & allow
+                    have_free = freem.any(axis=2)
+                    wmiss = freem.argmax(axis=2)
+                    need_vic = ~(hit_any | have_free)
+                    if need_vic.any():
+                        sub_s = stamps[:, si, :] if full else stamps[rsel, si]
+                        valid_ok = ~freem if allow is None else allow ^ freem
+                        vic = np.where(valid_ok, sub_s, _TS_INF).argmin(axis=2)
+                        wmiss = np.where(have_free, wmiss, vic)
+                    way = np.where(hit_any, way, wmiss)
+                    # Valid unless the miss filled a free (invalid) way:
+                    # hits touch a valid line, victims evict one.
+                    OV[:, ids] = hit_any | ~have_free
+                    if free_dec is None:
+                        free_dec = np.zeros(R, dtype=np.int64)
+                    free_dec += (~hit_any & have_free).sum(axis=1)
+            flat = run_off + (si * W + way)  # (R, k)
             old_p = pref_f[flat]
-            H[:, a:b] = hit_any
-            OP[:, a:b] = old_p
-            OV[:, a:b] = tags_f[flat] != -1
+            is_pref_r = ispf_r[None, :]
+            H[:, ids] = hit_any
+            OP[:, ids] = old_p
             # Hits keep the bit on prefetch touches and clear it on
             # demand; fills set it iff the fill is a prefetch.
-            new_p = np.where(
-                hit_any, old_p & stream.is_pref[a:b][None, :], stream.is_pref[a:b][None, :]
-            )
+            new_p = np.where(hit_any, old_p & is_pref_r, is_pref_r)
             tags_f[flat] = line[None, :]
-            stamps_f[flat] = seqs[a:b][None, :]
+            stamps_f[flat] = seqs[ids][None, :]
             pref_f[flat] = new_p
+        if free_dec is not None:
+            self.free_lines[run_idx] -= free_dec
+            for pos, r in enumerate(run_idx):
+                self._af[int(r)][1] -= int(free_dec[pos])
+        if dups:
+            # Duplicates evolve identically to their representative for
+            # this stream; only the touched sets changed.
+            usets = np.unique(stream.si)
+            for dup, rep in dups:
+                tags[dup, usets] = tags[rep, usets]
+                stamps[dup, usets] = stamps[rep, usets]
+                pref[dup, usets] = pref[rep, usets]
+                self.free_lines[dup] = self.free_lines[rep]
+                ent = self._af[rep]
+                self._af[dup] = [ent[0], ent[1]]
         dem = stream.demand[None, :]
         ispf = stream.is_pref[None, :]
         M = ~H
         fillm = M & ispf
-        self.hits += H.sum(axis=1)
-        self.pref_used += (H & dem & OP).sum(axis=1)
-        self.pref_evicted_unused += (M & OV & OP).sum(axis=1)
-        self.pref_fills += fillm.sum(axis=1)
-        dh = H & dem
-        dm = M & dem
-        for c, sel in stream.cpu_groups:
-            hits_d[:, c] += dh[:, sel].sum(axis=1)
-            mem_d[:, c] += dm[:, sel].sum(axis=1)
-            pref_m[:, c] += fillm[:, sel].sum(axis=1)
+        hit_v = H.sum(axis=1)
+        used_v = (H & dem & OP).sum(axis=1)
+        evic_v = (M & OV & OP).sum(axis=1)
+        fill_v = fillm.sum(axis=1)
+        if class_idx is not None:
+            hit_v = hit_v[class_idx]
+            used_v = used_v[class_idx]
+            evic_v = evic_v[class_idx]
+            fill_v = fill_v[class_idx]
+        self.hits[stat_idx] += hit_v
+        self.pref_used[stat_idx] += used_v
+        self.pref_evicted_unused[stat_idx] += evic_v
+        self.pref_fills[stat_idx] += fill_v
+        # Per-(run, core) reductions in one pass: permute request
+        # columns into contiguous per-core blocks, then segment-sum.
+        if n:
+            dh = H & dem
+            dm = M & dem
+            P = stream.cpu_perm
+            st = stream.cpu_starts
+            hv = np.add.reduceat(dh[:, P].astype(np.int32), st, axis=1)
+            mv = np.add.reduceat(dm[:, P].astype(np.int32), st, axis=1)
+            fv = np.add.reduceat(fillm[:, P].astype(np.int32), st, axis=1)
+            if class_idx is not None:
+                hv = hv[class_idx]
+                mv = mv[class_idx]
+                fv = fv[class_idx]
+            if stream.seg_ids is None:
+                hits_d[:, stream.cpu_ids] += hv
+                mem_d[:, stream.cpu_ids] += mv
+                pref_m[:, stream.cpu_ids] += fv
+            else:
+                # Multi-quantum stream: accumulators carry a segment
+                # axis so each quantum's counters come back separately.
+                hits_d[:, stream.seg_ids, stream.cpu_ids] += hv
+                mem_d[:, stream.seg_ids, stream.cpu_ids] += mv
+                pref_m[:, stream.seg_ids, stream.cpu_ids] += fv
         self._seq += n
-        self.accesses += n
+        self.accesses[stat_idx] += n
 
 
 class BatchKernel:
@@ -704,15 +1053,15 @@ def run_static_sweep(
                 qc = counts[cpu]
                 qc.n_access = e.n_access
                 qc.n_l2_hit_d = e.n_l2_hit_d
-                qc.n_llc_hit_d = int(hits_d[r, cpu])
-                nm = int(mem_d[r, cpu])
-                if nm:
-                    qc.n_mem_d = nm
-                    qc.demand_bytes = nm * line_bytes
-                    prow[cpu, Event.L3_LOAD_MISS] += nm
-                npf = int(pref_m[r, cpu])
-                if npf:
-                    qc.pref_bytes = npf * line_bytes
+                fastengine.apply_llc_tail(
+                    qc,
+                    prow,
+                    cpu,
+                    int(hits_d[r, cpu]),
+                    int(mem_d[r, cpu]),
+                    int(pref_m[r, cpu]),
+                    line_bytes,
+                )
                 prow[cpu] += e.pmu_row
             timing = solve_quantum(params, drams[r], counts, ipm, mlp, active)
             demand_b = 0.0
@@ -735,3 +1084,594 @@ def run_static_sweep(
     return [
         StaticSweepRun(pmu[r], wall[r], glc.stats_for(r), glc.occupancy(r)) for r in range(R)
     ]
+
+
+# --------------------------------------------------------------------------
+# Masked lockstep: dynamic batching for runs with divergent policies
+# --------------------------------------------------------------------------
+
+
+class _CoreLane:
+    """One state-equality class of runs inside a :class:`GroupedCore`.
+
+    All member runs sit at the same trace position with bitwise-equal
+    private-core state, so one scalar-kernel advance serves them all.
+    ``serial`` is a stable identity for the merge-comparison backoff.
+    """
+
+    __slots__ = ("state", "runs", "serial")
+
+    def __init__(self, state: _LaneState, runs: set, serial: int) -> None:
+        self.state = state
+        self.runs = runs
+        self.serial = serial
+
+
+class GroupedCore:
+    """R runs' private-core state for one core, advanced in masked lockstep.
+
+    Run-axis batching for the core side: all R runs share one zero-copy
+    trace, and per-run prefetch masks are the only divergence axis.
+    State is deduplicated into lanes (equality classes) rather than a
+    dense ``(runs, sets, ways)`` tensor: interval-aligned sweeps spend
+    most quanta with every run under the same mask, so one lane — one
+    scalar-kernel call — usually covers the whole group, and the dense
+    tensors are still available as views (:meth:`cache_tensors`,
+    :meth:`stride_tensor`) for inspection and the property suite.
+
+    Each :meth:`step` partitions stepping runs by mask, clones the lane
+    image per partition (before any advance), merges lanes whose images
+    re-converged (order-sensitive content equality; failed comparisons
+    back off :data:`MERGE_BACKOFF` steps per pair) and advances each
+    surviving lane once with the unmodified scalar kernel.  Raises
+    :class:`LockstepError` when a live-trace lane would need cloning —
+    the caller degrades the whole group to per-run scalar execution.
+    """
+
+    #: Steps to skip re-comparing a lane pair after a failed merge.
+    MERGE_BACKOFF = 8
+
+    def __init__(self, params: MachineParams, base_trace, n_runs: int) -> None:
+        if not hasattr(base_trace, "fork"):
+            raise TypeError(
+                "GroupedCore requires a forkable materialized trace "
+                f"(got {type(base_trace).__name__})"
+            )
+        self.params = params
+        self.base_trace = base_trace
+        self.n_runs = n_runs
+        self.forks: list = []
+        self._scratch = np.zeros((1, N_EVENTS), dtype=np.float64)
+        self._serial = 0
+        self._step_no = 0
+        self._backoff: dict[tuple[int, int], int] = {}
+        st = _LaneState(
+            FastCache(params.l1), FastCache(params.l2), _fresh_bank(params), self._fork_trace(0)
+        )
+        self.lanes: list[_CoreLane] = [_CoreLane(st, set(range(n_runs)), self._next_serial())]
+
+    def _next_serial(self) -> int:
+        self._serial += 1
+        return self._serial
+
+    def _fork_trace(self, pos: int):
+        t = self.base_trace.fork(pos)
+        self.forks.append(t)
+        return t
+
+    def _clone(self, st: _LaneState) -> _LaneState:
+        if st.trace._live is not None:
+            raise LockstepError(
+                "cannot split a lane whose trace left the zero-copy path"
+            )
+        return _clone_image(self.params, st, self._fork_trace(st.trace.pos))
+
+    def step(self, active, q: int, mask_of) -> dict:
+        """Advance runs in ``active`` one quantum of ``q`` accesses.
+
+        ``mask_of`` maps run -> effective prefetch mask for this core.
+        Returns ``{run: _LaneEdge}`` with each run's core-phase outputs
+        (runs sharing a lane share the edge object, and therefore the
+        identity of its request list — the scheduler keys stream merges
+        on exactly that).
+        """
+        self._step_no += 1
+        active_set = set(active)
+        new_lanes: list[_CoreLane] = []
+        plan: list[tuple[_CoreLane, int]] = []
+        for lane in self.lanes:
+            stepping = lane.runs & active_set
+            if not stepping:
+                new_lanes.append(lane)
+                continue
+            staying = lane.runs - stepping
+            groups: dict[int, set] = {}
+            for r in stepping:
+                groups.setdefault(mask_of[r], set()).add(r)
+            keys = sorted(groups)
+            if staying:
+                # The un-advanced image stays behind for the parked
+                # runs; every stepping partition gets a clone.
+                lane.runs = staying
+                new_lanes.append(lane)
+                donors = keys
+            else:
+                # First partition advances the lane in place; clones
+                # for the rest are taken before anything advances.
+                donors = keys[1:]
+            clones = {m: self._clone(lane.state) for m in donors}
+            if not staying:
+                lane.runs = groups[keys[0]]
+                plan.append((lane, keys[0]))
+                new_lanes.append(lane)
+            for m in donors:
+                nl = _CoreLane(clones[m], groups[m], self._next_serial())
+                plan.append((nl, m))
+                new_lanes.append(nl)
+        # Re-merge pass: lanes stepping under the same mask whose images
+        # re-converged advance once for all their runs.
+        by_mask: dict[int, list[_CoreLane]] = {}
+        for lane, m in plan:
+            by_mask.setdefault(m, []).append(lane)
+        merged_plan: list[tuple[_CoreLane, int]] = []
+        for m in sorted(by_mask):
+            survivors: list[_CoreLane] = []
+            for lane in by_mask[m]:
+                merged = False
+                for surv in survivors:
+                    key = (surv.serial, lane.serial)
+                    if self._backoff.get(key, 0) > self._step_no:
+                        continue
+                    if _images_equal(surv.state, lane.state):
+                        surv.runs |= lane.runs
+                        new_lanes.remove(lane)
+                        merged = True
+                        break
+                    self._backoff[key] = self._step_no + self.MERGE_BACKOFF
+                if not merged:
+                    survivors.append(lane)
+            merged_plan.extend((lane, m) for lane in survivors)
+        edges: dict[int, _LaneEdge] = {}
+        for lane, m in merged_plan:
+            qc, llc_req, pmu_row, ipm, mlp = _advance_image(lane.state, q, m, self._scratch)
+            e = _fill_edge(lane.state, qc, llc_req, pmu_row, ipm, mlp)
+            for r in lane.runs:
+                edges[r] = e
+        self.lanes = new_lanes
+        return edges
+
+    def retire(self, run: int) -> None:
+        """Drop a finished run so its lane can keep merging freely."""
+        for lane in self.lanes:
+            lane.runs.discard(run)
+        self.lanes = [lane for lane in self.lanes if lane.runs]
+
+    # -- dense SoA views (inspection / property suite) -----------------
+
+    def _lane_of(self, run: int) -> _CoreLane:
+        for lane in self.lanes:
+            if run in lane.runs:
+                return lane
+        raise KeyError(f"run {run} not in any lane (retired?)")
+
+    def cache_tensors(self, level: str = "l1"):
+        """``(tags, stamps)`` as ``(runs, sets, ways)`` int64 tensors.
+
+        ``tags`` hold line addresses in LRU -> MRU way order (-1 =
+        empty); ``stamps`` hold each occupied way's recency rank (0 =
+        LRU) and -1 for empty ways.  Retired runs keep all -1.
+        """
+        geom = self.params.l1 if level == "l1" else self.params.l2
+        S, W = geom.sets, geom.ways
+        tags = np.full((self.n_runs, S, W), -1, dtype=np.int64)
+        stamps = np.full((self.n_runs, S, W), -1, dtype=np.int64)
+        ranks = np.arange(W, dtype=np.int64)[None, :]
+        for lane in self.lanes:
+            cache = lane.state.l1 if level == "l1" else lane.state.l2
+            t = cache.tags_array()
+            s = np.where(t != -1, ranks, np.int64(-1))
+            for r in lane.runs:
+                tags[r] = t
+                stamps[r] = s
+        return tags, stamps
+
+    def stride_tensor(self):
+        """IP-stride tables as a ``(runs, entries, 4)`` int64 tensor.
+
+        Rows are ``[ctx, last_line, stride, confidence]`` in FIFO
+        (insertion) order, -1-padded past each table's population.
+        """
+        E = self.params.stride_table_entries
+        out = np.full((self.n_runs, E, 4), -1, dtype=np.int64)
+        for lane in self.lanes:
+            block = np.full((E, 4), -1, dtype=np.int64)
+            for i, (ctx, row) in enumerate(lane.state.bank.ip_stride._table.items()):
+                block[i, 0] = ctx
+                block[i, 1:] = row
+            for r in lane.runs:
+                out[r] = block
+        return out
+
+    def trace_fallbacks(self) -> int:
+        return sum(t.fallbacks for t in self.forks)
+
+
+class LockstepMachine(Machine):
+    """A per-run ``Machine`` that parks at every quantum boundary.
+
+    Controllers drive it exactly like a scalar machine — MSR writes,
+    CAT moves, ``run_accesses`` between decisions — but ``_run_quantum``
+    posts the run's position, effective prefetch masks and CAT allow
+    matrix to the owning :class:`LockstepGroup` and blocks until the
+    scheduler has advanced the grouped core/LLC state, then folds the
+    returned per-run counters through the inherited scalar
+    ``_timing_phase``.  The accumulation sequence is op-for-op the one
+    :func:`run_static_sweep` pins, so results are bit-identical to a
+    scalar fast machine.
+    """
+
+    def __init__(self, group: "LockstepGroup", run_id: int) -> None:
+        kernel = group.kernel
+        super().__init__(kernel.params, quantum=kernel.quantum, engine=ENGINE_BATCH)
+        self._group = group
+        self._run_id = run_id
+        self._pos = 0
+        self._q = -1
+        self._masks: dict[int, int] = {}
+        self._allow = np.zeros((kernel.params.n_cores, kernel.params.llc.ways), dtype=bool)
+        self._allow_gen = -1
+        self._outq: deque = deque()
+        self._decl_remaining = 0
+        self._sched_pos = 0
+        self._sched_left = 0
+        self._parked = threading.Event()
+        self._resume = threading.Event()
+        self._done = False
+        self._error: BaseException | None = None
+        self._result = None
+        for cpu in kernel.lane_cores:
+            self.cores[cpu].active = True
+
+    def attach_trace(self, core: int, trace) -> None:  # pragma: no cover
+        raise TypeError(
+            "LockstepMachine cores are driven by the group's shared "
+            "trace; traces are registered on the BatchKernel"
+        )
+
+    def _refresh_allow(self) -> None:
+        cat = self.cat
+        if cat.generation == self._allow_gen:
+            return
+        self._allow[:] = False
+        for cpu in range(self.params.n_cores):
+            for w in cat.allowed_ways(cpu):
+                self._allow[cpu, w] = True
+        self._allow_gen = cat.generation
+
+    def run_accesses(self, n_per_core: int) -> None:
+        # Prefetch-mask and CAT writes only happen between driver calls,
+        # so both are fixed for this whole span.  Declaring the span
+        # lets the scheduler compute every quantum of it in one go and
+        # deliver the outputs as a batch — one park per span instead of
+        # one park per quantum.
+        self._decl_remaining = int(n_per_core)
+        try:
+            super().run_accesses(n_per_core)
+        finally:
+            self._decl_remaining = 0
+
+    def _run_quantum(self, q: int) -> None:
+        group = self._group
+        if group._aborting:
+            raise _LockstepAbort()
+        if not self._outq:
+            get_mask = self.prefetch_msr.get_mask
+            self._masks = {cpu: get_mask(cpu) for cpu in group.kernel.lane_cores}
+            self._refresh_allow()
+            self._q = q
+            self._parked.set()
+            ok = self._resume.wait(group.timeout)
+            self._resume.clear()
+            if not ok or group._aborting:
+                raise _LockstepAbort()
+        edges, hits_d, mem_d, pref_m = self._outq.popleft()
+        self._apply(edges, hits_d, mem_d, pref_m)
+        self._pos += q
+        self._decl_remaining -= q
+
+    def _apply(self, edges, hits_d, mem_d, pref_m) -> None:
+        """Fold one quantum's grouped outputs through the scalar tail."""
+        n = self.params.n_cores
+        counts = [QuantumCounts() for _ in range(n)]
+        ipm = [0.0] * n
+        mlp = [1.0] * n
+        active = [False] * n
+        pmu_counts = self.pmu.counts
+        line_bytes = float(self.params.line_bytes)
+        for cpu, e in edges.items():
+            active[cpu] = True
+            ipm[cpu] = e.ipm
+            mlp[cpu] = e.mlp
+            qc = counts[cpu]
+            qc.n_access = e.n_access
+            qc.n_l2_hit_d = e.n_l2_hit_d
+            fastengine.apply_llc_tail(
+                qc,
+                pmu_counts,
+                cpu,
+                int(hits_d[cpu]),
+                int(mem_d[cpu]),
+                int(pref_m[cpu]),
+                line_bytes,
+            )
+            pmu_counts[cpu] += e.pmu_row
+            cs = self.cores[cpu]
+            s1, d1 = cs.l1.stats, e.l1_stats
+            s1.accesses += d1[0]
+            s1.hits += d1[1]
+            s1.pref_fills += d1[2]
+            s1.pref_used += d1[3]
+            s1.pref_evicted_unused += d1[4]
+            s2, d2 = cs.l2.stats, e.l2_stats
+            s2.accesses += d2[0]
+            s2.hits += d2[1]
+            s2.pref_fills += d2[2]
+            s2.pref_used += d2[3]
+            s2.pref_evicted_unused += d2[4]
+        self._timing_phase(counts, ipm, mlp, active)
+
+    def trace_fallbacks(self) -> int:
+        return self._group.trace_fallbacks()
+
+
+class LockstepGroup:
+    """Scheduler advancing R divergent runs of one mix in lockstep.
+
+    Owns the grouped SoA state (one :class:`GroupedCore` per lane core,
+    one :class:`GroupedLLC`) and R :class:`LockstepMachine` members.
+    :meth:`run` executes one unmodified driver callable per member on a
+    worker thread; the scheduler repeatedly picks the minimum
+    ``(trace_pos, quantum)`` cohort, steps every grouped core once for
+    it, serves the merged LLC stream per unique stream shape, and wakes
+    members one at a time — exactly one thread is ever runnable, so the
+    interleave is deterministic and the per-run arithmetic matches a
+    scalar fast machine op for op.
+
+    The kernel is never mutated by lockstep execution (grouped cores
+    fork the shared base traces directly), so a caller catching
+    :class:`LockstepError` can reuse the same kernel for the per-run
+    fallback path.
+    """
+
+    def __init__(self, kernel: BatchKernel, n_runs: int, *, timeout: float = 120.0) -> None:
+        if n_runs < 1:
+            raise ValueError("n_runs must be positive")
+        self.kernel = kernel
+        self.n_runs = n_runs
+        self.timeout = timeout
+        p = kernel.params
+        self.cores = {
+            cpu: GroupedCore(p, kernel._trees[cpu].base_trace, n_runs)
+            for cpu in kernel.lane_cores
+        }
+        self.llc = GroupedLLC(p.llc, n_runs)
+        self._allowed = np.zeros((n_runs, p.n_cores, p.llc.ways), dtype=bool)
+        self.members = [LockstepMachine(self, r) for r in range(n_runs)]
+        self._stream_cache: dict[tuple, _PreparedStream] = {}
+        self._aborting = False
+
+    def trace_fallbacks(self) -> int:
+        return sum(c.trace_fallbacks() for c in self.cores.values())
+
+    def run(self, drivers) -> list:
+        """Run one driver per member to completion; return their results.
+
+        ``drivers[r]`` is called with member ``r``'s machine on a worker
+        thread and may drive it arbitrarily (controller loops included).
+        Raises :class:`LockstepError` if the group cannot complete
+        batched — including when any driver raises, since the member's
+        partial state is unusable; the caller re-runs per-run, where a
+        genuine driver error will reproduce scalar.
+        """
+        if len(drivers) != self.n_runs:
+            raise ValueError("need exactly one driver per run")
+        threads = [
+            threading.Thread(
+                target=self._thread_main, args=(m, drv), daemon=True, name=f"lockstep-{m._run_id}"
+            )
+            for m, drv in zip(self.members, drivers)
+        ]
+        quantum = self.kernel.quantum
+        try:
+            for m, t in zip(self.members, threads):
+                t.start()
+                self._observe_parked(m)
+            while True:
+                for m in self.members:
+                    if m._error is not None:
+                        raise m._error
+                live = [m for m in self.members if not m._done]
+                if not live:
+                    break
+                # Advance declared spans without waking anyone: cohorts
+                # form over the scheduler's view of each member's
+                # position, outputs queue up per member.  The chunking
+                # mirrors ``Machine.run_accesses`` exactly, so the
+                # member pops one queue entry per quantum it replays.
+                # Cohorts stay pinned to the global minimum position —
+                # a member whose span is exhausted there is woken for a
+                # fresh declaration *before* the cohort advances, so
+                # cross-run serve batching never shrinks just because
+                # spans have unequal lengths.
+                min_pos = min(m._sched_pos for m in live)
+                stale = [
+                    m for m in live if m._sched_pos == min_pos and m._sched_left == 0
+                ]
+                if stale:
+                    # Wake in run order to drain queues, run controller
+                    # work, and park again with a new declaration (or
+                    # finish).  Still one runnable thread at a time.
+                    for m in sorted(stale, key=lambda mm: mm._run_id):
+                        m._resume.set()
+                        self._observe_parked(m)
+                    continue
+                cands = [m for m in live if m._sched_pos == min_pos]
+                q = min(min(quantum, m._sched_left) for m in cands)
+                sub = [m for m in cands if min(quantum, m._sched_left) == q]
+                # Whole quanta with no member ahead in between can be
+                # computed as one multi-segment serve; ``q == quantum``
+                # implies every member at ``min_pos`` is in ``sub``.
+                k = 1
+                if q == quantum:
+                    k = min(m._sched_left // quantum for m in sub)
+                    ahead = [
+                        mm._sched_pos for mm in live if mm._sched_pos > min_pos
+                    ]
+                    if ahead:
+                        k = min(k, (min(ahead) - min_pos) // quantum)
+                    k = max(k, 1)
+                self._step_subgroup(sub, q, k)
+                for m in sub:
+                    m._sched_pos += q * k
+                    m._sched_left -= q * k
+        except Exception as e:
+            self._abort(threads)
+            raise LockstepError(f"lockstep group degraded: {e!r}") from e
+        for t in threads:
+            t.join(self.timeout)
+        return [m._result for m in self.members]
+
+    # -- internals -----------------------------------------------------
+
+    def _thread_main(self, m: LockstepMachine, driver) -> None:
+        try:
+            m._result = driver(m)
+        except _LockstepAbort:
+            pass
+        except BaseException as e:  # noqa: BLE001 - relayed to scheduler
+            m._error = e
+        finally:
+            m._done = True
+            m._parked.set()
+
+    def _wait_parked(self, m: LockstepMachine) -> None:
+        if not m._parked.wait(self.timeout):
+            raise RuntimeError(f"lockstep member {m._run_id} stalled")
+        m._parked.clear()
+
+    def _observe_parked(self, m: LockstepMachine) -> None:
+        """Wait for a park (or exit) and snapshot the declared span.
+
+        At park time the member's queue is empty and ``_pos`` reflects
+        every applied quantum, so the scheduler's view starts there;
+        ``_decl_remaining`` covers the rest of the member's current
+        ``run_accesses`` span (falling back to the single parked
+        quantum if the member was advanced outside a declaration).
+        """
+        self._wait_parked(m)
+        if m._done:
+            self._retire(m._run_id)
+            return
+        m._sched_pos = m._pos
+        m._sched_left = m._decl_remaining if m._decl_remaining > 0 else m._q
+
+    def _retire(self, run: int) -> None:
+        for core in self.cores.values():
+            core.retire(run)
+
+    def _abort(self, threads) -> None:
+        self._aborting = True
+        for m in self.members:
+            m._resume.set()
+        for t in threads:
+            t.join(self.timeout)
+
+    def _step_subgroup(self, sub, q: int, k: int = 1) -> None:
+        """Advance one cohort ``k`` quanta of length ``q`` at once.
+
+        Lanes still advance quantum by quantum (edges are keyed per
+        quantum), but the LLC serves the whole span as one concatenated
+        multi-segment stream: per-set replay order and absolute stamps
+        are identical to ``k`` back-to-back serves, and the segment
+        axis on the accumulators recovers each quantum's counters for
+        the member-side timing phase.
+        """
+        by_run = {m._run_id: m for m in sub}
+        runs = sorted(by_run)
+        p = self.kernel.params
+        n = p.n_cores
+        edges_seq: list[dict[int, dict]] = [{r: {} for r in runs} for _ in range(k)]
+        for cpu, core in self.cores.items():
+            mask_of = {r: by_run[r]._masks[cpu] for r in runs}
+            for j in range(k):
+                for r, e in core.step(runs, q, mask_of).items():
+                    edges_seq[j][r][cpu] = e
+        for r in runs:
+            self._allowed[r] = by_run[r]._allow
+        # Group runs by merged-stream shape: runs whose lanes coincide
+        # on every core for the whole span share the request lists (by
+        # identity) and thus one merge + one grouped serve.
+        order: list[tuple] = []
+        groups: dict[tuple, list[int]] = {}
+        for r in runs:
+            key = tuple(
+                id(edges_seq[j][r][cpu].llc_req) if cpu in edges_seq[j][r] else 0
+                for j in range(k)
+                for cpu in range(n)
+            )
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(r)
+        for key in order:
+            grp = groups[key]
+            quanta: list[_PreparedStream] = []
+            for j in range(k):
+                ed0 = edges_seq[j][grp[0]]
+                # Merged streams repeat across quanta in steady state;
+                # replayed lane edges reuse the very same request-list
+                # objects, so an identity key finds them for free, with
+                # a content key as fallback for equal streams produced
+                # by distinct edges.  Edges stay alive in the lane
+                # trees, so ids cannot be recycled.
+                ikey = tuple(
+                    id(ed0[cpu].llc_req) if cpu in ed0 else 0 for cpu in range(n)
+                )
+                stream = self._stream_cache.get(ikey)
+                if stream is None:
+                    llc_reqs: list[list] = [
+                        ed0[cpu].llc_req if cpu in ed0 else [] for cpu in range(n)
+                    ]
+                    ckey = tuple(
+                        np.asarray(lst, dtype=np.int64).tobytes() for lst in llc_reqs
+                    )
+                    stream = self._stream_cache.get(ckey)
+                    if stream is None:
+                        pre = fastengine.merge_llc_requests(llc_reqs)
+                        stream = _PreparedStream(pre[1], pre[2], p.llc.sets - 1)
+                        self._stream_cache[ckey] = stream
+                    self._stream_cache[ikey] = stream
+                quanta.append(stream)
+            hits_d = np.zeros((len(grp), k, n), dtype=np.int64)
+            mem_d = np.zeros((len(grp), k, n), dtype=np.int64)
+            pref_m = np.zeros((len(grp), k, n), dtype=np.int64)
+            if k == 1:
+                stream = quanta[0]
+                if stream.n:
+                    self.llc.serve(
+                        stream, self._allowed,
+                        hits_d[:, 0], mem_d[:, 0], pref_m[:, 0],
+                        runs=grp,
+                    )
+            else:
+                stream = _PreparedStream.concat(quanta, n)
+                if stream.n:
+                    self.llc.serve(stream, self._allowed, hits_d, mem_d, pref_m, runs=grp)
+            # Queue the outputs; members drain them park-free when
+            # woken at the end of their declared span (apply +
+            # controller work stays fully serialized — the scheduler is
+            # the only runnable thread until it wakes someone).
+            for i, r in enumerate(grp):
+                outq = by_run[r]._outq
+                for j in range(k):
+                    outq.append((edges_seq[j][r], hits_d[i, j], mem_d[i, j], pref_m[i, j]))

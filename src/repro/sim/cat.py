@@ -46,6 +46,11 @@ class CatController:
         self._cbm = [full_mask(total_ways)] * n_clos
         self._core_clos = [0] * n_cores
         self._ways_cache: dict[int, tuple[int, ...]] = {}
+        #: Monotonic change counter: bumped whenever the effective
+        #: core -> allowed-ways mapping may have changed.  Lets callers
+        #: (the batch engine's lockstep machines) cache derived allow
+        #: tensors and invalidate them cheaply.
+        self.generation = 0
 
     def set_cbm(self, clos: int, mask: int) -> None:
         self._check_clos(clos)
@@ -57,6 +62,7 @@ class CatController:
             raise ValueError(f"CBM 0x{mask:x} exceeds {self.total_ways} ways")
         self._cbm[clos] = mask
         self._ways_cache.pop(clos, None)
+        self.generation += 1
 
     def get_cbm(self, clos: int) -> int:
         self._check_clos(clos)
@@ -67,6 +73,7 @@ class CatController:
         if not 0 <= core < self.n_cores:
             raise IndexError(f"core {core} out of range")
         self._core_clos[core] = clos
+        self.generation += 1
 
     def core_clos(self, core: int) -> int:
         return self._core_clos[core]
@@ -85,6 +92,7 @@ class CatController:
         self._cbm = [full_mask(self.total_ways)] * self.n_clos
         self._core_clos = [0] * self.n_cores
         self._ways_cache.clear()
+        self.generation += 1
 
     def schemata(self) -> dict[int, int]:
         """CLOS -> CBM for every CLOS in use (resctrl-style dump)."""

@@ -152,10 +152,12 @@ register_engine(
         name=ENGINE_BATCH,
         kernel=ENGINE_FAST,
         batch_width=64,
-        capabilities=frozenset({"multi-run"}),
+        capabilities=frozenset({"multi-run", "dynamic"}),
         description=(
             "multi-run lane-deduplicated kernel over a shared materialized "
-            "trace, bit-identical to fast; scalar fallback is the fast kernel"
+            "trace, bit-identical to fast; 'dynamic' adds masked-lockstep "
+            "batching of runs with divergent per-quantum policies; scalar "
+            "fallback is the fast kernel"
         ),
     )
 )

@@ -162,6 +162,20 @@ class FastCache:
     def flush(self) -> None:
         self._sets = [{} for _ in range(self.n_sets)]
 
+    def state_equal(self, other: "FastCache") -> bool:
+        """Order-sensitive content equality with another cache.
+
+        CPython ``dict ==`` ignores insertion order, but insertion order
+        *is* this cache's LRU order, so two caches are behaviourally
+        interchangeable only when every set matches in content (lines
+        and prefetched-unused bits) **and** recency order.  Used by the
+        batch engine's lane merging (:mod:`repro.sim.batch`).
+        """
+        for a, b in zip(self._sets, other._sets):
+            if a != b or list(a) != list(b):
+                return False
+        return True
+
     # -- array views (inspection / differential tests) ----------------
 
     def tags_array(self) -> np.ndarray:

@@ -563,13 +563,23 @@ def run_llc_phase(machine, counts, llc_reqs, pmu_counts, premerged=None) -> None
 
     line_bytes = float(machine.params.line_bytes)
     for cpu in busy:
-        qc = counts[cpu]
-        qc.n_llc_hit_d += hits_d[cpu]
-        nm = mem_d[cpu]
-        if nm:
-            qc.n_mem_d += nm
-            qc.demand_bytes += nm * line_bytes
-            pmu_counts[cpu, Event.L3_LOAD_MISS] += nm
-        npf = pref_m[cpu]
-        if npf:
-            qc.pref_bytes += npf * line_bytes
+        apply_llc_tail(
+            counts[cpu], pmu_counts, cpu, hits_d[cpu], mem_d[cpu], pref_m[cpu], line_bytes
+        )
+
+
+def apply_llc_tail(qc, pmu_counts, cpu, n_hit_d, n_mem_d, n_pref_fill, line_bytes) -> None:
+    """Fold per-core LLC serve tallies into quantum counts and PMU rows.
+
+    Shared by :func:`run_llc_phase` and the batch engine's grouped-LLC
+    paths (:func:`repro.sim.batch.run_static_sweep`, lockstep machines)
+    so the exact accumulation order — and therefore float64 bit-identity
+    with the scalar engine — lives in one place.
+    """
+    qc.n_llc_hit_d += n_hit_d
+    if n_mem_d:
+        qc.n_mem_d += n_mem_d
+        qc.demand_bytes += n_mem_d * line_bytes
+        pmu_counts[cpu, Event.L3_LOAD_MISS] += n_mem_d
+    if n_pref_fill:
+        qc.pref_bytes += n_pref_fill * line_bytes

@@ -91,6 +91,10 @@ class Machine:
         # Last MSR 0x1A4 mask pushed into each core's prefetcher bank;
         # -1 forces the first _sync_prefetchers to decode and push.
         self._pf_mask_seen = [-1] * n
+        # Batch-engine degradations attributed to this machine's run
+        # (lockstep fork-to-scalar / unbatchable group); set by the
+        # experiment layer when it falls back, surfaced via RunStats.
+        self._batch_degradations = 0
 
     # ---------------------------------------------------------- setup
 
@@ -217,6 +221,16 @@ class Machine:
         plain generator traces report 0.
         """
         return sum(int(getattr(cs.trace, "fallbacks", 0)) for cs in self.cores)
+
+    def batch_degradations(self) -> int:
+        """Batch-engine degradations attributed to this machine's run.
+
+        Non-zero only when a lockstep group or batched sweep this run
+        belonged to had to fall back to per-run scalar execution (the
+        results are bit-identical either way; the counter exists so the
+        degradation is observable, mirroring ``trace_fallbacks``).
+        """
+        return self._batch_degradations
 
     def _run_core_chunk_reference(
         self,

@@ -76,6 +76,35 @@ class TestLockstepFailureFallback:
             assert a.wall_cycles == b.wall_cycles
 
 
+class TestGroupedCoreMidQuantumCrash:
+    def test_core_crash_degrades_per_run_bit_identically(self, store, mix, monkeypatch):
+        """A GroupedCore that raises mid-quantum kills the lockstep group;
+        the group must degrade to per-run execution with bit-identical
+        results and one counted degradation per member."""
+        from repro.sim import batch as SB
+
+        specs = [BatchRunSpec(mix=mix, mechanism=m) for m in ("pt", "cmm-a", "dunn")]
+        healthy = simulate_batch(specs, MECH_SC, trace_store=store)
+        assert all(rs.batch_degradations == 0 for rs in healthy)
+
+        orig = SB.GroupedCore.step
+        calls = {"n": 0}
+
+        def flaky(self, *a, **kw):
+            calls["n"] += 1
+            if calls["n"] == 5:
+                raise RuntimeError("injected GroupedCore mid-quantum failure")
+            return orig(self, *a, **kw)
+
+        monkeypatch.setattr(SB.GroupedCore, "step", flaky)
+        degraded = simulate_batch(specs, MECH_SC, trace_store=store)
+        assert calls["n"] >= 5, "injection never fired"
+        for h, d in zip(healthy, degraded):
+            assert np.array_equal(h.totals, d.totals)
+            assert h.wall_cycles == d.wall_cycles
+            assert d.batch_degradations == 1
+
+
 class TestSessionGroupFailureFallback:
     def test_sabotaged_group_dispatch_is_invisible(self, monkeypatch):
         """A crashing compute_mechanism_group must not fail the sweep or

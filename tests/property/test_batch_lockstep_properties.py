@@ -1,0 +1,355 @@
+"""Properties of the masked-lockstep grouped kernels.
+
+Two layers of differential checks:
+
+* :class:`GroupedLLC` served with per-run *divergent* CAT allow
+  matrices — including mid-stream flips, subgroup (ragged) serves and
+  multi-quantum concatenated streams — against an independent
+  CAT-aware dict-LRU oracle, on hypothesis-generated request streams.
+* The full :class:`LockstepGroup` under seeded-random scripts
+  (divergent prefetch masks, mid-run CAT flips, uneven ``run_accesses``
+  spans including non-quantum-aligned tails) against one scalar fast
+  machine per run, comparing PMU totals, wall cycles, the dense
+  ``cache_tensors``/``stride_tensor`` views and the grouped LLC image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.batch import build_batch_kernel
+from repro.experiments.config import ScaleConfig
+from repro.experiments.runner import build_machine
+from repro.sim.batch import GroupedLLC, LockstepGroup, _PreparedStream
+from repro.sim.params import CacheGeometry
+from repro.sim.tracestore import TraceStore
+from repro.workloads.mixes import make_mixes
+
+GEOM = CacheGeometry(8 * 4 * 64, 4)  # 8 sets x 4 ways
+N_CPUS = 2
+
+SC = ScaleConfig(name="lockstep-prop", llc_scale=16, n_cores=4, quantum=512)
+
+
+class CatLruOracle:
+    """Independent way-partitioned LRU model for one run.
+
+    Deliberately naive: per set a list of ``[tag, stamp, pref]`` rows,
+    one per way, no shared code with the grouped serve.  Fills take the
+    lowest-indexed *allowed* empty way; victims the least-recently
+    touched allowed valid way.
+    """
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.g = geometry
+        self.ways = [
+            [[-1, -1, 0] for _ in range(geometry.ways)] for _ in range(geometry.sets)
+        ]
+        self.t = 0
+        self.accesses = 0
+        self.hits = 0
+        self.pref_fills = 0
+        self.pref_used = 0
+        self.pref_evicted_unused = 0
+        self.hits_d = [0] * N_CPUS
+        self.mem_d = [0] * N_CPUS
+        self.pref_m = [0] * N_CPUS
+
+    def access(self, line: int, cpu: int, is_pref: bool, allow_row) -> None:
+        self.t += 1
+        self.accesses += 1
+        ws = self.ways[line & (self.g.sets - 1)]
+        for w in ws:
+            if w[0] == line:
+                self.hits += 1
+                if not is_pref:
+                    self.hits_d[cpu] += 1
+                    if w[2]:
+                        self.pref_used += 1
+                w[1] = self.t
+                w[2] = w[2] and is_pref
+                return
+        if not is_pref:
+            self.mem_d[cpu] += 1
+        else:
+            self.pref_fills += 1
+            self.pref_m[cpu] += 1
+        victim = None
+        for wi, w in enumerate(ws):
+            if allow_row[wi] and w[0] == -1:
+                victim = w
+                break
+        if victim is None:
+            victim = min(
+                (w for wi, w in enumerate(ws) if allow_row[wi]), key=lambda w: w[1]
+            )
+            if victim[2]:
+                self.pref_evicted_unused += 1
+        victim[0] = line
+        victim[1] = self.t
+        victim[2] = 1 if is_pref else 0
+
+    def tags(self) -> np.ndarray:
+        return np.array([[w[0] for w in ws] for ws in self.ways], dtype=np.int64)
+
+    def prefs(self) -> np.ndarray:
+        return np.array([[w[2] for w in ws] for ws in self.ways], dtype=np.uint8)
+
+    def touch_ranks(self) -> np.ndarray:
+        """Per-way rank of the last touch among the set's valid ways."""
+        out = np.full((self.g.sets, self.g.ways), -1, dtype=np.int64)
+        for si, ws in enumerate(self.ways):
+            stamps = sorted(w[1] for w in ws if w[0] != -1)
+            for wi, w in enumerate(ws):
+                if w[0] != -1:
+                    out[si, wi] = stamps.index(w[1])
+        return out
+
+
+def _stamp_ranks(llc: GroupedLLC, run: int) -> np.ndarray:
+    """GroupedLLC stamps normalized to per-set touch ranks."""
+    tags = llc.tags[run]
+    stamps = llc.stamps[run]
+    out = np.full(tags.shape, -1, dtype=np.int64)
+    for si in range(tags.shape[0]):
+        valid = np.flatnonzero(tags[si] != -1)
+        order = valid[np.argsort(stamps[si][valid], kind="stable")]
+        for rank, wi in enumerate(order):
+            out[si, wi] = rank
+    return out
+
+
+def _rand_allow(rng, n_runs: int) -> np.ndarray:
+    """Per-run, per-cpu way masks; every cpu keeps >=1 allowed way."""
+    allow = rng.random((n_runs, N_CPUS, GEOM.ways)) < 0.6
+    for r in range(n_runs):
+        for c in range(N_CPUS):
+            if not allow[r, c].any():
+                allow[r, c, rng.integers(GEOM.ways)] = True
+    return allow
+
+
+def _stream(rng, n: int) -> _PreparedStream:
+    lines = rng.integers(0, 64, size=n)
+    is_pref = rng.random(n) < 0.4
+    enc = np.where(is_pref, ~lines, lines)
+    cpus = rng.integers(0, N_CPUS, size=n)
+    return _PreparedStream(enc.tolist(), cpus.tolist(), GEOM.sets - 1)
+
+
+def _oracle_replay(oracles, stream: _PreparedStream, allowed, runs) -> None:
+    for i in range(stream.n):
+        line = int(stream.line[i])
+        cpu = int(stream.cpu_col[i])
+        is_pref = bool(stream.is_pref[i])
+        for r in runs:
+            oracles[r].access(line, cpu, is_pref, allowed[r, cpu])
+
+
+def _assert_run_matches(llc: GroupedLLC, oracle: CatLruOracle, run: int, label: str):
+    assert np.array_equal(llc.tags[run], oracle.tags()), f"{label}: tags"
+    assert np.array_equal(llc.pref[run] != 0, oracle.prefs() != 0), f"{label}: pref bits"
+    assert np.array_equal(_stamp_ranks(llc, run), oracle.touch_ranks()), f"{label}: LRU order"
+    assert llc.stats_for(run) == (
+        oracle.accesses,
+        oracle.hits,
+        oracle.pref_fills,
+        oracle.pref_used,
+        oracle.pref_evicted_unused,
+    ), f"{label}: stats"
+
+
+class TestGroupedLLCOracle:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10**6), width=st.sampled_from([1, 3, 8]))
+    def test_divergent_allow_matches_oracle(self, seed, width):
+        """Random streams, per-run divergent CAT rows re-randomized
+        between serves (mid-run flips), full-group serving."""
+        rng = np.random.default_rng(seed)
+        llc = GroupedLLC(GEOM, width)
+        oracles = [CatLruOracle(GEOM) for _ in range(width)]
+        for _ in range(4):
+            allowed = _rand_allow(rng, width)
+            stream = _stream(rng, int(rng.integers(1, 120)))
+            hits_d = np.zeros((width, N_CPUS), dtype=np.int64)
+            mem_d = np.zeros((width, N_CPUS), dtype=np.int64)
+            pref_m = np.zeros((width, N_CPUS), dtype=np.int64)
+            runs = list(range(width))
+            llc.serve(stream, allowed, hits_d, mem_d, pref_m, runs=runs)
+            before = [(o.hits_d[:], o.mem_d[:], o.pref_m[:]) for o in oracles]
+            _oracle_replay(oracles, stream, allowed, runs)
+            for r in runs:
+                bh, bm, bp = before[r]
+                dh = [a - b for a, b in zip(oracles[r].hits_d, bh)]
+                dm = [a - b for a, b in zip(oracles[r].mem_d, bm)]
+                dp = [a - b for a, b in zip(oracles[r].pref_m, bp)]
+                assert hits_d[r].tolist() == dh, f"run {r}: per-cpu demand hits"
+                assert mem_d[r].tolist() == dm, f"run {r}: per-cpu demand misses"
+                assert pref_m[r].tolist() == dp, f"run {r}: per-cpu pref fills"
+        for r in range(width):
+            _assert_run_matches(llc, oracles[r], r, f"run {r}")
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_ragged_subgroups_leave_others_untouched(self, seed):
+        """Subgroup serves (the lockstep scheduler's shape) advance only
+        the named runs; runs with equal images dedup without skew."""
+        rng = np.random.default_rng(seed)
+        width = 4
+        llc = GroupedLLC(GEOM, width)
+        oracles = [CatLruOracle(GEOM) for _ in range(width)]
+        allowed = _rand_allow(rng, width)
+        allowed[1] = allowed[0]  # identical pair: exercises run dedup
+        for _ in range(5):
+            sub = sorted(rng.choice(width, size=int(rng.integers(1, width + 1)), replace=False))
+            stream = _stream(rng, int(rng.integers(1, 100)))
+            hits_d = np.zeros((len(sub), N_CPUS), dtype=np.int64)
+            mem_d = np.zeros((len(sub), N_CPUS), dtype=np.int64)
+            pref_m = np.zeros((len(sub), N_CPUS), dtype=np.int64)
+            llc.serve(stream, allowed, hits_d, mem_d, pref_m, runs=list(sub))
+            _oracle_replay(oracles, stream, allowed, list(sub))
+        for r in range(width):
+            _assert_run_matches(llc, oracles[r], r, f"run {r}")
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_concat_equals_sequential_serves(self, seed):
+        """One multi-segment serve over concatenated quanta must equal
+        serving the quanta back to back, stamps included, and its
+        segment axis must recover the per-quantum counters."""
+        rng = np.random.default_rng(seed)
+        width = 3
+        k = int(rng.integers(2, 5))
+        allowed = _rand_allow(rng, width)
+        quanta = [_stream(rng, int(rng.integers(1, 60))) for _ in range(k)]
+        runs = list(range(width))
+
+        seq_llc = GroupedLLC(GEOM, width)
+        seq_hits = np.zeros((width, k, N_CPUS), dtype=np.int64)
+        seq_mem = np.zeros((width, k, N_CPUS), dtype=np.int64)
+        seq_pref = np.zeros((width, k, N_CPUS), dtype=np.int64)
+        for j, s in enumerate(quanta):
+            seq_llc.serve(
+                s, allowed, seq_hits[:, j], seq_mem[:, j], seq_pref[:, j], runs=runs
+            )
+
+        cat_llc = GroupedLLC(GEOM, width)
+        cat_hits = np.zeros((width, k, N_CPUS), dtype=np.int64)
+        cat_mem = np.zeros((width, k, N_CPUS), dtype=np.int64)
+        cat_pref = np.zeros((width, k, N_CPUS), dtype=np.int64)
+        span = _PreparedStream.concat(quanta, N_CPUS)
+        cat_llc.serve(span, allowed, cat_hits, cat_mem, cat_pref, runs=runs)
+
+        assert np.array_equal(seq_llc.tags, cat_llc.tags)
+        assert np.array_equal(seq_llc.stamps, cat_llc.stamps)
+        assert np.array_equal(seq_llc.pref, cat_llc.pref)
+        assert np.array_equal(seq_hits, cat_hits)
+        assert np.array_equal(seq_mem, cat_mem)
+        assert np.array_equal(seq_pref, cat_pref)
+        for r in runs:
+            assert seq_llc.stats_for(r) == cat_llc.stats_for(r)
+
+
+def _make_script(rng, n_cores: int, ways: int, n_segs: int):
+    """A seeded driver script: per segment, new per-core prefetch
+    masks, an optional CAT flip, and an uneven (sometimes unaligned)
+    access span."""
+    script = []
+    for _ in range(n_segs):
+        masks = [int(rng.integers(0, 16)) for _ in range(n_cores)]
+        cat = None
+        if rng.random() < 0.5:
+
+            def contiguous_cbm():
+                length = int(rng.integers(1, ways + 1))
+                start = int(rng.integers(0, ways - length + 1))
+                return ((1 << length) - 1) << start
+
+            clos = [int(rng.integers(0, 2)) for _ in range(n_cores)]
+            cat = (contiguous_cbm(), contiguous_cbm(), clos)
+        n = int(rng.integers(1, 5)) * 512
+        if rng.random() < 0.25:
+            n += 256  # unaligned tail: exercises the k=1 scheduler path
+        script.append((masks, cat, n))
+    return script
+
+
+def _apply_script(machine, script):
+    for masks, cat, n in script:
+        for cpu, mask in enumerate(masks):
+            machine.prefetch_msr.set_mask(cpu, mask)
+        if cat is not None:
+            cbm0, cbm1, clos = cat
+            machine.cat.set_cbm(0, cbm0)
+            machine.cat.set_cbm(1, cbm1)
+            for cpu, c in enumerate(clos):
+                machine.cat.assign_core(cpu, c)
+        machine.run_accesses(n)
+    return None
+
+
+class TestLockstepGroupVsScalar:
+    @pytest.mark.parametrize("width", [1, 3, 8])
+    @pytest.mark.parametrize("seed", [7, 2019])
+    def test_scripts_match_scalar_machines(self, width, seed):
+        """Seeded-random divergent scripts (masks, CAT flips, ragged
+        span lengths) through a LockstepGroup match one scalar fast
+        machine per run — PMU, wall, dense core tensors, LLC image."""
+        rng = np.random.default_rng(seed)
+        store = TraceStore(None, mode="memory")
+        mix = make_mixes("pref_agg", 1, n_cores=4, seed=2019)[0]
+        ways = SC.params().llc.ways
+        # Ragged: each run gets a different number of segments.
+        scripts = [
+            _make_script(rng, mix.n_cores, ways, 2 + (r % 3)) for r in range(width)
+        ]
+        budget = max(sum(seg[2] for seg in s) for s in scripts) + 512
+        kernel = build_batch_kernel(mix, SC, store, length=budget)
+        group = LockstepGroup(kernel, width)
+
+        def driver(m, s, r):
+            _apply_script(m, s)
+            # Snapshot this run's dense core state before the scheduler
+            # retires it (drivers run one at a time, so this is safe).
+            snap = {}
+            for cpu, core in group.cores.items():
+                snap[cpu] = (
+                    core.cache_tensors("l1")[0][r].copy(),
+                    core.cache_tensors("l2")[0][r].copy(),
+                    core.stride_tensor()[r].copy(),
+                )
+            return snap
+
+        snaps = group.run(
+            [lambda m, s=s, r=r: driver(m, s, r) for r, s in enumerate(scripts)]
+        )
+
+        for r, script in enumerate(scripts):
+            ref = build_machine(mix, SC, trace_store=store)
+            _apply_script(ref, script)
+            m = group.members[r]
+            assert np.array_equal(m.pmu.counts, ref.pmu.counts), f"run {r}: pmu"
+            assert m.pmu.wall_cycles == ref.pmu.wall_cycles, f"run {r}: wall"
+            rs = ref.llc.stats
+            assert group.llc.stats_for(r) == (
+                rs.accesses, rs.hits, rs.pref_fills, rs.pref_used,
+                rs.pref_evicted_unused,
+            ), f"run {r}: llc stats"
+            assert group.llc.occupancy(r) == ref.llc.occupancy(), f"run {r}: occupancy"
+            for cpu in group.cores:
+                l1_tags, l2_tags, table = snaps[r][cpu]
+                assert np.array_equal(l1_tags, ref.cores[cpu].l1.tags_array()), (
+                    f"run {r} cpu {cpu}: l1 tags"
+                )
+                assert np.array_equal(l2_tags, ref.cores[cpu].l2.tags_array()), (
+                    f"run {r} cpu {cpu}: l2 tags"
+                )
+                ref_rows = [
+                    [int(ctx), *map(int, row)]
+                    for ctx, row in ref.cores[cpu].bank.ip_stride._table.items()
+                ]
+                got = table[table[:, 0] != -1]
+                assert got.tolist() == ref_rows, f"run {r} cpu {cpu}: stride table"

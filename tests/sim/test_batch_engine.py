@@ -229,6 +229,45 @@ class TestMidRunControlFlips:
             assert rs.wall_cycles == ref.wall_cycles, spec.mechanism
 
 
+MECH_SC = dataclasses.replace(SC, sample_units=512, exec_units=2048, n_epochs=1)
+
+# (width, llc axis) -> mechanism list.  The llc axis tags whether the
+# mechanisms drive CAT (cmm-*, pref-cp2 plan partitions), keep the LLC
+# shared (pt, dunn, pref-cp only throttle prefetchers) or mix both.
+DYNAMIC_CASES = {
+    (1, "shared"): ("pt",),
+    (1, "cat"): ("cmm-a",),
+    (3, "shared"): ("pt", "pref-cp", "dunn"),
+    (3, "cat"): ("cmm-a", "cmm-b", "pref-cp2"),
+    (8, "mixed"): (
+        "baseline", "pt", "dunn", "pref-cp", "pref-cp2", "cmm-a", "cmm-b", "cmm-c",
+    ),
+}
+
+
+class TestDynamicLockstepDifferential:
+    """Controller-driven (dynamic) runs batched in masked lockstep must be
+    sha256-identical to per-run scalar fast execution across mixes,
+    shared/CAT mechanisms and batch widths 1, 3 and 8."""
+
+    @pytest.mark.parametrize("category", CATEGORIES)
+    @pytest.mark.parametrize(
+        "width,axis", sorted(DYNAMIC_CASES), ids=lambda v: str(v)
+    )
+    def test_mechanism_matrix_sha256(self, store, category, width, axis):
+        mechs = DYNAMIC_CASES[(width, axis)]
+        assert len(mechs) == width
+        mix = _mix(category)
+        specs = [BatchRunSpec(mix=mix, mechanism=m) for m in mechs]
+        batch = simulate_batch(specs, MECH_SC, trace_store=store)
+        scalar = [
+            run_mechanism_on(build_machine(mix, MECH_SC, trace_store=store), m, MECH_SC)
+            for m in mechs
+        ]
+        label = f"{category}/{width}/{axis}"
+        assert _digest(batch) == _digest(scalar), f"{label}: digest diverged"
+
+
 class TestSessionDispatch:
     MECHS = ("baseline", "pt")
 
