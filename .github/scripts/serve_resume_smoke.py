@@ -1,0 +1,110 @@
+"""CI smoke: SIGKILL a running `repro serve` mid-sweep, resume, compare.
+
+Starts the daemon on a unix socket, submits a batch of alone runs,
+kills the process with SIGKILL as soon as the sweep journal's plan
+segment lands (the batch is resumable from that instant), restarts
+with ``--resume``, and asserts the recovered cache payloads are
+byte-identical to an uninterrupted local session.
+
+The check is correct regardless of kill timing: if the daemon finished
+the batch before the signal landed, the journal is sealed, ``--resume``
+is a no-op, and the payloads are already in the cache — either way
+every key must be present and identical to the baseline.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+
+def wait_for(cond, timeout_s: float, what: str) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if cond():
+            return
+        time.sleep(0.05)
+    raise SystemExit(f"serve smoke: timed out waiting for {what}")
+
+
+def main() -> int:
+    from repro.experiments.config import get_scale
+    from repro.experiments.engine import KIND_ALONE, ExperimentSession, PlannedRun, ResultCache
+    from repro.service import ServiceClient
+    from repro.service.journal import SweepJournal
+    from repro.workloads.mixes import make_mixes
+
+    sc = get_scale()
+    mix = make_mixes("pref_agg", 1, seed=sc.seed)[0]
+    runs = [PlannedRun(KIND_ALONE, sc, bench=b) for b in mix.benchmarks]
+
+    tmp = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    sock, wal, cache_dir = tmp / "svc.sock", tmp / "wal", tmp / "cache"
+
+    def spawn(*extra: str) -> subprocess.Popen:
+        return subprocess.Popen([
+            sys.executable, "-m", "repro", "serve",
+            "--unix", str(sock), "--journal-dir", str(wal),
+            "--cache-dir", str(cache_dir), "--workers", "1", *extra,
+        ])
+
+    proc = spawn()
+    wait_for(sock.exists, 60, "the daemon's socket")
+
+    # Submit from a background thread; the connection dies with the
+    # daemon, which is exactly the crash being simulated.
+    def submit() -> None:
+        try:
+            with ServiceClient(path=sock) as cli:
+                cli.submit(runs)
+        except (OSError, EOFError, RuntimeError):
+            pass
+
+    t = threading.Thread(target=submit, daemon=True)
+    t.start()
+
+    # The journal's plan segment is written atomically before any run
+    # executes: the moment it exists, the sweep survives SIGKILL.
+    wait_for(lambda: any(wal.glob("*.jsonl")), 60, "the sweep journal")
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait(timeout=30)
+    t.join(timeout=30)
+    pending = len(SweepJournal.incomplete(wal))
+    print(f"killed daemon; {pending} unsealed journal(s) on disk")
+
+    sock.unlink(missing_ok=True)  # SIGKILL skipped the daemon's cleanup
+    proc = spawn("--resume")
+    try:
+        # serve() replays unsealed journals before binding the socket.
+        wait_for(sock.exists, 300, "the resumed daemon's socket")
+        with ServiceClient(path=sock) as cli:
+            assert cli.ping()["ok"]
+            cli.shutdown()
+        proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    assert SweepJournal.incomplete(wal) == [], "resume left unsealed journals"
+    store = ResultCache(cache_dir)
+    recovered = {}
+    for r in runs:
+        entry = store.get(r.key())
+        assert entry is not None, f"missing cache entry after resume: {r.key()}"
+        recovered[r.key()] = entry["payload"]
+
+    with ExperimentSession(cache_dir=tmp / "baseline", max_workers=1) as session:
+        baseline = session.execute(runs)
+    assert json.dumps(recovered, sort_keys=True) == json.dumps(baseline, sort_keys=True), \
+        "resumed payloads diverged from an uninterrupted run"
+    print(f"serve resume smoke OK: {len(runs)} payloads bit-identical after SIGKILL + --resume")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,11 @@ Running things:
 * Sessions **own their caches** (dependency injection) and pick their
   simulation engine through the :mod:`repro.sim.engines` registry
   (``engine=`` argument, ``REPRO_SIM_ENGINE`` env var, or ``auto``).
+* ``repro serve`` (:mod:`repro.service`) exposes a session to many
+  concurrent clients: single-flight dedup per cache key, bounded
+  queues, a crash-consistent sweep journal (``--resume``), and an
+  optional fault-tolerant remote cache tier — see
+  ``docs/robustness.md``.
 
 The 1.x shims ``run_mechanism`` / ``run_policy_object`` /
 ``evaluate_workload`` / ``ALONE_CACHE`` were removed in 2.0 — see
@@ -68,6 +73,7 @@ from repro.experiments.runner import RunResult, WorkloadEval
 from repro.platform.base import PlatformError
 from repro.platform.faults import FaultPlan, FaultyPlatform
 from repro.platform.simulated import SimulatedPlatform
+from repro.service import ExperimentService, ServiceClient, TieredResultCache
 from repro.sim.engines import (
     EngineSelectionError,
     EngineSpec,
@@ -79,7 +85,7 @@ from repro.sim.machine import Machine
 from repro.sim.params import MachineParams, default_params, scaled_params
 from repro.workloads.mixes import WorkloadMix, all_mixes, make_mixes
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "BatchRunSpec",
@@ -90,6 +96,7 @@ __all__ = [
     "EpochConfig",
     "EpochTrace",
     "ExperimentError",
+    "ExperimentService",
     "ExperimentSession",
     "FaultPlan",
     "FaultyPlatform",
@@ -101,10 +108,12 @@ __all__ = [
     "RunResult",
     "RunSpec",
     "ScaleConfig",
+    "ServiceClient",
     "SimulatedPlatform",
     "Stage",
     "StageTrace",
     "SweepScorer",
+    "TieredResultCache",
     "WorkloadEval",
     "WorkloadMix",
     "all_mixes",

@@ -9,6 +9,7 @@ Commands
 ``figure <id>``           regenerate one paper figure/table
 ``trace [...]``           render per-epoch decision timelines for one run
 ``chaos [...]``           run seeded fault-injection scenarios (CI gate)
+``serve [...]``           run the experiment service (JSON-lines, localhost)
 ``cache stats|clear``     inspect or wipe the on-disk result cache
 
 ``run`` and ``figure`` go through the experiment engine: results are
@@ -144,14 +145,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(p)
     _add_engine(p)
 
-    p = sub.add_parser("chaos", help="run seeded fault-injection scenarios against the controller")
+    p = sub.add_parser("chaos", help="run seeded fault-injection scenarios against the "
+                                     "controller or the experiment service")
     p.add_argument("--scenario", default="all",
-                   help="scenario name or 'all' (see repro.platform.faults.SCENARIOS)")
+                   help="controller scenario (repro.platform.faults.SCENARIOS), service "
+                        "scenario (SERVICE_SCENARIOS), 'all', or 'all-service'")
     p.add_argument("--seed", type=int, default=0, help="fault-plan seed")
     p.add_argument("--mechanism", default="cmm-a")
     p.add_argument("--epochs", type=int, default=6)
     p.add_argument("--category", choices=CATEGORIES, default="pref_agg")
+    p.add_argument("--clients", type=int, default=8,
+                   help="concurrent clients for service scenarios")
     _add_scale(p)
+
+    p = sub.add_parser("serve", help="run the experiment service front door")
+    p.add_argument("--host", default="127.0.0.1", help="TCP bind host (localhost only)")
+    p.add_argument("--port", type=int, default=0, help="TCP port (0 picks a free one)")
+    p.add_argument("--unix", default=None, metavar="PATH",
+                   help="serve on a unix socket instead of TCP")
+    p.add_argument("--resume", action="store_true",
+                   help="replay unsealed sweep journals before accepting clients")
+    p.add_argument("--remote", default=None, metavar="URL",
+                   help="HTTP remote cache tier base URL (degrades to local-only on failure)")
+    p.add_argument("--journal-dir", default=None,
+                   help="sweep journal directory (default: <cache-dir>/journal)")
+    _add_engine(p)
 
     p = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
     p.add_argument("action", choices=("stats", "clear"))
@@ -296,20 +314,28 @@ def cmd_trace(args) -> int:
 
 
 def cmd_chaos(args) -> int:
-    from repro.experiments.chaos import run_chaos_scenario
-    from repro.platform.faults import SCENARIOS
+    from repro.experiments.chaos import run_chaos_scenario, run_service_chaos_scenario
+    from repro.platform.faults import SCENARIOS, SERVICE_SCENARIOS
 
+    ctrl: list[str] = []
+    svc: list[str] = []
     if args.scenario == "all":
-        names = sorted(SCENARIOS)
+        ctrl = sorted(SCENARIOS)
+    elif args.scenario == "all-service":
+        svc = sorted(SERVICE_SCENARIOS)
     elif args.scenario in SCENARIOS:
-        names = [args.scenario]
+        ctrl = [args.scenario]
+    elif args.scenario in SERVICE_SCENARIOS:
+        svc = [args.scenario]
     else:
         print(f"unknown scenario {args.scenario!r}; choose from "
-              f"{', '.join(sorted(SCENARIOS))} or 'all'", file=sys.stderr)
+              f"{', '.join(sorted(SCENARIOS))}, "
+              f"{', '.join(sorted(SERVICE_SCENARIOS))}, 'all', or 'all-service'",
+              file=sys.stderr)
         return 2
     sc = get_scale(args.scale)
     failed = 0
-    for name in names:
+    for name in ctrl:
         report = run_chaos_scenario(
             name, args.seed, mechanism=args.mechanism,
             n_epochs=args.epochs, category=args.category, sc=sc,
@@ -317,8 +343,63 @@ def cmd_chaos(args) -> int:
         print(report.summary())
         if not report.ok:
             failed += 1
-    print(f"{len(names) - failed}/{len(names)} scenarios ok")
+    for name in svc:
+        sreport = run_service_chaos_scenario(name, args.seed, clients=args.clients, sc=sc)
+        print(sreport.summary())
+        if not sreport.ok:
+            failed += 1
+    total = len(ctrl) + len(svc)
+    print(f"{total - failed}/{total} scenarios ok")
     return 1 if failed else 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+    import os
+
+    from repro.experiments.engine import ExperimentSession, default_cache_dir
+    from repro.service import ExperimentService, HTTPCacheTier, TieredResultCache
+    from repro.service.server import sanitized_run_timeout
+
+    engine = args.engine
+    if engine is not None:
+        from repro.sim.engines import ENV_VAR
+
+        os.environ[ENV_VAR] = engine
+    # A daemon must not crash on a bad environment variable: parse the
+    # run timeout fail-soft, warn once, and mask the variable so the
+    # session's own strict parse cannot re-raise.
+    _timeout, warning = sanitized_run_timeout()
+    masked = None
+    if warning is not None:
+        print(f"warning: {warning}", file=sys.stderr)
+        masked = os.environ.pop("REPRO_RUN_TIMEOUT", None)
+    try:
+        cache_root = None if args.no_cache else (args.cache_dir or default_cache_dir())
+        remote = HTTPCacheTier(args.remote) if args.remote else None
+        cache = TieredResultCache(cache_root, remote=remote)
+        session = ExperimentSession(cache=cache, max_workers=args.workers, engine=engine)
+    finally:
+        if masked is not None:
+            os.environ["REPRO_RUN_TIMEOUT"] = masked
+    service = ExperimentService(session=session, journal_dir=args.journal_dir)
+
+    def ready(bound) -> None:
+        if service.resumed_sweeps:
+            print(f"resumed {service.resumed_sweeps} interrupted sweep(s)", file=sys.stderr)
+        print(f"repro service listening on {bound}", flush=True)
+
+    try:
+        asyncio.run(service.serve(
+            host=args.host, port=args.port, unix_path=args.unix,
+            resume=args.resume, ready=ready,
+        ))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+        session.close()
+    return 0
 
 
 def cmd_cache(args) -> int:
@@ -361,6 +442,7 @@ COMMANDS = {
     "figure": cmd_figure,
     "trace": cmd_trace,
     "chaos": cmd_chaos,
+    "serve": cmd_serve,
     "cache": cmd_cache,
 }
 

@@ -29,6 +29,7 @@ platform call or counter: results are bit-identical to the plain loop
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -75,6 +76,16 @@ class ResilienceConfig:
     staleness_limit: int = 3
     #: Per-operation attempts while restoring the safe state.
     safe_state_attempts: int = 16
+    #: Seeded full-jitter backoff (AWS style): each retry sleeps
+    #: ``uniform(0, base * factor**(attempt-1))`` instead of the
+    #: deterministic ceiling, so N workers hitting EBUSY together
+    #: spread their retries instead of colliding in lockstep.  Off by
+    #: default — the deterministic schedule is part of the pinned
+    #: bit-identity baseline (tests/chaos/test_differential.py).
+    backoff_jitter: bool = False
+    #: Seed for the jitter stream (one RNG per controller, so runs
+    #: stay reproducible under a fixed seed).
+    backoff_jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_write_retries < 0:
@@ -197,13 +208,21 @@ class CMMController:
         self._validator: SampleValidator | None = None
         self._last_chosen: ResourceConfig | None = None
         self._consecutive_failures = 0
+        self._jitter_rng = (
+            random.Random(self.resilience.backoff_jitter_seed)
+            if self.resilience.backoff_jitter
+            else None
+        )
 
     # ----------------------------------------------------- resilience
 
     def _backoff(self, attempt: int) -> None:
         cfg = self.resilience
         if cfg.backoff_base_s > 0:
-            self._sleep(cfg.backoff_base_s * cfg.backoff_factor ** (attempt - 1))
+            delay = cfg.backoff_base_s * cfg.backoff_factor ** (attempt - 1)
+            if self._jitter_rng is not None:
+                delay = self._jitter_rng.uniform(0.0, delay)
+            self._sleep(delay)
 
     def _apply_config(self, config: ResourceConfig) -> None:
         """Apply a config with bounded retry-with-backoff.

@@ -29,7 +29,13 @@ from repro.platform.faults import FaultyPlatform, scenario_plan, verify_safe_sta
 from repro.platform.simulated import SimulatedPlatform
 from repro.workloads.mixes import WorkloadMix, make_mixes
 
-__all__ = ["ChaosReport", "run_chaos_scenario"]
+__all__ = [
+    "ChaosReport",
+    "ServiceChaosReport",
+    "chaos_failing_hook",
+    "run_chaos_scenario",
+    "run_service_chaos_scenario",
+]
 
 
 @dataclass
@@ -46,6 +52,10 @@ class ChaosReport:
     degraded: DegradedState | None
     problems: list[str] = field(default_factory=list)
     stats: RunStats | None = None
+    #: Zero-copy trace go-live fallbacks the run took (RunStats passthrough).
+    trace_fallbacks: int = 0
+    #: Batch-engine lockstep degradations the run took (RunStats passthrough).
+    batch_degradations: int = 0
 
     @property
     def ok(self) -> bool:
@@ -58,7 +68,8 @@ class ChaosReport:
         return (
             f"{self.scenario} seed={self.seed}: {self.epochs_completed}/"
             f"{self.epochs_requested} epochs, {faults} faults injected, "
-            f"{self.failures} failures, {state} — {verdict}"
+            f"{self.failures} failures, {self.trace_fallbacks} trace fallbacks, "
+            f"{self.batch_degradations} batch degradations, {state} — {verdict}"
         )
 
 
@@ -124,4 +135,268 @@ def run_chaos_scenario(
         degraded=stats.degraded,
         problems=problems,
         stats=stats,
+        trace_fallbacks=stats.trace_fallbacks,
+        batch_degradations=stats.batch_degradations,
+    )
+
+
+# ------------------------------------------------------- service chaos
+#
+# The same seeded-fault discipline applied to the experiment service:
+# many concurrent clients, overlapping batches, a remote cache tier
+# under injected network/storage faults.  The gate pins the service's
+# whole contract at once — single-flight (a key executes at most once
+# across every client), no hangs (every client gets a result or a
+# structured error), degradation (remote faults are counted, never
+# fatal), and bit-identity (payloads match a fault-free local session).
+
+
+def chaos_failing_hook(run) -> dict:
+    """Hook bench that always fails; drives the structured-error path."""
+    raise RuntimeError("chaos_failing_hook: injected run failure")
+
+
+#: Remote-tier counters that witness an absorbed fault: terminal
+#: errors, retried attempts, breaker short-circuits, abandoned hedged
+#: reads, and remote blobs rejected by validation.
+_DEGRADATION_COUNTERS = (
+    "get_errors", "put_errors", "retries",
+    "short_circuited", "hedge_abandoned", "remote_invalid",
+)
+
+
+@dataclass
+class ServiceChaosReport:
+    """Outcome of one seeded service chaos scenario run."""
+
+    scenario: str
+    seed: int
+    clients: int
+    unique_keys: int
+    outcomes: int
+    executions: int
+    replays: int
+    deduped: int
+    structured_errors: int
+    injected: dict[str, int]
+    remote: dict = field(default_factory=dict)
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def summary(self) -> str:
+        faults = sum(self.injected.values())
+        degradations = sum(self.remote.get(k, 0) for k in _DEGRADATION_COUNTERS)
+        verdict = "ok" if self.ok else "FAIL: " + "; ".join(self.problems)
+        return (
+            f"service/{self.scenario} seed={self.seed}: {self.clients} clients, "
+            f"{self.unique_keys} keys, {self.executions} executed, "
+            f"{self.replays} cache replays, {self.deduped} deduped, "
+            f"{self.structured_errors} structured errors, {faults} faults injected, "
+            f"{degradations} degradations (breaker {self.remote.get('breaker', '?')}) "
+            f"— {verdict}"
+        )
+
+
+def run_service_chaos_scenario(
+    scenario: str,
+    seed: int = 0,
+    *,
+    clients: int = 8,
+    batches_per_client: int = 2,
+    sc: ScaleConfig | None = None,
+    client_timeout_s: float = 120.0,
+) -> ServiceChaosReport:
+    """Hammer an in-process service with concurrent clients under faults.
+
+    ``clients`` threads each drive their own :class:`ServiceClient`
+    against one background :class:`ExperimentService` whose cache has a
+    faulty in-memory remote tier (:data:`SERVICE_SCENARIOS`).  Batches
+    overlap heavily (every client submits a rotation of the same run
+    pool, including one always-failing hook run), so the single-flight
+    invariant is under real contention.
+    """
+    import json as _json
+    import threading
+
+    from repro.experiments.engine import (
+        KIND_ALONE,
+        KIND_HOOK,
+        ExperimentSession,
+        PlannedRun,
+        ResultCache,
+    )
+    from repro.platform.faults import FaultyTier, service_scenario_plan
+    from repro.service import (
+        ExperimentService,
+        InMemoryCacheTier,
+        RemoteTierConfig,
+        ResilientTier,
+        SchedulerConfig,
+        ServiceClient,
+        TieredResultCache,
+    )
+
+    sc = sc or get_scale()
+    plan = service_scenario_plan(scenario, seed)
+    faulty = FaultyTier(InMemoryCacheTier(), plan)
+    resilient = ResilientTier(
+        faulty,
+        # Tight, wall-clock-friendly knobs: no backoff sleeping, a hedge
+        # deadline shorter than the injected latency so slow reads are
+        # abandoned, a breaker that can open and half-open within the run.
+        RemoteTierConfig(
+            retries=1,
+            backoff_base_s=0.0,
+            jitter_seed=seed,
+            breaker_threshold=3,
+            breaker_cooldown_s=0.05,
+            hedge_timeout_s=0.02,
+        ),
+    )
+    cache = TieredResultCache(None, remote=resilient)
+    session = ExperimentSession(scale=sc, cache=cache, max_workers=1)
+    service = ExperimentService(
+        session=session,
+        scheduler_config=SchedulerConfig(max_pending=512, max_client_pending=128),
+    )
+
+    benches = list(
+        dict.fromkeys(make_mixes("pref_agg", 1, seed=sc.seed + seed)[0].benchmarks)
+    )[:4]
+    pool = [PlannedRun(KIND_ALONE, sc, bench=b) for b in benches]
+    pool.append(
+        PlannedRun(KIND_HOOK, sc, bench="repro.experiments.chaos:chaos_failing_hook")
+    )
+    expect_keys = {r.key() for r in pool}
+    fail_key = pool[-1].key()
+
+    responses: dict[int, list[dict]] = {}
+    hung: list[str] = []
+
+    def drive(idx: int) -> None:
+        with ServiceClient(service=service, client_name=f"chaos-{idx}") as cli:
+            got = []
+            for b in range(batches_per_client):
+                rot = (idx + b) % len(pool)
+                got.append(cli.submit(pool[rot:] + pool[:rot]))
+            responses[idx] = got
+
+    service.start_background()
+    problems: list[str] = []
+    try:
+        threads = [
+            threading.Thread(target=drive, args=(i,), name=f"chaos-client-{i}")
+            for i in range(clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=client_timeout_s)
+            if t.is_alive():
+                hung.append(t.name)
+        if hung:
+            problems.append(f"clients hung past {client_timeout_s}s: {hung}")
+
+        outcomes = 0
+        structured_errors = 0
+        for idx in range(clients):
+            for resp in responses.get(idx, []):
+                if not resp.get("ok"):
+                    err = resp.get("error")
+                    if not isinstance(err, dict) or "type" not in err:
+                        problems.append(f"client {idx}: unstructured refusal {resp!r}")
+                    structured_errors += 1
+                    continue
+                for outcome in resp["results"]:
+                    outcomes += 1
+                    if outcome.get("ok"):
+                        if "payload" not in outcome:
+                            problems.append(f"ok outcome without payload: {outcome['key']}")
+                    else:
+                        structured_errors += 1
+                        err = outcome.get("error")
+                        if not isinstance(err, dict) or "type" not in err:
+                            problems.append(f"unstructured error for {outcome['key']}")
+                        elif outcome["key"] == fail_key and err["type"] != "run-failed":
+                            problems.append(
+                                f"failing hook reported {err['type']!r}, not 'run-failed'"
+                            )
+        if not hung and outcomes == 0:
+            problems.append("no outcomes returned by any client")
+
+        # Single-flight: at most one real (non-cached, successful)
+        # execution per key across every client and batch.
+        per_key: dict[str, int] = {}
+        for rec in session.records:
+            if not rec.cached and rec.error is None:
+                per_key[rec.key] = per_key.get(rec.key, 0) + 1
+        for key, n in per_key.items():
+            if n > 1:
+                problems.append(f"single-flight violated: key {key[:12]}… executed {n}×")
+        if set(per_key) - expect_keys:
+            problems.append("executed keys outside the submitted pool")
+
+        # Cold-reader phase: a fresh local tier reading through the same
+        # faulty remote.  The service itself only touches the remote on
+        # first-miss (when it is still empty), so GET-side faults —
+        # truncated bodies, refusals against real blobs — are exercised
+        # here, along with the strict validation that keeps torn JSON
+        # out of the local tier.
+        cold = TieredResultCache(None, remote=resilient)
+        cold_payloads: dict[str, dict] = {}
+        for run in pool[:-1]:
+            rec = cold.get(run.key())
+            if rec is not None:
+                cold_payloads[run.key()] = rec["payload"]
+
+        # Degradation, never failure: every *observable* injected fault
+        # must be absorbed and counted by the resilience layer.  Dropped
+        # puts are deliberately silent at write time (acked, never
+        # stored) — they surface later as remote misses, not counters.
+        remote = cache.remote_status() or {}
+        remote["remote_invalid"] = cache.remote_invalid + cold.remote_invalid
+        degradations = sum(remote.get(k, 0) for k in _DEGRADATION_COUNTERS)
+        observable = {"refused", "server_error", "flap_refused", "latency", "truncated"}
+        if any(faulty.injected.get(k) for k in observable) and degradations == 0:
+            problems.append(
+                f"faults injected ({dict(faulty.injected)}) but no degradation counted"
+            )
+    finally:
+        service.close()
+
+    # Bit-identity: a fault-free local session must produce byte-equal
+    # payloads for every key the service executed successfully.
+    with ExperimentSession(scale=sc, cache=ResultCache(), max_workers=1) as clean:
+        clean_payloads = clean.execute(pool[:-1], strict=True)
+    for run in pool[:-1]:
+        key = run.key()
+        rec = cache._mem.get(key)
+        if rec is None:
+            if not hung:
+                problems.append(f"service never cached {run.label}")
+            continue
+        b = _json.dumps(clean_payloads[key], sort_keys=True)
+        if _json.dumps(rec["payload"], sort_keys=True) != b:
+            problems.append(f"payload for {run.label} differs from fault-free session")
+        cold_rec = cold_payloads.get(key)
+        if cold_rec is not None and _json.dumps(cold_rec, sort_keys=True) != b:
+            problems.append(f"cold remote read of {run.label} differs from fault-free session")
+
+    sched = service.scheduler.counters
+    return ServiceChaosReport(
+        scenario=scenario,
+        seed=seed,
+        clients=clients,
+        unique_keys=len(expect_keys),
+        outcomes=outcomes,
+        executions=sched["executed"],
+        replays=sched["cache_replays"],
+        deduped=sched["deduped"],
+        structured_errors=structured_errors,
+        injected=dict(faulty.injected),
+        remote=remote,
+        problems=problems,
     )

@@ -889,7 +889,13 @@ class ExperimentSession:
         if self.progress is not None:
             self.progress(record, done, total)
 
-    def execute(self, runs: Iterable[PlannedRun], *, strict: bool = True) -> dict[str, dict]:
+    def execute(
+        self,
+        runs: Iterable[PlannedRun],
+        *,
+        strict: bool = True,
+        resume=None,
+    ) -> dict[str, dict]:
         """Run a plan; returns ``{key: payload}`` for every completed run.
 
         Duplicates collapse on their content key, cache hits replay
@@ -904,7 +910,23 @@ class ExperimentSession:
         (the default) an :class:`ExperimentError` listing the failures
         is raised *after* everything runnable has run; ``strict=False``
         just omits the failed keys from the result.
+
+        ``resume`` replays a killed sweep from its crash-consistent
+        journal: pass a :class:`~repro.service.journal.SweepJournal`
+        (or a path to one) and the journal's whole plan joins ``runs``
+        — completed keys replay from the cache, pending keys execute,
+        and every outcome is journaled (started/finished/failed, with
+        batch-boundary fsyncs).  The journal is sealed once nothing is
+        pending.  Replayed sweeps are bit-identical to uninterrupted
+        ones (``tests/service/test_journal.py``).
         """
+        journal = None
+        if resume is not None:
+            from repro.service.journal import SweepJournal
+            from repro.service.protocol import run_from_wire
+
+            journal = resume if isinstance(resume, SweepJournal) else SweepJournal.load(resume)
+            runs = list(runs) + [run_from_wire(spec) for spec in journal.plan.values()]
         ordered: dict[str, PlannedRun] = {}
         for r in runs:
             ordered.setdefault(r.key(), r)
@@ -928,8 +950,20 @@ class ExperimentSession:
                 out[key] = rec["payload"]
                 done += 1
                 self._note(RunRecord(key, r.kind, r.label, r.sc.name, 0.0, cached=True), done, total)
+                if journal is not None and key in journal.plan \
+                        and key not in journal.finished_keys():
+                    # The crash may have landed the cache write but not
+                    # the journal event; reconcile on replay.
+                    journal.record_finished(key)
             else:
                 misses.append((key, r))
+
+        if journal is not None:
+            # Write-ahead: the dispatch set is durable before compute.
+            for key, _r in misses:
+                if key in journal.plan:
+                    journal.record_started(key)
+            journal.flush()
 
         def finish(key: str, r: PlannedRun, payload: dict, secs: float) -> None:
             nonlocal done
@@ -951,6 +985,8 @@ class ExperimentSession:
             out[key] = payload
             done += 1
             self._note(RunRecord(key, r.kind, r.label, r.sc.name, secs, cached=False), done, total)
+            if journal is not None and key in journal.plan:
+                journal.record_finished(key)
 
         def fail(key: str, r: PlannedRun, err: BaseException | str) -> None:
             nonlocal done
@@ -962,11 +998,17 @@ class ExperimentSession:
                 RunRecord(key, r.kind, r.label, r.sc.name, 0.0, cached=False, error=msg),
                 done, total,
             )
+            if journal is not None and key in journal.plan:
+                journal.record_failed(key, msg)
 
         if len(misses) > 1 and self.max_workers > 1:
             self._execute_parallel(misses, finish, fail)
         else:
             self._execute_serial(misses, finish, fail)
+        if journal is not None:
+            if not journal.pending_keys():
+                journal.seal()
+            journal.flush()
         if errors and strict:
             raise ExperimentError(errors)
         return out

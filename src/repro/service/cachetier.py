@@ -1,0 +1,474 @@
+"""Pluggable remote cache tier behind the on-disk result layout.
+
+A fleet of hosts regenerating the same figures should share one warm
+cache.  This module adds that tier *behind* the existing
+content-addressed store without weakening any of its guarantees:
+
+* :class:`CacheTier` — the byte-oriented protocol a backend implements
+  (``get``/``put`` of one opaque blob per key);
+* :class:`HTTPCacheTier` — the reference implementation: a plain HTTP
+  object store mirroring the on-disk layout (``<base>/<key[:2]>/
+  <key>.json``), stdlib-only;
+* :class:`InMemoryCacheTier` — in-process backend for tests and chaos;
+* :class:`ResilientTier` — wraps any backend in bounded
+  **retry-with-seeded-full-jitter backoff**, a **half-open circuit
+  breaker**, and **hedged reads**: a remote read slower than the hedge
+  deadline is abandoned (the sweep recomputes locally) but its late
+  result still read-repairs the local tier when it lands;
+* :class:`TieredResultCache` — a drop-in
+  :class:`~repro.experiments.engine.ResultCache` that consults the
+  remote tier on local misses (validating and read-repairing hits into
+  the local atomic-write layout) and write-through publishes local
+  puts.
+
+The failure contract mirrors PR 3's :class:`DegradedState`: **remote
+failures are never fatal**.  Refused connections, truncated bodies,
+timeouts, and flapping all degrade the cache to local-only operation;
+every degradation is counted and surfaced through
+:meth:`TieredResultCache.remote_status` / the service status op, never
+raised into a sweep.  A remote blob that fails validation (torn JSON,
+wrong schema) is treated as a miss and counted — it is *not*
+quarantined locally, because the local tier never held it.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.experiments.engine import SCHEMA_VERSION, ResultCache
+
+__all__ = [
+    "CacheTier",
+    "CacheTierError",
+    "CircuitBreaker",
+    "HTTPCacheTier",
+    "InMemoryCacheTier",
+    "RemoteTierConfig",
+    "ResilientTier",
+    "TieredResultCache",
+]
+
+
+class CacheTierError(RuntimeError):
+    """A remote-tier operation failed (network, server, storage)."""
+
+
+@runtime_checkable
+class CacheTier(Protocol):
+    """What a remote cache backend must provide.
+
+    Implementations move one opaque blob per key and signal failure by
+    raising (:class:`CacheTierError` or any :class:`OSError` family
+    error); retries, breakers, and degradation accounting live in
+    :class:`ResilientTier`, not in backends.
+    """
+
+    def get(self, key: str) -> bytes | None:
+        """The blob for ``key``, or ``None`` when the tier misses."""
+        ...  # pragma: no cover - protocol
+
+    def put(self, key: str, blob: bytes) -> None:
+        """Store ``blob`` under ``key`` (idempotent; last write wins)."""
+        ...  # pragma: no cover - protocol
+
+
+class InMemoryCacheTier:
+    """Dict-backed tier: the reference for tests and chaos scenarios."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> bytes | None:
+        with self._lock:
+            return self._blobs.get(key)
+
+    def put(self, key: str, blob: bytes) -> None:
+        with self._lock:
+            self._blobs[key] = bytes(blob)
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+
+class HTTPCacheTier:
+    """HTTP object-store tier mirroring the on-disk layout.
+
+    ``GET <base>/<key[:2]>/<key>.json`` fetches a blob (404 is a miss),
+    ``PUT`` stores one.  Any other outcome — connection refused, 5xx,
+    timeout — raises :class:`CacheTierError` for the resilience wrapper
+    to count and absorb.  Stdlib-only (``urllib``), so the tier works
+    against anything from ``python -m http.server`` + a PUT handler to
+    an S3-style gateway.
+    """
+
+    def __init__(self, base_url: str, *, timeout_s: float = 5.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _url(self, key: str) -> str:
+        return f"{self.base_url}/{key[:2]}/{key}.json"
+
+    def get(self, key: str) -> bytes | None:
+        req = urllib.request.Request(self._url(key), method="GET")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as e:
+            if e.code == 404:
+                return None
+            raise CacheTierError(f"remote GET {key[:12]}… failed: HTTP {e.code}") from None
+        except (urllib.error.URLError, OSError, TimeoutError) as e:
+            raise CacheTierError(f"remote GET {key[:12]}… failed: {e}") from None
+
+    def put(self, key: str, blob: bytes) -> None:
+        req = urllib.request.Request(
+            self._url(key), data=blob, method="PUT",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s):
+                pass
+        except urllib.error.HTTPError as e:
+            raise CacheTierError(f"remote PUT {key[:12]}… failed: HTTP {e.code}") from None
+        except (urllib.error.URLError, OSError, TimeoutError) as e:
+            raise CacheTierError(f"remote PUT {key[:12]}… failed: {e}") from None
+
+
+# ------------------------------------------------------------ resilience
+
+
+@dataclass(frozen=True)
+class RemoteTierConfig:
+    """Knobs for :class:`ResilientTier`."""
+
+    #: Extra attempts per operation beyond the first.
+    retries: int = 2
+    #: Full-jitter backoff: each retry sleeps ``uniform(0, base * factor**n)``.
+    backoff_base_s: float = 0.02
+    backoff_factor: float = 2.0
+    #: Seed for the jitter stream (deterministic in tests and chaos).
+    jitter_seed: int = 0
+    #: Consecutive failed operations before the breaker opens.
+    breaker_threshold: int = 5
+    #: Seconds the breaker stays open before admitting one probe.
+    breaker_cooldown_s: float = 10.0
+    #: Hedge deadline for reads: a remote read slower than this is
+    #: abandoned (the caller proceeds local-only) but read-repairs on
+    #: late arrival.  ``None`` waits indefinitely.
+    hedge_timeout_s: float | None = 2.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.backoff_base_s < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be at least 1")
+        if self.hedge_timeout_s is not None and self.hedge_timeout_s <= 0:
+            raise ValueError("hedge_timeout_s must be positive or None")
+
+
+class CircuitBreaker:
+    """Half-open circuit breaker over an unreliable dependency.
+
+    ``closed`` passes every call; ``breaker_threshold`` consecutive
+    failures open it.  While ``open``, calls are short-circuited (no
+    network touched) until ``cooldown_s`` elapses, after which exactly
+    one probe is admitted (``half-open``): its success closes the
+    breaker, its failure re-opens it for another cooldown.  Thread-safe;
+    the clock is injectable so tests and chaos never wall-sleep.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown_s: float = 10.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.state = self.CLOSED
+        self.opens = 0
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_out = False
+
+    def allow(self) -> bool:
+        """Whether the next operation may touch the dependency."""
+        with self._lock:
+            if self.state == self.CLOSED:
+                return True
+            if self.state == self.OPEN:
+                if self._clock() - self._opened_at >= self.cooldown_s:
+                    self.state = self.HALF_OPEN
+                    self._probe_out = True
+                    return True
+                return False
+            # half-open: one probe at a time
+            if self._probe_out:
+                return False
+            self._probe_out = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.state = self.CLOSED
+            self._failures = 0
+            self._probe_out = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            self._probe_out = False
+            if self.state == self.HALF_OPEN or self._failures >= self.threshold:
+                if self.state != self.OPEN:
+                    self.opens += 1
+                self.state = self.OPEN
+                self._opened_at = self._clock()
+
+
+#: Failures a remote operation may raise that count as tier trouble.
+_TIER_ERRORS = (CacheTierError, OSError, TimeoutError)
+
+
+class ResilientTier:
+    """Retry + jitter + circuit breaker + hedged reads over a backend.
+
+    Every public method is total: it returns a value or ``None`` and
+    **never raises** — each absorbed failure is tallied in
+    :attr:`counters` and fed to the breaker.  ``sleep`` and ``clock``
+    are injectable so chaos tests run without wall time.
+    """
+
+    def __init__(
+        self,
+        inner: CacheTier,
+        config: RemoteTierConfig | None = None,
+        *,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.inner = inner
+        self.config = config or RemoteTierConfig()
+        self.breaker = CircuitBreaker(
+            self.config.breaker_threshold, self.config.breaker_cooldown_s, clock=clock
+        )
+        self._sleep = sleep
+        self._rng = random.Random(self.config.jitter_seed)
+        self._hedge_pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self.counters: dict[str, int] = {
+            "gets": 0, "puts": 0, "hits": 0,
+            "get_errors": 0, "put_errors": 0, "retries": 0,
+            "short_circuited": 0, "hedge_abandoned": 0, "late_repairs": 0,
+        }
+
+    # ----------------------------------------------------------- helpers
+
+    def _count(self, kind: str, n: int = 1) -> None:
+        with self._lock:
+            self.counters[kind] = self.counters.get(kind, 0) + n
+
+    def _backoff(self, attempt: int) -> None:
+        cfg = self.config
+        if cfg.backoff_base_s > 0:
+            ceiling = cfg.backoff_base_s * cfg.backoff_factor ** attempt
+            with self._lock:
+                delay = self._rng.uniform(0.0, ceiling)
+            self._sleep(delay)
+
+    def _with_retries(self, op: Callable[[], object]) -> object:
+        """Run ``op`` with bounded jittered retries; raises the last error."""
+        for attempt in range(self.config.retries + 1):
+            try:
+                return op()
+            except _TIER_ERRORS:
+                if attempt >= self.config.retries:
+                    raise
+                self._count("retries")
+                self._backoff(attempt)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _hedge(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._hedge_pool is None:
+                self._hedge_pool = ThreadPoolExecutor(
+                    max_workers=2, thread_name_prefix="repro-remote"
+                )
+            return self._hedge_pool
+
+    # -------------------------------------------------------------- API
+
+    def get(
+        self, key: str, *, on_late_result: Callable[[bytes], None] | None = None
+    ) -> bytes | None:
+        """Hedged read: the blob, or ``None`` (miss *or* degraded).
+
+        A read that outlives ``hedge_timeout_s`` is abandoned so the
+        caller can proceed local-only; if the straggler eventually
+        succeeds, ``on_late_result`` receives the blob (read-repair).
+        """
+        self._count("gets")
+        if not self.breaker.allow():
+            self._count("short_circuited")
+            return None
+        fut: Future = self._hedge().submit(self._with_retries, lambda: self.inner.get(key))
+        try:
+            blob = fut.result(timeout=self.config.hedge_timeout_s)
+        except FuturesTimeoutError:
+            self._count("hedge_abandoned")
+
+            def _landed(f: Future) -> None:
+                err = f.exception()
+                if err is not None:
+                    self._count("get_errors")
+                    self.breaker.record_failure()
+                    return
+                self.breaker.record_success()
+                late = f.result()
+                if late is not None and on_late_result is not None:
+                    self._count("late_repairs")
+                    on_late_result(late)
+
+            fut.add_done_callback(_landed)
+            return None
+        except _TIER_ERRORS:
+            self._count("get_errors")
+            self.breaker.record_failure()
+            return None
+        self.breaker.record_success()
+        if blob is not None:
+            self._count("hits")
+        return blob
+
+    def put(self, key: str, blob: bytes) -> bool:
+        """Best-effort write-through; ``True`` when the blob landed."""
+        self._count("puts")
+        if not self.breaker.allow():
+            self._count("short_circuited")
+            return False
+        try:
+            self._with_retries(lambda: self.inner.put(key, blob))
+        except _TIER_ERRORS:
+            self._count("put_errors")
+            self.breaker.record_failure()
+            return False
+        self.breaker.record_success()
+        return True
+
+    def status(self) -> dict:
+        """Breaker state + counters, JSON-safe for the service status op."""
+        with self._lock:
+            counters = dict(self.counters)
+        return {
+            "breaker": self.breaker.state,
+            "breaker_opens": self.breaker.opens,
+            **counters,
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._hedge_pool = self._hedge_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+# ------------------------------------------------------------ tiered cache
+
+
+class TieredResultCache(ResultCache):
+    """A :class:`ResultCache` with a remote tier behind the local one.
+
+    Reads stay local-first (memory, then the atomic on-disk layout); a
+    local miss consults the remote tier through :class:`ResilientTier`.
+    A validated remote hit is **read-repaired** into the local tier via
+    the same tmp+``os.replace`` path every local write takes, so
+    concurrent readers never observe a torn repair.  Local puts
+    write-through to the remote tier best-effort.
+
+    Validation is strict: a remote blob must parse as JSON, carry the
+    current engine schema, and contain a payload.  Anything else —
+    truncated body, stale schema, wrong shape — counts as
+    ``remote_invalid`` and behaves like a miss; the sweep recomputes
+    locally and the bad blob never enters the local tier.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        remote: CacheTier | ResilientTier | None = None,
+        remote_config: RemoteTierConfig | None = None,
+    ) -> None:
+        super().__init__(root)
+        if remote is None or isinstance(remote, ResilientTier):
+            self.remote: ResilientTier | None = remote
+        else:
+            self.remote = ResilientTier(remote, remote_config)
+        self.remote_invalid = 0
+
+    def _validate_blob(self, blob: bytes) -> dict | None:
+        try:
+            rec = json.loads(blob)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(rec, dict) or rec.get("schema") != SCHEMA_VERSION:
+            return None
+        if "payload" not in rec:
+            return None
+        return rec
+
+    def _repair(self, key: str, rec: dict) -> None:
+        # ResultCache.put is the atomic local write path (tmp+replace),
+        # so a repair is indistinguishable from a local store.
+        ResultCache.put(self, key, rec)
+
+    def get(self, key: str) -> dict | None:
+        rec = super().get(key)
+        if rec is not None or self.remote is None:
+            return rec
+
+        def repair_late(blob: bytes) -> None:
+            late = self._validate_blob(blob)
+            if late is not None:
+                self._repair(key, late)
+
+        blob = self.remote.get(key, on_late_result=repair_late)
+        if blob is None:
+            return None
+        rec = self._validate_blob(blob)
+        if rec is None:
+            self.remote_invalid += 1
+            return None
+        self._repair(key, rec)
+        return rec
+
+    def put(self, key: str, record: dict) -> None:
+        super().put(key, record)
+        if self.remote is not None:
+            blob = json.dumps(record, sort_keys=True).encode("utf-8")
+            self.remote.put(key, blob)
+
+    def remote_status(self) -> dict | None:
+        """Remote-tier health for ``repro cache stats`` / service status."""
+        if self.remote is None:
+            return None
+        status = self.remote.status()
+        status["remote_invalid"] = self.remote_invalid
+        return status

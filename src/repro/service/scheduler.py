@@ -1,0 +1,318 @@
+"""Async single-flight scheduler: one execution per key, for everyone.
+
+Many clients regenerating the same figures submit heavily overlapping
+:class:`PlannedRun` batches.  The scheduler collapses that load:
+
+* **Single-flight deduplication** — each cache key has at most one
+  in-flight execution across *all* clients; late submitters attach to
+  the existing future and share its result (or its structured error).
+  Combined with the content-addressed cache this gives the global
+  invariant the chaos gate pins: a key executes at most once, ever.
+* **Admission control** — queues are bounded globally and per client.
+  A submission that would overflow them is refused with a structured
+  ``overloaded`` error *at the front door* (attaching to already
+  in-flight keys is always free — it adds no queue growth).
+* **Fairness** — the dispatcher drains queued runs round-robin across
+  clients, so one client's 10 000-run sweep cannot starve another's
+  two-run figure refresh.
+* **Deadlines** — executions inherit the session's per-run timeout
+  (``REPRO_RUN_TIMEOUT`` semantics); ``submit_timeout_s`` additionally
+  bounds how long a *client* waits, converting a wedged execution into
+  a structured ``deadline`` error instead of a hang.
+
+Execution itself is delegated to a synchronous
+:class:`~repro.experiments.engine.ExperimentSession` on a worker thread
+(one dispatch batch at a time — the session's process pool provides the
+parallelism), so every robustness property the engine already has
+(retry, pool respawn, isolation, atomic cache writes) is inherited
+rather than reimplemented.  When a :class:`SweepJournal` directory is
+configured, every submitted batch is journaled planned → started →
+finished/failed with batch-boundary fsyncs; ``repro serve --resume``
+replays unsealed journals after a crash.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.experiments.engine import ExperimentSession, PlannedRun
+from repro.service.journal import SweepJournal
+from repro.service.protocol import run_to_wire
+
+__all__ = ["OverloadedError", "SchedulerConfig", "SingleFlightScheduler"]
+
+
+class OverloadedError(RuntimeError):
+    """Admission refused: accepting the batch would overflow the queue."""
+
+    def __init__(self, message: str, *, queued: int, limit: int) -> None:
+        super().__init__(message)
+        self.queued = queued
+        self.limit = limit
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Bounds for admission, batching, and client-side deadlines."""
+
+    #: Total queued (not yet dispatched) runs across all clients.
+    max_pending: int = 256
+    #: Queued runs any single client may hold.
+    max_client_pending: int = 64
+    #: Runs handed to one ``ExperimentSession.execute`` dispatch.
+    batch_max: int = 16
+    #: Ceiling on how long a client waits for its batch; ``None`` waits
+    #: for the execution (which has its own per-run timeout).
+    submit_timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1 or self.max_client_pending < 1 or self.batch_max < 1:
+            raise ValueError("scheduler bounds must be at least 1")
+        if self.submit_timeout_s is not None and self.submit_timeout_s <= 0:
+            raise ValueError("submit_timeout_s must be positive or None")
+
+
+def _ok(key: str, payload: dict, *, cached: bool, deduped: bool = False) -> dict:
+    return {"key": key, "ok": True, "payload": payload, "cached": cached, "deduped": deduped}
+
+
+def _err(key: str, kind: str, message: str) -> dict:
+    return {"key": key, "ok": False, "error": {"type": kind, "message": message}}
+
+
+class SingleFlightScheduler:
+    """The service's run queue; owns dispatch order, not execution.
+
+    Lives on one asyncio event loop.  :meth:`start` spawns the
+    dispatcher task; :meth:`submit` is the only producer.  All state
+    (queues, in-flight map, counters) is loop-confined — no locks.
+    """
+
+    def __init__(
+        self,
+        session: ExperimentSession,
+        config: SchedulerConfig | None = None,
+        *,
+        journal_dir: str | Path | None = None,
+    ) -> None:
+        self.session = session
+        self.config = config or SchedulerConfig()
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        #: key -> future resolving to this run's outcome dict.
+        self._inflight: dict[str, asyncio.Future] = {}
+        #: client -> queued (key, run) pairs not yet dispatched.
+        self._queues: dict[str, deque[tuple[str, PlannedRun]]] = {}
+        self._wakeup = asyncio.Event()
+        self._dispatcher: asyncio.Task | None = None
+        self._closing = False
+        #: Journals with unresolved keys, checked for seal on resolve.
+        self._open_journals: list[tuple[SweepJournal, set[str]]] = []
+        self.counters: dict[str, int] = {
+            "submitted": 0, "executed": 0, "cache_replays": 0,
+            "deduped": 0, "overloaded": 0, "failed": 0, "deadline_expired": 0,
+        }
+
+    # ---------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        if self._dispatcher is None:
+            self._closing = False
+            self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+
+    async def stop(self) -> None:
+        """Stop dispatching; pending futures resolve with ``shutdown`` errors."""
+        self._closing = True
+        self._wakeup.set()
+        if self._dispatcher is not None:
+            task, self._dispatcher = self._dispatcher, None
+            await task
+        for q in self._queues.values():
+            for key, _run in q:
+                fut = self._inflight.get(key)
+                if fut is not None and not fut.done():
+                    fut.set_result(_err(key, "shutdown", "service shutting down"))
+        self._queues.clear()
+        for journal, _keys in self._open_journals:
+            journal.close()
+        self._open_journals.clear()
+
+    # ---------------------------------------------------------- admission
+
+    def _queued_total(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def _admit(self, client: str, new_keys: Sequence[str]) -> None:
+        total = self._queued_total()
+        if total + len(new_keys) > self.config.max_pending:
+            self.counters["overloaded"] += 1
+            raise OverloadedError(
+                f"run queue full ({total} queued, limit {self.config.max_pending}); retry later",
+                queued=total, limit=self.config.max_pending,
+            )
+        mine = len(self._queues.get(client, ()))
+        if mine + len(new_keys) > self.config.max_client_pending:
+            self.counters["overloaded"] += 1
+            raise OverloadedError(
+                f"client {client!r} queue full ({mine} queued, "
+                f"limit {self.config.max_client_pending}); retry later",
+                queued=mine, limit=self.config.max_client_pending,
+            )
+
+    # ------------------------------------------------------------- submit
+
+    async def submit(
+        self, runs: Iterable[PlannedRun], *, client: str = "anon", journal: bool = True
+    ) -> list[dict]:
+        """Execute a batch; one outcome dict per *unique* key, in order.
+
+        Keys already in flight attach to the existing execution
+        (single-flight); new keys pass admission control and are queued
+        fairly.  Raises :class:`OverloadedError` when admission fails —
+        in that case *nothing* from this batch was queued.
+        ``journal=False`` skips write-ahead logging for this batch (the
+        resume path uses it: a replay is already journaled).
+        """
+        ordered: dict[str, PlannedRun] = {}
+        for r in runs:
+            ordered.setdefault(r.key(), r)
+        self.counters["submitted"] += len(ordered)
+
+        new: dict[str, PlannedRun] = {
+            k: r for k, r in ordered.items() if k not in self._inflight
+        }
+        self.counters["deduped"] += len(ordered) - len(new)
+        self._admit(client, list(new))
+
+        if journal and self.journal_dir is not None and ordered:
+            wal = SweepJournal.create(
+                self.journal_dir, {k: run_to_wire(r) for k, r in ordered.items()}
+            )
+            self._open_journals.append((wal, set(ordered)))
+
+        loop = asyncio.get_running_loop()
+        for key, run in new.items():
+            self._inflight[key] = loop.create_future()
+            self._queues.setdefault(client, deque()).append((key, run))
+        if new:
+            self._wakeup.set()
+
+        waits = {k: asyncio.shield(self._inflight[k]) for k in ordered}
+        outcomes: list[dict] = []
+        for key in ordered:
+            deduped = key not in new
+            try:
+                if self.config.submit_timeout_s is not None:
+                    outcome = await asyncio.wait_for(
+                        waits[key], timeout=self.config.submit_timeout_s
+                    )
+                else:
+                    outcome = await waits[key]
+            except asyncio.TimeoutError:
+                self.counters["deadline_expired"] += 1
+                outcome = _err(
+                    key, "deadline",
+                    f"no result within {self.config.submit_timeout_s:.6g}s "
+                    "(execution continues; resubmit to collect it)",
+                )
+            else:
+                if deduped and outcome.get("ok"):
+                    outcome = dict(outcome, deduped=True)
+            outcomes.append(outcome)
+        return outcomes
+
+    # ----------------------------------------------------------- dispatch
+
+    def _drain_fair(self) -> list[tuple[str, PlannedRun]]:
+        """Up to ``batch_max`` queued runs, round-robin across clients."""
+        batch: list[tuple[str, PlannedRun]] = []
+        clients = deque(name for name, q in self._queues.items() if q)
+        while clients and len(batch) < self.config.batch_max:
+            name = clients.popleft()
+            q = self._queues[name]
+            key, run = q.popleft()
+            batch.append((key, run))
+            if q:
+                clients.append(name)
+        self._queues = {n: q for n, q in self._queues.items() if q}
+        return batch
+
+    async def _dispatch_loop(self) -> None:
+        while not self._closing:
+            if not any(self._queues.values()):
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            batch = self._drain_fair()
+            if not batch:
+                continue
+            self._journal_started([k for k, _ in batch])
+            try:
+                results = await asyncio.to_thread(self._execute_batch, batch)
+            except BaseException as e:  # the session should not raise, but never hang clients
+                results = {k: _err(k, "internal", f"dispatch failed: {e}") for k, _ in batch}
+            for key, outcome in results.items():
+                fut = self._inflight.pop(key, None)
+                if fut is not None and not fut.done():
+                    fut.set_result(outcome)
+                self._resolve_journals(key, outcome)
+
+    def _execute_batch(self, batch: list[tuple[str, PlannedRun]]) -> dict[str, dict]:
+        """Worker-thread body: one ``execute`` call for the whole batch."""
+        session = self.session
+        first_record = len(session.records)
+        payloads = session.execute([r for _, r in batch], strict=False)
+        cached = {
+            rec.key: rec.cached for rec in session.records[first_record:]
+        }
+        out: dict[str, dict] = {}
+        for key, run in batch:
+            if key in payloads:
+                was_cached = cached.get(key, False)
+                self.counters["cache_replays" if was_cached else "executed"] += 1
+                out[key] = _ok(key, payloads[key], cached=was_cached)
+            else:
+                self.counters["failed"] += 1
+                msg = session.failed.get(key, "run failed with no recorded error")
+                out[key] = _err(key, "run-failed", msg)
+        return out
+
+    # ----------------------------------------------------------- journals
+
+    def _journal_started(self, keys: list[str]) -> None:
+        # Started events flush with the finish batch; see _resolve_journals.
+        for journal, pending in self._open_journals:
+            for key in keys:
+                if key in pending:
+                    journal.record_started(key)
+
+    def _resolve_journals(self, key: str, outcome: dict) -> None:
+        still_open: list[tuple[SweepJournal, set[str]]] = []
+        for journal, pending in self._open_journals:
+            if key in pending:
+                if outcome.get("ok"):
+                    journal.record_finished(key)
+                else:
+                    journal.record_failed(key, outcome["error"]["message"])
+                pending.discard(key)
+                journal.flush()  # batch boundary: the outcome is durable
+            if pending:
+                still_open.append((journal, pending))
+            else:
+                journal.seal()
+                journal.close()
+        self._open_journals = still_open
+
+    # ------------------------------------------------------------- status
+
+    def status(self) -> dict:
+        return {
+            "queued": self._queued_total(),
+            "inflight": len(self._inflight),
+            "clients": sum(1 for q in self._queues.values() if q),
+            "open_journals": len(self._open_journals),
+            **self.counters,
+        }

@@ -1,0 +1,57 @@
+"""Seeded full-jitter backoff in the controller's retry loop."""
+
+from repro.core.controller import CMMController, ResilienceConfig
+from repro.core.epoch import EpochConfig
+from repro.core.policies import make_policy
+
+from tests.core.fakes import FakePlatform
+
+EPOCH_CFG = EpochConfig(exec_units=512, sample_units=128, warmup_units=0)
+
+
+def make_controller(resilience: ResilienceConfig):
+    sleeps: list[float] = []
+    ctl = CMMController(
+        FakePlatform(),
+        make_policy("cmm-a"),
+        epoch_cfg=EPOCH_CFG,
+        resilience_cfg=resilience,
+        sleep=sleeps.append,
+    )
+    return ctl, sleeps
+
+
+class TestBackoffJitter:
+    def test_default_off_keeps_exact_exponential_delays(self):
+        cfg = ResilienceConfig(backoff_base_s=0.001, backoff_factor=2.0)
+        assert cfg.backoff_jitter is False
+        ctl, sleeps = make_controller(cfg)
+        for attempt in (1, 2, 3):
+            ctl._backoff(attempt)
+        # Bit-identical to the pre-jitter behavior: no randomness at all.
+        assert sleeps == [0.001, 0.002, 0.004]
+
+    def test_jitter_draws_within_the_exponential_ceiling(self):
+        cfg = ResilienceConfig(
+            backoff_base_s=0.001, backoff_factor=2.0,
+            backoff_jitter=True, backoff_jitter_seed=3,
+        )
+        ctl, sleeps = make_controller(cfg)
+        for attempt in (1, 2, 3, 4):
+            ctl._backoff(attempt)
+        assert len(sleeps) == 4
+        for attempt, delay in zip((1, 2, 3, 4), sleeps):
+            assert 0.0 <= delay <= 0.001 * 2.0 ** (attempt - 1)
+        assert len(set(sleeps)) > 1  # actually jittered, not constant
+
+    def test_jitter_stream_is_seed_deterministic(self):
+        def stream(seed: int) -> list[float]:
+            ctl, sleeps = make_controller(ResilienceConfig(
+                backoff_base_s=0.001, backoff_jitter=True, backoff_jitter_seed=seed,
+            ))
+            for attempt in (1, 2, 3):
+                ctl._backoff(attempt)
+            return sleeps
+
+        assert stream(5) == stream(5)
+        assert stream(5) != stream(6)

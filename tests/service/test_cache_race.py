@@ -1,0 +1,97 @@
+"""Concurrent cache writers: atomic puts, one winner, quarantine mid-race.
+
+Two real processes race ``ResultCache.put`` on the same key while a
+reader polls the disk tier.  The atomic tmp+``os.replace`` discipline
+must guarantee the reader never observes a torn payload, and the final
+entry is exactly one writer's record — never an interleaving.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.experiments.engine import SCHEMA_VERSION, ResultCache
+
+FORK = multiprocessing.get_context("fork")
+
+#: Payloads big enough that a torn write would be observable.
+PAYLOAD_CHARS = 64 * 1024
+KEY = "ab" + "0" * 62
+ROUNDS = 60
+
+
+def record(tag: str) -> dict:
+    return {"schema": SCHEMA_VERSION, "payload": {"writer": tag, "data": tag * PAYLOAD_CHARS}}
+
+
+def writer(root, tag: str, barrier) -> None:
+    cache = ResultCache(root)
+    rec = record(tag)
+    barrier.wait()
+    for _ in range(ROUNDS):
+        cache.put(KEY, rec)
+
+
+def fresh_read(root) -> dict | None:
+    """A disk read with no memory tier (a new process would see this)."""
+    return ResultCache(root).get(KEY)
+
+
+class TestConcurrentWriters:
+    def test_racing_puts_never_tear_and_pin_one_winner(self, tmp_path):
+        barrier = FORK.Barrier(3)
+        procs = [
+            FORK.Process(target=writer, args=(tmp_path, tag, barrier))
+            for tag in ("A", "B")
+        ]
+        for p in procs:
+            p.start()
+        barrier.wait()
+        observed = set()
+        while any(p.is_alive() for p in procs):
+            rec = fresh_read(tmp_path)
+            if rec is not None:
+                # Atomicity: the payload is always one writer's, whole.
+                tag = rec["payload"]["writer"]
+                assert rec["payload"]["data"] == tag * PAYLOAD_CHARS
+                observed.add(tag)
+        for p in procs:
+            p.join(timeout=30)
+            assert p.exitcode == 0
+        final = fresh_read(tmp_path)
+        tag = final["payload"]["writer"]
+        assert tag in ("A", "B")  # exactly one winner
+        assert final == record(tag)
+        # No stray temp files or quarantine left behind by the race.
+        reader = ResultCache(tmp_path)
+        leftovers = [p for p in tmp_path.rglob("*") if p.is_file() and p != reader._path(KEY)]
+        assert leftovers == []
+
+    def test_reader_quarantines_corrupt_entry_mid_race(self, tmp_path):
+        # A torn entry from some earlier catastrophe sits at the key...
+        seed_cache = ResultCache(tmp_path)
+        path = seed_cache._path(KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b'{"schema": torn...')
+
+        barrier = FORK.Barrier(2)
+        p = FORK.Process(target=writer, args=(tmp_path, "W", barrier))
+        p.start()
+
+        # ...and a reader hits it while the writer is racing to replace
+        # it: the entry is quarantined to <key>.corrupt, counted, and
+        # reported as a miss — never parsed into a result.
+        reader = ResultCache(tmp_path)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert reader.get(KEY) is None
+        assert reader.corrupt == 1
+        corrupt_path = path.with_suffix(".corrupt")
+        assert corrupt_path.is_file()
+        assert corrupt_path.read_bytes() == b'{"schema": torn...'
+
+        barrier.wait()
+        p.join(timeout=30)
+        assert p.exitcode == 0
+        # The writer won the slot back with a whole, valid record.
+        final = fresh_read(tmp_path)
+        assert final == record("W")

@@ -1,0 +1,223 @@
+"""Remote cache tier: breaker, retries, hedged reads, tiered validation."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.experiments.engine import SCHEMA_VERSION
+from repro.service.cachetier import (
+    CacheTierError,
+    CircuitBreaker,
+    InMemoryCacheTier,
+    RemoteTierConfig,
+    ResilientTier,
+    TieredResultCache,
+)
+
+NO_SLEEP = dict(sleep=lambda _s: None)
+
+
+def fast_config(**kw) -> RemoteTierConfig:
+    kw.setdefault("retries", 1)
+    kw.setdefault("backoff_base_s", 0.0)
+    kw.setdefault("breaker_threshold", 3)
+    kw.setdefault("breaker_cooldown_s", 10.0)
+    return RemoteTierConfig(**kw)
+
+
+def valid_blob(payload: dict) -> bytes:
+    return json.dumps({"schema": SCHEMA_VERSION, "payload": payload}).encode()
+
+
+class FailingTier:
+    """Raises on every operation."""
+
+    def __init__(self, exc=CacheTierError("remote down")):
+        self.exc = exc
+        self.calls = 0
+
+    def get(self, key):
+        self.calls += 1
+        raise self.exc
+
+    def put(self, key, blob):
+        self.calls += 1
+        raise self.exc
+
+
+class FlakyTier:
+    """Fails the first ``fail_first`` operations, then behaves."""
+
+    def __init__(self, fail_first: int):
+        self.inner = InMemoryCacheTier()
+        self.fail_first = fail_first
+        self.calls = 0
+
+    def _maybe_fail(self):
+        self.calls += 1
+        if self.calls <= self.fail_first:
+            raise CacheTierError("transient")
+
+    def get(self, key):
+        self._maybe_fail()
+        return self.inner.get(key)
+
+    def put(self, key, blob):
+        self._maybe_fail()
+        self.inner.put(key, blob)
+
+
+class TestCircuitBreaker:
+    def test_threshold_opens_cooldown_half_opens(self):
+        now = [0.0]
+        b = CircuitBreaker(threshold=3, cooldown_s=5.0, clock=lambda: now[0])
+        for _ in range(3):
+            assert b.allow()
+            b.record_failure()
+        assert b.state == b.OPEN and b.opens == 1
+        assert not b.allow()  # short-circuited during cooldown
+        now[0] = 5.0
+        assert b.allow()  # the half-open probe
+        assert b.state == b.HALF_OPEN
+        assert not b.allow()  # only one probe at a time
+        b.record_success()
+        assert b.state == b.CLOSED and b.allow()
+
+    def test_failed_probe_reopens(self):
+        now = [0.0]
+        b = CircuitBreaker(threshold=1, cooldown_s=5.0, clock=lambda: now[0])
+        b.record_failure()
+        now[0] = 5.0
+        assert b.allow()
+        b.record_failure()
+        assert b.state == b.OPEN and b.opens == 2
+        assert not b.allow()
+
+
+class TestRetries:
+    def test_transient_failure_is_retried_away(self):
+        flaky = FlakyTier(fail_first=1)
+        tier = ResilientTier(flaky, fast_config(), **NO_SLEEP)
+        assert tier.put("k", b"blob") is True
+        assert tier.counters["retries"] == 1
+        assert tier.counters["put_errors"] == 0
+        assert tier.get("k") == b"blob"
+
+    def test_exhausted_retries_degrade_not_raise(self):
+        tier = ResilientTier(FailingTier(), fast_config(), **NO_SLEEP)
+        assert tier.get("k") is None
+        assert tier.put("k", b"blob") is False
+        assert tier.counters["get_errors"] == 1
+        assert tier.counters["put_errors"] == 1
+
+    def test_breaker_short_circuits_after_outage(self):
+        tier = ResilientTier(FailingTier(), fast_config(breaker_threshold=2), **NO_SLEEP)
+        tier.get("a")
+        tier.get("b")
+        before = tier.inner.calls
+        assert tier.get("c") is None  # breaker open: no network touched
+        assert tier.inner.calls == before
+        assert tier.counters["short_circuited"] == 1
+        assert tier.status()["breaker"] == CircuitBreaker.OPEN
+
+    def test_jitter_is_seeded_and_bounded(self):
+        def delays(seed):
+            out = []
+            tier = ResilientTier(
+                FailingTier(),
+                fast_config(retries=3, backoff_base_s=0.01, jitter_seed=seed,
+                            breaker_threshold=100),
+                sleep=out.append,
+            )
+            tier.get("k")
+            return out
+
+        a, b = delays(7), delays(7)
+        assert a == b and len(a) == 3  # deterministic for one seed
+        assert delays(8) != a  # and seed-dependent
+        for attempt, d in enumerate(a):
+            assert 0.0 <= d <= 0.01 * 2.0 ** attempt
+
+
+class TestHedgedReads:
+    def test_slow_read_is_abandoned_then_repairs_late(self):
+        release = threading.Event()
+
+        class SlowTier:
+            def get(self, key):
+                release.wait(5.0)
+                return valid_blob({"late": True})
+
+            def put(self, key, blob):
+                pass
+
+        tier = ResilientTier(SlowTier(), fast_config(retries=0, hedge_timeout_s=0.05))
+        repaired = []
+        assert tier.get("k", on_late_result=repaired.append) is None
+        assert tier.counters["hedge_abandoned"] == 1
+        release.set()
+        deadline = time.monotonic() + 5.0
+        while not repaired and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert repaired == [valid_blob({"late": True})]
+        assert tier.counters["late_repairs"] == 1
+        tier.close()
+
+
+class TestTieredResultCache:
+    def test_remote_hit_is_read_repaired_locally(self, tmp_path):
+        remote = InMemoryCacheTier()
+        key = "ab" + "0" * 62
+        remote.put(key, valid_blob({"x": 1}))
+        cache = TieredResultCache(tmp_path, remote=remote, remote_config=fast_config())
+        rec = cache.get(key)
+        assert rec["payload"] == {"x": 1}
+        # The repair used the atomic local path: a fresh cache with no
+        # remote sees the entry on disk.
+        local_only = TieredResultCache(tmp_path)
+        assert local_only.get(key)["payload"] == {"x": 1}
+
+    def test_local_hits_never_touch_the_remote(self, tmp_path):
+        remote = FailingTier()
+        cache = TieredResultCache(tmp_path, remote=InMemoryCacheTier())
+        key = "cd" + "0" * 62
+        cache.put(key, {"schema": SCHEMA_VERSION, "payload": {"y": 2}})
+        cache2 = TieredResultCache(tmp_path, remote=remote, remote_config=fast_config())
+        assert cache2.get(key)["payload"] == {"y": 2}
+        assert remote.calls == 0
+
+    @pytest.mark.parametrize("blob", [
+        b'{"torn', b"[]", b'{"schema": -1, "payload": {}}', b'{"schema": %d}' % SCHEMA_VERSION,
+    ])
+    def test_invalid_remote_blob_is_a_counted_miss(self, tmp_path, blob):
+        remote = InMemoryCacheTier()
+        key = "ef" + "0" * 62
+        remote.put(key, blob)
+        cache = TieredResultCache(tmp_path, remote=remote, remote_config=fast_config())
+        assert cache.get(key) is None
+        assert cache.remote_invalid == 1
+        # The bad blob never entered the local tier — no entry, no quarantine.
+        assert not list(tmp_path.rglob("*.json"))
+        assert not list(tmp_path.rglob("*.corrupt"))
+
+    def test_put_writes_through(self, tmp_path):
+        remote = InMemoryCacheTier()
+        cache = TieredResultCache(tmp_path, remote=remote, remote_config=fast_config())
+        key = "01" + "0" * 62
+        rec = {"schema": SCHEMA_VERSION, "payload": {"z": 3}}
+        cache.put(key, rec)
+        assert json.loads(remote.get(key)) == rec
+
+    def test_total_outage_degrades_to_local_only(self, tmp_path):
+        cache = TieredResultCache(
+            tmp_path, remote=FailingTier(), remote_config=fast_config(breaker_threshold=1)
+        )
+        key = "23" + "0" * 62
+        rec = {"schema": SCHEMA_VERSION, "payload": {"w": 4}}
+        cache.put(key, rec)  # write-through fails silently
+        assert cache.get(key)["payload"] == {"w": 4}  # local tier still serves
+        status = cache.remote_status()
+        assert status["put_errors"] == 1
+        assert status["breaker"] == CircuitBreaker.OPEN

@@ -1,0 +1,117 @@
+"""Wire protocol: run serialization roundtrips and eager validation."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.config import TINY
+from repro.experiments.engine import (
+    KIND_ALONE,
+    KIND_HOOK,
+    KIND_MECHANISM,
+    KIND_PROFILE,
+    PlannedRun,
+)
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    error_response,
+    run_from_wire,
+    run_to_wire,
+)
+from repro.workloads.mixes import make_mixes
+
+SC = dataclasses.replace(TINY, name="unit")
+
+
+def sample_runs() -> list[PlannedRun]:
+    mix = make_mixes("pref_agg", 1, seed=7)[0]
+    return [
+        PlannedRun(KIND_MECHANISM, SC, mix=mix, mechanism="cmm-a"),
+        PlannedRun(KIND_ALONE, SC, bench="429.mcf"),
+        PlannedRun(KIND_PROFILE, SC, bench="429.mcf", way_sweep=(1, 2, 4)),
+        PlannedRun(KIND_HOOK, SC, bench="tests.chaos.workers:ok_a"),
+    ]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("idx", range(4))
+    def test_key_survives_the_wire(self, idx):
+        run = sample_runs()[idx]
+        restored = run_from_wire(run_to_wire(run))
+        assert restored.key() == run.key()
+        assert restored.kind == run.kind
+        assert restored.label == run.label
+
+    def test_wire_objects_are_json_and_line_safe(self):
+        for run in sample_runs():
+            wire = run_to_wire(run)
+            json.dumps(wire)  # must not raise
+            assert decode_line(encode_line(wire)) == wire
+
+    def test_custom_scale_travels_whole(self):
+        sc = dataclasses.replace(TINY, name="custom", alone_accesses=1234)
+        restored = run_from_wire(run_to_wire(PlannedRun(KIND_ALONE, sc, bench="433.milc")))
+        assert restored.sc == sc
+
+
+class TestValidation:
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ProtocolError, match="kind"):
+            run_from_wire({"v": PROTOCOL_VERSION, "scale": dataclasses.asdict(SC)})
+
+    def test_unknown_kind_rejected(self):
+        wire = run_to_wire(sample_runs()[1]) | {"kind": "bogus"}
+        with pytest.raises(ProtocolError, match="unknown run kind"):
+            run_from_wire(wire)
+
+    def test_wrong_wire_version_rejected(self):
+        wire = run_to_wire(sample_runs()[1]) | {"v": 999}
+        with pytest.raises(ProtocolError, match="version"):
+            run_from_wire(wire)
+
+    def test_mechanism_without_mix_rejected(self):
+        wire = run_to_wire(sample_runs()[0])
+        del wire["mix"]
+        with pytest.raises(ProtocolError, match="mix"):
+            run_from_wire(wire)
+
+    def test_alone_without_bench_rejected(self):
+        wire = run_to_wire(sample_runs()[1])
+        del wire["bench"]
+        with pytest.raises(ProtocolError, match="bench"):
+            run_from_wire(wire)
+
+    def test_unknown_mechanism_name_rejected_eagerly(self):
+        wire = run_to_wire(sample_runs()[0]) | {"mechanism": "no-such-policy"}
+        with pytest.raises(ProtocolError):
+            run_from_wire(wire)
+
+    def test_invalid_scale_rejected(self):
+        wire = run_to_wire(sample_runs()[1]) | {"scale": {"bogus_field": 1}}
+        with pytest.raises(ProtocolError, match="scale"):
+            run_from_wire(wire)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ProtocolError):
+            run_from_wire(["not", "a", "dict"])
+
+
+class TestFraming:
+    def test_malformed_json_frame(self):
+        with pytest.raises(ProtocolError, match="JSON"):
+            decode_line(b'{"torn')
+
+    def test_non_object_frame(self):
+        with pytest.raises(ProtocolError, match="object"):
+            decode_line(b"[1, 2]")
+
+    def test_error_response_shape(self):
+        resp = error_response("overloaded", "queue full", queued=7, limit=4)
+        assert resp["ok"] is False
+        assert resp["error"]["type"] == "overloaded"
+        assert resp["error"]["message"] == "queue full"
+        assert resp["error"]["queued"] == 7 and resp["error"]["limit"] == 4

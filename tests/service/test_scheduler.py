@@ -1,0 +1,260 @@
+"""Single-flight scheduler: dedup, admission, fairness, deadlines."""
+
+import asyncio
+import dataclasses
+import time
+
+import pytest
+
+from repro.experiments.config import TINY
+from repro.experiments.engine import KIND_HOOK, PlannedRun, RunRecord
+from repro.service.journal import SweepJournal
+from repro.service.scheduler import (
+    OverloadedError,
+    SchedulerConfig,
+    SingleFlightScheduler,
+)
+
+SC = dataclasses.replace(TINY, name="unit")
+
+
+def hook(name: str) -> PlannedRun:
+    return PlannedRun(KIND_HOOK, SC, bench=f"tests.chaos.workers:{name}")
+
+
+class FakeSession:
+    """Engine stand-in: records batches, replays from a memory cache."""
+
+    def __init__(self, *, delay: float = 0.0, fail_benches: tuple = ()):
+        self.records: list[RunRecord] = []
+        self.failed: dict[str, str] = {}
+        self.calls: list[list[str]] = []
+        self.delay = delay
+        self.fail_benches = fail_benches
+        self._cache: dict[str, dict] = {}
+
+    def execute(self, runs, *, strict=True, resume=None):
+        self.calls.append([r.key() for r in runs])
+        if self.delay:
+            time.sleep(self.delay)
+        out = {}
+        for r in runs:
+            key = r.key()
+            if r.bench.rsplit(":", 1)[-1] in self.fail_benches:
+                self.failed[key] = "injected failure"
+                self.records.append(
+                    RunRecord(key, r.kind, r.label, r.sc.name, 0.0,
+                              cached=False, error="injected failure"))
+                continue
+            cached = key in self._cache
+            self._cache.setdefault(key, {"hook": r.bench})
+            out[key] = self._cache[key]
+            self.records.append(
+                RunRecord(key, r.kind, r.label, r.sc.name, 0.0, cached=cached))
+        return out
+
+
+def run_async(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=30))
+
+
+class TestSingleFlight:
+    def test_concurrent_overlapping_submits_execute_once(self):
+        session = FakeSession(delay=0.02)
+        runs = [hook("ok_a"), hook("ok_b"), hook("ok_c")]
+
+        async def main():
+            sched = SingleFlightScheduler(session)
+            await sched.start()
+            try:
+                return await asyncio.gather(*[
+                    sched.submit(runs, client=f"c{i}") for i in range(6)
+                ])
+            finally:
+                await sched.stop()
+
+        all_outcomes = run_async(main())
+        executed = [k for call in session.calls for k in call]
+        assert sorted(executed) == sorted({r.key() for r in runs})  # once each
+        for outcomes in all_outcomes:
+            assert [o["ok"] for o in outcomes] == [True, True, True]
+        deduped = sum(o.get("deduped", False) for out in all_outcomes for o in out)
+        assert deduped == 5 * len(runs)
+
+    def test_resubmit_after_completion_replays_from_cache(self):
+        session = FakeSession()
+        runs = [hook("ok_a")]
+
+        async def main():
+            sched = SingleFlightScheduler(session)
+            await sched.start()
+            try:
+                first = await sched.submit(runs)
+                second = await sched.submit(runs)
+                return first, second, dict(sched.counters)
+            finally:
+                await sched.stop()
+
+        first, second, counters = run_async(main())
+        assert first[0]["cached"] is False
+        assert second[0]["cached"] is True
+        assert counters["executed"] == 1 and counters["cache_replays"] == 1
+
+
+class TestAdmission:
+    def test_global_queue_bound_refuses_structured(self):
+        session = FakeSession()
+        config = SchedulerConfig(max_pending=2, max_client_pending=64)
+
+        async def main():
+            sched = SingleFlightScheduler(session, config)
+            # No dispatcher: everything submitted stays queued.
+            with pytest.raises(OverloadedError) as ei:
+                await sched.submit([hook("ok_a"), hook("ok_b"), hook("ok_c")])
+            assert ei.value.limit == 2
+            assert sched.counters["overloaded"] == 1
+            await sched.stop()
+
+        run_async(main())
+
+    def test_per_client_bound(self):
+        session = FakeSession()
+        config = SchedulerConfig(max_pending=64, max_client_pending=1)
+
+        async def main():
+            sched = SingleFlightScheduler(session, config)
+            with pytest.raises(OverloadedError, match="client"):
+                await sched.submit([hook("ok_a"), hook("ok_b")], client="greedy")
+            await sched.stop()
+
+        run_async(main())
+
+    def test_attaching_to_inflight_keys_is_always_admitted(self):
+        session = FakeSession(delay=0.05)
+        config = SchedulerConfig(max_pending=3)
+        runs = [hook("ok_a"), hook("ok_b"), hook("ok_c")]
+
+        async def main():
+            sched = SingleFlightScheduler(session, config)
+            await sched.start()
+            try:
+                # Both clients submit the full queue-limit batch; the
+                # second only attaches, so admission must not refuse it.
+                return await asyncio.gather(
+                    sched.submit(runs, client="a"),
+                    sched.submit(runs, client="b"),
+                )
+            finally:
+                await sched.stop()
+
+        a, b = run_async(main())
+        assert all(o["ok"] for o in a + b)
+
+
+class TestFairnessAndDispatch:
+    def test_round_robin_across_clients(self):
+        session = FakeSession()
+        config = SchedulerConfig(batch_max=2)
+        a_runs = [hook(f"slow_{s}") for s in "abc"]
+        b_run = [hook("ok_a")]
+
+        async def main():
+            sched = SingleFlightScheduler(session, config)
+            task_a = asyncio.ensure_future(sched.submit(a_runs, client="a"))
+            task_b = asyncio.ensure_future(sched.submit(b_run, client="b"))
+            for _ in range(5):  # let both enqueue before dispatch starts
+                await asyncio.sleep(0)
+            await sched.start()
+            await asyncio.gather(task_a, task_b)
+            await sched.stop()
+
+        run_async(main())
+        # First batch interleaves the clients: one of A's runs plus B's,
+        # instead of burning the whole batch on A's backlog.
+        assert b_run[0].key() in session.calls[0]
+
+    def test_failed_runs_resolve_with_structured_errors(self):
+        session = FakeSession(fail_benches=("boom",))
+
+        async def main():
+            sched = SingleFlightScheduler(session)
+            await sched.start()
+            try:
+                return await sched.submit([hook("ok_a"), hook("boom")])
+            finally:
+                await sched.stop()
+
+        ok, bad = run_async(main())
+        assert ok["ok"] is True
+        assert bad["ok"] is False
+        assert bad["error"]["type"] == "run-failed"
+        assert "injected failure" in bad["error"]["message"]
+
+    def test_submit_deadline_yields_structured_error(self):
+        session = FakeSession(delay=0.5)
+        config = SchedulerConfig(submit_timeout_s=0.05)
+
+        async def main():
+            sched = SingleFlightScheduler(session, config)
+            await sched.start()
+            try:
+                return await sched.submit([hook("ok_a")]), dict(sched.counters)
+            finally:
+                await sched.stop()
+
+        outcomes, counters = run_async(main())
+        assert outcomes[0]["ok"] is False
+        assert outcomes[0]["error"]["type"] == "deadline"
+        assert counters["deadline_expired"] == 1
+
+    def test_stop_resolves_queued_with_shutdown_errors(self):
+        session = FakeSession()
+
+        async def main():
+            sched = SingleFlightScheduler(session)  # dispatcher never started
+            task = asyncio.ensure_future(sched.submit([hook("ok_a")]))
+            for _ in range(5):
+                await asyncio.sleep(0)
+            await sched.stop()
+            return await task
+
+        outcomes = run_async(main())
+        assert outcomes[0]["error"]["type"] == "shutdown"
+
+
+class TestJournaling:
+    def test_completed_batch_seals_its_journal(self, tmp_path):
+        session = FakeSession(fail_benches=("boom",))
+        runs = [hook("ok_a"), hook("boom")]
+
+        async def main():
+            sched = SingleFlightScheduler(session, journal_dir=tmp_path)
+            await sched.start()
+            try:
+                await sched.submit(runs)
+            finally:
+                await sched.stop()
+
+        run_async(main())
+        paths = list(tmp_path.glob("*.jsonl"))
+        assert len(paths) == 1
+        journal = SweepJournal.load(paths[0])
+        assert journal.sealed  # every key got an outcome
+        assert journal.finished_keys() == {runs[0].key()}
+        assert journal.failed_keys().keys() == {runs[1].key()}
+
+    def test_interrupted_batch_leaves_resumable_journal(self, tmp_path):
+        session = FakeSession()
+
+        async def main():
+            sched = SingleFlightScheduler(session, journal_dir=tmp_path)
+            task = asyncio.ensure_future(sched.submit([hook("ok_a")]))
+            for _ in range(5):
+                await asyncio.sleep(0)
+            await sched.stop()  # dies before dispatching
+            return await task
+
+        run_async(main())
+        pending = SweepJournal.incomplete(tmp_path)
+        assert len(pending) == 1
+        assert pending[0].pending_keys() == [hook("ok_a").key()]

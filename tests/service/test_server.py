@@ -1,0 +1,187 @@
+"""Service front door: protocol ops, both transports, fail-soft startup."""
+
+import asyncio
+import dataclasses
+import json
+import os
+import threading
+
+import pytest
+
+from repro.experiments.config import TINY
+from repro.experiments.engine import KIND_HOOK, ExperimentSession, PlannedRun
+from repro.service.journal import SweepJournal
+from repro.service.protocol import PROTOCOL_VERSION, run_to_wire
+from repro.service.scheduler import SchedulerConfig
+from repro.service.server import ExperimentService, ServiceClient, sanitized_run_timeout
+
+SC = dataclasses.replace(TINY, name="unit")
+
+
+def hook(name: str) -> PlannedRun:
+    return PlannedRun(KIND_HOOK, SC, bench=f"tests.chaos.workers:{name}")
+
+
+def make_service(tmp_path, **kw) -> ExperimentService:
+    session = ExperimentSession(cache_dir=tmp_path / "cache", max_workers=1)
+    kw.setdefault("journal_dir", tmp_path / "journal")
+    return ExperimentService(session=session, **kw)
+
+
+class TestSanitizedRunTimeout:
+    def test_valid_value_passes_through(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_TIMEOUT", "5.5")
+        assert sanitized_run_timeout() == (5.5, None)
+
+    def test_invalid_value_warns_instead_of_raising(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_TIMEOUT", "banana")
+        timeout, warning = sanitized_run_timeout()
+        assert timeout is None
+        assert "REPRO_RUN_TIMEOUT" in warning
+
+    def test_service_startup_is_fail_soft(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_RUN_TIMEOUT", "banana")
+        with pytest.warns(RuntimeWarning, match="REPRO_RUN_TIMEOUT"):
+            service = ExperimentService()
+        assert service.session.run_timeout is None
+        # The environment is restored for everything else in the process.
+        assert os.environ["REPRO_RUN_TIMEOUT"] == "banana"
+        service.close()
+
+    def test_library_sessions_stay_strict(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_TIMEOUT", "banana")
+        with pytest.raises(ValueError):
+            ExperimentSession()
+
+
+class TestDispatch:
+    def test_ping_status_and_unknown_op(self, tmp_path):
+        service = make_service(tmp_path)
+        try:
+            pong = asyncio.run(service.dispatch({"op": "ping", "id": 7}))
+            assert pong["ok"] and pong["protocol"] == PROTOCOL_VERSION
+            assert pong["id"] == 7
+            status = asyncio.run(service.dispatch({"op": "status"}))
+            assert status["ok"] and "scheduler" in status["status"]
+            bad = asyncio.run(service.dispatch({"op": "frobnicate"}))
+            assert bad["ok"] is False and bad["error"]["type"] == "protocol"
+        finally:
+            service.close()
+
+    def test_submit_validates_at_the_front_door(self, tmp_path):
+        service = make_service(tmp_path)
+        try:
+            empty = asyncio.run(service.dispatch({"op": "submit", "runs": []}))
+            assert empty["error"]["type"] == "protocol"
+            bogus = asyncio.run(service.dispatch(
+                {"op": "submit", "runs": [{"kind": "bogus"}]}))
+            assert bogus["error"]["type"] == "protocol"
+        finally:
+            service.close()
+
+
+class TestInProcessTransport:
+    def test_submit_roundtrip_and_status(self, tmp_path):
+        service = make_service(tmp_path)
+        with service, ServiceClient(service=service, client_name="t") as cli:
+            assert cli.ping()["ok"]
+            resp = cli.submit([hook("ok_a"), hook("ok_b")])
+            assert resp["ok"]
+            assert [o["ok"] for o in resp["results"]] == [True, True]
+            assert all(o["cached"] is False for o in resp["results"])
+            again = cli.submit([hook("ok_a")])
+            assert again["results"][0]["cached"] is True
+            status = cli.status()["status"]
+            assert status["scheduler"]["executed"] == 2
+            assert status["scheduler"]["cache_replays"] == 1
+
+    def test_overload_is_a_structured_refusal(self, tmp_path):
+        service = make_service(
+            tmp_path, scheduler_config=SchedulerConfig(max_pending=1))
+        with service:
+            with ServiceClient(service=service) as cli:
+                resp = cli.request({
+                    "op": "submit",
+                    "runs": [run_to_wire(hook("ok_a")), run_to_wire(hook("ok_b"))],
+                })
+        assert resp["ok"] is False
+        assert resp["error"]["type"] == "overloaded"
+        assert resp["error"]["limit"] == 1
+
+
+class TestSocketTransport:
+    def test_unix_socket_end_to_end(self, tmp_path):
+        service = make_service(tmp_path)
+        sock = tmp_path / "svc.sock"
+        ready = threading.Event()
+        t = threading.Thread(
+            target=lambda: asyncio.run(
+                service.serve(unix_path=sock, ready=lambda _b: ready.set())),
+            daemon=True,
+        )
+        t.start()
+        assert ready.wait(10)
+        with ServiceClient(path=sock) as cli:
+            assert cli.ping()["ok"]
+            resp = cli.submit([hook("ok_a")])
+            assert resp["ok"] and resp["results"][0]["ok"]
+            assert cli.shutdown()["stopping"]
+        t.join(timeout=10)
+        assert not t.is_alive()
+        assert not sock.exists()  # cleaned up on shutdown
+        service.close()
+
+
+class TestResume:
+    def test_unsealed_journal_replays_on_resume(self, tmp_path):
+        runs = [hook("ok_a"), hook("ok_b")]
+        wal_dir = tmp_path / "journal"
+        SweepJournal.create(
+            wal_dir, {r.key(): run_to_wire(r) for r in runs}, sweep_id="crashed"
+        ).close()
+
+        service = make_service(tmp_path)
+        try:
+            service.start_background(resume=True)
+            assert service.resumed_sweeps == 1
+            for r in runs:
+                assert service.session.cache.get(r.key()) is not None
+        finally:
+            service.close()
+        sealed = SweepJournal.load(wal_dir / "crashed.jsonl")
+        assert sealed.sealed and sealed.pending_keys() == []
+
+    def test_resumed_payloads_match_uninterrupted_run(self, tmp_path):
+        runs = [hook("ok_a"), hook("ok_b")]
+        with ExperimentSession(cache_dir=tmp_path / "baseline", max_workers=1) as s0:
+            baseline = s0.execute(runs)
+
+        wal_dir = tmp_path / "journal"
+        SweepJournal.create(
+            wal_dir, {r.key(): run_to_wire(r) for r in runs}, sweep_id="crashed"
+        ).close()
+        service = make_service(tmp_path)
+        try:
+            service.start_background(resume=True)
+            replayed = {
+                r.key(): service.session.cache.get(r.key())["payload"] for r in runs
+            }
+        finally:
+            service.close()
+        assert json.dumps(replayed, sort_keys=True) == json.dumps(baseline, sort_keys=True)
+
+    def test_sealed_journals_are_not_resumed(self, tmp_path):
+        runs = [hook("ok_a")]
+        wal_dir = tmp_path / "journal"
+        with SweepJournal.create(
+            wal_dir, {r.key(): run_to_wire(r) for r in runs}, sweep_id="done"
+        ) as j:
+            j.record_finished(runs[0].key())
+            j.seal()
+        service = make_service(tmp_path)
+        try:
+            service.start_background(resume=True)
+            assert service.resumed_sweeps == 0
+        finally:
+            service.close()
