@@ -1,46 +1,66 @@
 #!/usr/bin/env python
 """Regenerate every paper table/figure and emit a markdown report.
 
-    python examples/regenerate_figures.py [scale] > report.md
+    python examples/regenerate_figures.py [scale] [--artifacts DIR] > report.md
 
 This is the script that produced the measured numbers recorded in
-EXPERIMENTS.md.  All simulation goes through an
-:class:`~repro.experiments.engine.ExperimentSession`: runs are
-deduplicated, cache misses fan out over ``REPRO_WORKERS`` processes,
-and every result persists in the on-disk cache (``REPRO_CACHE_DIR``),
-so a warm re-run replays in seconds instead of re-simulating.  At
-``full`` scale the first (cold) pass takes a while; ``tiny`` finishes
-in a couple of minutes cold and seconds warm.
+EXPERIMENTS.md.  It is now a thin driver over :mod:`repro.analysis`:
+the figure registry builds every figure through one shared
+:class:`~repro.experiments.engine.ExperimentSession` (deduplicated,
+parallel on misses, persisted in the on-disk cache), the markdown
+tables render through the shared formatter, and ``--artifacts DIR``
+additionally emits the canonical CSV + Vega-Lite artifact set
+(``repro figures`` is the CLI equivalent).  At ``full`` scale the
+first (cold) pass takes a while; ``tiny`` finishes in a couple of
+minutes cold and seconds warm.
 """
 
 import os
 import sys
 import time
 
+from repro.analysis import build_artifacts, render_markdown_table, write_artifacts
 from repro.experiments.config import get_scale
 from repro.experiments.engine import ExperimentSession, set_default_session
-from repro.experiments.figures import (
-    ALL_MECHS,
-    EvalStore,
-    fig01_bandwidth,
-    fig02_prefetch_speedup,
-    fig03_way_sensitivity,
-    fig05_detection,
-    fig13_all,
-    fig14_bandwidth,
-    fig15_stalls,
-    table1_metrics,
-)
 from repro.workloads.mixes import CATEGORIES
 
+md_table = render_markdown_table
 
-def md_table(headers, rows):
-    def fmt(v):
-        return f"{v:.3f}" if isinstance(v, float) else str(v)
+#: (figure id, section title, row renderer).  Mechanism figures (7-15)
+#: have no renderer here: they all print their category-means table.
+SECTIONS = {
+    "fig01": ("Fig. 1 — memory bandwidth (MB/s), prefetch off demand vs. on total",
+              ["benchmark", "demand", "total", "increase %"],
+              lambda r: [r["benchmark"], r["demand_bw_mbs"], r["total_bw_mbs"], r["increase_pct"]]),
+    "fig02": ("Fig. 2 — IPC speedup from prefetching",
+              ["benchmark", "IPC on", "IPC off", "speedup %"],
+              lambda r: [r["benchmark"], r["ipc_on"], r["ipc_off"], r["speedup_pct"]]),
+    "fig03": ("Fig. 3 — LLC way sensitivity",
+              ["benchmark", "min ways for 90%", "min ways for 80%"],
+              lambda r: [r["benchmark"], r["min_ways_90pct"], r["min_ways_80pct"]]),
+    "fig05": ("Fig. 5 — detected Agg sets",
+              ["workload", "agg cores", "agg benchmarks"],
+              lambda r: [r["workload"], str(r["agg_set"]), ", ".join(r["agg_benchmarks"])]),
+    "table1": ("Table I — metrics on one pref_agg workload",
+               ["core", "benchmark", "M2", "M3 PTR/s", "M4 PGA", "M5 PMR", "M6 PPM", "M7 B/s"],
+               lambda r: [r["core"], r["benchmark"], r["M2_l2_pref_miss_frac"], r["M3_l2_ptr"],
+                          r["M4_pga"], r["M5_l2_pmr"], r["M6_l2_ppm"], r["M7_llc_pt"]]),
+}
 
-    out = ["| " + " | ".join(headers) + " |", "|" + "---|" * len(headers)]
-    out += ["| " + " | ".join(fmt(c) for c in row) + " |" for row in rows]
-    return "\n".join(out)
+MECHANISM_TITLES = {
+    "fig07": "Fig. 7 — PT normalized HS (category means)",
+    "fig08": "Fig. 8 — PT worst-case speedup",
+    "fig09": "Fig. 9 — CP normalized HS",
+    "fig10": "Fig. 10 — CP worst-case speedup",
+    "fig11": "Fig. 11 — CMM normalized HS",
+    "fig12": "Fig. 12 — CMM worst-case speedup",
+    "fig13": "Fig. 13 — all mechanisms, normalized HS",
+    "fig14": "Fig. 14 — normalized memory traffic",
+    "fig15": "Fig. 15 — normalized L2-pending stalls",
+}
+
+#: Presentation order: alone/profile figures first, then the sweep.
+ORDER = ("fig01", "fig02", "fig03", "fig05", "table1") + tuple(MECHANISM_TITLES)
 
 
 def category_means_table(d):
@@ -50,7 +70,13 @@ def category_means_table(d):
 
 
 def main() -> None:
-    sc = get_scale(sys.argv[1] if len(sys.argv) > 1 else None)
+    argv = list(sys.argv[1:])
+    artifacts_dir = None
+    if "--artifacts" in argv:
+        i = argv.index("--artifacts")
+        artifacts_dir = argv[i + 1]
+        del argv[i:i + 2]
+    sc = get_scale(argv[0] if argv else None)
     t0 = time.time()
 
     def progress(rec, done, total):
@@ -60,62 +86,22 @@ def main() -> None:
     verbose = bool(os.environ.get("REPRO_PROGRESS"))
     session = ExperimentSession(progress=progress if verbose else None)
     set_default_session(session)  # figure drivers share the same store
-    store = EvalStore(sc, session=session)
+
+    built = build_artifacts(list(ORDER), sc, session=session)
 
     print(f"# Regenerated figures (scale = {sc.name})\n")
+    for bf in built:
+        if bf.fig_id in SECTIONS:
+            title, headers, to_row = SECTIONS[bf.fig_id]
+            print(f"## {title}\n" if bf.fig_id == ORDER[0] else f"\n## {title}\n")
+            print(md_table(headers, [to_row(r) for r in bf.figure["rows"]]))
+        else:
+            print(f"\n## {MECHANISM_TITLES[bf.fig_id]}\n")
+            print(category_means_table(bf.figure))
 
-    d = fig01_bandwidth(sc)
-    print("## Fig. 1 — memory bandwidth (MB/s), prefetch off demand vs. on total\n")
-    print(md_table(["benchmark", "demand", "total", "increase %"],
-                   [[r["benchmark"], r["demand_bw_mbs"], r["total_bw_mbs"], r["increase_pct"]]
-                    for r in d["rows"]]))
-
-    d = fig02_prefetch_speedup(sc)
-    print("\n## Fig. 2 — IPC speedup from prefetching\n")
-    print(md_table(["benchmark", "IPC on", "IPC off", "speedup %"],
-                   [[r["benchmark"], r["ipc_on"], r["ipc_off"], r["speedup_pct"]]
-                    for r in d["rows"]]))
-
-    d = fig03_way_sensitivity(sc)
-    print("\n## Fig. 3 — LLC way sensitivity\n")
-    print(md_table(["benchmark", "min ways for 90%", "min ways for 80%"],
-                   [[r["benchmark"], r["min_ways_90pct"], r["min_ways_80pct"]]
-                    for r in d["rows"]]))
-
-    d = fig05_detection(sc)
-    print("\n## Fig. 5 — detected Agg sets\n")
-    print(md_table(["workload", "agg cores", "agg benchmarks"],
-                   [[r["workload"], str(r["agg_set"]), ", ".join(r["agg_benchmarks"])]
-                    for r in d["rows"]]))
-
-    d = table1_metrics(sc)
-    print("\n## Table I — metrics on one pref_agg workload\n")
-    print(md_table(["core", "benchmark", "M2", "M3 PTR/s", "M4 PGA", "M5 PMR", "M6 PPM", "M7 B/s"],
-                   [[r["core"], r["benchmark"], r["M2_l2_pref_miss_frac"], r["M3_l2_ptr"],
-                     r["M4_pga"], r["M5_l2_pmr"], r["M6_l2_ppm"], r["M7_llc_pt"]]
-                    for r in d["rows"]]))
-
-    store.sweep(ALL_MECHS)  # one deduplicated, parallel pass for figs 7-15
-
-    from repro.experiments.figures import (
-        fig07_pt, fig08_pt_worstcase, fig09_cp, fig10_cp_worstcase,
-        fig11_cmm, fig12_cmm_worstcase,
-    )
-
-    for title, fn in [
-        ("Fig. 7 — PT normalized HS (category means)", fig07_pt),
-        ("Fig. 8 — PT worst-case speedup", fig08_pt_worstcase),
-        ("Fig. 9 — CP normalized HS", fig09_cp),
-        ("Fig. 10 — CP worst-case speedup", fig10_cp_worstcase),
-        ("Fig. 11 — CMM normalized HS", fig11_cmm),
-        ("Fig. 12 — CMM worst-case speedup", fig12_cmm_worstcase),
-        ("Fig. 13 — all mechanisms, normalized HS", fig13_all),
-        ("Fig. 14 — normalized memory traffic", fig14_bandwidth),
-        ("Fig. 15 — normalized L2-pending stalls", fig15_stalls),
-    ]:
-        d = fn(sc, store)
-        print(f"\n## {title}\n")
-        print(category_means_table(d))
+    if artifacts_dir:
+        paths = write_artifacts(built, artifacts_dir, scale=sc.name, seed=sc.seed)
+        print(f"\nwrote {len(paths)} canonical artifacts to {artifacts_dir}", file=sys.stderr)
 
     hits = sum(1 for r in session.records if r.cached)
     simulated = len(session.records) - hits

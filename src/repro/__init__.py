@@ -20,7 +20,13 @@ Public API tour:
   into a deduplicated plan, executes cache misses across a process
   pool, and replays hits from a content-addressed on-disk store
   (``REPRO_CACHE_DIR`` / ``REPRO_WORKERS``; see
-  ``docs/experiment_engine.md``).
+  ``docs/experiment_engine.md``);
+* ``repro.analysis`` — the declarative analysis layer (see
+  ``docs/analysis.md``): tidy tables with a round-trip-safe CSV codec,
+  per-figure canonical CSV + Vega-Lite artifacts
+  (:func:`build_artifacts` / ``repro figures``), and multi-seed
+  sweeps with seeded-bootstrap CIs and paired significance tests
+  (:func:`run_analysis` / ``repro analyze``).
 
 Running things:
 
@@ -53,6 +59,17 @@ Quickstart::
     print(ev.metrics["cmm-a"]["hs_norm"])
 """
 
+from repro.analysis import (
+    FigureSpec,
+    TableBuilder,
+    TidyTable,
+    bootstrap_ci,
+    build_artifacts,
+    figure_table,
+    figure_vega,
+    run_analysis,
+    write_artifacts,
+)
 from repro.core import CMMController, make_policy, policy_names
 from repro.core.allocation import ResourceConfig
 from repro.core.epoch import EpochConfig
@@ -85,10 +102,19 @@ from repro.sim.machine import Machine
 from repro.sim.params import MachineParams, default_params, scaled_params
 from repro.workloads.mixes import WorkloadMix, all_mixes, make_mixes
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 __all__ = [
     "BatchRunSpec",
+    "FigureSpec",
+    "TableBuilder",
+    "TidyTable",
+    "bootstrap_ci",
+    "build_artifacts",
+    "figure_table",
+    "figure_vega",
+    "run_analysis",
+    "write_artifacts",
     "CMMController",
     "DecisionPipeline",
     "EngineSelectionError",

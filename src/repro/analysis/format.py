@@ -1,0 +1,78 @@
+"""Shared value/table formatting for every human-facing renderer.
+
+Before the analysis layer existed, ``report.render_table``,
+``report._fmt_value`` and ``examples/regenerate_figures.md_table`` each
+re-implemented the same three-decimal float table.  This module is the
+single home of that logic: the ASCII renderer used by the CLI, the
+markdown renderer used by the report driver, and the value formatter
+both share.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "fmt_value",
+    "render_ascii_table",
+    "render_markdown_table",
+]
+
+#: Decimal places used by every presentation-layer table.  Canonical
+#: artifacts (``repro.analysis.tables``) are *not* formatted through
+#: this — they keep full ``repr`` precision so goldens pin bits.
+FLOAT_DECIMALS = 3
+
+
+def fmt_value(v: object, *, decimals: int = FLOAT_DECIMALS, max_len: int | None = None) -> str:
+    """One presentation-formatted cell: floats to ``decimals`` places,
+    lists rendered compactly (and elided past ``max_len``), everything
+    else via ``str``."""
+    if isinstance(v, float):
+        return f"{v:.{decimals}f}"
+    if isinstance(v, (list, tuple)):
+        s = "[" + ",".join(fmt_value(x, decimals=decimals) for x in v) + "]"
+        if max_len is not None and len(s) > max_len:
+            return s[: max_len - 3] + "...]"
+        return s
+    return str(v)
+
+
+def _cells(rows: Sequence[Sequence[object]], decimals: int) -> list[list[str]]:
+    return [[fmt_value(v, decimals=decimals) for v in row] for row in rows]
+
+
+def render_ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+    decimals: int = FLOAT_DECIMALS,
+) -> str:
+    """Fixed-width ASCII table; floats rendered to ``decimals`` places."""
+    cells = _cells(rows, decimals)
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    decimals: int = FLOAT_DECIMALS,
+) -> str:
+    """GitHub-flavoured markdown table with the shared float format."""
+    out = ["| " + " | ".join(str(h) for h in headers) + " |",
+           "|" + "---|" * len(headers)]
+    out += ["| " + " | ".join(cells) + " |" for cells in _cells(rows, decimals)]
+    return "\n".join(out)

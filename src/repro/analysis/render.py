@@ -1,0 +1,49 @@
+"""Optional raster rendering of Vega-Lite specs.
+
+The canonical artifacts are text (``.csv`` + ``.vl.json``); PNGs are a
+convenience that needs an optional renderer package.  Nothing here is
+required by any test or figure path — if no renderer is installed,
+:func:`render_png` raises :class:`RenderUnavailable` with instructions
+instead of the repo growing a hard dependency.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["RenderUnavailable", "render_png", "renderer_available"]
+
+
+class RenderUnavailable(RuntimeError):
+    """No optional Vega renderer is installed in this environment."""
+
+
+def _vl_convert():
+    try:
+        import vl_convert  # type: ignore[import-not-found]
+    except ImportError:
+        return None
+    return vl_convert
+
+
+def renderer_available() -> bool:
+    """True when an optional renderer (``vl-convert-python``) is importable."""
+    return _vl_convert() is not None
+
+
+def render_png(spec: dict, path: str | Path, *, scale: float = 2.0) -> Path:
+    """Render one Vega-Lite spec dict to ``path`` as PNG.
+
+    Requires the optional ``vl-convert-python`` package; without it the
+    call raises :class:`RenderUnavailable` (the text artifacts are the
+    canonical output either way).
+    """
+    vlc = _vl_convert()
+    if vlc is None:
+        raise RenderUnavailable(
+            "PNG rendering needs the optional 'vl-convert-python' package; "
+            "the .vl.json artifact renders in any Vega-Lite viewer"
+        )
+    path = Path(path)
+    path.write_bytes(vlc.vegalite_to_png(spec, scale=scale))
+    return path

@@ -1,0 +1,189 @@
+"""Deterministic statistics for multi-seed sweeps.
+
+Everything here is a pure function of its inputs **plus an explicit
+seed**: the bootstrap and the permutation test draw from
+``numpy.random.default_rng(seed)``, so the same observations and the
+same seed reproduce the same CI bounds and p-values to the bit — the
+property the determinism tests pin.
+
+Also home to the fairness metrics LFOC-style analyses need next to
+hm-IPC: per-program *slowdown* (alone IPC over shared IPC), the average
+slowdown (ANTT, Eyerman & Eeckhout's "fair slowdown" axis), and
+*unfairness* (max slowdown over min slowdown; 1.0 is perfectly fair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.metrics.speedup import harmonic_mean
+
+__all__ = [
+    "BootstrapCI",
+    "PairedTest",
+    "bootstrap_ci",
+    "fair_slowdown",
+    "hm_ipc",
+    "paired_permutation_test",
+    "sign_test",
+    "slowdowns",
+    "unfairness",
+]
+
+
+# ------------------------------------------------------------- bootstrap
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A statistic with its seeded-bootstrap confidence interval."""
+
+    stat: float
+    lo: float
+    hi: float
+    n: int
+    confidence: float
+    n_resamples: int
+    seed: int
+
+    @property
+    def half_width(self) -> float:
+        return (self.hi - self.lo) / 2.0
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+    statistic: Callable[[np.ndarray], float] | None = None,
+) -> BootstrapCI:
+    """Percentile bootstrap CI of ``statistic`` (default: the mean).
+
+    Deterministic for a given ``(values, confidence, n_resamples,
+    seed)``.  With a single observation the interval collapses to the
+    point estimate (nothing to resample).
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if v.ndim != 1 or v.size == 0:
+        raise ValueError("need a non-empty 1-D sequence of observations")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 1:
+        raise ValueError("n_resamples must be >= 1")
+    if statistic is None:
+        point = float(np.mean(v))
+    else:
+        point = float(statistic(v))
+    if v.size == 1:
+        return BootstrapCI(point, point, point, 1, confidence, n_resamples, seed)
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, v.size, size=(n_resamples, v.size))
+    if statistic is None:
+        stats = v[idx].mean(axis=1)
+    else:
+        stats = np.array([statistic(v[row]) for row in idx], dtype=np.float64)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(stats, [alpha, 1.0 - alpha])
+    return BootstrapCI(point, float(lo), float(hi), int(v.size), confidence, n_resamples, seed)
+
+
+# ----------------------------------------------------------- paired tests
+
+
+@dataclass(frozen=True)
+class PairedTest:
+    """Outcome of a paired two-sided test between two mechanisms."""
+
+    mean_diff: float
+    p_value: float
+    n: int
+    method: str
+    seed: int | None = None
+
+
+def _paired(a: Sequence[float], b: Sequence[float]) -> np.ndarray:
+    x = np.asarray(a, dtype=np.float64)
+    y = np.asarray(b, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1 or x.size == 0:
+        raise ValueError("need two equal-length non-empty 1-D sequences")
+    return x - y
+
+
+def paired_permutation_test(
+    a: Sequence[float],
+    b: Sequence[float],
+    *,
+    n_resamples: int = 5000,
+    seed: int = 0,
+) -> PairedTest:
+    """Seeded sign-flip permutation test on paired differences.
+
+    Two-sided: the p-value is the fraction of random sign assignments
+    whose mean |difference| reaches the observed one, with the +1/+1
+    continuity correction so p is never exactly zero.
+    """
+    d = _paired(a, b)
+    observed = float(np.mean(d))
+    if n_resamples < 1:
+        raise ValueError("n_resamples must be >= 1")
+    rng = np.random.default_rng(seed)
+    signs = rng.integers(0, 2, size=(n_resamples, d.size)) * 2 - 1
+    perm = (signs * d).mean(axis=1)
+    hits = int(np.count_nonzero(np.abs(perm) >= abs(observed) - 1e-15))
+    p = (hits + 1) / (n_resamples + 1)
+    return PairedTest(observed, float(p), int(d.size), "permutation", seed)
+
+
+def sign_test(a: Sequence[float], b: Sequence[float]) -> PairedTest:
+    """Exact two-sided sign test on paired differences (ties dropped)."""
+    d = _paired(a, b)
+    wins = int(np.count_nonzero(d > 0))
+    losses = int(np.count_nonzero(d < 0))
+    n = wins + losses
+    if n == 0:
+        return PairedTest(float(np.mean(d)), 1.0, 0, "sign")
+    k = min(wins, losses)
+    tail = sum(comb(n, i) for i in range(0, k + 1)) / 2.0**n
+    p = min(1.0, 2.0 * tail)
+    return PairedTest(float(np.mean(d)), float(p), n, "sign")
+
+
+# ------------------------------------------------------ fairness metrics
+
+
+def hm_ipc(ipcs: Sequence[float]) -> float:
+    """Harmonic-mean IPC across cores (0.0 if any core is stalled flat)."""
+    return harmonic_mean(ipcs)
+
+
+def slowdowns(ipc_alone: Sequence[float], ipc_together: Sequence[float]) -> np.ndarray:
+    """Per-program slowdown: alone IPC over shared-run IPC (>= 1 typical)."""
+    alone = np.asarray(ipc_alone, dtype=np.float64)
+    together = np.asarray(ipc_together, dtype=np.float64)
+    if alone.shape != together.shape or alone.ndim != 1 or alone.size == 0:
+        raise ValueError("need two equal-length non-empty 1-D sequences")
+    if (together <= 0).any():
+        return np.full_like(alone, np.inf)
+    return alone / together
+
+
+def fair_slowdown(ipc_alone: Sequence[float], ipc_together: Sequence[float]) -> float:
+    """Average per-program slowdown — ANTT, the fairness-aware mean."""
+    return float(np.mean(slowdowns(ipc_alone, ipc_together)))
+
+
+def unfairness(ipc_alone: Sequence[float], ipc_together: Sequence[float]) -> float:
+    """Max slowdown over min slowdown (LFOC's fairness ratio; 1.0 = fair)."""
+    s = slowdowns(ipc_alone, ipc_together)
+    if not np.isfinite(s).all():
+        return float("inf")
+    lo = float(np.min(s))
+    if lo <= 0:
+        return float("inf")
+    return float(np.max(s) / lo)

@@ -1,0 +1,163 @@
+"""Vega-Lite spec builders (no plotting dependency required).
+
+A Vega-Lite spec is just JSON, so the canonical figure format needs no
+``altair``: these helpers assemble v5 specs as plain dicts with the
+tidy rows inlined under ``data.values``.  Specs are text, diffable and
+version-controllable; rendering to PNG/SVG is an optional extra
+(:mod:`repro.analysis.render`) gated on optional packages.
+
+Every spec carries ``usermeta.repro`` with the artifact schema version
+and figure id, so a golden-file mismatch names the schema that wrote
+each side instead of producing an opaque diff.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.tables import TidyTable
+
+__all__ = [
+    "VEGA_LITE_SCHEMA",
+    "bar_chart",
+    "ci_bar_chart",
+    "heatmap",
+    "line_chart",
+]
+
+VEGA_LITE_SCHEMA = "https://vega.github.io/schema/vega-lite/v5.json"
+
+
+def _base(table: TidyTable, *, title: str, fig_id: str, schema_version: int) -> dict:
+    return {
+        "$schema": VEGA_LITE_SCHEMA,
+        "title": title,
+        "usermeta": {"repro": {"figure": fig_id, "schema": schema_version}},
+        "data": {"values": table.to_records()},
+    }
+
+
+def _field(name: str, kind: str, *, title: str | None = None, **extra: object) -> dict:
+    enc: dict = {"field": name, "type": kind}
+    if title is not None:
+        enc["title"] = title
+    enc.update(extra)
+    return enc
+
+
+def bar_chart(
+    table: TidyTable,
+    *,
+    title: str,
+    fig_id: str,
+    schema_version: int,
+    x: str,
+    y: str = "value",
+    color: str | None = None,
+    x_offset: str | None = None,
+    y_title: str | None = None,
+    aggregate: str | None = None,
+    sort: Sequence[str] | str | None = None,
+) -> dict:
+    """A (grouped) bar chart; ``aggregate`` lets the renderer average
+    per-workload observations into category bars without the spec
+    duplicating any data."""
+    spec = _base(table, title=title, fig_id=fig_id, schema_version=schema_version)
+    y_enc = _field(y, "quantitative", title=y_title)
+    if aggregate is not None:
+        y_enc["aggregate"] = aggregate
+    x_enc = _field(x, "nominal")
+    if sort is not None:
+        x_enc["sort"] = list(sort) if not isinstance(sort, str) else sort
+    encoding: dict = {"x": x_enc, "y": y_enc}
+    if color is not None:
+        encoding["color"] = _field(color, "nominal")
+    if x_offset is not None:
+        encoding["xOffset"] = _field(x_offset, "nominal")
+    spec["mark"] = {"type": "bar"}
+    spec["encoding"] = encoding
+    return spec
+
+
+def line_chart(
+    table: TidyTable,
+    *,
+    title: str,
+    fig_id: str,
+    schema_version: int,
+    x: str,
+    y: str = "value",
+    color: str | None = None,
+    y_title: str | None = None,
+) -> dict:
+    """A point-marked line chart (e.g. IPC vs. allocated ways)."""
+    spec = _base(table, title=title, fig_id=fig_id, schema_version=schema_version)
+    encoding: dict = {
+        "x": _field(x, "quantitative"),
+        "y": _field(y, "quantitative", title=y_title),
+    }
+    if color is not None:
+        encoding["color"] = _field(color, "nominal")
+    spec["mark"] = {"type": "line", "point": True}
+    spec["encoding"] = encoding
+    return spec
+
+
+def heatmap(
+    table: TidyTable,
+    *,
+    title: str,
+    fig_id: str,
+    schema_version: int,
+    x: str,
+    y: str,
+    value: str = "value",
+) -> dict:
+    """A rect heatmap (e.g. Table I metrics per core)."""
+    spec = _base(table, title=title, fig_id=fig_id, schema_version=schema_version)
+    spec["mark"] = {"type": "rect"}
+    spec["encoding"] = {
+        "x": _field(x, "ordinal"),
+        "y": _field(y, "nominal"),
+        "color": _field(value, "quantitative"),
+    }
+    return spec
+
+
+def ci_bar_chart(
+    table: TidyTable,
+    *,
+    title: str,
+    fig_id: str,
+    schema_version: int,
+    x: str,
+    x_offset: str | None = None,
+    color: str | None = None,
+    y: str = "mean",
+    lo: str = "ci_lo",
+    hi: str = "ci_hi",
+    y_title: str | None = None,
+) -> dict:
+    """Bars with pre-computed bootstrap CI whiskers layered on top.
+
+    The CI bounds come from :mod:`repro.analysis.stats` columns — the
+    spec renders exactly the numbers the analysis produced rather than
+    re-deriving intervals in the renderer.
+    """
+    spec = _base(table, title=title, fig_id=fig_id, schema_version=schema_version)
+    x_enc = _field(x, "nominal")
+    shared: dict = {"x": x_enc}
+    if x_offset is not None:
+        shared["xOffset"] = _field(x_offset, "nominal")
+    bar_enc = dict(shared)
+    bar_enc["y"] = _field(y, "quantitative", title=y_title)
+    if color is not None:
+        bar_enc["color"] = _field(color, "nominal")
+    rule_enc = dict(shared)
+    rule_enc["y"] = _field(lo, "quantitative", title=y_title)
+    rule_enc["y2"] = {"field": hi}
+    spec["layer"] = [
+        {"mark": {"type": "bar"}, "encoding": bar_enc},
+        {"mark": {"type": "rule"}, "encoding": rule_enc},
+    ]
+    return spec

@@ -7,6 +7,8 @@ Commands
 ``mixes [--category C]``  show the generated workload mixes
 ``run [...]``             evaluate mechanisms on workloads of a category
 ``figure <id>``           regenerate one paper figure/table
+``figures [ids...]``      emit canonical CSV + Vega-Lite artifacts per figure
+``analyze [...]``         multi-seed sweep with bootstrap CIs and paired tests
 ``trace [...]``           render per-epoch decision timelines for one run
 ``chaos [...]``           run seeded fault-injection scenarios (CI gate)
 ``serve [...]``           run the experiment service (JSON-lines, localhost)
@@ -135,6 +137,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(p)
     _add_engine(p)
 
+    p = sub.add_parser("figures", help="emit canonical figure artifacts "
+                                       "(tidy CSV + Vega-Lite JSON per figure)")
+    p.add_argument("ids", nargs="*", metavar="id",
+                   help="figure ids (default: every registered figure)")
+    p.add_argument("--out", default="artifacts/figures",
+                   help="output directory (default: artifacts/figures)")
+    p.add_argument("--check", default=None, metavar="GOLDEN_DIR",
+                   help="diff the produced artifacts against a committed golden set; "
+                        "non-zero exit on any difference")
+    p.add_argument("--png", action="store_true",
+                   help="also render PNGs (needs the optional vl-convert-python package)")
+    _add_scale(p)
+    _add_engine(p)
+
+    p = sub.add_parser("analyze", help="multi-seed analysis: bootstrap CIs and "
+                                       "paired significance tests per mechanism")
+    p.add_argument("--seeds", type=int, default=3,
+                   help="number of seeds, starting at the scale's default (default: 3)")
+    p.add_argument("--mechanism", action="append", default=None,
+                   help="repeatable; default: all seven paper mechanisms")
+    p.add_argument("--vs", default="pt",
+                   help="reference mechanism for the paired tests (default: pt)")
+    p.add_argument("--out", default="artifacts/analysis",
+                   help="output directory (default: artifacts/analysis)")
+    p.add_argument("--resamples", type=int, default=2000,
+                   help="bootstrap/permutation resamples (default: 2000)")
+    p.add_argument("--confidence", type=float, default=0.95,
+                   help="CI confidence level (default: 0.95)")
+    _add_scale(p)
+    _add_engine(p)
+
     p = sub.add_parser("trace", help="render per-epoch decision timelines for one run")
     p.add_argument("--mechanism", default="cmm-a")
     p.add_argument("--category", choices=CATEGORIES, default="pref_agg")
@@ -251,27 +284,11 @@ def cmd_run(args) -> int:
 
 
 def cmd_figure(args) -> int:
-    from repro.experiments import figures as F
+    from repro.analysis.artifacts import get_figure_spec
 
     sc = get_scale(args.scale)
     _make_session(args)
-    fn = {
-        "table1": F.table1_metrics,
-        "fig01": F.fig01_bandwidth,
-        "fig02": F.fig02_prefetch_speedup,
-        "fig03": F.fig03_way_sensitivity,
-        "fig05": F.fig05_detection,
-        "fig07": F.fig07_pt,
-        "fig08": F.fig08_pt_worstcase,
-        "fig09": F.fig09_cp,
-        "fig10": F.fig10_cp_worstcase,
-        "fig11": F.fig11_cmm,
-        "fig12": F.fig12_cmm_worstcase,
-        "fig13": F.fig13_all,
-        "fig14": F.fig14_bandwidth,
-        "fig15": F.fig15_stalls,
-    }[args.id]
-    d = fn(sc)
+    d = get_figure_spec(args.id).build(sc)
     if "category_means" in d:
         mechs = list(next(iter(d["category_means"].values())))
         rows = [[cat] + [d["category_means"][cat][m] for m in mechs] for cat in d["category_means"]]
@@ -283,6 +300,66 @@ def cmd_figure(args) -> int:
             headers = [k for k in rows[0] if not isinstance(rows[0][k], dict)]
             print(render_table(headers, [[r[h] for h in headers] for r in rows],
                                title=f"{d['figure']} @ {sc.name}"))
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.analysis import build_artifacts, check_artifacts, write_artifacts
+    from repro.analysis.render import RenderUnavailable
+
+    sc = get_scale(args.scale)
+    session = _make_session(args)
+    try:
+        built = build_artifacts(args.ids or None, sc, session=session)
+    except KeyError as e:
+        print(e.args[0] if e.args else e, file=sys.stderr)
+        return 2
+    try:
+        paths = write_artifacts(built, args.out, scale=sc.name, seed=sc.seed, png=args.png)
+    except RenderUnavailable as e:
+        print(e, file=sys.stderr)
+        return 2
+    print(f"wrote {len(paths)} artifacts for {len(built)} figure(s) to {args.out}")
+    if args.check:
+        problems = check_artifacts(args.out, args.check)
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            return 1
+        print(f"artifacts match goldens in {args.check}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.analysis import run_analysis, write_analysis
+    from repro.experiments.figures import ALL_MECHS
+
+    sc = get_scale(args.scale)
+    session = _make_session(args)
+    mechanisms = tuple(args.mechanism or ALL_MECHS)
+    if args.vs not in mechanisms:
+        print(f"--vs {args.vs!r} must be one of the analyzed mechanisms "
+              f"({', '.join(mechanisms)})", file=sys.stderr)
+        return 2
+    try:
+        result = run_analysis(
+            mechanisms, sc, n_seeds=args.seeds, vs=args.vs,
+            confidence=args.confidence, n_resamples=args.resamples, session=session,
+        )
+    except ValueError as e:
+        print(e, file=sys.stderr)
+        return 2
+    paths = write_analysis(result, args.out)
+    headline = result.summary.filter(metric="hs_norm")
+    rows = [
+        [r["category"], r["mechanism"], r["n"], r["mean"], r["ci_lo"], r["ci_hi"],
+         "" if r["p_perm"] is None else r["p_perm"]]
+        for r in headline
+    ]
+    print(render_table(
+        ["category", "mechanism", "n", "mean", "ci lo", "ci hi", f"p vs {args.vs}"],
+        rows, title=f"hs_norm over seeds {list(result.seeds)} @ {sc.name}"))
+    print(f"wrote {len(paths)} artifacts to {args.out}")
     return 0
 
 
@@ -440,6 +517,8 @@ COMMANDS = {
     "mixes": cmd_mixes,
     "run": cmd_run,
     "figure": cmd_figure,
+    "figures": cmd_figures,
+    "analyze": cmd_analyze,
     "trace": cmd_trace,
     "chaos": cmd_chaos,
     "serve": cmd_serve,

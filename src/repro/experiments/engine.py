@@ -633,25 +633,34 @@ class RunSpec:
     """Declarative description of a sweep: mixes x mechanisms x scale.
 
     ``mixes`` (explicit workloads) beats ``categories`` (generated per
-    the scale's ``workloads_per_category`` and seed).  ``expand``
-    returns a deduplicated plan: shared baselines and alone runs appear
-    once no matter how many mechanisms or mixes need them.
+    the scale's ``workloads_per_category`` and seed).  ``seeds`` adds a
+    seed axis: the categories' mixes are generated once per listed seed
+    (default: the scale's seed only), giving multi-seed sweeps distinct
+    content keys per seed while alone/profile runs — seed-independent —
+    still deduplicate across the whole plan.  ``expand`` returns a
+    deduplicated plan: shared baselines and alone runs appear once no
+    matter how many mechanisms, mixes or seeds need them.
     """
 
     mechanisms: tuple[str, ...] = ("cmm-a",)
     categories: tuple[str, ...] = CATEGORIES
     workloads_per_category: int | None = None
     mixes: tuple[WorkloadMix, ...] | None = None
+    seeds: tuple[int, ...] | None = None
     include_baseline: bool = True
     include_alone: bool = True
 
     def resolve_mixes(self, sc: ScaleConfig) -> list[WorkloadMix]:
         if self.mixes is not None:
+            if self.seeds is not None:
+                raise ValueError("seeds applies to generated mixes; drop it or drop mixes")
             return list(self.mixes)
         count = self.workloads_per_category or sc.workloads_per_category
+        seeds = self.seeds if self.seeds is not None else (sc.seed,)
         out: list[WorkloadMix] = []
-        for cat in self.categories:
-            out.extend(make_mixes(cat, count, seed=sc.seed))
+        for seed in seeds:
+            for cat in self.categories:
+                out.extend(make_mixes(cat, count, seed=seed))
         return out
 
     def expand(self, sc: ScaleConfig | None = None) -> list[PlannedRun]:
@@ -1381,7 +1390,10 @@ class ExperimentSession:
 
 
 def build_eval(mix: WorkloadMix, alone: np.ndarray, base, runs: dict):
-    """Fold runs into the paper's HS/WS/worst/BW/stall metrics."""
+    """Fold runs into the paper's HS/WS/worst/BW/stall metrics, plus the
+    fairness columns (hm-IPC, fair slowdown / ANTT, unfairness) the
+    multi-seed analysis summarizes alongside them."""
+    from repro.analysis.stats import fair_slowdown, hm_ipc, unfairness
     from repro.experiments.runner import WorkloadEval
 
     base_hs = harmonic_speedup(base.ipc, alone)
@@ -1394,6 +1406,9 @@ def build_eval(mix: WorkloadMix, alone: np.ndarray, base, runs: dict):
         "bw_mbs": base.mem_bandwidth_mbs,
         "bw_norm": 1.0,
         "stalls_norm": 1.0,
+        "hm_ipc": hm_ipc(base.ipc),
+        "fair_slowdown": fair_slowdown(alone, base.ipc),
+        "unfairness": unfairness(alone, base.ipc),
     }
     for mech, run_ in runs.items():
         hs = harmonic_speedup(run_.ipc, alone)
@@ -1409,6 +1424,9 @@ def build_eval(mix: WorkloadMix, alone: np.ndarray, base, runs: dict):
             "stalls_norm": run_.stalls_per_kinst / base.stalls_per_kinst
             if base.stalls_per_kinst > 0
             else 0.0,
+            "hm_ipc": hm_ipc(run_.ipc),
+            "fair_slowdown": fair_slowdown(alone, run_.ipc),
+            "unfairness": unfairness(alone, run_.ipc),
         }
     return ev
 

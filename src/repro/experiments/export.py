@@ -1,4 +1,13 @@
-"""Export figure results to JSON / CSV for external plotting."""
+"""Export figure results to JSON / CSV for external plotting.
+
+Row flattening and cell encoding are delegated to
+:mod:`repro.analysis.tables`, which is **round-trip safe**: nested
+dicts flatten recursively with escaped dotted keys, lists/tuples are
+JSON-encoded (the old exporter ``";"``-joined them with no escaping),
+and :func:`rows_from_csv` restores the typed rows a
+:func:`rows_to_csv` call started from (tuples come back as lists — the
+one documented lossy corner).
+"""
 
 from __future__ import annotations
 
@@ -7,19 +16,7 @@ import io
 import json
 from pathlib import Path
 
-
-def _flatten(row: dict) -> dict:
-    """Flatten nested dict values (e.g. fig03's ipc_by_ways) into columns."""
-    out = {}
-    for k, v in row.items():
-        if isinstance(v, dict):
-            for kk, vv in v.items():
-                out[f"{k}.{kk}"] = vv
-        elif isinstance(v, (tuple, list)):
-            out[k] = ";".join(str(x) for x in v)
-        else:
-            out[k] = v
-    return out
+from repro.analysis.tables import decode_cell, encode_cell, flatten_row, unflatten_row
 
 
 def figure_to_json(figure: dict, *, indent: int = 2) -> str:
@@ -36,20 +33,42 @@ def figure_to_json(figure: dict, *, indent: int = 2) -> str:
 
 
 def rows_to_csv(rows: list[dict]) -> str:
-    """Render a figure's ``rows`` as CSV text (nested dicts flattened)."""
+    """Render a figure's ``rows`` as CSV text.
+
+    Nested dicts flatten into escaped dotted columns and every cell is
+    encoded invertibly; :func:`rows_from_csv` is the inverse.
+    """
     if not rows:
         return ""
-    flat = [_flatten(r) for r in rows]
+    flat = [flatten_row(r) for r in rows]
     fieldnames: list[str] = []
     for r in flat:
         for k in r:
             if k not in fieldnames:
                 fieldnames.append(k)
     buf = io.StringIO()
-    writer = csv.DictWriter(buf, fieldnames=fieldnames)
-    writer.writeheader()
-    writer.writerows(flat)
+    writer = csv.writer(buf, lineterminator="\r\n")
+    writer.writerow(fieldnames)
+    for r in flat:
+        writer.writerow([encode_cell(r[k]) if k in r else "" for k in fieldnames])
     return buf.getvalue()
+
+
+def rows_from_csv(text: str) -> list[dict]:
+    """Invert :func:`rows_to_csv`: typed cells, nesting restored.
+
+    Columns absent from a row (ragged figures) decode as ``None`` —
+    indistinguishable from an explicit ``None``, like any CSV.
+    """
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        return []
+    return [
+        unflatten_row({k: decode_cell(cell) for k, cell in zip(header, line)})
+        for line in reader
+    ]
 
 
 def traces_to_rows(traces) -> list[dict]:

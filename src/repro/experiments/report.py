@@ -1,31 +1,20 @@
-"""Plain-text rendering of experiment results (the paper's rows/series)."""
+"""Plain-text rendering of experiment results (the paper's rows/series).
+
+Value and table formatting is shared with every other human-facing
+renderer through :mod:`repro.analysis.format`; this module keeps only
+the trace timeline, which has no tabular shape.
+"""
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.analysis.format import fmt_value, render_ascii_table
+
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = "") -> str:
     """Fixed-width ASCII table; floats rendered to three decimals."""
-
-    def fmt(v: object) -> str:
-        if isinstance(v, float):
-            return f"{v:.3f}"
-        return str(v)
-
-    cells = [[fmt(v) for v in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in cells:
-        for i, c in enumerate(row):
-            widths[i] = max(widths[i], len(c))
-    lines = []
-    if title:
-        lines.append(title)
-    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
-    lines.append("  ".join("-" * w for w in widths))
-    for row in cells:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
-    return "\n".join(lines)
+    return render_ascii_table(headers, rows, title=title)
 
 
 def render_series(name: str, labels: Sequence[str], values: Sequence[float]) -> str:
@@ -35,12 +24,7 @@ def render_series(name: str, labels: Sequence[str], values: Sequence[float]) -> 
 
 
 def _fmt_value(v: object) -> str:
-    if isinstance(v, float):
-        return f"{v:.3f}"
-    if isinstance(v, list):
-        s = "[" + ",".join(_fmt_value(x) for x in v) + "]"
-        return s if len(s) <= 40 else s[:37] + "...]"
-    return str(v)
+    return fmt_value(v, max_len=40)
 
 
 def render_trace_timeline(traces, *, title: str = "") -> str:

@@ -20,6 +20,12 @@ Many clients regenerating the same figures submit heavily overlapping
   bounds how long a *client* waits, converting a wedged execution into
   a structured ``deadline`` error instead of a hang.
 
+* **Event streaming** — :meth:`subscribe` registers a bounded queue
+  that receives one event per run *as it completes* (key, label,
+  cached/error, batch progress), not just the per-batch response the
+  submit op returns.  Queues are lossy under backpressure: a slow
+  subscriber drops its oldest events rather than stalling dispatch.
+
 Execution itself is delegated to a synchronous
 :class:`~repro.experiments.engine.ExperimentSession` on a worker thread
 (one dispatch batch at a time — the session's process pool provides the
@@ -109,6 +115,12 @@ class SingleFlightScheduler:
         self._wakeup = asyncio.Event()
         self._dispatcher: asyncio.Task | None = None
         self._closing = False
+        #: sub_id -> bounded event queue (loop-confined, like the rest).
+        self._subscribers: dict[int, asyncio.Queue] = {}
+        self._next_sub_id = 0
+        #: The dispatcher's loop, captured in :meth:`start` so the
+        #: worker thread can marshal events back via call_soon_threadsafe.
+        self._loop: asyncio.AbstractEventLoop | None = None
         #: Journals with unresolved keys, checked for seal on resolve.
         self._open_journals: list[tuple[SweepJournal, set[str]]] = []
         self.counters: dict[str, int] = {
@@ -121,12 +133,15 @@ class SingleFlightScheduler:
     async def start(self) -> None:
         if self._dispatcher is None:
             self._closing = False
+            self._loop = asyncio.get_running_loop()
             self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
 
     async def stop(self) -> None:
         """Stop dispatching; pending futures resolve with ``shutdown`` errors."""
         self._closing = True
         self._wakeup.set()
+        self._emit({"event": "shutdown"})
+        self._subscribers.clear()
         if self._dispatcher is not None:
             task, self._dispatcher = self._dispatcher, None
             await task
@@ -139,6 +154,37 @@ class SingleFlightScheduler:
         for journal, _keys in self._open_journals:
             journal.close()
         self._open_journals.clear()
+
+    # --------------------------------------------------------- subscribers
+
+    def subscribe(self, *, max_queue: int = 256) -> tuple[int, asyncio.Queue]:
+        """Register an event queue; returns ``(sub_id, queue)``.
+
+        The queue receives one dict per completed run (see
+        :meth:`_execute_batch`) and an ``{"event": "shutdown"}`` marker
+        when the scheduler stops.  Bounded and lossy: when a subscriber
+        lags ``max_queue`` events behind, its oldest event is dropped —
+        dispatch never blocks on a slow consumer.
+        """
+        sub_id = self._next_sub_id
+        self._next_sub_id += 1
+        queue: asyncio.Queue = asyncio.Queue(maxsize=max_queue)
+        self._subscribers[sub_id] = queue
+        return sub_id, queue
+
+    def unsubscribe(self, sub_id: int) -> bool:
+        """Drop a subscriber; returns whether it was registered."""
+        return self._subscribers.pop(sub_id, None) is not None
+
+    def _emit(self, event: dict) -> None:
+        """Fan one event to every subscriber queue (loop thread only)."""
+        for queue in self._subscribers.values():
+            if queue.full():
+                try:
+                    queue.get_nowait()  # lossy: drop the oldest
+                except asyncio.QueueEmpty:  # pragma: no cover - full implies non-empty
+                    pass
+            queue.put_nowait(event)
 
     # ---------------------------------------------------------- admission
 
@@ -261,10 +307,40 @@ class SingleFlightScheduler:
                 self._resolve_journals(key, outcome)
 
     def _execute_batch(self, batch: list[tuple[str, PlannedRun]]) -> dict[str, dict]:
-        """Worker-thread body: one ``execute`` call for the whole batch."""
+        """Worker-thread body: one ``execute`` call for the whole batch.
+
+        While the batch executes, the session's progress callback is
+        wrapped to stream one ``run`` event per completion to the
+        subscriber queues (marshalled onto the scheduler's loop).  Safe
+        because the dispatcher serializes batches — exactly one
+        ``_execute_batch`` runs at a time.
+        """
         session = self.session
         first_record = len(session.records)
-        payloads = session.execute([r for _, r in batch], strict=False)
+        loop, prior = self._loop, getattr(session, "progress", None)
+
+        def progress(rec, done: int, total: int) -> None:
+            if prior is not None:
+                prior(rec, done, total)
+            if loop is not None and not loop.is_closed() and self._subscribers:
+                loop.call_soon_threadsafe(self._emit, {
+                    "event": "run",
+                    "key": rec.key,
+                    "kind": rec.kind,
+                    "label": rec.label,
+                    "scale": rec.scale,
+                    "seconds": rec.seconds,
+                    "cached": rec.cached,
+                    "error": rec.error,
+                    "done": done,
+                    "total": total,
+                })
+
+        session.progress = progress
+        try:
+            payloads = session.execute([r for _, r in batch], strict=False)
+        finally:
+            session.progress = prior
         cached = {
             rec.key: rec.cached for rec in session.records[first_record:]
         }
@@ -313,6 +389,7 @@ class SingleFlightScheduler:
             "queued": self._queued_total(),
             "inflight": len(self._inflight),
             "clients": sum(1 for q in self._queues.values() if q),
+            "subscribers": len(self._subscribers),
             "open_journals": len(self._open_journals),
             **self.counters,
         }

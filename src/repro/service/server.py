@@ -180,7 +180,14 @@ class ExperimentService:
     # ---------------------------------------------------------- dispatch
 
     async def dispatch(self, request: dict) -> dict:
-        """Answer one protocol request; always a structured response."""
+        """Answer one protocol request; always a structured response.
+
+        ``subscribe`` is not dispatched here: it switches a *connection*
+        into streaming mode (:meth:`_stream_events`), which a
+        single-response entry point cannot express.  In-process callers
+        stream via ``scheduler.subscribe()`` /
+        :meth:`ServiceClient.subscribe` instead.
+        """
         op = request.get("op")
         req_id = request.get("id")
         if op == "ping":
@@ -191,6 +198,10 @@ class ExperimentService:
             resp = {"ok": True, "stopping": True}
         elif op == "submit":
             resp = await self._dispatch_submit(request)
+        elif op in ("subscribe", "unsubscribe"):
+            resp = error_response(
+                "protocol", f"{op} requires a streaming connection (socket transport)"
+            )
         else:
             resp = error_response("protocol", f"unknown op {op!r}")
         if req_id is not None:
@@ -216,6 +227,74 @@ class ExperimentService:
 
     # ------------------------------------------------------------ server
 
+    async def _stream_events(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter, request: dict
+    ) -> bool:
+        """Streaming mode for one subscribed connection.
+
+        Acks the ``subscribe``, then interleaves scheduler events (one
+        JSON line each, ``"event"`` key set) with reads from the client.
+        The only request honoured while subscribed is ``unsubscribe``,
+        which acks and returns the connection to request/response mode;
+        anything else gets a protocol error (submit from a second
+        connection — events are global, not per-client).  Returns
+        whether the connection should keep being served.
+        """
+        sub_id, queue = self.scheduler.subscribe()
+        ack: dict = {"ok": True, "subscribed": True, "protocol": PROTOCOL_VERSION}
+        if request.get("id") is not None:
+            ack["id"] = request["id"]
+        writer.write(encode_line(ack))
+        await writer.drain()
+        read_task: asyncio.Task | None = None
+        event_task: asyncio.Task | None = None
+        try:
+            while True:
+                if read_task is None:
+                    read_task = asyncio.ensure_future(reader.readline())
+                if event_task is None:
+                    event_task = asyncio.ensure_future(queue.get())
+                await asyncio.wait(
+                    {read_task, event_task}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if event_task.done():
+                    event = event_task.result()
+                    event_task = None
+                    writer.write(encode_line({"ok": True, **event}))
+                    await writer.drain()
+                    if event.get("event") == "shutdown":
+                        return False
+                if read_task.done():
+                    line = read_task.result()
+                    read_task = None
+                    if not line:
+                        return False  # client went away
+                    try:
+                        req = decode_line(line)
+                    except ProtocolError as e:
+                        writer.write(encode_line(error_response("protocol", str(e))))
+                        await writer.drain()
+                        continue
+                    if req.get("op") == "unsubscribe":
+                        resp: dict = {"ok": True, "subscribed": False}
+                        if req.get("id") is not None:
+                            resp["id"] = req["id"]
+                        writer.write(encode_line(resp))
+                        await writer.drain()
+                        return True
+                    writer.write(encode_line(error_response(
+                        "protocol",
+                        "connection is subscribed; send {\"op\": \"unsubscribe\"} first",
+                    )))
+                    await writer.drain()
+        finally:
+            self.scheduler.unsubscribe(sub_id)
+            for task in (read_task, event_task):
+                if task is not None:
+                    task.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await task
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -229,6 +308,10 @@ class ExperimentService:
                 except ProtocolError as e:
                     writer.write(encode_line(error_response("protocol", str(e))))
                     await writer.drain()
+                    continue
+                if request.get("op") == "subscribe":
+                    if not await self._stream_events(reader, writer, request):
+                        break
                     continue
                 response = await self.dispatch(request)
                 writer.write(encode_line(response))
@@ -381,6 +464,8 @@ class ServiceClient:
         self.client_name = client_name
         self._sock: socket.socket | None = None
         self._file = None
+        self._sub: tuple[int, asyncio.Queue] | None = None
+        self._sub_socket = False
         if service is not None:
             service.start_background()
 
@@ -432,7 +517,93 @@ class ServiceClient:
             "runs": wire,
         })
 
+    # -------------------------------------------------------- subscriptions
+
+    def subscribe(self) -> dict:
+        """Start streaming per-run completion events to this client.
+
+        Socket transport: the connection enters streaming mode — the
+        only further requests it accepts are event reads
+        (:meth:`next_event`) and :meth:`unsubscribe`; submit from a
+        *second* client/connection (events are global).  In-process: a
+        scheduler queue is attached directly.  Idempotent per client.
+        """
+        if self._sub is not None or self._sub_socket:
+            return {"ok": True, "subscribed": True}
+        if self._service is not None:
+            svc = self._service
+
+            async def _attach():
+                return svc.scheduler.subscribe()
+
+            self._sub = svc._call(_attach())
+            return {"ok": True, "subscribed": True}
+        resp = self.request({"op": "subscribe"})
+        self._sub_socket = bool(resp.get("ok")) and resp.get("subscribed", False)
+        return resp
+
+    def next_event(self, *, timeout_s: float | None = None) -> dict:
+        """Block for the next streamed event (``subscribe`` first).
+
+        Raises ``TimeoutError`` when ``timeout_s`` elapses with no
+        event; the subscription stays live.
+        """
+        if self._sub is not None:
+            _sub_id, queue = self._sub
+            fut = asyncio.run_coroutine_threadsafe(queue.get(), self._service._loop)
+            try:
+                return fut.result(timeout=timeout_s)
+            except TimeoutError:
+                fut.cancel()
+                raise
+        if not self._sub_socket:
+            raise RuntimeError("not subscribed; call subscribe() first")
+        f = self._file
+        prior = self._sock.gettimeout()
+        self._sock.settimeout(timeout_s if timeout_s is not None else self._timeout_s)
+        try:
+            line = f.readline()
+        except socket.timeout:
+            raise TimeoutError("no event within the timeout") from None
+        finally:
+            self._sock.settimeout(prior)
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return decode_line(line)
+
+    def unsubscribe(self) -> dict:
+        """Stop streaming; the connection returns to request/response mode.
+
+        Socket transport may deliver a few already-queued event lines
+        before the acknowledgement; they are drained here.
+        """
+        if self._sub is not None:
+            (sub_id, _queue), self._sub = self._sub, None
+            svc = self._service
+
+            async def _detach():
+                return svc.scheduler.unsubscribe(sub_id)
+
+            svc._call(_detach())
+            return {"ok": True, "subscribed": False}
+        if not self._sub_socket:
+            return {"ok": True, "subscribed": False}
+        f = self._connect()
+        f.write(encode_line({"op": "unsubscribe"}))
+        f.flush()
+        while True:
+            line = f.readline()
+            if not line:
+                raise ConnectionError("service closed the connection")
+            resp = decode_line(line)
+            if "event" not in resp:  # in-flight events drain first
+                self._sub_socket = False
+                return resp
+
     def close(self) -> None:
+        if self._sub is not None:
+            with contextlib.suppress(Exception):
+                self.unsubscribe()
         if self._file is not None:
             with contextlib.suppress(Exception):
                 self._file.close()

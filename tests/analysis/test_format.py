@@ -1,0 +1,69 @@
+"""The shared presentation formatter (one float format everywhere)."""
+
+from repro.analysis.format import fmt_value, render_ascii_table, render_markdown_table
+
+
+class TestFmtValue:
+    def test_floats_three_decimals(self):
+        assert fmt_value(1.23456) == "1.235"
+        assert fmt_value(2.0) == "2.000"
+
+    def test_decimals_override(self):
+        assert fmt_value(1.23456, decimals=1) == "1.2"
+
+    def test_non_floats_pass_through(self):
+        assert fmt_value(7) == "7"
+        assert fmt_value("x") == "x"
+        assert fmt_value(None) == "None"
+
+    def test_sequences_render_compactly(self):
+        assert fmt_value([1.0, 2.5]) == "[1.000,2.500]"
+        assert fmt_value((3, "a")) == "[3,a]"
+
+    def test_long_sequences_elide(self):
+        s = fmt_value(list(range(100)), max_len=40)
+        assert s == "[" + ",".join(str(i) for i in range(100))[:36] + "...]"
+        assert s.endswith("...]")
+
+    def test_short_sequences_not_elided(self):
+        assert fmt_value([1], max_len=40) == "[1]"
+
+
+class TestAsciiTable:
+    def test_alignment_and_separator(self):
+        out = render_ascii_table(["name", "v"], [["a", 1.5], ["bbbb", 2.0]])
+        lines = out.splitlines()
+        assert lines[0] == "name  v    "
+        assert lines[1] == "----  -----"
+        assert lines[2] == "a     1.500"
+        assert lines[3] == "bbbb  2.000"
+
+    def test_title_is_first_line(self):
+        out = render_ascii_table(["h"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+
+class TestMarkdownTable:
+    def test_github_layout(self):
+        out = render_markdown_table(["a", "b"], [[1.0, "x"]])
+        assert out.splitlines() == ["| a | b |", "|---|---|", "| 1.000 | x |"]
+
+
+class TestReportDelegation:
+    """report.py renders through this module (satellite: dedup formats)."""
+
+    def test_render_table_is_the_shared_renderer(self):
+        from repro.experiments.report import render_table
+
+        assert render_table(["h"], [[1.5]], title="t") == render_ascii_table(
+            ["h"], [[1.5]], title="t"
+        )
+
+    def test_fmt_value_elision_boundary_matches_legacy(self):
+        # The old report._fmt_value did s[:37] + "...]" past 40 chars.
+        from repro.experiments.report import _fmt_value
+
+        long = list(range(50))
+        s = _fmt_value(long)
+        assert s == fmt_value(long, max_len=40)
+        assert s[:37] + "...]" == s  # the legacy cut point

@@ -1,0 +1,108 @@
+"""Seeded statistics: bit-determinism, exact small-n behavior, fairness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    fair_slowdown,
+    hm_ipc,
+    paired_permutation_test,
+    sign_test,
+    slowdowns,
+    unfairness,
+)
+
+VALUES = [1.02, 0.98, 1.10, 1.05, 0.95, 1.01, 1.08, 0.97]
+
+
+class TestBootstrap:
+    def test_same_seed_is_bit_identical(self):
+        a = bootstrap_ci(VALUES, seed=7)
+        b = bootstrap_ci(VALUES, seed=7)
+        assert (a.lo, a.hi, a.stat) == (b.lo, b.hi, b.stat)
+
+    def test_different_seed_differs(self):
+        assert bootstrap_ci(VALUES, seed=7).lo != bootstrap_ci(VALUES, seed=8).lo
+
+    def test_interval_brackets_the_mean(self):
+        ci = bootstrap_ci(VALUES, seed=0)
+        assert ci.lo <= ci.stat <= ci.hi
+        assert ci.stat == pytest.approx(np.mean(VALUES))
+        assert ci.n == len(VALUES)
+
+    def test_single_observation_collapses(self):
+        ci = bootstrap_ci([1.5], seed=0)
+        assert ci.lo == ci.hi == ci.stat == 1.5
+        assert ci.half_width == 0.0
+
+    def test_custom_statistic(self):
+        ci = bootstrap_ci(VALUES, seed=0, statistic=np.median)
+        assert ci.stat == pytest.approx(np.median(VALUES))
+
+    @pytest.mark.parametrize("bad", [[], [[1.0, 2.0]]])
+    def test_bad_values_rejected(self, bad):
+        with pytest.raises(ValueError):
+            bootstrap_ci(bad)
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(VALUES, confidence=1.0)
+
+
+class TestPermutationTest:
+    def test_same_seed_is_bit_identical(self):
+        a = [v + 0.05 for v in VALUES]
+        p1 = paired_permutation_test(a, VALUES, seed=3).p_value
+        p2 = paired_permutation_test(a, VALUES, seed=3).p_value
+        assert p1 == p2
+
+    def test_clear_difference_is_significant(self):
+        a = [v + 0.5 for v in VALUES]
+        t = paired_permutation_test(a, VALUES, seed=0, n_resamples=999)
+        assert t.mean_diff == pytest.approx(0.5)
+        # Continuity correction: p can never be 0.
+        assert 0.0 < t.p_value < 0.05
+
+    def test_identical_samples_are_not_significant(self):
+        t = paired_permutation_test(VALUES, VALUES, seed=0)
+        assert t.mean_diff == 0.0 and t.p_value == 1.0
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            paired_permutation_test([1.0], [1.0, 2.0])
+
+
+class TestSignTest:
+    def test_exact_small_n(self):
+        # 4 wins, 0 losses: p = 2 * C(4,0) / 2^4 = 0.125 exactly.
+        t = sign_test([2.0, 2.0, 2.0, 2.0], [1.0, 1.0, 1.0, 1.0])
+        assert t.p_value == 0.125 and t.n == 4
+
+    def test_all_ties_is_p_one(self):
+        t = sign_test(VALUES, VALUES)
+        assert t.p_value == 1.0 and t.n == 0
+
+    def test_balanced_wins_not_significant(self):
+        t = sign_test([1.0, 2.0], [2.0, 1.0])
+        assert t.p_value == 1.0
+
+
+class TestFairness:
+    def test_hm_ipc_is_harmonic(self):
+        assert hm_ipc([1.0, 1.0]) == pytest.approx(1.0)
+        assert hm_ipc([1.0, 3.0]) == pytest.approx(1.5)
+
+    def test_slowdowns_ratio(self):
+        np.testing.assert_allclose(slowdowns([2.0, 1.0], [1.0, 1.0]), [2.0, 1.0])
+
+    def test_fair_slowdown_is_the_mean(self):
+        assert fair_slowdown([2.0, 1.0], [1.0, 1.0]) == pytest.approx(1.5)
+
+    def test_unfairness_ratio(self):
+        assert unfairness([2.0, 1.0], [1.0, 1.0]) == pytest.approx(2.0)
+        assert unfairness([1.0, 1.0], [1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_stalled_core_is_infinite(self):
+        assert fair_slowdown([1.0, 1.0], [1.0, 0.0]) == float("inf")
+        assert unfairness([1.0, 1.0], [1.0, 0.0]) == float("inf")

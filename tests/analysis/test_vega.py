@@ -1,0 +1,83 @@
+"""Vega-Lite spec builders: shape, inlined data, JSON-serializability."""
+
+import json
+
+import pytest
+
+from repro.analysis.tables import TableBuilder
+from repro.analysis.vega import (
+    VEGA_LITE_SCHEMA,
+    bar_chart,
+    ci_bar_chart,
+    heatmap,
+    line_chart,
+)
+
+
+@pytest.fixture
+def table():
+    b = TableBuilder("fig99")
+    b.add(metric="hs", value=1.1, workload="w0", category="c", mechanism="pt", seed=1)
+    b.add(metric="hs", value=0.9, workload="w0", category="c", mechanism="cp", seed=1)
+    return b.build()
+
+
+def common_checks(spec, table):
+    assert spec["$schema"] == VEGA_LITE_SCHEMA
+    assert spec["usermeta"]["repro"] == {"figure": "fig99", "schema": 1}
+    assert spec["data"]["values"] == table.to_records()
+    json.dumps(spec, sort_keys=True)  # must serialize cleanly
+
+
+class TestBarChart:
+    def test_shape(self, table):
+        spec = bar_chart(table, title="t", fig_id="fig99", schema_version=1,
+                         x="category", x_offset="mechanism", color="mechanism",
+                         y_title="HS")
+        common_checks(spec, table)
+        assert spec["mark"] == {"type": "bar"}
+        assert spec["encoding"]["x"] == {"field": "category", "type": "nominal"}
+        assert spec["encoding"]["xOffset"]["field"] == "mechanism"
+        assert spec["encoding"]["color"]["field"] == "mechanism"
+        assert spec["encoding"]["y"]["title"] == "HS"
+
+    def test_aggregate_and_sort(self, table):
+        spec = bar_chart(table, title="t", fig_id="fig99", schema_version=1,
+                         x="category", aggregate="mean", sort=["c"])
+        assert spec["encoding"]["y"]["aggregate"] == "mean"
+        assert spec["encoding"]["x"]["sort"] == ["c"]
+
+
+class TestLineChart:
+    def test_quantitative_axes(self, table):
+        spec = line_chart(table, title="t", fig_id="fig99", schema_version=1,
+                          x="seed", color="mechanism")
+        common_checks(spec, table)
+        assert spec["mark"] == {"type": "line", "point": True}
+        assert spec["encoding"]["x"]["type"] == "quantitative"
+
+
+class TestHeatmap:
+    def test_rect_with_value_color(self, table):
+        spec = heatmap(table, title="t", fig_id="fig99", schema_version=1,
+                       x="mechanism", y="metric")
+        common_checks(spec, table)
+        assert spec["mark"] == {"type": "rect"}
+        assert spec["encoding"]["color"] == {"field": "value", "type": "quantitative"}
+
+
+class TestCiBarChart:
+    def test_layered_bars_and_rules(self):
+        b = TableBuilder("fig99", extra_columns=("mean", "ci_lo", "ci_hi"))
+        b.add(metric="hs", value=None, category="c", mechanism="pt",
+              mean=1.0, ci_lo=0.9, ci_hi=1.1)
+        t = b.build()
+        spec = ci_bar_chart(t, title="t", fig_id="fig99", schema_version=1,
+                            x="category", x_offset="mechanism", color="mechanism")
+        assert spec["$schema"] == VEGA_LITE_SCHEMA
+        bar, rule = spec["layer"]
+        assert bar["mark"]["type"] == "bar"
+        assert bar["encoding"]["y"]["field"] == "mean"
+        assert rule["mark"]["type"] == "rule"
+        assert rule["encoding"]["y"]["field"] == "ci_lo"
+        assert rule["encoding"]["y2"] == {"field": "ci_hi"}

@@ -145,6 +145,42 @@ class TestChaosCommand:
         assert "1/1 scenarios ok" in out
 
 
+class TestFiguresCommand:
+    def test_unknown_figure_is_an_error(self, capsys, tmp_path):
+        assert main(["figures", "fig99", "--out", str(tmp_path / "a"),
+                     "--cache-dir", str(tmp_path / "c"), "--workers", "1"]) == 2
+        assert "unknown figure 'fig99'" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_emits_and_checks_artifacts(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        cache = ["--cache-dir", str(tmp_path / "c"), "--workers", "1"]
+        golden = tmp_path / "golden"
+        assert main(["figures", "table1", "--out", str(golden)] + cache) == 0
+        assert sorted(p.name for p in golden.iterdir()) == [
+            "manifest.json", "table1.csv", "table1.vl.json"]
+
+        # A warm-cache rebuild reproduces the goldens byte-for-byte.
+        out = tmp_path / "out"
+        assert main(["figures", "table1", "--out", str(out),
+                     "--check", str(golden)] + cache) == 0
+        assert "artifacts match goldens" in capsys.readouterr().out
+
+        # Tampering is caught.
+        (golden / "table1.csv").write_text("tampered")
+        assert main(["figures", "table1", "--out", str(out),
+                     "--check", str(golden)] + cache) == 1
+        assert "content mismatch: table1.csv" in capsys.readouterr().err
+
+
+class TestAnalyzeCommand:
+    def test_vs_must_be_analyzed(self, capsys, tmp_path):
+        assert main(["analyze", "--mechanism", "pt", "--vs", "cmm-a",
+                     "--out", str(tmp_path / "a"),
+                     "--cache-dir", str(tmp_path / "c"), "--workers", "1"]) == 2
+        assert "--vs 'cmm-a' must be one of" in capsys.readouterr().err
+
+
 @pytest.mark.slow
 class TestRunAndFigureCommands:
     def test_run_command(self, capsys, monkeypatch):

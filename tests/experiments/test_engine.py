@@ -252,6 +252,46 @@ class TestRunSpec:
         session.execute(spec.expand(SC))
         assert len(session.records) == 2  # baseline + pt, once each
 
+    def test_seed_axis_generates_mixes_per_seed(self):
+        spec = RunSpec(mechanisms=("pt",), categories=("pref_agg",),
+                       workloads_per_category=1, seeds=(2019, 2020))
+        mixes = spec.resolve_mixes(SC)
+        assert len(mixes) == 2
+        # make_mixes derives each mix's seed from the axis seed, so the
+        # two draws are distinct (and so are their content keys).
+        assert mixes[0].seed != mixes[1].seed
+        assert mixes[0].name == mixes[1].name == "pref_agg-00"
+
+    def test_seed_axis_keys_are_distinct(self):
+        spec = RunSpec(mechanisms=("pt",), categories=("pref_agg",),
+                       workloads_per_category=1, seeds=(2019, 2020),
+                       include_alone=False, include_baseline=False)
+        plan = spec.expand(SC)
+        assert len(plan) == 2
+        assert plan[0].key() != plan[1].key()  # mix seed is in the content key
+
+    def test_seed_axis_dedups_seed_independent_runs(self):
+        # Alone runs depend only on the benchmark: if both seeds draw the
+        # same benchmarks, the plan carries each alone run once.
+        one = RunSpec(mechanisms=("pt",), categories=("pref_agg",),
+                      workloads_per_category=1, seeds=(2019,)).expand(SC)
+        two = RunSpec(mechanisms=("pt",), categories=("pref_agg",),
+                      workloads_per_category=1, seeds=(2019, 2019)).expand(SC)
+        alone = [p for p in two if p.kind == KIND_ALONE]
+        assert alone == [p for p in one if p.kind == KIND_ALONE]
+
+    def test_default_seed_axis_is_the_scale_seed(self):
+        base = RunSpec(mechanisms=("pt",), categories=("pref_agg",),
+                       workloads_per_category=1)
+        explicit = dataclasses.replace(base, seeds=(SC.seed,))
+        assert [m.name for m in base.resolve_mixes(SC)] == \
+               [m.name for m in explicit.resolve_mixes(SC)]
+
+    def test_seeds_with_explicit_mixes_rejected(self, mix):
+        spec = RunSpec(mechanisms=("pt",), mixes=(mix,), seeds=(1, 2))
+        with pytest.raises(ValueError, match="seeds"):
+            spec.resolve_mixes(SC)
+
 
 class TestParallelDeterminism:
     def test_parallel_matches_serial_bit_for_bit(self, tmp_path, mix, monkeypatch):
@@ -279,6 +319,18 @@ class TestEvaluate:
         ev = session.evaluate(mix, ("pt",), SC, alone_cache=cache)
         assert len(cache._cache) == len(dict.fromkeys(mix.benchmarks))
         np.testing.assert_array_equal(ev.alone_ipc, cache.ipcs_for(mix, SC))
+
+    def test_fairness_columns_ride_along(self, session, mix):
+        from repro.analysis.stats import fair_slowdown, unfairness
+
+        ev = session.evaluate(mix, ("pt",), SC)
+        for mech in ("baseline", "pt"):
+            m = ev.metrics[mech]
+            assert set(m) >= {"hm_ipc", "fair_slowdown", "unfairness"}
+            assert m["unfairness"] >= 1.0
+        base = ev.metrics["baseline"]
+        assert base["fair_slowdown"] == fair_slowdown(ev.alone_ipc, ev.baseline.ipc)
+        assert base["unfairness"] == unfairness(ev.alone_ipc, ev.baseline.ipc)
 
     def test_sweep_assembles_all_mixes(self, session):
         evals = session.sweep(("pt",), SC, categories=("pref_no_agg",), workloads_per_category=1)

@@ -5,7 +5,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.experiments.export import figure_to_json, rows_to_csv, write_figure
+from repro.experiments.export import figure_to_json, rows_from_csv, rows_to_csv, write_figure
 
 
 @pytest.fixture
@@ -49,12 +49,46 @@ class TestCsv:
         text = rows_to_csv(figure["rows"])
         assert "ipc_by_ways.1" in text.splitlines()[0]
 
-    def test_tuple_joined(self, figure):
+    def test_lists_json_encoded(self, figure):
+        # The old exporter ";"-joined sequences with no escaping; cells
+        # are now JSON so they decode back to the original values.
         text = rows_to_csv(figure["rows"])
-        assert "1;2" in text
+        assert "[1,2]" in text
+        assert "1;2" not in text
 
     def test_empty(self):
         assert rows_to_csv([]) == ""
+
+    def test_roundtrip_restores_types(self, figure):
+        rows = rows_from_csv(rows_to_csv(figure["rows"]))
+        assert rows[0]["workload"] == "w-00"
+        assert rows[0]["pt"] == 1.05
+        assert rows[0]["agg_set"] == [1, 2]  # tuples come back as lists
+        assert rows[1]["agg_set"] == []
+        assert rows[0]["ipc_by_ways"] == {"1": 0.5, "20": 1.0}
+
+    def test_roundtrip_full_float_precision(self):
+        tricky = [{"v": 0.1 + 0.2, "w": 1.0 / 3.0}]
+        rows = rows_from_csv(rows_to_csv(tricky))
+        assert rows[0]["v"] == 0.1 + 0.2  # bit-identical, not approx
+        assert rows[0]["w"] == 1.0 / 3.0
+
+    def test_roundtrip_ambiguous_strings(self):
+        # A string that *looks* numeric must survive as a string.
+        tricky = [{"a": "1.5", "b": 1.5, "c": "", "d": None, "e": True}]
+        rows = rows_from_csv(rows_to_csv(tricky))
+        assert rows[0]["a"] == "1.5"
+        assert rows[0]["b"] == 1.5
+        assert rows[0]["c"] == ""
+        assert rows[0]["d"] is None
+        assert rows[0]["e"] is True
+
+    def test_roundtrip_dotted_keys(self):
+        # Literal dots inside keys are escaped, not treated as nesting.
+        tricky = [{"a.b": 1, "a": {"b": 2}}]
+        rows = rows_from_csv(rows_to_csv(tricky))
+        assert rows[0]["a.b"] == 1
+        assert rows[0]["a"] == {"b": 2}
 
 
 class TestWriteFigure:
@@ -115,3 +149,11 @@ class TestTraceExport:
         header, *rows = cpath.read_text().strip().splitlines()
         assert "stage" in header and "winner_throttled" in header
         assert len(rows) == 4
+
+    def test_trace_csv_roundtrip(self, traces):
+        from repro.experiments.export import traces_to_csv, traces_to_rows
+
+        rows = rows_from_csv(traces_to_csv(traces))
+        assert rows[2]["winner_throttled"] == [1]
+        assert rows[3]["skipped"] is True
+        assert len(rows) == len(traces_to_rows(traces))

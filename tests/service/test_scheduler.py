@@ -222,6 +222,50 @@ class TestFairnessAndDispatch:
         assert outcomes[0]["error"]["type"] == "shutdown"
 
 
+class TestSubscribers:
+    def test_subscribe_unsubscribe_registry(self):
+        async def main():
+            sched = SingleFlightScheduler(FakeSession())
+            await sched.start()
+            try:
+                sub_id, queue = sched.subscribe()
+                assert sched.status()["subscribers"] == 1
+                assert sched.unsubscribe(sub_id) is True
+                assert sched.unsubscribe(sub_id) is False
+                assert sched.status()["subscribers"] == 0
+            finally:
+                await sched.stop()
+
+        run_async(main())
+
+    def test_emit_is_lossy_drop_oldest(self):
+        async def main():
+            sched = SingleFlightScheduler(FakeSession())
+            await sched.start()
+            try:
+                _sub, queue = sched.subscribe(max_queue=2)
+                for i in range(5):
+                    sched._emit({"event": "run", "i": i})
+                # Oldest events dropped; the slow consumer sees the tail.
+                return [queue.get_nowait() for _ in range(queue.qsize())]
+            finally:
+                await sched.stop()
+
+        events = run_async(main())
+        assert [e["i"] for e in events] == [3, 4]
+
+    def test_stop_emits_shutdown_and_clears(self):
+        async def main():
+            sched = SingleFlightScheduler(FakeSession())
+            await sched.start()
+            _sub, queue = sched.subscribe()
+            await sched.stop()
+            assert queue.get_nowait() == {"event": "shutdown"}
+            assert sched.status()["subscribers"] == 0
+
+        run_async(main())
+
+
 class TestJournaling:
     def test_completed_batch_seals_its_journal(self, tmp_path):
         session = FakeSession(fail_benches=("boom",))

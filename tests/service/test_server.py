@@ -133,6 +133,83 @@ class TestSocketTransport:
         service.close()
 
 
+class TestSubscribe:
+    def test_in_process_streams_per_run_events(self, tmp_path):
+        service = make_service(tmp_path)
+        with service, ServiceClient(service=service, client_name="t") as cli:
+            assert cli.subscribe()["subscribed"] is True
+            assert cli.submit([hook("ok_a"), hook("ok_b")])["ok"]
+            events = [cli.next_event(timeout_s=10) for _ in range(2)]
+            assert all(e["event"] == "run" for e in events)
+            assert {e["label"].rsplit(":", 1)[-1] for e in events} == {"ok_a", "ok_b"}
+            assert events[-1]["done"] == 2 and events[-1]["total"] == 2
+            assert all(e["cached"] is False and e["error"] is None for e in events)
+            with pytest.raises(TimeoutError):
+                cli.next_event(timeout_s=0.1)
+            assert cli.unsubscribe()["subscribed"] is False
+
+    def test_cached_replays_are_flagged(self, tmp_path):
+        service = make_service(tmp_path)
+        with service, ServiceClient(service=service) as cli:
+            cli.submit([hook("ok_a")])
+            cli.subscribe()
+            cli.submit([hook("ok_a")])
+            assert cli.next_event(timeout_s=10)["cached"] is True
+
+    def test_next_event_requires_subscription(self, tmp_path):
+        service = make_service(tmp_path)
+        with service, ServiceClient(service=service) as cli:
+            with pytest.raises(RuntimeError, match="subscribe"):
+                cli.next_event(timeout_s=0.1)
+
+    def test_subscribe_op_rejected_on_request_path(self, tmp_path):
+        # The single-response dispatch path can't stream; the op only
+        # works on a socket connection (or scheduler.subscribe() in-proc).
+        service = make_service(tmp_path)
+        try:
+            resp = asyncio.run(service.dispatch({"op": "subscribe"}))
+            assert resp["ok"] is False and resp["error"]["type"] == "protocol"
+        finally:
+            service.close()
+
+    def test_socket_streaming_mode(self, tmp_path):
+        from repro.service.protocol import decode_line, encode_line
+
+        service = make_service(tmp_path)
+        sock = tmp_path / "svc.sock"
+        ready = threading.Event()
+        t = threading.Thread(
+            target=lambda: asyncio.run(
+                service.serve(unix_path=sock, ready=lambda _b: ready.set())),
+            daemon=True,
+        )
+        t.start()
+        assert ready.wait(10)
+        with ServiceClient(path=sock) as watcher, ServiceClient(path=sock) as cli:
+            ack = watcher.subscribe()
+            assert ack["ok"] and ack["subscribed"] is True
+            assert cli.submit([hook("ok_a")])["ok"]
+            ev = watcher.next_event(timeout_s=10)
+            assert ev["event"] == "run" and ev["label"].endswith("ok_a")
+
+            # Any other op on a subscribed connection is a protocol error.
+            f = watcher._file
+            f.write(encode_line({"op": "status"}))
+            f.flush()
+            while True:
+                resp = decode_line(f.readline())
+                if "event" not in resp:
+                    break
+            assert resp["ok"] is False and resp["error"]["type"] == "protocol"
+
+            # Unsubscribe returns the connection to request mode.
+            assert watcher.unsubscribe()["subscribed"] is False
+            assert watcher.ping()["ok"]
+            assert cli.shutdown()["stopping"]
+        t.join(timeout=10)
+        service.close()
+
+
 class TestResume:
     def test_unsealed_journal_replays_on_resume(self, tmp_path):
         runs = [hook("ok_a"), hook("ok_b")]
