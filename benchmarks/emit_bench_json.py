@@ -71,6 +71,56 @@ from bench_simulator_speed import CORE_SCENARIOS  # noqa: E402
 QUANTUM = 512
 
 
+def _host_info() -> dict:
+    """One host/toolchain block shared by every bench payload.
+
+    Records the numba version (or null) because the ``native`` lanes
+    only engage when numba imports — absolute numbers from hosts
+    without it are pure-NumPy figures.
+    """
+    numba_version = None
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.sim import nativekernels
+
+        numba_version = nativekernels.NUMBA_VERSION
+    except Exception:
+        pass
+    finally:
+        sys.path.pop(0)
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "numba": numba_version,
+    }
+
+
+class _native_env:
+    """Pin ``$REPRO_NATIVE_KERNELS`` for one lane, resetting the tier's
+    cached decisions on entry and exit so lanes cannot leak state."""
+
+    def __init__(self, mode: str) -> None:
+        self.mode = mode
+
+    def __enter__(self):
+        from repro.sim import nativekernels
+
+        self.nk = nativekernels
+        self.prev = os.environ.get(nativekernels.ENV_VAR)
+        os.environ[nativekernels.ENV_VAR] = self.mode
+        nativekernels._reset_for_tests()
+        return nativekernels
+
+    def __exit__(self, *exc):
+        if self.prev is None:
+            os.environ.pop(self.nk.ENV_VAR, None)
+        else:
+            os.environ[self.nk.ENV_VAR] = self.prev
+        self.nk._reset_for_tests()
+        return False
+
+
 def _load_stack(src_root: str):
     """(Re)import the simulator from ``src_root``, dropping cached modules."""
     for mod in [m for m in sys.modules if m.split(".")[0] == "repro"]:
@@ -202,7 +252,10 @@ def _batch_sweep_specs(mix, sc):
 def _batch_scalar_run(mix, spec, sc, store):
     from repro.experiments.runner import build_machine
 
-    m = build_machine(mix, sc, trace_store=store)
+    # Pin the scalar reference lane to the fast engine so auto
+    # resolution can't silently upgrade it to the native tier on
+    # numba hosts (that would mislabel the baseline timing).
+    m = build_machine(mix, sc, trace_store=store, engine="fast")
     for cpu, mask in enumerate(spec.masks):
         m.prefetch_msr.set_mask(cpu, mask)
     for clos, cbm in spec.clos_cbms:
@@ -298,7 +351,9 @@ def _measure_dynamic_sweeps(rounds: int) -> dict[str, dict]:
         for _ in range(rounds):
             t0 = time.perf_counter()
             scalar = [
-                _run_mechanism(build_machine(mix, sc, trace_store=store), m, sc)
+                _run_mechanism(
+                    build_machine(mix, sc, trace_store=store, engine="fast"), m, sc
+                )
                 for m in mechs
             ]
             best_scalar = min(best_scalar, time.perf_counter() - t0)
@@ -324,6 +379,146 @@ def _measure_dynamic_sweeps(rounds: int) -> dict[str, dict]:
             f"batch={best_batch:.2f}s x{best_scalar / best_batch:.2f} "
             f"identical={identical}"
         )
+    return out
+
+
+NATIVE_CATEGORIES = ("pref_agg", "pref_unfri")
+
+
+def _measure_native_sweeps(rounds: int) -> dict:
+    """The compiled kernel tier vs. the pure-NumPy lockstep lanes.
+
+    Three lanes over the widest static CAT sweep (the ``batch_sweeps``
+    shape) plus one dynamic all-policies lockstep sweep: per-run scalar
+    fast machines, ``simulate_batch`` with the native tier off, and
+    ``simulate_batch`` with the native tier on.  JIT compilation is
+    warmed off the clock (the tier's self-check plus one unmeasured
+    round); bit-identity across all three lanes is asserted every
+    measured round.  On hosts without numba the native lane is not
+    measured and the payload says so.
+    """
+    from repro.experiments.batch import (
+        _lockstep_mechanisms,
+        _run_mechanism,
+        build_batch_kernel,
+        simulate_batch,
+    )
+    from repro.core.policies import POLICIES
+    from repro.experiments.config import ScaleConfig
+    from repro.experiments.runner import build_machine
+    from repro.sim.tracestore import TraceStore
+    from repro.workloads.mixes import make_mixes
+
+    with _native_env("auto") as nk:
+        enabled = nk.kernels_enabled()  # self-check doubles as JIT warm-up
+        out: dict = {"tier": nk.tier_status()}
+    if not enabled:
+        out["note"] = "numba unavailable or tier disabled; native lanes not measured"
+        print("native sweeps: tier disabled, skipping")
+        return out
+
+    sc = ScaleConfig(name="bench-batch", llc_scale=16, quantum=512)
+    store = TraceStore(None, mode="memory")
+    rounds = max(1, min(rounds, 3))
+    sweeps: dict[str, dict] = {}
+    for cat in NATIVE_CATEGORIES:
+        mix = make_mixes(cat, 1, seed=2019)[0]
+        specs = _batch_sweep_specs(mix, sc)
+        with _native_env("auto"):
+            simulate_batch(specs[:2], sc, trace_store=store)  # warm store + JIT
+        best_native = best_pure = best_scalar = float("inf")
+        identical = True
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            scalar = [_batch_scalar_run(mix, s, sc, store) for s in specs]
+            best_scalar = min(best_scalar, time.perf_counter() - t0)
+            with _native_env("off"):
+                t0 = time.perf_counter()
+                pure = simulate_batch(specs, sc, trace_store=store)
+                best_pure = min(best_pure, time.perf_counter() - t0)
+            with _native_env("auto"):
+                t0 = time.perf_counter()
+                native = simulate_batch(specs, sc, trace_store=store)
+                best_native = min(best_native, time.perf_counter() - t0)
+            identical = identical and all(
+                (nr.totals == pr.totals).all()
+                and nr.wall_cycles == pr.wall_cycles
+                and (nr.totals == s.deltas).all()
+                and nr.wall_cycles == s.wall_cycles
+                for nr, pr, s in zip(native, pure, scalar)
+            )
+        assert identical, f"native sweep {cat}: lanes diverged"
+        sweeps[cat] = {
+            "runs": len(specs),
+            "accesses_per_core": BATCH_ACCESSES,
+            "scalar_s": round(best_scalar, 3),
+            "pure_batch_s": round(best_pure, 3),
+            "native_batch_s": round(best_native, 3),
+            "speedup_native_vs_pure": round(best_pure / best_native, 2),
+            "speedup_native_vs_scalar": round(best_scalar / best_native, 2),
+            "bit_identical": identical,
+        }
+        print(
+            f"native {cat}: R={len(specs)} scalar={best_scalar:.2f}s "
+            f"pure={best_pure:.2f}s native={best_native:.2f}s "
+            f"x{best_pure / best_native:.2f} identical={identical}"
+        )
+    out["sweeps"] = sweeps
+    out["geomean_speedup_native_vs_pure"] = (
+        round(g, 2)
+        if (g := _geomean([s["speedup_native_vs_pure"] for s in sweeps.values()]))
+        else None
+    )
+
+    # Dynamic lane: every registered policy in masked lockstep, native
+    # vs pure grouped kernels, scalar fast as the identity reference.
+    dsc = ScaleConfig(
+        name="bench-dynamic", llc_scale=16, n_cores=4, quantum=512,
+        sample_units=512, exec_units=DYNAMIC_EXEC_UNITS, n_epochs=1,
+    )
+    mix = make_mixes("pref_agg", 1, n_cores=4, seed=2019)[0]
+    mechs = list(POLICIES)
+    build_batch_kernel(mix, dsc, store)  # warm the store off the clock
+    with _native_env("auto"):
+        _lockstep_mechanisms(build_batch_kernel(mix, dsc, store), mechs[:2], dsc)
+    best_native = best_pure = float("inf")
+    identical = True
+    scalar = [
+        _run_mechanism(
+            build_machine(mix, dsc, trace_store=store, engine="fast"), m, dsc
+        )
+        for m in mechs
+    ]
+    for _ in range(rounds):
+        with _native_env("off"):
+            t0 = time.perf_counter()
+            pure = _lockstep_mechanisms(build_batch_kernel(mix, dsc, store), mechs, dsc)
+            best_pure = min(best_pure, time.perf_counter() - t0)
+        with _native_env("auto"):
+            t0 = time.perf_counter()
+            native = _lockstep_mechanisms(build_batch_kernel(mix, dsc, store), mechs, dsc)
+            best_native = min(best_native, time.perf_counter() - t0)
+        identical = identical and all(
+            (nr.totals == pr.totals).all()
+            and nr.wall_cycles == pr.wall_cycles
+            and (nr.totals == s.totals).all()
+            and nr.wall_cycles == s.wall_cycles
+            for nr, pr, s in zip(native, pure, scalar)
+        )
+    assert identical, "native dynamic sweep: lanes diverged"
+    out["dynamic"] = {
+        "mechanisms": len(mechs),
+        "exec_units_per_epoch": DYNAMIC_EXEC_UNITS,
+        "pure_batch_s": round(best_pure, 3),
+        "native_batch_s": round(best_native, 3),
+        "speedup_native_vs_pure": round(best_pure / best_native, 2),
+        "bit_identical": identical,
+    }
+    print(
+        f"native dynamic: R={len(mechs)} pure={best_pure:.2f}s "
+        f"native={best_native:.2f}s x{best_pure / best_native:.2f} "
+        f"identical={identical}"
+    )
     return out
 
 
@@ -356,6 +551,7 @@ def emit_engine(args) -> int:
                         best[key] = min(best.get(key, float("inf")), secs)
         batch_sweeps = _measure_batch_sweeps(args.rounds)
         dynamic_sweeps = _measure_dynamic_sweeps(args.rounds)
+        native_sweeps = _measure_native_sweeps(args.rounds)
         mechanisms = {}
         for mech in ENGINE_MECHANISMS:
             off = best[(mech, "off")]
@@ -370,11 +566,7 @@ def emit_engine(args) -> int:
         geo = _geomean([m["speedup"] for m in mechanisms.values()])
         payload = {
             "generated_utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
-            "host": {
-                "platform": platform.platform(),
-                "python": platform.python_version(),
-                "cpus": os.cpu_count(),
-            },
+            "host": _host_info(),
             "method": (
                 f"cold per-mechanism runs of one full-machine mix at the "
                 f"bench-engine scale, best of {args.rounds} interleaved rounds, "
@@ -388,7 +580,11 @@ def emit_engine(args) -> int:
                 f"mix in masked lockstep vs per-run scalar fast "
                 f"(controller-driven, divergent masks/CAT; "
                 f"{DYNAMIC_EXEC_UNITS} exec units/epoch, best of <=3 rounds, "
-                f"bit-identity asserted every round)"
+                f"bit-identity asserted every round); native_sweeps compare "
+                f"the compiled (numba) kernel tier against the pure-NumPy "
+                f"lockstep lanes and scalar fast machines on the same sweeps "
+                f"(JIT warmed off the clock, bit-identity asserted every "
+                f"round, skipped when numba is unavailable)"
             ),
             "mechanisms": mechanisms,
             "geomean_speedup_plane_on_vs_off": round(geo, 3) if geo else None,
@@ -404,6 +600,7 @@ def emit_engine(args) -> int:
                 if (g := _geomean([s["speedup"] for s in dynamic_sweeps.values()]))
                 else None
             ),
+            "native_sweeps": native_sweeps,
         }
         out = args.out if args.out.name != "BENCH_simulator.json" else (
             REPO_ROOT / "BENCH_engine.json"
@@ -447,6 +644,20 @@ def main(argv: list[str] | None = None) -> int:
 
     best: dict[tuple[str, str], float] = {}
     lanes = [("fast", src, "fast"), ("reference", src, "reference")]
+    # Native scalar lane only where the compiled tier actually engages
+    # (numba importable, self-check green); the probe also doubles as
+    # the off-clock JIT warm-up for the first measured round.
+    sys.path.insert(0, src)
+    try:
+        from repro.sim import nativekernels
+
+        native_on = nativekernels.kernels_enabled()
+    except Exception:
+        native_on = False
+    finally:
+        sys.path.pop(0)
+    if native_on:
+        lanes.append(("native", src, "native"))
     if args.baseline_src is not None:
         lanes.append(("pre_pr", str(args.baseline_src), None))
 
@@ -472,29 +683,31 @@ def main(argv: list[str] | None = None) -> int:
             pre = (
                 prior.get("scenarios", {}).get(name, {}).get("pre_pr_acc_per_s")
             )
+        native = best.get((name, "native"))
         # Generation and kernel times add: 1/fast = 1/kernel + 1/trace_gen.
         kernel_inv = 1.0 / fast - 1.0 / trace_gen
         scenarios[name] = {
             "benchmarks": benches,
             "fast_acc_per_s": round(fast),
             "reference_acc_per_s": round(ref),
+            "native_acc_per_s": round(native) if native else None,
             "trace_gen_acc_per_s": round(trace_gen),
             "kernel_only_acc_per_s": round(1.0 / kernel_inv) if kernel_inv > 0 else None,
             "trace_share_of_fast": round(fast / trace_gen, 3),
             "pre_pr_acc_per_s": round(pre) if pre else None,
             "speedup_fast_vs_reference": round(fast / ref, 2),
+            "speedup_native_vs_fast": round(native / fast, 2) if native else None,
             "speedup_fast_vs_pre_pr": round(fast / pre, 2) if pre else None,
         }
 
     payload = {
         "generated_utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
-        "host": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
+        "host": _host_info(),
         "method": (
             f"best of {args.rounds} interleaved rounds, "
-            f"{args.accesses} accesses/core, scaled_params(16), quantum=512"
+            f"{args.accesses} accesses/core, scaled_params(16), quantum=512; "
+            f"the native lane (compiled kernel tier) is measured only when "
+            f"numba imports, JIT warmed off the clock"
         ),
         "baseline": {
             "note": args.baseline_note,
@@ -504,6 +717,13 @@ def main(argv: list[str] | None = None) -> int:
         "scenarios": scenarios,
         "geomean_speedup_fast_vs_reference": round(
             _geomean([s["speedup_fast_vs_reference"] for s in scenarios.values()]), 2
+        ),
+        "geomean_speedup_native_vs_fast": (
+            round(g, 2)
+            if (g := _geomean(
+                [s["speedup_native_vs_fast"] or 0 for s in scenarios.values()]
+            ))
+            else None
         ),
         "geomean_speedup_fast_vs_pre_pr": (
             round(g, 2)

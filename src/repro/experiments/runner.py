@@ -66,18 +66,22 @@ def drive_mechanism(machine: Machine, mechanism: str, sc: ScaleConfig) -> RunSta
     return controller.run(sc.n_epochs)
 
 
-def build_machine(mix: WorkloadMix, sc: ScaleConfig, *, trace_store=None) -> Machine:
+def build_machine(
+    mix: WorkloadMix, sc: ScaleConfig, *, trace_store=None, engine=None
+) -> Machine:
     """A fresh machine with the mix's benchmarks attached, one per core.
 
     ``trace_store`` (a :class:`~repro.sim.tracestore.TraceStore` or a
     worker-side manifest view) serves materialized traces instead of
     synthesising fresh generators — bit-identical either way.  ``None``
-    (the default) keeps the classic live-generation path.
+    (the default) keeps the classic live-generation path.  ``engine``
+    pins a simulation engine (differential tests, bench lanes); ``None``
+    keeps the normal params/env/auto resolution.
     """
     params = sc.params()
     if mix.n_cores > params.n_cores:
         raise ValueError(f"mix {mix.name} needs {mix.n_cores} cores, machine has {params.n_cores}")
-    m = Machine(params, quantum=sc.quantum)
+    m = Machine(params, quantum=sc.quantum, engine=engine)
     length = mechanism_trace_length(sc) if trace_store is not None else 0
     for core, bench in enumerate(mix.benchmarks):
         trace = None

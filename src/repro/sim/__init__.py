@@ -17,6 +17,7 @@ from repro.sim.cache import Cache, PartitionedCache
 from repro.sim.engines import (
     ENGINE_BATCH,
     ENGINE_FAST,
+    ENGINE_NATIVE,
     ENGINE_REFERENCE,
     ENGINES,
     EngineSelectionError,
@@ -41,6 +42,7 @@ __all__ = [
     "FastPartitionedCache",
     "ENGINE_BATCH",
     "ENGINE_FAST",
+    "ENGINE_NATIVE",
     "ENGINE_REFERENCE",
     "ENGINES",
     "EngineSelectionError",

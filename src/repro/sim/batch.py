@@ -96,7 +96,7 @@ from collections import deque
 
 import numpy as np
 
-from repro.sim import fastengine
+from repro.sim import fastengine, nativekernels, profiling
 from repro.sim.cat import CatController
 from repro.sim.core_model import QuantumCounts, solve_quantum
 from repro.sim.engines import ENGINE_BATCH
@@ -210,8 +210,10 @@ def _fresh_bank(p: MachineParams) -> PrefetcherBank:
     )
 
 
-def _clone_image(params: MachineParams, st: _LaneState, trace) -> _LaneState:
+def _clone_image(params: MachineParams, st, trace):
     """Deep-copy a lane image's private-core state onto a given trace fork."""
+    if isinstance(st, nativekernels.NativeLaneState):
+        return nativekernels.clone_lane_state(st, trace)
     l1 = FastCache(params.l1)
     l1._sets = [dict(s) for s in st.l1._sets]
     l2 = FastCache(params.l2)
@@ -254,7 +256,10 @@ def _advance_image(st: _LaneState, q: int, mask: int, scratch):
     scratch[:] = 0.0
     qc = QuantumCounts()
     llc_req: list[int] = []
-    fastengine.run_core_chunk(0, st, q, qc, llc_req, scratch)
+    if isinstance(st, nativekernels.NativeLaneState):
+        nativekernels.run_core_chunk_native(0, st, q, qc, llc_req, scratch)
+    else:
+        fastengine.run_core_chunk(0, st, q, qc, llc_req, scratch)
     return qc, llc_req, scratch[0].copy(), ipm, mlp
 
 
@@ -285,7 +290,7 @@ def _fill_edge(st: _LaneState, qc, llc_req, pmu_row, ipm, mlp) -> "_LaneEdge":
     return edge
 
 
-def _images_equal(a: _LaneState, b: _LaneState) -> bool:
+def _images_equal(a, b) -> bool:
     """Behavioural equality of two lane images at the same trace position.
 
     Order-sensitive: dict insertion order is the caches' LRU order and
@@ -298,6 +303,10 @@ def _images_equal(a: _LaneState, b: _LaneState) -> bool:
     here on.  Live traces never compare equal: their replay is
     position-dependent in ways a merged fork cannot reproduce.
     """
+    if isinstance(a, nativekernels.NativeLaneState) or isinstance(
+        b, nativekernels.NativeLaneState
+    ):
+        return nativekernels.images_equal(a, b)
     if a.trace._live is not None or b.trace._live is not None:
         return False
     if a.trace.pos != b.trace.pos:
@@ -345,6 +354,8 @@ class _LaneTree:
 
     def _fresh_state(self) -> _LaneState:
         p = self.params
+        if nativekernels.kernels_enabled():
+            return nativekernels.fresh_lane_state(p, self._fork_trace(0))
         return _LaneState(FastCache(p.l1), FastCache(p.l2), _fresh_bank(p), self._fork_trace(0))
 
     def _clone_state(self, st: _LaneState) -> _LaneState:
@@ -441,6 +452,7 @@ class _PreparedStream:
     __slots__ = (
         "n", "line", "si", "is_pref", "demand", "prepared",
         "cpu_col", "cpu_perm", "cpu_starts", "cpu_ids", "seg_ids", "rounds",
+        "_blk", "_blk_cores",
     )
 
     def __init__(self, merged, mcpus, set_mask: int) -> None:
@@ -457,11 +469,25 @@ class _PreparedStream:
         # serve: streams that only ever feed a multi-quantum concat
         # never need their own (the concat builds one for the span).
         self.prepared = False
+        self._blk = None
+        self._blk_cores = None
 
     def prepare(self) -> "_PreparedStream":
         if not self.prepared:
-            self._finish(self.cpu_col, None)
+            if self._blk is not None:
+                self._finish(self._blk, self._blk_cores)
+            else:
+                self._finish(self.cpu_col, None)
         return self
+
+    def stat_blocks(self):
+        """Each request's stat-block column (``segment*C + cpu`` or ``cpu``).
+
+        Available without :meth:`prepare` — the native serve reduces
+        into dense block counters in-kernel and never needs the
+        sort-heavy round/reduction structures.
+        """
+        return self._blk if self._blk is not None else self.cpu_col
 
     @classmethod
     def concat(cls, streams: list["_PreparedStream"], n_cores: int) -> "_PreparedStream":
@@ -484,11 +510,16 @@ class _PreparedStream:
             np.arange(len(streams), dtype=np.int64),
             [s.n for s in streams],
         )
-        self._finish(seg * n_cores + self.cpu_col, n_cores)
+        # Deferred like __init__: the native serve consumes the block
+        # column directly and skips _finish entirely.
+        self.prepared = False
+        self._blk = seg * n_cores + self.cpu_col
+        self._blk_cores = n_cores
         return self
 
     def _finish(self, blk, n_cores) -> None:
         """Build stat-reduction blocks and occurrence-rank rounds."""
+        t0 = profiling.clock() if profiling.ON else 0.0
         self.prepared = True
         perm = np.argsort(blk, kind="stable")
         sb = blk[perm]
@@ -521,6 +552,8 @@ class _PreparedStream:
             ]
         else:
             self.rounds = []
+        if profiling.ON:
+            profiling.add("merge", profiling.clock() - t0)
 
 
 class GroupedLLC:
@@ -655,7 +688,6 @@ class GroupedLLC:
         representative per equality class is served; duplicates get
         the representative's stats and a copy of the touched sets.
         """
-        stream.prepare()
         tags, stamps, pref = self.tags, self.stamps, self.pref
         S = self.geometry.sets
         W = self.geometry.ways
@@ -671,6 +703,37 @@ class GroupedLLC:
             reps, class_idx, dups = self._dedup_classes(stat_idx, allowed)
             run_idx = stat_idx[reps]
         R = len(run_idx)
+        # Fills only ever consume free ways, never create them, so once
+        # a run's LLC is full the free-way search can be skipped: every
+        # miss takes the LRU victim among the allowed ways.  A run with
+        # CAT keeps its disallowed ways unfilled forever, so the gate
+        # counts free lines *reachable* under the current allow rows —
+        # invalid entries only shrink and ``allowed`` is fixed for the
+        # whole serve, so the condition holds for every round.  The
+        # loop deliberately touches every rep so each has a fresh
+        # ``_af`` entry for the decrement and duplicate copies below.
+        all_full = True
+        for r in run_idx:
+            if self._allowed_free(int(r), allowed):
+                all_full = False
+        if n and nativekernels.kernels_enabled():
+            # Compiled tier: one fused kernel pass, no round structures.
+            # A kernel failure mid-serve cannot fall through (state may
+            # be partially mutated), so it sticky-disables the tier and
+            # propagates; the callers' existing degradation paths rerun
+            # the affected runs on fresh pure-path machines.
+            try:
+                self._serve_native(
+                    stream, allowed, hits_d, mem_d, pref_m,
+                    run_idx, stat_idx, class_idx, dups,
+                )
+                return
+            except Exception as e:
+                nativekernels.note_native_fallback()
+                nativekernels.disable_runtime(f"grouped LLC serve kernel failed: {e!r}")
+                raise
+        stream.prepare()
+        t0 = profiling.clock() if profiling.ON else 0.0
         tags_f = tags.reshape(self.n_runs * S * W)
         stamps_f = stamps.reshape(self.n_runs * S * W)
         pref_f = pref.reshape(self.n_runs * S * W)
@@ -685,19 +748,6 @@ class GroupedLLC:
         # to the first round that actually misses; rounds index into it
         # instead of re-gathering.
         allow_q = None
-        # Fills only ever consume free ways, never create them, so once
-        # a run's LLC is full the free-way search can be skipped: every
-        # miss takes the LRU victim among the allowed ways.  A run with
-        # CAT keeps its disallowed ways unfilled forever, so the gate
-        # counts free lines *reachable* under the current allow rows —
-        # invalid entries only shrink and ``allowed`` is fixed for the
-        # whole serve, so the condition holds for every round.  The
-        # loop deliberately touches every rep so each has a fresh
-        # ``_af`` entry for the decrement and duplicate copies below.
-        all_full = True
-        for r in run_idx:
-            if self._allowed_free(int(r), allowed):
-                all_full = False
         free_dec = None
         # When every served run allows every way (non-CAT mechanisms),
         # the allow mask is the identity and its gathers/wheres vanish.
@@ -816,6 +866,83 @@ class GroupedLLC:
                 hits_d[:, stream.seg_ids, stream.cpu_ids] += hv
                 mem_d[:, stream.seg_ids, stream.cpu_ids] += mv
                 pref_m[:, stream.seg_ids, stream.cpu_ids] += fv
+        self._seq += n
+        self.accesses[stat_idx] += n
+        if profiling.ON:
+            profiling.add("llc_serve", profiling.clock() - t0)
+
+    def _serve_native(
+        self, stream, allowed, hits_d, mem_d, pref_m, run_idx, stat_idx, class_idx, dups
+    ) -> None:
+        """Compiled-tier serve: one :data:`~repro.sim.nativekernels.
+        K_SERVE_LLC` dispatch over the flat SoA arrays.
+
+        Consumes the raw stream columns plus :meth:`_PreparedStream.
+        stat_blocks` — the sort-heavy round/permutation structures are
+        never built.  The kernel reduces stats and dense per-block
+        demand-hit/fill counters in place of the NumPy path's
+        ``reduceat``; everything downstream (free-line bookkeeping,
+        duplicate copies, class expansion, accumulator writes) matches
+        the NumPy path op-for-op so results stay bit-identical.
+        """
+        n = stream.n
+        S = self.geometry.sets
+        W = self.geometry.ways
+        C = allowed.shape[1]
+        n_blocks = hits_d[0].size
+        stats_out, dh, dm, dp = nativekernels.serve_llc_arrays(
+            self.tags.reshape(-1),
+            self.stamps.reshape(-1),
+            self.pref.reshape(-1),
+            S,
+            W,
+            run_idx,
+            np.ascontiguousarray(allowed).view(np.uint8).reshape(-1),
+            C,
+            stream.line,
+            stream.si,
+            stream.is_pref.view(np.uint8),
+            stream.stat_blocks(),
+            stream.cpu_col,
+            self._seq,
+            n_blocks,
+        )
+        free_dec = stats_out[:, 4]
+        if free_dec.any():
+            self.free_lines[run_idx] -= free_dec
+            for pos, r in enumerate(run_idx):
+                self._af[int(r)][1] -= int(free_dec[pos])
+        if dups:
+            tags, stamps, pref = self.tags, self.stamps, self.pref
+            usets = np.unique(stream.si)
+            for dup, rep in dups:
+                tags[dup, usets] = tags[rep, usets]
+                stamps[dup, usets] = stamps[rep, usets]
+                pref[dup, usets] = pref[rep, usets]
+                self.free_lines[dup] = self.free_lines[rep]
+                ent = self._af[rep]
+                self._af[dup] = [ent[0], ent[1]]
+        hit_v = stats_out[:, 0]
+        fill_v = stats_out[:, 1]
+        used_v = stats_out[:, 2]
+        evic_v = stats_out[:, 3]
+        if class_idx is not None:
+            hit_v = hit_v[class_idx]
+            used_v = used_v[class_idx]
+            evic_v = evic_v[class_idx]
+            fill_v = fill_v[class_idx]
+            dh = dh[class_idx]
+            dm = dm[class_idx]
+            dp = dp[class_idx]
+        self.hits[stat_idx] += hit_v
+        self.pref_used[stat_idx] += used_v
+        self.pref_evicted_unused[stat_idx] += evic_v
+        self.pref_fills[stat_idx] += fill_v
+        # += on the caller's (possibly strided) accumulator views; the
+        # reshape only reinterprets the kernel's dense block columns.
+        hits_d += dh.reshape(hits_d.shape)
+        mem_d += dm.reshape(mem_d.shape)
+        pref_m += dp.reshape(pref_m.shape)
         self._seq += n
         self.accesses[stat_idx] += n
 
@@ -1046,6 +1173,7 @@ def run_static_sweep(
             active[cpu] = True
             ipm[cpu] = e.ipm
             mlp[cpu] = e.mlp
+        t0 = profiling.clock() if profiling.ON else 0.0
         for r in range(R):
             counts = [QuantumCounts() for _ in range(n)]
             prow = pmu[r]
@@ -1079,6 +1207,8 @@ def run_static_sweep(
                 pref_b += c.pref_bytes
             drams[r].account(demand_b, pref_b)
             wall[r] += timing.machine_cycles
+        if profiling.ON:
+            profiling.add("timing", profiling.clock() - t0)
         remaining -= q
 
     return [
@@ -1145,9 +1275,12 @@ class GroupedCore:
         self._serial = 0
         self._step_no = 0
         self._backoff: dict[tuple[int, int], int] = {}
-        st = _LaneState(
-            FastCache(params.l1), FastCache(params.l2), _fresh_bank(params), self._fork_trace(0)
-        )
+        if nativekernels.kernels_enabled():
+            st = nativekernels.fresh_lane_state(params, self._fork_trace(0))
+        else:
+            st = _LaneState(
+                FastCache(params.l1), FastCache(params.l2), _fresh_bank(params), self._fork_trace(0)
+            )
         self.lanes: list[_CoreLane] = [_CoreLane(st, set(range(n_runs)), self._next_serial())]
 
     def _next_serial(self) -> int:
@@ -1284,10 +1417,13 @@ class GroupedCore:
         E = self.params.stride_table_entries
         out = np.full((self.n_runs, E, 4), -1, dtype=np.int64)
         for lane in self.lanes:
-            block = np.full((E, 4), -1, dtype=np.int64)
-            for i, (ctx, row) in enumerate(lane.state.bank.ip_stride._table.items()):
-                block[i, 0] = ctx
-                block[i, 1:] = row
+            if isinstance(lane.state, nativekernels.NativeLaneState):
+                block = nativekernels.stride_rows(lane.state.tabs, E)
+            else:
+                block = np.full((E, 4), -1, dtype=np.int64)
+                for i, (ctx, row) in enumerate(lane.state.bank.ip_stride._table.items()):
+                    block[i, 0] = ctx
+                    block[i, 1:] = row
             for r in lane.runs:
                 out[r] = block
         return out

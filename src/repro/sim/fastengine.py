@@ -33,6 +33,7 @@ from itertools import repeat as _repeat
 
 import numpy as np
 
+from repro.sim import profiling
 from repro.sim.pmu import Event
 
 __all__ = ["run_core_chunk", "run_llc_phase", "encode_prefetch", "decode_request"]
@@ -56,7 +57,22 @@ def run_core_chunk(cpu, cs, q, qc, llc_req, pmu_counts) -> None:
     Appends sign-encoded LLC requests (``line`` demand, ``~line``
     prefetch) to ``llc_req``; bit-identical to the reference path.
     """
-    ctxs, lines = cs.trace.chunk(q)
+    if not profiling.ON:
+        _run_core_chunk_impl(cpu, cs, q, qc, llc_req, pmu_counts)
+        return
+    t0 = profiling.clock()
+    _run_core_chunk_impl(cpu, cs, q, qc, llc_req, pmu_counts)
+    profiling.add("core_advance", profiling.clock() - t0)
+
+
+def _run_core_chunk_impl(cpu, cs, q, qc, llc_req, pmu_counts) -> None:
+    if profiling.ON:
+        # trace_serve is a documented sub-phase of core_advance.
+        t0 = profiling.clock()
+        ctxs, lines = cs.trace.chunk(q)
+        profiling.add("trace_serve", profiling.clock() - t0)
+    else:
+        ctxs, lines = cs.trace.chunk(q)
     n = len(lines)
     if n == 0:
         return
@@ -437,12 +453,15 @@ def merge_llc_requests(llc_reqs) -> tuple[list, list, list]:
     lists (not on CAT or LLC state), so the batch kernel computes it
     once per unique lane combination and replays it across runs.
     """
+    t0 = profiling.clock() if profiling.ON else 0.0
     busy = [cpu for cpu, reqs in enumerate(llc_reqs) if reqs]
     if not busy:
         return busy, [], []
     if len(busy) == 1:
         cpu0 = busy[0]
         merged = list(llc_reqs[cpu0])
+        if profiling.ON:
+            profiling.add("merge", profiling.clock() - t0)
         return busy, merged, [cpu0] * len(merged)
     lens = [len(llc_reqs[c]) for c in busy]
     maxlen = max(lens)
@@ -453,6 +472,8 @@ def merge_llc_requests(llc_reqs) -> tuple[list, list, list]:
     valid = flat != _SENTINEL
     merged = flat[valid].tolist()
     mcpus = np.tile(np.asarray(busy, dtype=np.int64), maxlen)[valid].tolist()
+    if profiling.ON:
+        profiling.add("merge", profiling.clock() - t0)
     return busy, merged, mcpus
 
 
@@ -469,6 +490,7 @@ def run_llc_phase(machine, counts, llc_reqs, pmu_counts, premerged=None) -> None
         busy = premerged[0]
     if not busy:
         return
+    t0 = profiling.clock() if profiling.ON else 0.0
     llc = machine.llc
     W = llc.ways
     set_mask = llc._set_mask
@@ -566,6 +588,8 @@ def run_llc_phase(machine, counts, llc_reqs, pmu_counts, premerged=None) -> None
         apply_llc_tail(
             counts[cpu], pmu_counts, cpu, hits_d[cpu], mem_d[cpu], pref_m[cpu], line_bytes
         )
+    if profiling.ON:
+        profiling.add("llc_serve", profiling.clock() - t0)
 
 
 def apply_llc_tail(qc, pmu_counts, cpu, n_hit_d, n_mem_d, n_pref_fill, line_bytes) -> None:

@@ -1,0 +1,150 @@
+"""Differential properties of the compiled LLC serve kernel.
+
+:func:`repro.sim.nativekernels._serve_llc` — the fused whole-quantum
+grouped-LLC kernel — is checked on random lockstep request streams
+against the reference dict-LRU :class:`~repro.sim.cache.
+PartitionedCache` oracle, per run, under randomly varying CAT way
+masks.  "Identical" covers per-access hit/miss outcomes (recovered
+from the dense block counters), every stats column the grouped LLC
+consumes, resident-line placement down to the way index, and the
+free-fill counter (cross-checked against the oracle's occupancy
+delta).  The kernel is driven through :func:`serve_llc_arrays`, the
+exact dispatch the batch engine uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import nativekernels
+from repro.sim.cache import PartitionedCache, ways_from_mask
+from repro.sim.params import CacheGeometry
+
+S, W, C, R = 8, 4, 2, 2
+GEOM = CacheGeometry(S * W * 64, W)
+
+lines = st.integers(min_value=0, max_value=(1 << 10) - 1)
+masks = st.integers(min_value=1, max_value=(1 << W) - 1)
+
+# One serve batch: a shared (lockstep) request stream plus a per-run,
+# per-CAT-row way mask held fixed for the batch (GroupedLLC re-derives
+# the allow matrix between quanta, never inside one).
+batch = st.tuples(
+    st.lists(st.tuples(lines, st.booleans(), st.integers(0, C - 1)), min_size=1, max_size=120),
+    st.tuples(*[st.tuples(*[masks] * C)] * R),
+)
+batches = st.lists(batch, min_size=1, max_size=6)
+
+
+def _fresh_flat():
+    tags = np.full(R * S * W, -1, dtype=np.int64)
+    stamps = np.zeros(R * S * W, dtype=np.int64)
+    pref = np.zeros(R * S * W, dtype=np.uint8)
+    return tags, stamps, pref
+
+
+def _allow_matrix(run_masks):
+    allow = np.zeros(R * C * W, dtype=np.uint8)
+    for r in range(R):
+        for c in range(C):
+            for w in ways_from_mask(run_masks[r][c], W):
+                allow[r * C * W + c * W + w] = 1
+    return allow
+
+
+class TestServeLlcMatchesDictLruOracle:
+    @given(batches)
+    @settings(max_examples=60, deadline=None)
+    def test_counters_and_outcomes(self, seq):
+        tags, stamps, pref = _fresh_flat()
+        oracles = [PartitionedCache(GEOM) for _ in range(R)]
+        run_idx = np.arange(R, dtype=np.int64)
+        seq0 = 1
+        for ops, run_masks in seq:
+            n = len(ops)
+            line = np.array([o[0] for o in ops], dtype=np.int64)
+            ispf = np.array([o[1] for o in ops], dtype=np.uint8)
+            cpu = np.array([o[2] for o in ops], dtype=np.int64)
+            occ_before = [o.occupancy() for o in oracles]
+            stats_out, hits_d, mem_d, pref_m = nativekernels.serve_llc_arrays(
+                tags, stamps, pref, S, W, run_idx, _allow_matrix(run_masks),
+                C, line, line & (S - 1), ispf, cpu, cpu, seq0, C,
+            )
+            seq0 += n
+            for r, o in enumerate(oracles):
+                s0 = (o.stats.hits, o.stats.pref_fills, o.stats.pref_used,
+                      o.stats.pref_evicted_unused)
+                exp_hits = np.zeros(C, dtype=np.int64)
+                exp_mem = np.zeros(C, dtype=np.int64)
+                exp_pref = np.zeros(C, dtype=np.int64)
+                for ln, pf, cp in ops:
+                    allowed = ways_from_mask(run_masks[r][cp], W)
+                    hit = o.access(ln, allowed, bool(pf))
+                    if pf:
+                        if not hit:
+                            exp_pref[cp] += 1
+                    elif hit:
+                        exp_hits[cp] += 1
+                    else:
+                        exp_mem[cp] += 1
+                assert stats_out[r, 0] == o.stats.hits - s0[0], "hits"
+                assert stats_out[r, 1] == o.stats.pref_fills - s0[1], "pref_fills"
+                assert stats_out[r, 2] == o.stats.pref_used - s0[2], "pref_used"
+                assert stats_out[r, 3] == o.stats.pref_evicted_unused - s0[3], "evic"
+                assert stats_out[r, 4] == o.occupancy() - occ_before[r], "free_fills"
+                assert np.array_equal(hits_d[r], exp_hits), "demand-hit blocks"
+                assert np.array_equal(mem_d[r], exp_mem), "demand-fill blocks"
+                assert np.array_equal(pref_m[r], exp_pref), "prefetch-fill blocks"
+
+    @given(batches)
+    @settings(max_examples=40, deadline=None)
+    def test_placement_and_lru_state(self, seq):
+        """Resident lines sit in the same set and way as the oracle, and
+        per-set stamp order reproduces the oracle's LRU order."""
+        tags, stamps, pref = _fresh_flat()
+        oracles = [PartitionedCache(GEOM) for _ in range(R)]
+        run_idx = np.arange(R, dtype=np.int64)
+        seq0 = 1
+        touched = set()
+        for ops, run_masks in seq:
+            n = len(ops)
+            line = np.array([o[0] for o in ops], dtype=np.int64)
+            ispf = np.array([o[1] for o in ops], dtype=np.uint8)
+            cpu = np.array([o[2] for o in ops], dtype=np.int64)
+            nativekernels.serve_llc_arrays(
+                tags, stamps, pref, S, W, run_idx, _allow_matrix(run_masks),
+                C, line, line & (S - 1), ispf, cpu, cpu, seq0, C,
+            )
+            seq0 += n
+            for ln, pf, cp in ops:
+                touched.add(ln)
+                for r, o in enumerate(oracles):
+                    o.access(ln, ways_from_mask(run_masks[r][cp], W), bool(pf))
+        t3 = tags.reshape(R, S, W)
+        s3 = stamps.reshape(R, S, W)
+        for r, o in enumerate(oracles):
+            for ln in touched:
+                si = ln & (S - 1)
+                ways = np.flatnonzero(t3[r, si] == ln)
+                if o.probe(ln):
+                    assert ways.size == 1 and ways[0] == o.resident_way(ln), (
+                        f"run {r}: line {ln} placement diverged"
+                    )
+                else:
+                    assert ways.size == 0, f"run {r}: stale line {ln}"
+            for si in range(S):
+                valid = t3[r, si] != -1
+                order = np.argsort(np.where(valid, s3[r, si], np.iinfo(np.int64).max),
+                                   kind="stable")[: int(valid.sum())]
+                kern_lru = t3[r, si][order].tolist()
+                oracle_stamps = o._stamps[si]
+                oracle_lru = [
+                    o._tags[si][w]
+                    for w in sorted(
+                        (w for w in range(W) if o._tags[si][w] != -1),
+                        key=lambda w: oracle_stamps[w],
+                    )
+                ]
+                assert kern_lru == oracle_lru, f"run {r} set {si}: LRU order diverged"

@@ -28,10 +28,12 @@ from repro.experiments.engine import KIND_MECHANISM, ExperimentSession, PlannedR
 from repro.experiments.runner import build_machine
 from repro.sim import PF_ALL_OFF, PF_ALL_ON
 from repro.sim.batch import run_static_sweep
+from repro.sim import nativekernels
 from repro.sim.engines import (
     ENGINE_AUTO,
     ENGINE_BATCH,
     ENGINE_FAST,
+    ENGINE_NATIVE,
     ENGINE_REFERENCE,
     ENV_VAR,
     EngineSelectionError,
@@ -345,5 +347,8 @@ class TestEngineRegistry:
         assert resolve_engine(None).name == ENGINE_REFERENCE
         assert resolve_engine("auto").name == ENGINE_REFERENCE
         monkeypatch.delenv(ENV_VAR)
-        assert resolve_engine(None).name == ENGINE_FAST
+        # With no env override, auto prefers the compiled tier when it
+        # is usable and otherwise falls back to the default engine.
+        expected = ENGINE_NATIVE if nativekernels.kernels_enabled() else ENGINE_FAST
+        assert resolve_engine(None).name == expected
         assert resolve_engine("batch").name == ENGINE_BATCH
